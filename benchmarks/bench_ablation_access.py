@@ -1,0 +1,74 @@
+"""Ablation A: field-access cost across layouts (paper Sections 3.2-4.1).
+
+The design claim under test: SFM's fixed-offset skeleton makes field
+access as cheap as plain attribute access, while FlatData must linearly
+scan the parameter list per access and FlatBuffer must indirect through
+the vtable.  We read the *last* declared field (``data``'s length) plus
+two scalars of a constructed SimpleImage, per layout.
+
+Expected shape: plain ~= SFM << FlatBuffer < XCDR2/FlatData (the scan is
+worst for late members).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.msg import library as L
+from repro.msg.registry import default_registry
+from repro.serialization.flatbuffer import FlatBufferFormat
+from repro.serialization.xcdr2 import XCDR2Format
+from repro.sfm.generator import generate_sfm_class
+
+TYPE = "rossf_bench/SimpleImage"
+DATA = bytes(300)
+
+
+def _make_plain():
+    msg = L.SimpleImage(height=10, width=10, encoding="rgb8")
+    msg.data = bytearray(DATA)
+    return lambda: (msg.height, msg.width, len(msg.data))
+
+
+def _make_sfm():
+    cls = generate_sfm_class(TYPE)
+    msg = cls(height=10, width=10)
+    msg.encoding = "rgb8"
+    msg.data = DATA
+    return lambda: (msg.height, msg.width, len(msg.data))
+
+
+def _make_flatbuffer():
+    fmt = FlatBufferFormat(default_registry)
+    builder = fmt.builder(TYPE)
+    builder.add("encoding", "rgb8").add("height", 10).add("width", 10)
+    builder.add("data", DATA)
+    view = fmt.wrap(TYPE, builder.finish())
+    return lambda: (view.get("height"), view.get("width"),
+                    len(view.get("data")))
+
+
+def _make_xcdr2():
+    fmt = XCDR2Format(default_registry)
+    builder = fmt.builder(TYPE)
+    builder.add("encoding", "rgb8").add("height", 10).add("width", 10)
+    builder.add("data", DATA)
+    view = fmt.wrap(TYPE, builder.finish_sample())
+    return lambda: (view.get("height"), view.get("width"),
+                    len(view.get("data")))
+
+
+ACCESSORS = {
+    "plain-struct": _make_plain,
+    "SFM": _make_sfm,
+    "FlatBuffer-view": _make_flatbuffer,
+    "XCDR2-FlatData-view": _make_xcdr2,
+}
+
+
+@pytest.mark.parametrize("layout", list(ACCESSORS))
+def bench_field_access(benchmark, layout):
+    accessor = ACCESSORS[layout]()
+    assert accessor() == (10, 10, 300)
+    benchmark.extra_info["layout"] = layout
+    benchmark(accessor)

@@ -1,0 +1,45 @@
+"""Ablation C: the endianness-conversion cost (paper Section 4.4.1).
+
+The paper warns that when publisher and subscriber byte orders differ,
+the subscriber-side conversion "could even counteract the efficiency
+brought by serialization-free frameworks".  We measure adopting a ~1 MB
+image buffer with and without conversion.
+
+Expected shape: same-order adoption is near-free; cross-order adoption
+costs a full typed walk of the buffer.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.workloads import IMAGE_WORKLOADS
+from repro.sfm.generator import generate_sfm_class
+from repro.sfm.layout import convert_endianness, layout_for
+
+_workload = IMAGE_WORKLOADS[1]  # ~1 MB
+_cls = generate_sfm_class("sensor_msgs/Image")
+_layout = layout_for("sensor_msgs/Image")
+
+
+def _wire(byte_order: str) -> bytes:
+    from repro.bench.workloads import construct_image
+
+    msg = construct_image(_cls, _workload.make_frame(), _workload, 0, (0, 0))
+    buffer = bytearray(bytes(msg.to_wire()))
+    if byte_order == ">":
+        convert_endianness(_layout, buffer, "<", ">")
+    return bytes(buffer)
+
+
+@pytest.mark.parametrize("publisher_order", ["<", ">"],
+                         ids=["same-endian", "cross-endian"])
+def bench_adoption_endianness(benchmark, publisher_order):
+    wire = _wire(publisher_order)
+
+    def adopt():
+        received = _cls.from_buffer(bytearray(wire), byte_order=publisher_order)
+        assert received.height == _workload.height
+
+    benchmark.extra_info["publisher_order"] = publisher_order
+    benchmark(adopt)

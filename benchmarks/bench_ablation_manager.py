@@ -1,0 +1,69 @@
+"""Ablation B: message-manager lookup scaling (paper Section 4.3.3).
+
+The paper implements interior-address lookup "as a binary search from a
+std::vector of ordered records" and asserts it "appears to be efficient
+enough".  We measure ``find_record`` and ``expand`` with 10 / 100 / 1,000
+live messages; the expected shape is logarithmic (near-flat) growth.
+
+Also measures the buffer-pool effect on allocation (the recycling added
+on top of the paper's design; see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.sfm.layout import layout_for
+from repro.sfm.manager import MessageManager
+
+_layout = layout_for("rossf_bench/SimpleImage")
+
+
+@pytest.mark.parametrize("live_records", [10, 100, 1000])
+def bench_find_record(benchmark, live_records):
+    manager = MessageManager()
+    records = [
+        manager.allocate(_layout, capacity=256) for _ in range(live_records)
+    ]
+    cycle = itertools.cycle(records)
+
+    def lookup():
+        record = next(cycle)
+        assert manager.find_record(record.base + 16) is record
+
+    benchmark.extra_info["live_records"] = live_records
+    benchmark(lookup)
+
+
+@pytest.mark.parametrize("live_records", [10, 100, 1000])
+def bench_expand(benchmark, live_records):
+    manager = MessageManager()
+    records = [
+        manager.allocate(_layout, capacity=1 << 20)
+        for _ in range(live_records)
+    ]
+    cycle = itertools.cycle(records)
+
+    def expand():
+        record = next(cycle)
+        if record.size > (1 << 20) - 64:
+            record.size = _layout.skeleton_size  # reuse the same space
+        manager.expand(record.base + 4, 16)
+
+    benchmark.extra_info["live_records"] = live_records
+    benchmark(expand)
+
+
+@pytest.mark.parametrize("recycle", [True, False], ids=["pooled", "fresh"])
+def bench_allocation_pool(benchmark, recycle):
+    manager = MessageManager(recycle=recycle)
+    capacity = 1 << 20  # 1 MiB buffers show the zero-fill cost plainly
+
+    def allocate_release():
+        record = manager.allocate(_layout, capacity=capacity)
+        manager.release_object(record)
+
+    benchmark.extra_info["recycle"] = recycle
+    benchmark(allocate_release)

@@ -1,0 +1,94 @@
+"""Ablation D: transport paths and fan-out.
+
+Two questions the paper's Section 2.1 taxonomy raises but does not
+measure:
+
+1. **Intra-process vs intra-machine**: how much of the remaining latency
+   is the loopback socket itself?  The intra-process bus passes the
+   message object by reference (the nodelet/const-ptr idiom), removing
+   the two kernel copies that even ROS-SF still pays over TCP.
+2. **Fan-out**: ROS-SF encodes once per publish regardless of subscriber
+   count (the buffer pointer is shared; Fig. 8), while the baseline's
+   single serialization is likewise shared -- but the baseline pays
+   per-subscriber deserialization.  Measured with 1 vs 4 subscribers.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+
+import pytest
+
+from repro.bench.workloads import IMAGE_WORKLOADS, construct_image
+from repro.ros.graph import RosGraph
+from repro.ros.rostime import Time
+
+_WORKLOAD = IMAGE_WORKLOADS[1]  # ~1 MB
+
+
+class _Rig:
+    def __init__(self, msg_class, subscribers: int, intraprocess: bool):
+        self.msg_class = msg_class
+        self.frame = _WORKLOAD.make_frame()
+        self.graph = RosGraph()
+        self._expected = subscribers
+        self._count = 0
+        self._all_received = threading.Event()
+        self._lock = threading.Lock()
+        pub_node = self.graph.node("fan_pub")
+        for index in range(subscribers):
+            sub_node = self.graph.node(f"fan_sub_{index}")
+            sub_node.subscribe("/fan_bench", msg_class, self._on_message,
+                               intraprocess=intraprocess)
+        self.publisher = pub_node.advertise(
+            "/fan_bench", msg_class, intraprocess=intraprocess
+        )
+        if not intraprocess:
+            assert self.publisher.wait_for_subscribers(subscribers)
+        self._seq = itertools.count()
+
+    def _on_message(self, msg) -> None:
+        with self._lock:
+            self._count += 1
+            if self._count >= self._expected:
+                self._all_received.set()
+
+    def once(self) -> None:
+        with self._lock:
+            self._count = 0
+        self._all_received.clear()
+        msg = construct_image(self.msg_class, self.frame, _WORKLOAD,
+                              next(self._seq), tuple(Time.now()))
+        self.publisher.publish(msg)
+        if not self._all_received.wait(timeout=30):
+            raise TimeoutError("fan-out delivery incomplete")
+
+    def close(self) -> None:
+        self.graph.shutdown()
+
+
+@pytest.mark.parametrize("profile_name", ["ROS", "ROS-SF"])
+@pytest.mark.parametrize("subscribers", [1, 4])
+def bench_fanout_tcp(benchmark, image_classes, profile_name, subscribers):
+    rig = _Rig(image_classes[profile_name], subscribers, intraprocess=False)
+    try:
+        for _ in range(5):
+            rig.once()
+        benchmark.extra_info["profile"] = profile_name
+        benchmark.extra_info["subscribers"] = subscribers
+        benchmark(rig.once)
+    finally:
+        rig.close()
+
+
+@pytest.mark.parametrize("profile_name", ["ROS", "ROS-SF"])
+def bench_intraprocess_delivery(benchmark, image_classes, profile_name):
+    rig = _Rig(image_classes[profile_name], 1, intraprocess=True)
+    try:
+        for _ in range(5):
+            rig.once()
+        benchmark.extra_info["profile"] = profile_name
+        benchmark(rig.once)
+    finally:
+        rig.close()

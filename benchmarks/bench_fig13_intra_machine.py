@@ -1,0 +1,79 @@
+"""Fig. 13: intra-machine transmission latency, ROS vs ROS-SF.
+
+The paper's Fig. 12 topology -- one publisher node, one subscriber node,
+one ``sensor_msgs/Image`` topic over loopback TCPROS -- at the three image
+sizes (~200 KB, ~1 MB, ~6 MB).  Each benchmark iteration is one complete
+message trip: construct (copying the frame in), publish, transport,
+decode, callback; the reported time is the paper's "transmission latency".
+
+Expected shape (paper): ROS-SF at or below ROS everywhere, with the
+reduction growing with message size (up to 76.3% at 6 MB on their C++
+testbed; smaller here because Python's baseline serialization of a byte
+blob is already a single memcpy -- see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+
+import pytest
+
+from repro.bench.workloads import IMAGE_WORKLOADS, construct_image
+from repro.ros.graph import RosGraph
+from repro.ros.rostime import Time
+
+
+class LatencyRig:
+    """A standing pub/sub pair; ``once`` runs one full message trip."""
+
+    def __init__(self, msg_class, workload) -> None:
+        self.msg_class = msg_class
+        self.workload = workload
+        self.frame = workload.make_frame()
+        self.graph = RosGraph()
+        self._received = threading.Event()
+        self.sub_node = self.graph.node("bench_sub")
+        self.pub_node = self.graph.node("bench_pub")
+        self.sub_node.subscribe("/bench", msg_class, self._on_message)
+        self.publisher = self.pub_node.advertise("/bench", msg_class)
+        if not self.publisher.wait_for_subscribers(1):
+            raise TimeoutError("benchmark subscriber did not connect")
+        self._seq = itertools.count()
+
+    def _on_message(self, msg) -> None:
+        self._received.set()
+
+    def once(self) -> None:
+        self._received.clear()
+        msg = construct_image(
+            self.msg_class, self.frame, self.workload,
+            next(self._seq), tuple(Time.now()),
+        )
+        self.publisher.publish(msg)
+        if not self._received.wait(timeout=30):
+            raise TimeoutError("message did not arrive")
+
+    def close(self) -> None:
+        self.graph.shutdown()
+
+
+@pytest.fixture(params=["ROS", "ROS-SF"])
+def profile_name(request):
+    return request.param
+
+
+@pytest.mark.parametrize(
+    "workload", IMAGE_WORKLOADS, ids=[w.label for w in IMAGE_WORKLOADS]
+)
+def bench_intra_machine_latency(benchmark, image_classes, profile_name,
+                                workload):
+    rig = LatencyRig(image_classes[profile_name], workload)
+    try:
+        for _ in range(10):  # allocator + connection warmup
+            rig.once()
+        benchmark.extra_info["profile"] = profile_name
+        benchmark.extra_info["payload_bytes"] = workload.data_bytes
+        benchmark(rig.once)
+    finally:
+        rig.close()

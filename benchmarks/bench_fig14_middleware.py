@@ -1,0 +1,49 @@
+"""Fig. 14: intra-machine latency at 6 MB across seven middlewares.
+
+One bar per middleware: ROS, ROS-SF, ProtoBuf, FlatBuf (built then copied
+out), FlatBuf-SF (built then accessed zero-copy), RTI (XCDR2 copy-in/
+copy-out), RTI-FlatData (built in place, accessed zero-copy).  Each
+iteration is construct -> uniform two-copy loopback transfer -> receive-
+side access, single-threaded.
+
+Expected shape (paper): every serialization-free variant beats its
+serializing counterpart, and RTI-FlatData posts the smallest latency;
+ROS-SF reaches the same scale without any code rewriting.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.bench.harness import MiddlewareComparison
+
+MIDDLEWARES = [
+    "ROS", "ROS-SF", "ProtoBuf", "FlatBuf", "FlatBuf-SF", "RTI",
+    "RTI-FlatData",
+]
+
+_experiment = MiddlewareComparison()
+_steps = None
+
+
+def _get_steps():
+    global _steps
+    if _steps is None:
+        _steps = _experiment.middlewares()
+    return _steps
+
+
+@pytest.mark.parametrize("middleware", MIDDLEWARES)
+def bench_middleware_6mb(benchmark, middleware):
+    step = _get_steps()[middleware]
+    frame = _experiment.workload.make_frame()
+    seq = itertools.count()
+    for _ in range(10):  # allocator warmup (fresh 6 MB blocks churn)
+        step(frame, next(seq))
+    benchmark.extra_info["middleware"] = middleware
+    benchmark.extra_info["serialization_free"] = middleware in (
+        "ROS-SF", "FlatBuf-SF", "RTI-FlatData"
+    )
+    benchmark(lambda: step(frame, next(seq)))

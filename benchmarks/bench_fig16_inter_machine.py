@@ -1,0 +1,63 @@
+"""Fig. 16: inter-machine ping-pong latency, ROS vs ROS-SF.
+
+The paper's Fig. 15 topology (pub on machine A -> trans on machine B ->
+sub on machine A over a 10 GbE NIC).  Offline, the wire is the
+:mod:`repro.net.link` 10 GbE model: the benchmark measures the *compute*
+half of a ping-pong (two constructions plus, on the baseline, two
+serializations and two de-serializations), and the fixed modeled wire
+time for the workload is attached as ``extra_info['modeled_wire_ms']`` --
+total latency = measured mean + modeled wire.
+
+Expected shape (paper): ROS-SF reduces the ping-pong latency, more so as
+the image grows (69.9% at 6 MB on their testbed; smaller here, see
+EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.bench.harness import InterMachineExperiment
+from repro.bench.workloads import IMAGE_WORKLOADS
+from repro.msg.registry import default_registry
+from repro.net.link import NetworkLink, TEN_GIGABIT
+from repro.serialization.rosser import ROSSerializer
+
+_serializer = ROSSerializer(default_registry)
+_experiment = InterMachineExperiment()
+
+
+@pytest.fixture(params=["ROS", "ROS-SF"])
+def profile_name(request):
+    return request.param
+
+
+@pytest.mark.parametrize(
+    "workload", IMAGE_WORKLOADS, ids=[w.label for w in IMAGE_WORKLOADS]
+)
+def bench_pingpong_compute(benchmark, image_classes, profile_name, workload):
+    msg_class = image_classes[profile_name]
+    frame = workload.make_frame()
+    seq = itertools.count()
+    link = NetworkLink(TEN_GIGABIT)
+
+    def pingpong() -> None:
+        # pub -> trans, then trans -> sub (two hops, Fig. 15).
+        for _hop in range(2):
+            _received, _elapsed = _experiment._hop(
+                profile_name, msg_class, _serializer, frame, workload,
+                link, next(seq),
+            )
+
+    for _ in range(8):
+        pingpong()
+    link.reset()
+    pingpong()
+    modeled_wire_ms = 1000.0 * link.modeled_seconds
+
+    benchmark.extra_info["profile"] = profile_name
+    benchmark.extra_info["payload_bytes"] = workload.data_bytes
+    benchmark.extra_info["modeled_wire_ms"] = round(modeled_wire_ms, 4)
+    benchmark(pingpong)

@@ -1,0 +1,43 @@
+"""Fig. 18: overall latency of the ORB-SLAM case study, ROS vs ROS-SF.
+
+Runs the complete Fig. 17 graph (pub_tum -> orb_slam -> three latency
+recorders) over a synthetic TUM-like RGBD sequence, once per profile.
+The benchmark time is the wall-clock of a whole pipeline run; the per-
+output mean latencies (the actual Fig. 18 quantities) are attached as
+``extra_info``.
+
+Expected shape (paper): the SLAM computation (tens of ms per frame)
+dominates, so ROS-SF's improvement is small (~5%) but present on the
+large outputs (point cloud, debug image).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ros.graph import RosGraph
+from repro.slam.dataset import SyntheticRgbdDataset
+from repro.slam.pipeline import SlamPipeline, profile
+
+FRAMES = 12
+_dataset = SyntheticRgbdDataset(width=320, height=240, length=FRAMES)
+
+
+@pytest.mark.parametrize("kind", ["ros", "rossf"])
+def bench_orbslam_pipeline(benchmark, kind):
+    outcomes = []
+
+    def run_pipeline() -> None:
+        with RosGraph() as graph:
+            pipeline = SlamPipeline(graph, profile(kind), _dataset.intrinsics)
+            outcomes.append(
+                pipeline.run(_dataset, frame_gap_s=0.04, timeout=300)
+            )
+
+    benchmark.pedantic(run_pipeline, rounds=2, iterations=1, warmup_rounds=0)
+    last = outcomes[-1]
+    benchmark.extra_info["profile"] = last.profile_name
+    for output in SlamPipeline.OUTPUTS:
+        benchmark.extra_info[f"{output}_latency_ms"] = round(
+            last.mean_ms(output), 2
+        )

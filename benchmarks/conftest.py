@@ -1,0 +1,28 @@
+"""Shared benchmark fixtures.
+
+Every benchmark tunes the allocator first (see
+:mod:`repro.bench.allocator`): the experiments move multi-megabyte buffers
+every iteration, and default glibc mmap behaviour would measure page
+faults instead of the serialization costs under study.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.msg.library  # noqa: F401  (registers the standard library)
+from repro.bench.allocator import tune_for_large_messages
+
+
+@pytest.fixture(scope="session", autouse=True)
+def tuned_allocator():
+    tune_for_large_messages()
+
+
+@pytest.fixture(scope="session")
+def image_classes():
+    from repro.msg import library
+    from repro.rossf import sfm_classes_for
+
+    sfm_image, = sfm_classes_for("sensor_msgs/Image")
+    return {"ROS": library.Image, "ROS-SF": sfm_image}

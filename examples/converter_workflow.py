@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""The ROS-SF Converter workflow: check, guide, rewrite, run.
+
+1. Analyze a package source for the paper's three assumptions.
+2. Print the modification guidance for each violation (the paper: "even
+   in the failure cases, our ROS-SF framework can provide modification
+   guidance").
+3. Rewrite the imports of a *clean* file to the SFM classes and execute
+   the result, showing the program now runs serialization-free.
+4. Regenerate the paper's Table 1 over the bundled corpus.
+
+Run:  python examples/converter_workflow.py
+"""
+
+from repro.converter import (
+    analyze_source,
+    conversion_guidance,
+    rewrite_imports_to_sfm,
+    run_applicability_study,
+)
+from repro.sfm.message import SFMMessage
+
+FAILING_SOURCE = '''\
+def republish_rotated(msg, cv_image, transform, pub):
+    # Fig. 19: patching a string field on a converted message.
+    out_img = cv_bridge(msg.header, msg.encoding, cv_image).toImageMsg()
+    out_img.header.frame_id = transform.child_frame_id
+    pub.publish(out_img)
+
+
+def pack_points(dense_points, pub):
+    # Fig. 21: push_back over a validity filter.
+    cloud = PointCloud()
+    cloud.points.resize(0)
+    for point in dense_points:
+        if point.ok:
+            cloud.points.append(point)
+    pub.publish(cloud)
+'''
+
+CLEAN_SOURCE = '''\
+from repro.msg.library import Image
+
+img = Image()
+img.encoding = "rgb8"
+img.height = 10
+img.width = 10
+img.data.resize(10 * 10 * 3)
+'''
+
+
+def main() -> None:
+    print("== 1+2. analyze a failing package and print guidance ==")
+    report = analyze_source(FAILING_SOURCE, path="image_pipeline/node.py")
+    print(conversion_guidance(report))
+    print()
+
+    print("== 3. rewrite a clean file to the SFM classes and run it ==")
+    rewritten = rewrite_imports_to_sfm(CLEAN_SOURCE)
+    print(rewritten)
+    namespace: dict = {}
+    exec(rewritten, namespace)  # noqa: S102 - demonstration
+    img = namespace["img"]
+    assert isinstance(img, SFMMessage)
+    print(f"the rewritten program produced an SFM message: "
+          f"whole size {img.whole_size} bytes, "
+          f"encoding {str(img.encoding)!r}, data length {len(img.data)}")
+    print()
+
+    print("== 4. the applicability study (paper Table 1) ==")
+    print(run_applicability_study().render())
+
+
+if __name__ == "__main__":
+    main()

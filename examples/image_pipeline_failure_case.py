@@ -1,0 +1,132 @@
+#!/usr/bin/env python3
+"""The paper's first failure case (Fig. 19), reproduced live.
+
+A camera node feeds an ``image_rotate``-style republisher.  The buggy
+version converts the incoming image and then patches
+``header.frame_id`` on the already-constructed message -- which violates
+the One-Shot String Assignment Assumption and, under ROS-SF, raises the
+run-time alert with modification guidance.  The fixed version (the
+paper's rewrite: prepare the final header first) runs unmodified under
+both profiles.
+
+The static checker catches the same bug before running, which is how the
+Table 1 study was produced.
+
+Run:  python examples/image_pipeline_failure_case.py
+"""
+
+import threading
+
+import numpy as np
+
+from repro.converter import analyze_source, conversion_guidance
+from repro.msg import library
+from repro.ros import RosGraph
+from repro.rossf import sfm_classes_for
+from repro.sfm.errors import OneShotStringError
+
+
+def convert_image(msg_class, source, header_seq, frame_id, encoding):
+    """A cv_bridge-style conversion: builds a fully-assigned message."""
+    out = msg_class()
+    out.header.seq = header_seq
+    out.header.frame_id = frame_id
+    out.height, out.width = source.shape[:2]
+    out.encoding = encoding
+    out.step = source.shape[1] * 3
+    out.data = np.ascontiguousarray(source, dtype=np.uint8).reshape(-1)
+    return out
+
+
+def rotate180(image: np.ndarray) -> np.ndarray:
+    return image[::-1, ::-1].copy()
+
+
+def buggy_rotate_node(msg_class, msg, image, publisher) -> None:
+    """Fig. 19, line-for-line: convert, then patch the frame_id."""
+    out_img = convert_image(
+        msg_class, rotate180(image), int(msg.header.seq),
+        str(msg.header.frame_id), str(msg.encoding),
+    )
+    out_img.header.frame_id = "rotated_camera"   # the second assignment!
+    publisher.publish(out_img)
+
+
+def fixed_rotate_node(msg_class, msg, image, publisher) -> None:
+    """The paper's rewrite: decide the final header before converting."""
+    out_img = convert_image(
+        msg_class, rotate180(image), int(msg.header.seq),
+        "rotated_camera",                         # assigned exactly once
+        str(msg.encoding),
+    )
+    publisher.publish(out_img)
+
+
+def run(msg_class, rotate, label: str) -> str:
+    frame = np.random.default_rng(0).integers(
+        0, 255, size=(60, 80, 3), dtype=np.uint8
+    )
+    outcome = {}
+    done = threading.Event()
+
+    with RosGraph() as graph:
+        cam = graph.node("camera")
+        rot = graph.node("rotator")
+        view = graph.node("viewer")
+
+        def on_rotated(msg):
+            outcome["frame_id"] = str(msg.header.frame_id)
+            done.set()
+
+        view.subscribe("/image_rotated", msg_class, on_rotated)
+        rotated_pub = rot.advertise("/image_rotated", msg_class)
+
+        def on_raw(msg):
+            try:
+                rotate(msg_class, msg, frame, rotated_pub)
+            except OneShotStringError as exc:
+                outcome["error"] = str(exc)
+                done.set()
+
+        rot.subscribe("/image_raw", msg_class, on_raw)
+        raw_pub = cam.advertise("/image_raw", msg_class)
+        raw_pub.wait_for_subscribers(1)
+        rotated_pub.wait_for_subscribers(1)
+
+        raw = convert_image(msg_class, frame, 0, "camera", "rgb8")
+        raw_pub.publish(raw)
+        done.wait(10)
+
+    if "error" in outcome:
+        return f"[{label}] RUNTIME ALERT: {outcome['error']}"
+    return f"[{label}] delivered with frame_id={outcome.get('frame_id')!r}"
+
+
+BUGGY_SOURCE = '''\
+def callback(msg, cv_image, transform, pub):
+    out_img = cv_bridge(msg.header, msg.encoding, cv_image).toImageMsg()
+    out_img.header.frame_id = transform.child_frame_id
+    pub.publish(out_img)
+'''
+
+
+def main() -> None:
+    SfmImage, = sfm_classes_for("sensor_msgs/Image")
+
+    print("== static check (what the Converter reports) ==")
+    print(conversion_guidance(
+        analyze_source(BUGGY_SOURCE, path="image_rotate_nodelet.py")
+    ))
+    print()
+
+    print("== live runs ==")
+    print(run(library.Image, buggy_rotate_node, "ROS,    buggy"))
+    print(run(SfmImage, buggy_rotate_node, "ROS-SF, buggy"))
+    print(run(SfmImage, fixed_rotate_node, "ROS-SF, fixed"))
+    print()
+    print("Plain ROS silently tolerates the reassignment; ROS-SF raises the")
+    print("alert with the Fig. 19 guidance; the rewritten node runs clean.")
+
+
+if __name__ == "__main__":
+    main()

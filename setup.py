@@ -1,0 +1,10 @@
+"""Setup shim.
+
+``pip install -e .`` needs the ``wheel`` package (PEP 660) which is not
+available in fully-offline environments; ``python setup.py develop`` keeps
+working there.  All real metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

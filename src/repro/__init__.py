@@ -1,0 +1,39 @@
+"""ROS-SF reproduction: a transparent, serialization-free ROS-like middleware.
+
+This package reproduces the system described in "ROS-SF: A Transparent and
+Efficient ROS Middleware using Serialization-Free Message" (Middleware '22)
+in pure Python.  The major subpackages are:
+
+- :mod:`repro.msg` -- the ``.msg`` interface definition language, message
+  specs, md5 fingerprints and plain (ROS-style) message class generation.
+- :mod:`repro.serialization` -- wire formats: the ROS baseline plus the
+  ProtoBuf-like, FlatBuffer-like and XCDR2/FlatData-like comparators used
+  by the paper's Fig. 14.
+- :mod:`repro.sfm` -- the paper's contribution: the SFM serialization-free
+  message format, skeleton layout, ``sfm`` string/vector views and the
+  message life-cycle manager.
+- :mod:`repro.ros` -- "miniros", a ROS1-like middleware substrate (master,
+  node, topics, TCPROS-style transport).
+- :mod:`repro.rossf` -- the ROS-SF integration layer that swaps dummy
+  (de)serialization routines under the unchanged ROS API.
+- :mod:`repro.converter` -- the ROS-SF Converter analogue: a static
+  checker/rewriter for the paper's three assumptions.
+- :mod:`repro.net` -- the inter-machine link model used by Fig. 16.
+- :mod:`repro.slam` -- the ORB-SLAM-like application case study of Fig. 18.
+- :mod:`repro.bench` -- the experiment harness regenerating every table
+  and figure of the paper's evaluation.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "msg",
+    "serialization",
+    "sfm",
+    "ros",
+    "rossf",
+    "converter",
+    "net",
+    "slam",
+    "bench",
+]

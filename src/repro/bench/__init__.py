@@ -1,0 +1,19 @@
+"""Experiment harness regenerating every table and figure of the paper.
+
+- :mod:`repro.bench.workloads` -- the paper's image workloads (~200 KB /
+  ~1 MB / ~6 MB, Section 5.1) and message construction that copies pixel
+  data into the message on *both* profiles, as a camera driver does.
+- :mod:`repro.bench.stats` -- mean/stddev aggregation for the
+  "boxes + black lines" the figures report.
+- :mod:`repro.bench.harness` -- one experiment class per figure/table:
+  Fig. 13 (intra-machine), Fig. 14 (middleware comparison), Fig. 16
+  (inter-machine ping-pong), Fig. 18 (ORB-SLAM case study), Table 1
+  (applicability study).
+- :mod:`repro.bench.tables` -- renders the same rows/series the paper
+  prints.
+"""
+
+from repro.bench.stats import LatencyStats, summarize
+from repro.bench.workloads import IMAGE_WORKLOADS, ImageWorkload
+
+__all__ = ["IMAGE_WORKLOADS", "ImageWorkload", "LatencyStats", "summarize"]

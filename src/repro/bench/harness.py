@@ -1,0 +1,339 @@
+"""Experiment implementations, one per figure/table of the evaluation.
+
+Each experiment is deterministic in shape and parameterized in scale
+(iterations, rate) so it can run as a quick pytest-benchmark target or as
+a full paper-scale run (2,000 iterations at 10 Hz).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field as dataclass_field
+from typing import Callable, Optional
+
+from repro.bench.stats import LatencyStats, summarize
+from repro.bench.workloads import (
+    IMAGE_WORKLOADS,
+    SIX_MEGABYTE,
+    ImageWorkload,
+    construct_image,
+)
+from repro.msg.registry import default_registry
+from repro.net.link import LinkProfile, NetworkLink, TEN_GIGABIT
+from repro.ros.graph import RosGraph
+from repro.ros.rate import Rate
+from repro.ros.rostime import Time
+
+
+def _image_classes() -> dict[str, type]:
+    """{'ROS': plain Image class, 'ROS-SF': SFM Image class}."""
+    from repro.msg import library
+    from repro.rossf import sfm_classes_for
+
+    sfm_image, = sfm_classes_for("sensor_msgs/Image")
+    return {"ROS": library.Image, "ROS-SF": sfm_image}
+
+
+# ----------------------------------------------------------------------
+# Fig. 13: intra-machine transmission latency
+# ----------------------------------------------------------------------
+@dataclass
+class IntraMachineExperiment:
+    """One pub node, one sub node, one Image topic over loopback TCPROS
+    (the Fig. 12 topology); latency = receive time - creation stamp."""
+
+    iterations: int = 50
+    rate_hz: Optional[float] = 50.0
+    warmup: int = 10
+    workloads: tuple[ImageWorkload, ...] = IMAGE_WORKLOADS
+
+    def run(self) -> dict[str, dict[str, LatencyStats]]:
+        """Returns ``{workload_label: {profile: stats}}``."""
+        from repro.bench.allocator import tune_for_large_messages
+
+        tune_for_large_messages()
+        results: dict[str, dict[str, LatencyStats]] = {}
+        for workload in self.workloads:
+            per_profile: dict[str, LatencyStats] = {}
+            for profile_name, msg_class in _image_classes().items():
+                samples = self._run_one(msg_class, workload, profile_name)
+                per_profile[profile_name] = summarize(
+                    f"{profile_name} {workload.label}", samples, self.warmup
+                )
+            results[workload.label] = per_profile
+        return results
+
+    def _run_one(self, msg_class, workload: ImageWorkload,
+                 profile_name: str) -> list[float]:
+        frame = workload.make_frame()
+        total = self.iterations + self.warmup
+        samples: list[float] = []
+        done = threading.Event()
+
+        def callback(msg) -> None:
+            secs, nsecs = msg.header.stamp
+            samples.append(time.time() - (secs + nsecs / 1e9))
+            if len(samples) >= total:
+                done.set()
+
+        with RosGraph() as graph:
+            pub_node = graph.node("pub")
+            sub_node = graph.node("sub")
+            sub_node.subscribe("/bench_image", msg_class, callback)
+            publisher = pub_node.advertise("/bench_image", msg_class)
+            if not publisher.wait_for_subscribers(1):
+                raise TimeoutError("subscriber did not connect")
+            rate = Rate(self.rate_hz) if self.rate_hz else None
+            for seq in range(total):
+                msg = construct_image(
+                    msg_class, frame, workload, seq, tuple(Time.now())
+                )
+                publisher.publish(msg)
+                if rate is not None:
+                    rate.sleep()
+            if not done.wait(timeout=60.0):
+                raise TimeoutError(
+                    f"{profile_name}: received {len(samples)}/{total}"
+                )
+        return samples
+
+
+# ----------------------------------------------------------------------
+# Fig. 14: middleware comparison at 6 MB
+# ----------------------------------------------------------------------
+def _loopback_transfer(payload) -> bytearray:
+    """Model a loopback TCP transfer uniformly for every middleware: the
+    kernel copies the payload in (send) and out (receive) -- exactly two
+    copies for every format (``bytearray`` always copies, unlike
+    ``bytes(bytes)`` which would be free for formats that serialize to
+    ``bytes``)."""
+    staged = bytearray(payload)
+    return bytearray(staged)
+
+
+def _access_fields(height, width, encoding, data) -> int:
+    """The subscriber-side access pattern: metadata plus a data probe."""
+    probe = int(data[0]) + int(data[-1])
+    return int(height) + int(width) + len(encoding) + len(data) + probe
+
+
+@dataclass
+class MiddlewareComparison:
+    """Construction -> loopback transfer -> access, per middleware
+    (the seven bars of Fig. 14), single-threaded for low noise."""
+
+    iterations: int = 30
+    warmup: int = 10
+    workload: ImageWorkload = SIX_MEGABYTE
+    type_name: str = "sensor_msgs/Image"
+
+    def middlewares(self) -> dict[str, Callable[[bytes, int], None]]:
+        from repro.serialization.flatbuffer import FlatBufferFormat
+        from repro.serialization.protobuf import ProtoBufFormat
+        from repro.serialization.rosser import ROSSerializer
+        from repro.serialization.xcdr2 import XCDR2Format
+
+        registry = default_registry
+        classes = _image_classes()
+        ros = ROSSerializer(registry)
+        protobuf = ProtoBufFormat(registry)
+        flatbuf = FlatBufferFormat(registry)
+        xcdr2 = XCDR2Format(registry)
+        workload = self.workload
+        plain_cls, sfm_cls = classes["ROS"], classes["ROS-SF"]
+        type_name = self.type_name
+
+        def run_serializing(fmt):
+            def one(frame: bytes, seq: int) -> None:
+                msg = construct_image(plain_cls, frame, workload, seq, (0, 0))
+                wire = fmt.serialize(msg)
+                received = _loopback_transfer(wire)
+                out = fmt.deserialize(type_name, received)
+                _access_fields(out.height, out.width, out.encoding, out.data)
+            return one
+
+        def run_builder_sf(fmt):
+            def one(frame: bytes, seq: int) -> None:
+                builder = fmt.builder(type_name)
+                builder.add("header", {"seq": seq, "stamp": (0, 0),
+                                       "frame_id": "camera"})
+                builder.add("height", workload.height)
+                builder.add("width", workload.width)
+                builder.add("encoding", "rgb8")
+                builder.add("is_bigendian", 0)
+                builder.add("step", workload.width * 3)
+                builder.add("data", frame)
+                wire = builder.finish()
+                received = _loopback_transfer(wire)
+                view = fmt.wrap(type_name, received)
+                _access_fields(view.get("height"), view.get("width"),
+                               view.get("encoding"), view.get("data"))
+            return one
+
+        def run_rossf(frame: bytes, seq: int) -> None:
+            msg = construct_image(sfm_cls, frame, workload, seq, (0, 0))
+            pointer = msg.publish_pointer()
+            received = _loopback_transfer(pointer.memoryview())
+            pointer.release()
+            out = sfm_cls.from_buffer(received)
+            _access_fields(out.height, out.width, out.encoding, out.data)
+
+        return {
+            "ROS": run_serializing(ros),
+            "ROS-SF": run_rossf,
+            "ProtoBuf": run_serializing(protobuf),
+            "FlatBuf": run_serializing(flatbuf),
+            "FlatBuf-SF": run_builder_sf(flatbuf),
+            "RTI": run_serializing(xcdr2),
+            "RTI-FlatData": run_builder_sf(xcdr2),
+        }
+
+    def run(self, only: Optional[list[str]] = None) -> dict[str, LatencyStats]:
+        from repro.bench.allocator import tune_for_large_messages
+
+        tune_for_large_messages()
+        frame = self.workload.make_frame()
+        results: dict[str, LatencyStats] = {}
+        for name, step in self.middlewares().items():
+            if only is not None and name not in only:
+                continue
+            samples: list[float] = []
+            for seq in range(self.iterations + self.warmup):
+                start = time.perf_counter()
+                step(frame, seq)
+                samples.append(time.perf_counter() - start)
+            results[name] = summarize(name, samples, self.warmup)
+        return results
+
+
+# ----------------------------------------------------------------------
+# Fig. 16: inter-machine ping-pong latency
+# ----------------------------------------------------------------------
+@dataclass
+class InterMachineExperiment:
+    """The Fig. 15 topology (pub -> trans -> sub across a modeled link):
+    measured compute + modeled wire time per ping-pong iteration."""
+
+    iterations: int = 30
+    warmup: int = 10
+    link: LinkProfile = TEN_GIGABIT
+    workloads: tuple[ImageWorkload, ...] = IMAGE_WORKLOADS
+    type_name: str = "sensor_msgs/Image"
+
+    def run(self) -> dict[str, dict[str, LatencyStats]]:
+        from repro.bench.allocator import tune_for_large_messages
+        from repro.serialization.rosser import ROSSerializer
+
+        tune_for_large_messages()
+        serializer = ROSSerializer(default_registry)
+        classes = _image_classes()
+        results: dict[str, dict[str, LatencyStats]] = {}
+        for workload in self.workloads:
+            frame = workload.make_frame()
+            per_profile: dict[str, LatencyStats] = {}
+            for profile_name, msg_class in classes.items():
+                samples = self._pingpong(
+                    profile_name, msg_class, serializer, frame, workload
+                )
+                per_profile[profile_name] = summarize(
+                    f"{profile_name} {workload.label}", samples, self.warmup
+                )
+            results[workload.label] = per_profile
+        return results
+
+    def _hop(self, profile_name, msg_class, serializer, frame, workload,
+             link: NetworkLink, seq: int):
+        """One direction: construct on the sender, deliver a decoded
+        message on the receiver; returns (message, measured_seconds)."""
+        start = time.perf_counter()
+        msg = construct_image(msg_class, frame, workload, seq, (0, 0))
+        if profile_name == "ROS":
+            wire = serializer.serialize(msg)
+            elapsed = time.perf_counter() - start
+            link.send(len(wire))
+            start2 = time.perf_counter()
+            received = serializer.deserialize(self.type_name, wire)
+            elapsed += time.perf_counter() - start2
+            return received, elapsed
+        pointer = msg.publish_pointer()
+        wire_view = pointer.memoryview()
+        elapsed = time.perf_counter() - start
+        link.send(len(wire_view))
+        start2 = time.perf_counter()
+        received = msg_class.from_buffer(bytearray(wire_view))
+        pointer.release()
+        elapsed += time.perf_counter() - start2
+        return received, elapsed
+
+    def _pingpong(self, profile_name, msg_class, serializer, frame,
+                  workload) -> list[float]:
+        samples: list[float] = []
+        for seq in range(self.iterations + self.warmup):
+            link = NetworkLink(self.link)
+            # pub -> trans (machine A -> machine B)
+            received, measured_1 = self._hop(
+                profile_name, msg_class, serializer, frame, workload, link, seq
+            )
+            # trans re-creates an Image with the same stamp (Fig. 15)
+            stamp_probe = (int(received.height), int(received.width))
+            assert stamp_probe == (workload.height, workload.width)
+            # trans -> sub (machine B -> machine A)
+            _final, measured_2 = self._hop(
+                profile_name, msg_class, serializer, frame, workload, link, seq
+            )
+            samples.append(measured_1 + measured_2 + link.modeled_seconds)
+        return samples
+
+
+# ----------------------------------------------------------------------
+# Fig. 18: ORB-SLAM case study
+# ----------------------------------------------------------------------
+@dataclass
+class SlamCaseStudy:
+    """Runs the Fig. 17 pipeline under both profiles.
+
+    The SLAM computation dominates the pipeline (paper: 30-40 ms of the
+    latency) and its wall time drifts by several percent over minutes on
+    a busy machine, so single back-to-back runs would mis-attribute the
+    drift to the middleware.  ``repeats`` interleaves ROS and ROS-SF runs
+    (A/B/A/B...) and pools the samples.
+    """
+
+    frames: int = 20
+    width: int = 640
+    height: int = 480
+    frame_gap_s: float = 0.06
+    warmup: int = 3
+    repeats: int = 2
+
+    def run(self) -> dict[str, dict[str, LatencyStats]]:
+        from repro.slam.dataset import SyntheticRgbdDataset
+        from repro.slam.pipeline import SlamPipeline, profile
+
+        dataset = SyntheticRgbdDataset(
+            width=self.width, height=self.height,
+            length=self.frames + self.warmup,
+        )
+        pooled: dict[str, dict[str, list]] = {}
+        for _round in range(self.repeats):
+            for kind in ("ros", "rossf"):
+                with RosGraph() as graph:
+                    pipeline = SlamPipeline(
+                        graph, profile(kind), dataset.intrinsics
+                    )
+                    outcome = pipeline.run(
+                        dataset, frame_gap_s=self.frame_gap_s, timeout=180.0
+                    )
+                per_output = pooled.setdefault(outcome.profile_name, {})
+                for output, samples in outcome.latencies.items():
+                    per_output.setdefault(output, []).extend(
+                        samples[self.warmup :]
+                    )
+        return {
+            profile_name: {
+                output: summarize(f"{profile_name} {output}", samples)
+                for output, samples in per_output.items()
+            }
+            for profile_name, per_output in pooled.items()
+        }

@@ -1,0 +1,134 @@
+"""One-shot reproduction of every table and figure in the paper.
+
+``python -m repro.bench.paper_run [--quick]`` runs Figs. 13, 14, 16, 18
+and Table 1 at a moderate scale and prints them in the paper's shapes.
+``--full`` approaches the paper's 2,000-iteration runs (slow).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.bench.allocator import tune_for_large_messages
+from repro.bench.harness import (
+    InterMachineExperiment,
+    IntraMachineExperiment,
+    MiddlewareComparison,
+    SlamCaseStudy,
+)
+from repro.bench.tables import (
+    render_middleware_bars,
+    render_profile_comparison,
+    render_slam_outputs,
+)
+from repro.converter.report import run_applicability_study
+
+#: (iterations, warmup, slam frames, publish rate Hz) per scale.  The
+#: paper publishes at 10 Hz; faster paced rates keep the default run
+#: short while still leaving the pipeline drained between messages.
+SCALES = {
+    "quick": (20, 10, 10, 60.0),
+    "default": (60, 15, 20, 60.0),
+    "full": (2000, 50, 60, 10.0),
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="small iteration counts (CI-sized)")
+    parser.add_argument("--full", action="store_true",
+                        help="paper-scale iteration counts (slow)")
+    parser.add_argument("--json", metavar="PATH",
+                        help="also write all results as JSON")
+    args = parser.parse_args(argv)
+    scale = "full" if args.full else ("quick" if args.quick else "default")
+    iterations, warmup, slam_frames, rate_hz = SCALES[scale]
+    tune_for_large_messages()
+
+    started = time.monotonic()
+    print(f"# ROS-SF paper reproduction run (scale={scale}, "
+          f"iterations={iterations})\n")
+
+    fig13 = IntraMachineExperiment(
+        iterations=iterations, warmup=warmup, rate_hz=rate_hz
+    ).run()
+    print(render_profile_comparison(
+        "Fig. 13 -- intra-machine transmission latency (loopback TCPROS)",
+        fig13,
+    ))
+    print()
+
+    fig14 = MiddlewareComparison(iterations=iterations, warmup=warmup).run()
+    print(render_middleware_bars(
+        "Fig. 14 -- intra-machine latency at 6 MB by middleware", fig14,
+    ))
+    print()
+
+    fig16 = InterMachineExperiment(iterations=iterations, warmup=warmup).run()
+    print(render_profile_comparison(
+        "Fig. 16 -- inter-machine ping-pong latency (modeled 10 GbE wire "
+        "+ measured compute)",
+        fig16,
+    ))
+    print()
+
+    fig18 = SlamCaseStudy(frames=slam_frames).run()
+    print(render_slam_outputs(
+        "Fig. 18 -- ORB-SLAM case study overall latency", fig18,
+    ))
+    print()
+
+    table1 = run_applicability_study()
+    print("Table 1 -- applicability study")
+    print(table1.render())
+    print()
+
+    if args.json:
+        _write_json(args.json, scale, fig13, fig14, fig16, fig18, table1)
+        print(f"(JSON results written to {args.json})")
+
+    print(f"(total reproduction time: {time.monotonic() - started:.1f} s)")
+    return 0
+
+
+def _stats_dict(stats) -> dict:
+    return {
+        "count": stats.count,
+        "mean_ms": stats.mean_ms,
+        "std_ms": stats.std_ms,
+        "p50_ms": stats.p50_ms,
+        "p99_ms": stats.p99_ms,
+    }
+
+
+def _nested(results: dict) -> dict:
+    return {
+        outer: {inner: _stats_dict(stats) for inner, stats in group.items()}
+        for outer, group in results.items()
+    }
+
+
+def _write_json(path, scale, fig13, fig14, fig16, fig18, table1) -> None:
+    import json
+
+    payload = {
+        "scale": scale,
+        "fig13_intra_machine": _nested(fig13),
+        "fig14_middleware": {
+            name: _stats_dict(stats) for name, stats in fig14.items()
+        },
+        "fig16_inter_machine": _nested(fig16),
+        "fig18_orbslam": _nested(fig18),
+        "table1_applicability": {
+            name: row.as_tuple() for name, row in table1.rows.items()
+        },
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

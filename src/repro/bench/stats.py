@@ -1,0 +1,66 @@
+"""Latency sample aggregation.
+
+The paper's figures report the average latency (boxes) and standard
+deviation (black lines); :class:`LatencyStats` computes both plus the
+percentiles useful when eyeballing tail behaviour.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class LatencyStats:
+    """Summary of a latency sample set, in milliseconds."""
+
+    label: str
+    count: int
+    mean_ms: float
+    std_ms: float
+    min_ms: float
+    p50_ms: float
+    p99_ms: float
+    max_ms: float
+
+    def row(self) -> str:
+        return (
+            f"{self.label:<24} n={self.count:<5} "
+            f"mean={self.mean_ms:8.3f} ms  std={self.std_ms:7.3f}  "
+            f"p50={self.p50_ms:8.3f}  p99={self.p99_ms:8.3f}"
+        )
+
+
+def summarize(label: str, seconds: list[float], warmup: int = 0) -> LatencyStats:
+    """Aggregate latency samples (seconds in, milliseconds out).
+
+    ``warmup`` leading samples are dropped (cold caches, first-connection
+    effects), mirroring common middleware benchmarking practice.
+    """
+    samples = sorted(seconds[warmup:])
+    if not samples:
+        raise ValueError(f"{label}: no samples after warmup")
+    count = len(samples)
+    mean = sum(samples) / count
+    variance = sum((value - mean) ** 2 for value in samples) / count
+    def pct(fraction: float) -> float:
+        index = min(count - 1, int(round(fraction * (count - 1))))
+        return samples[index] * 1000.0
+    return LatencyStats(
+        label=label,
+        count=count,
+        mean_ms=mean * 1000.0,
+        std_ms=math.sqrt(variance) * 1000.0,
+        min_ms=samples[0] * 1000.0,
+        p50_ms=pct(0.50),
+        p99_ms=pct(0.99),
+        max_ms=samples[-1] * 1000.0,
+    )
+
+
+def improvement_percent(baseline: LatencyStats, improved: LatencyStats) -> float:
+    """The paper's headline metric: latency reduction in percent."""
+    if baseline.mean_ms <= 0:
+        return float("nan")
+    return 100.0 * (baseline.mean_ms - improved.mean_ms) / baseline.mean_ms

@@ -1,0 +1,65 @@
+"""Rendering of experiment results in the paper's figure/table shapes."""
+
+from __future__ import annotations
+
+from repro.bench.stats import LatencyStats, improvement_percent
+
+
+def render_profile_comparison(
+    title: str, results: dict[str, dict[str, LatencyStats]],
+    baseline: str = "ROS", improved: str = "ROS-SF",
+) -> str:
+    """Figs. 13/16 shape: per workload, ROS vs ROS-SF mean +- std and the
+    latency reduction."""
+    lines = [title, "=" * len(title)]
+    for workload, per_profile in results.items():
+        base = per_profile[baseline]
+        best = per_profile[improved]
+        reduction = improvement_percent(base, best)
+        lines.append(
+            f"{workload:<24} {baseline}: {base.mean_ms:8.3f} +- "
+            f"{base.std_ms:6.3f} ms   {improved}: {best.mean_ms:8.3f} +- "
+            f"{best.std_ms:6.3f} ms   reduction: {reduction:5.1f}%"
+        )
+    return "\n".join(lines)
+
+
+def render_middleware_bars(
+    title: str, results: dict[str, LatencyStats]
+) -> str:
+    """Fig. 14 shape: one bar per middleware, grouped as in the paper."""
+    groups = [
+        ("ProtoBuf / FlatBuf", ["ProtoBuf", "FlatBuf", "FlatBuf-SF"]),
+        ("RTI / RTI-FlatData", ["RTI", "RTI-FlatData"]),
+        ("ROS / ROS-SF", ["ROS", "ROS-SF"]),
+    ]
+    lines = [title, "=" * len(title)]
+    for group_name, names in groups:
+        lines.append(f"[{group_name}]")
+        for name in names:
+            stats = results.get(name)
+            if stats is None:
+                continue
+            bar = "#" * max(1, int(round(stats.mean_ms)))
+            lines.append(
+                f"  {name:<14} {stats.mean_ms:8.3f} +- {stats.std_ms:6.3f} ms  {bar}"
+            )
+    return "\n".join(lines)
+
+
+def render_slam_outputs(
+    title: str, results: dict[str, dict[str, LatencyStats]]
+) -> str:
+    """Fig. 18 shape: per output topic, ROS vs ROS-SF overall latency."""
+    lines = [title, "=" * len(title)]
+    outputs = ("pose", "pointcloud", "debug_image")
+    for output in outputs:
+        base = results["ROS"][output]
+        best = results["ROS-SF"][output]
+        reduction = improvement_percent(base, best)
+        lines.append(
+            f"{output:<14} ROS: {base.mean_ms:8.2f} +- {base.std_ms:6.2f} ms   "
+            f"ROS-SF: {best.mean_ms:8.2f} +- {best.std_ms:6.2f} ms   "
+            f"reduction: {reduction:5.1f}%"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,38 @@
+"""The ROS-SF Converter: static checking and source conversion.
+
+The paper's converter is an LLVM pass with two jobs: (a) rewrite
+stack-allocated messages to heap allocation, and (b) -- together with the
+generated classes -- surface violations of the three assumptions at
+compile time or with run-time prompts.  In Python every object is heap
+allocated, so job (a) is the import/class swap to the SFM-generated
+classes (:mod:`repro.converter.rewriter`); job (b) is
+:mod:`repro.converter.analyzer`, an AST pass that resolves message field
+kinds through the type registry and reports, per file:
+
+1. **String Reassignment** -- a string field assigned twice, or assigned
+   on a message produced by a call (already fully constructed, the
+   paper's Fig. 19 ``toImageMsg`` case);
+2. **Vector Multi-Resize** -- a vector field resized twice, or resized on
+   a message received as a function parameter (an output reference whose
+   callers cannot be checked, the paper's Fig. 20 case);
+3. **Other Methods** -- a size-modifying method (``push_back``/``append``/
+   ...) called on a vector field (the paper's Fig. 21 case).
+
+:mod:`repro.converter.report` aggregates analyzer results into the
+paper's Table 1; :mod:`repro.converter.corpus` generates the ROS-style
+source corpus the table is computed over.
+"""
+
+from repro.converter.analyzer import FileReport, Violation, analyze_source
+from repro.converter.report import ApplicabilityReport, run_applicability_study
+from repro.converter.rewriter import conversion_guidance, rewrite_imports_to_sfm
+
+__all__ = [
+    "ApplicabilityReport",
+    "FileReport",
+    "Violation",
+    "analyze_source",
+    "conversion_guidance",
+    "rewrite_imports_to_sfm",
+    "run_applicability_study",
+]

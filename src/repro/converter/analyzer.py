@@ -1,0 +1,365 @@
+"""AST analyzer checking the paper's three assumptions.
+
+The analyzer resolves field *kinds* (string / vector / other) through the
+message type registry, so ``img.header.frame_id`` is recognized as a
+string field of ``sensor_msgs/Image`` via ``std_msgs/Header``, exactly as
+the C++ converter resolves demangled class names through the generated
+headers (Section 4.3.2).
+
+Message objects are tracked per function scope with three origins:
+
+- ``constructor`` -- ``img = Image()``: a fresh message; each field may be
+  assigned once.
+- ``call`` -- ``img = something().toImageMsg()``: a message constructed
+  elsewhere, arriving fully assigned; any further string assignment /
+  vector resize is a (potential) second one.
+- ``param`` -- a function parameter annotated with a message class: an
+  output reference; resizes cannot be proven one-shot across all callers,
+  so they are flagged (the paper counts these "for the sake of rigor").
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field as dataclass_field
+from typing import Optional
+
+from repro.msg.fields import ArrayType, ComplexType, MapType, StringType
+from repro.msg.registry import TypeRegistry, UnknownTypeError, default_registry
+
+#: Methods forbidden by the No Modifier Assumption (C++ and Python
+#: spellings).
+MODIFIER_METHODS = frozenset(
+    {"push_back", "emplace_back", "pop_back", "append", "pop", "insert",
+     "extend", "remove", "clear", "erase"}
+)
+
+#: Violation kind tags (the Table 1 columns).
+STRING_REASSIGNMENT = "string-reassignment"
+VECTOR_MULTI_RESIZE = "vector-multi-resize"
+OTHER_METHODS = "other-methods"
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One assumption violation found in a file."""
+
+    kind: str
+    message_class: str
+    field_path: str
+    line: int
+    detail: str
+
+
+@dataclass
+class FileReport:
+    """Analyzer output for one source file."""
+
+    path: str
+    classes_used: set[str] = dataclass_field(default_factory=set)
+    violations: list[Violation] = dataclass_field(default_factory=list)
+
+    def violations_for(self, message_class: str) -> list[Violation]:
+        return [v for v in self.violations if v.message_class == message_class]
+
+    def is_applicable(self, message_class: str) -> bool:
+        """True when this file's use of ``message_class`` satisfies all
+        three assumptions."""
+        return not self.violations_for(message_class)
+
+
+@dataclass
+class _TrackedVar:
+    class_name: str          # full message type name
+    origin: str              # constructor | call | param
+    string_assigns: dict = dataclass_field(default_factory=dict)  # path -> count
+    resizes: dict = dataclass_field(default_factory=dict)         # path -> count
+
+
+class _ShortNameIndex:
+    """Maps class short names (``Image``) to full names, as the import
+    graph of a ROS package would."""
+
+    def __init__(self, registry: TypeRegistry) -> None:
+        self._by_short: dict[str, str] = {}
+        for full_name in registry.names():
+            short = full_name.rsplit("/", 1)[-1]
+            # First registration wins; the standard library has no
+            # colliding short names among the studied classes.
+            self._by_short.setdefault(short, full_name)
+
+    def resolve(self, name: str) -> Optional[str]:
+        if "/" in name:
+            return name
+        return self._by_short.get(name)
+
+
+class _FunctionAnalyzer(ast.NodeVisitor):
+    """Per-function tracking of message variables and field operations."""
+
+    def __init__(self, owner: "SourceAnalyzer") -> None:
+        self.owner = owner
+        self.vars: dict[str, _TrackedVar] = {}
+
+    # -- variable origins ------------------------------------------------
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        # Nested function: analyzed separately by the owner; don't recurse.
+        self.owner.analyze_function(node)
+
+    visit_AsyncFunctionDef = visit_FunctionDef
+
+    def handle_arguments(self, args: ast.arguments) -> None:
+        for arg in list(args.args) + list(args.kwonlyargs):
+            if arg.annotation is None:
+                continue
+            class_name = self.owner.class_of_annotation(arg.annotation)
+            if class_name:
+                self.vars[arg.arg] = _TrackedVar(class_name, "param")
+                self.owner.report.classes_used.add(class_name)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        value_class, origin = self.owner.class_of_expression(node.value, self.vars)
+        for target in node.targets:
+            if isinstance(target, ast.Name) and value_class:
+                self.vars[target.id] = _TrackedVar(value_class, origin)
+                self.owner.report.classes_used.add(value_class)
+            elif isinstance(target, ast.Attribute):
+                self._record_attribute_assignment(target, node.lineno)
+        self.generic_visit(node.value)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if isinstance(node.target, ast.Name) and node.annotation is not None:
+            class_name = self.owner.class_of_annotation(node.annotation)
+            if class_name:
+                origin = "constructor"
+                if node.value is not None:
+                    inferred, origin_v = self.owner.class_of_expression(
+                        node.value, self.vars
+                    )
+                    origin = origin_v if inferred else "call"
+                self.vars[node.target.id] = _TrackedVar(class_name, origin)
+                self.owner.report.classes_used.add(class_name)
+        elif isinstance(node.target, ast.Attribute):
+            self._record_attribute_assignment(node.target, node.lineno)
+        if node.value is not None:
+            self.generic_visit(node.value)
+
+    # -- field operations -------------------------------------------------
+    def _record_attribute_assignment(self, target: ast.Attribute, line: int):
+        resolved = self._resolve_field(target)
+        if resolved is None:
+            return
+        var, tracked, path, kind = resolved
+        if kind != "string":
+            return
+        count = tracked.string_assigns.get(path, 0) + 1
+        tracked.string_assigns[path] = count
+        already_constructed = tracked.origin == "call"
+        if count > 1 or already_constructed:
+            detail = (
+                "assigned on a message returned by a call (already "
+                "constructed elsewhere)"
+                if already_constructed and count == 1
+                else f"assigned {count} times"
+            )
+            self.owner.report.violations.append(
+                Violation(STRING_REASSIGNMENT, tracked.class_name, path,
+                          line, detail)
+            )
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if isinstance(node.func, ast.Attribute):
+            method = node.func.attr
+            resolved = self._resolve_field(node.func.value)
+            if resolved is not None:
+                var, tracked, path, kind = resolved
+                if kind == "vector" and method == "resize":
+                    self._record_resize(tracked, path, node)
+                elif kind == "vector" and method in MODIFIER_METHODS:
+                    self.owner.report.violations.append(
+                        Violation(OTHER_METHODS, tracked.class_name, path,
+                                  node.lineno, f"calls {method}()")
+                    )
+        self.generic_visit(node)
+
+    def _record_resize(self, tracked: _TrackedVar, path: str, node: ast.Call):
+        resize_to_zero = bool(
+            node.args
+            and isinstance(node.args[0], ast.Constant)
+            and node.args[0].value == 0
+        )
+        if resize_to_zero:
+            # resize(0) is always permitted at run time (it only clears the
+            # count), so it neither counts as the one shot nor violates.
+            return
+        count = tracked.resizes.get(path, 0) + 1
+        tracked.resizes[path] = count
+        if tracked.origin == "param":
+            self.owner.report.violations.append(
+                Violation(
+                    VECTOR_MULTI_RESIZE, tracked.class_name, path,
+                    node.lineno,
+                    "resize of an output-reference parameter; callers "
+                    "cannot be proven to pass an unsized field",
+                )
+            )
+        elif count > 1:
+            self.owner.report.violations.append(
+                Violation(VECTOR_MULTI_RESIZE, tracked.class_name, path,
+                          node.lineno, f"resized {count} times")
+            )
+
+    # -- field kind resolution ---------------------------------------------
+    def _resolve_field(self, node: ast.expr):
+        """Resolve ``var.a.b.field`` to (var, tracked, dotted path, kind)
+        where kind is 'string' | 'vector' | 'other'."""
+        parts: list[str] = []
+        current = node
+        while isinstance(current, ast.Attribute):
+            parts.append(current.attr)
+            current = current.value
+        if not isinstance(current, ast.Name):
+            return None
+        tracked = self.vars.get(current.id)
+        if tracked is None:
+            return None
+        parts.reverse()
+        kind = self.owner.field_kind(tracked.class_name, parts)
+        if kind is None:
+            return None
+        path = current.id + "." + ".".join(parts)
+        return current.id, tracked, path, kind
+
+
+class SourceAnalyzer:
+    """Analyzes one source file."""
+
+    def __init__(self, path: str, tree: ast.Module,
+                 registry: TypeRegistry) -> None:
+        self.registry = registry
+        self.index = _ShortNameIndex(registry)
+        self.report = FileReport(path=path)
+        self._tree = tree
+
+    def run(self) -> FileReport:
+        # Module level acts as one implicit function scope.
+        module_scope = _FunctionAnalyzer(self)
+        for statement in self._tree.body:
+            if isinstance(statement, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self.analyze_function(statement)
+            elif isinstance(statement, ast.ClassDef):
+                for item in statement.body:
+                    if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        self.analyze_function(item)
+            else:
+                module_scope.visit(statement)
+        return self.report
+
+    def analyze_function(self, node) -> None:
+        scope = _FunctionAnalyzer(self)
+        scope.handle_arguments(node.args)
+        for statement in node.body:
+            if isinstance(statement, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self.analyze_function(statement)
+            else:
+                scope.visit(statement)
+
+    # -- type resolution helpers -----------------------------------------
+    def class_of_annotation(self, annotation: ast.expr) -> Optional[str]:
+        name = _annotation_name(annotation)
+        if name is None:
+            return None
+        full = self.index.resolve(name)
+        if full is None:
+            return None
+        return full if full in self.registry else None
+
+    def class_of_expression(self, value: ast.expr, vars_in_scope):
+        """Infer (message class, origin) of an assignment's RHS."""
+        if isinstance(value, ast.Call):
+            callee = value.func
+            if isinstance(callee, ast.Name):
+                full = self.index.resolve(callee.id)
+                if full and full in self.registry:
+                    return full, "constructor"
+            if isinstance(callee, ast.Attribute):
+                # Conversion helpers: cv_bridge-style ``...toImageMsg()``
+                # and friends produce fully constructed messages.
+                produced = _CONVERSION_RETURNS.get(callee.attr)
+                if produced:
+                    return produced, "call"
+        if isinstance(value, ast.Name):
+            tracked = vars_in_scope.get(value.id)
+            if tracked:
+                return tracked.class_name, tracked.origin
+        return None, "call"
+
+    def field_kind(self, class_name: str, parts: list[str]) -> Optional[str]:
+        """Kind of the dotted field path ``parts`` on ``class_name``."""
+        if not parts:
+            return None
+        try:
+            spec = self.registry.get(class_name)
+        except UnknownTypeError:
+            return None
+        current_type = None
+        for index, part in enumerate(parts):
+            try:
+                field = spec.field(part)
+            except KeyError:
+                return None
+            current_type = field.type
+            if index < len(parts) - 1:
+                if isinstance(current_type, ComplexType):
+                    spec = self.registry.get(current_type.name)
+                else:
+                    return None
+        if isinstance(current_type, StringType):
+            return "string"
+        if isinstance(current_type, (ArrayType, MapType)):
+            if isinstance(current_type, ArrayType) and current_type.length is not None:
+                return "other"  # fixed arrays never resize
+            return "vector"
+        if isinstance(current_type, ComplexType):
+            return "other"
+        return "other"
+
+
+#: Conversion helpers whose return value is a fully constructed message
+#: (the cv_bridge pattern of the paper's first failure case).
+_CONVERSION_RETURNS = {
+    "toImageMsg": "sensor_msgs/Image",
+    "toCompressedImageMsg": "sensor_msgs/CompressedImage",
+    "to_image_msg": "sensor_msgs/Image",
+}
+
+
+def _annotation_name(annotation: ast.expr) -> Optional[str]:
+    if isinstance(annotation, ast.Name):
+        return annotation.id
+    if isinstance(annotation, ast.Attribute):
+        return annotation.attr
+    if isinstance(annotation, ast.Constant) and isinstance(annotation.value, str):
+        return annotation.value.rsplit(".", 1)[-1]
+    return None
+
+
+def analyze_source(
+    source: str, path: str = "<string>",
+    registry: Optional[TypeRegistry] = None,
+) -> FileReport:
+    """Analyze one Python source file for assumption violations.
+
+    >>> report = analyze_source(
+    ...     "def f():\\n"
+    ...     "    img = Image()\\n"
+    ...     "    img.encoding = 'rgb8'\\n"
+    ...     "    img.encoding = 'bgr8'\\n"
+    ... )  # doctest: +SKIP
+    """
+    if registry is None:
+        import repro.msg.library  # noqa: F401  (registers the library)
+
+        registry = default_registry
+    tree = ast.parse(source, filename=path)
+    return SourceAnalyzer(path, tree, registry).run()

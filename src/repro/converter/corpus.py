@@ -1,0 +1,222 @@
+"""Corpus generation for the applicability study (Table 1).
+
+The paper manually audited the ROS team's packages (125 packages, 486
+source files) for how five sensor_msgs classes are used.  Offline we
+generate an equivalent corpus: ROS-style Python sources embedding the
+exact usage-pattern mix of Table 1 -- clean one-shot construction, the
+Fig. 19 string-reassignment pattern (cv_bridge conversion then a header
+fix-up), the Fig. 20 output-reference resize pattern, and the Fig. 21
+``push_back`` packing loop -- plus filler files that use none of the
+studied classes.  The analyzer then *discovers* the table from the
+sources; nothing in the analyzer is keyed to the generator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.converter.analyzer import (
+    OTHER_METHODS,
+    STRING_REASSIGNMENT,
+    VECTOR_MULTI_RESIZE,
+)
+
+
+@dataclass(frozen=True)
+class ClassUsage:
+    """Source-pattern ingredients for one studied message class."""
+
+    short_name: str
+    full_name: str
+    string_field: str
+    vector_field: str
+    element_expr: str
+    resize_expr: str
+
+
+USAGES: dict[str, ClassUsage] = {
+    "sensor_msgs/Image": ClassUsage(
+        "Image", "sensor_msgs/Image", "encoding", "data", "255",
+        "width * height * 3",
+    ),
+    "sensor_msgs/CompressedImage": ClassUsage(
+        "CompressedImage", "sensor_msgs/CompressedImage", "format", "data",
+        "0", "payload_len",
+    ),
+    "sensor_msgs/PointCloud": ClassUsage(
+        "PointCloud", "sensor_msgs/PointCloud", "header.frame_id", "points",
+        "Point32()", "total_valid",
+    ),
+    "sensor_msgs/PointCloud2": ClassUsage(
+        "PointCloud2", "sensor_msgs/PointCloud2", "header.frame_id", "data",
+        "0", "row_step * height",
+    ),
+    "sensor_msgs/LaserScan": ClassUsage(
+        "LaserScan", "sensor_msgs/LaserScan", "header.frame_id", "ranges",
+        "0.0", "num_readings",
+    ),
+}
+
+#: The Table 1 file mix: per class, a list of violation-sets, one per
+#: corpus file (empty set = applicable).  Column sums reproduce the paper:
+#: Image 49/40/8/6/0, CompressedImage 7/2/5/5/0, PointCloud 14/0/13/12/2,
+#: PointCloud2 15/1/7/7/8, LaserScan 18/5/13/12/1.
+TABLE1_MIX: dict[str, list[frozenset]] = {
+    "sensor_msgs/Image": (
+        [frozenset()] * 40
+        + [frozenset({STRING_REASSIGNMENT, VECTOR_MULTI_RESIZE})] * 5
+        + [frozenset({STRING_REASSIGNMENT})] * 3
+        + [frozenset({VECTOR_MULTI_RESIZE})] * 1
+    ),
+    "sensor_msgs/CompressedImage": (
+        [frozenset()] * 2
+        + [frozenset({STRING_REASSIGNMENT, VECTOR_MULTI_RESIZE})] * 5
+    ),
+    "sensor_msgs/PointCloud": (
+        [frozenset({STRING_REASSIGNMENT, VECTOR_MULTI_RESIZE})] * 11
+        + [frozenset({VECTOR_MULTI_RESIZE})] * 1
+        + [frozenset({STRING_REASSIGNMENT, OTHER_METHODS})] * 2
+    ),
+    "sensor_msgs/PointCloud2": (
+        [frozenset()] * 1
+        + [frozenset({STRING_REASSIGNMENT, VECTOR_MULTI_RESIZE})] * 6
+        + [frozenset({STRING_REASSIGNMENT, VECTOR_MULTI_RESIZE,
+                      OTHER_METHODS})] * 1
+        + [frozenset({OTHER_METHODS})] * 7
+    ),
+    "sensor_msgs/LaserScan": (
+        [frozenset()] * 5
+        + [frozenset({STRING_REASSIGNMENT, VECTOR_MULTI_RESIZE})] * 12
+        + [frozenset({STRING_REASSIGNMENT, OTHER_METHODS})] * 1
+    ),
+}
+
+
+_HEADER = '''"""Generated ROS-style package source (applicability corpus)."""
+from repro.msg.library import {imports}
+
+
+'''
+
+
+def _clean_function(usage: ClassUsage, index: int) -> str:
+    return f'''def publish_{usage.short_name.lower()}_{index}(pub, width, height):
+    """One-shot construction: satisfies all three assumptions."""
+    msg = {usage.short_name}()
+    msg.{usage.string_field} = "sensor_frame_{index}"
+    msg.{usage.vector_field}.resize({usage.resize_expr})
+    for i in range(len(msg.{usage.vector_field})):
+        msg.{usage.vector_field}[i] = {usage.element_expr}
+    pub.publish(msg)
+'''
+
+
+def _string_reassign_function(usage: ClassUsage, index: int) -> str:
+    if usage.full_name == "sensor_msgs/Image":
+        # The paper's Fig. 19 pattern: cv_bridge conversion followed by a
+        # frame_id fix-up on the already-constructed message.
+        return f'''def rotate_image_{index}(cv_image, msg, transform, pub):
+    """image_rotate-style republisher (Fig. 19 pattern)."""
+    out_img = cv_bridge(msg.header, msg.encoding, cv_image).toImageMsg()
+    out_img.header.frame_id = transform.child_frame_id
+    pub.publish(out_img)
+'''
+    return f'''def relabel_{usage.short_name.lower()}_{index}(source, pub, width, height):
+    """Assigns the {usage.string_field} field twice."""
+    msg = {usage.short_name}()
+    msg.{usage.string_field} = "raw"
+    msg.{usage.vector_field}.resize({usage.resize_expr})
+    msg.{usage.string_field} = source.frame_id
+    pub.publish(msg)
+'''
+
+
+def _vector_multi_resize_function(usage: ClassUsage, index: int) -> str:
+    # The paper's Fig. 20 pattern: the message arrives as an output
+    # reference whose callers cannot be audited.
+    return f'''def process_{usage.short_name.lower()}_{index}(left_rect, right_rect, out: {usage.short_name}):
+    """stereo_image_proc-style output-reference fill (Fig. 20 pattern)."""
+    height = left_rect.rows
+    width = left_rect.cols
+    out.{usage.vector_field}.resize({usage.resize_expr})
+'''
+
+
+def _other_methods_function(usage: ClassUsage, index: int) -> str:
+    # The paper's Fig. 21 pattern: push_back over a validity filter.
+    return f'''def pack_{usage.short_name.lower()}_{index}(dense_points, pub):
+    """point_cloud-style packing loop (Fig. 21 pattern)."""
+    msg = {usage.short_name}()
+    msg.{usage.vector_field}.resize(0)
+    for point in dense_points:
+        if point.is_valid:
+            msg.{usage.vector_field}.append({usage.element_expr})
+    pub.publish(msg)
+'''
+
+
+_PATTERN_BUILDERS = {
+    STRING_REASSIGNMENT: _string_reassign_function,
+    VECTOR_MULTI_RESIZE: _vector_multi_resize_function,
+    OTHER_METHODS: _other_methods_function,
+}
+
+_FILLER = '''"""Generated utility module (no studied message classes)."""
+
+
+def clamp(value, low, high):
+    return max(low, min(high, value))
+
+
+def moving_average(samples, window):
+    if window <= 0:
+        raise ValueError("window must be positive")
+    return [
+        sum(samples[max(0, i - window + 1) : i + 1])
+        / len(samples[max(0, i - window + 1) : i + 1])
+        for i in range(len(samples))
+    ]
+'''
+
+
+def generate_corpus(filler_files: int = 12) -> dict[str, str]:
+    """Generate the corpus: ``{relative_path: source}``.
+
+    Deterministic: the same mix of files every run, so Table 1 is exactly
+    reproducible.
+    """
+    files: dict[str, str] = {}
+    for full_name, mix in TABLE1_MIX.items():
+        usage = USAGES[full_name]
+        imports = usage.short_name
+        if usage.element_expr == "Point32()":
+            imports += ", Point32"
+        for index, violation_set in enumerate(mix):
+            parts = [_HEADER.format(imports=imports)]
+            if not violation_set:
+                parts.append(_clean_function(usage, index))
+            else:
+                # Every violating file also contains ordinary clean usage,
+                # as real package files do.
+                parts.append(_clean_function(usage, index))
+                for kind in sorted(violation_set):
+                    parts.append("\n" + _PATTERN_BUILDERS[kind](usage, index))
+            package = usage.short_name.lower()
+            files[f"{package}_pkg/src/node_{index:03d}.py"] = "".join(parts)
+    for index in range(filler_files):
+        files[f"common_utils/util_{index:02d}.py"] = _FILLER
+    return files
+
+
+def write_corpus(directory, filler_files: int = 12) -> list[str]:
+    """Materialize the corpus under ``directory``; returns written paths."""
+    import os
+
+    written = []
+    for relative, source in generate_corpus(filler_files).items():
+        path = os.path.join(directory, relative)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(source)
+        written.append(path)
+    return written

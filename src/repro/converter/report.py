@@ -1,0 +1,123 @@
+"""Aggregation of analyzer results into the paper's Table 1."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field as dataclass_field
+from typing import Iterable, Optional
+
+from repro.converter.analyzer import (
+    OTHER_METHODS,
+    STRING_REASSIGNMENT,
+    VECTOR_MULTI_RESIZE,
+    FileReport,
+    analyze_source,
+)
+
+#: The classes the paper studies, in Table 1 row order.
+STUDIED_CLASSES = (
+    "sensor_msgs/Image",
+    "sensor_msgs/CompressedImage",
+    "sensor_msgs/PointCloud",
+    "sensor_msgs/PointCloud2",
+    "sensor_msgs/LaserScan",
+)
+
+
+@dataclass
+class ClassRow:
+    """One Table 1 row."""
+
+    message_class: str
+    total: int = 0
+    applicable: int = 0
+    string_reassignment: int = 0
+    vector_multi_resize: int = 0
+    other_methods: int = 0
+
+    def as_tuple(self) -> tuple[int, int, int, int, int]:
+        return (
+            self.total,
+            self.applicable,
+            self.string_reassignment,
+            self.vector_multi_resize,
+            self.other_methods,
+        )
+
+
+@dataclass
+class ApplicabilityReport:
+    """The full study result."""
+
+    rows: dict[str, ClassRow] = dataclass_field(default_factory=dict)
+    files_scanned: int = 0
+    file_reports: list[FileReport] = dataclass_field(default_factory=list)
+
+    def row(self, message_class: str) -> ClassRow:
+        return self.rows[message_class]
+
+    def render(self) -> str:
+        """Table 1, as text."""
+        header = (
+            f"{'Message Class':<30} {'Total':>6} {'Applicable':>11} "
+            f"{'String Reassign':>16} {'Vector Multi-Resize':>20} "
+            f"{'Other Methods':>14}"
+        )
+        lines = [header, "-" * len(header)]
+        for name in STUDIED_CLASSES:
+            row = self.rows.get(name, ClassRow(name))
+            lines.append(
+                f"{name:<30} {row.total:>6} {row.applicable:>11} "
+                f"{row.string_reassignment:>16} {row.vector_multi_resize:>20} "
+                f"{row.other_methods:>14}"
+            )
+        lines.append(f"(files scanned: {self.files_scanned})")
+        return "\n".join(lines)
+
+
+def aggregate(file_reports: Iterable[FileReport]) -> ApplicabilityReport:
+    """Fold per-file analyzer reports into Table 1 rows.
+
+    As in the paper, counts are per *file*: a file using a class counts in
+    "Total"; it counts in a violation column once if it violates that
+    assumption anywhere; it is "Applicable" if it violates none.
+    """
+    report = ApplicabilityReport(
+        rows={name: ClassRow(name) for name in STUDIED_CLASSES}
+    )
+    for file_report in file_reports:
+        report.files_scanned += 1
+        report.file_reports.append(file_report)
+        for class_name in STUDIED_CLASSES:
+            if class_name not in file_report.classes_used:
+                continue
+            row = report.rows[class_name]
+            row.total += 1
+            kinds = {v.kind for v in file_report.violations_for(class_name)}
+            if not kinds:
+                row.applicable += 1
+            if STRING_REASSIGNMENT in kinds:
+                row.string_reassignment += 1
+            if VECTOR_MULTI_RESIZE in kinds:
+                row.vector_multi_resize += 1
+            if OTHER_METHODS in kinds:
+                row.other_methods += 1
+    return report
+
+
+def run_applicability_study(
+    sources: Optional[dict[str, str]] = None,
+) -> ApplicabilityReport:
+    """Run the full Table 1 study.
+
+    With no arguments, analyzes the generated corpus of
+    :mod:`repro.converter.corpus`; pass ``{path: source}`` to analyze
+    other code.
+    """
+    if sources is None:
+        from repro.converter.corpus import generate_corpus
+
+        sources = generate_corpus()
+    reports = [
+        analyze_source(source, path=path) for path, source in sorted(sources.items())
+    ]
+    return aggregate(reports)

@@ -1,0 +1,49 @@
+"""The ``.msg`` interface definition language and message class machinery.
+
+ROS defines message types in a small IDL (``.msg`` files); the build system
+turns each definition into a native message class plus serialization
+routines.  This subpackage reproduces that pipeline:
+
+- :mod:`repro.msg.fields` -- the field type system (primitives, strings,
+  arrays, nested message types, plus the paper's Section 4.4.2 extensions:
+  ``optional`` fields and ``map`` fields).
+- :mod:`repro.msg.idl` -- the ``.msg`` grammar parser producing
+  :class:`~repro.msg.idl.MessageSpec` objects.
+- :mod:`repro.msg.registry` -- the global type registry and md5 fingerprint
+  computation (the equivalent of genmsg's md5sum, used in the TCPROS
+  handshake to reject type mismatches).
+- :mod:`repro.msg.generator` -- generates plain Python message classes with
+  ROS semantics (every field is an ordinary attribute).
+- :mod:`repro.msg.library` -- the standard message library used by the
+  paper's evaluation (std_msgs, sensor_msgs, geometry_msgs, stereo_msgs).
+"""
+
+from repro.msg.fields import (
+    ArrayType,
+    ComplexType,
+    FieldType,
+    MapType,
+    PrimitiveType,
+    StringType,
+    parse_field_type,
+)
+from repro.msg.idl import Constant, Field, MessageSpec, parse_message_definition
+from repro.msg.registry import TypeRegistry, default_registry
+from repro.msg.generator import generate_message_class
+
+__all__ = [
+    "ArrayType",
+    "ComplexType",
+    "Constant",
+    "Field",
+    "FieldType",
+    "MapType",
+    "MessageSpec",
+    "PrimitiveType",
+    "StringType",
+    "TypeRegistry",
+    "default_registry",
+    "generate_message_class",
+    "parse_field_type",
+    "parse_message_definition",
+]

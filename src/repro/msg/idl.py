@@ -1,0 +1,274 @@
+"""Parser for the ``.msg`` interface definition language.
+
+A message definition is a sequence of lines, each one of:
+
+- a field:       ``<type> <name>``
+- a constant:    ``<type> <NAME>=<value>``
+- a comment:     ``# ...``
+- a directive:   ``# sfm_capacity: <bytes>`` (extension: the per-type
+  buffer capacity hint the paper says "is defined by developers in the
+  IDL", Section 4.2)
+- an optional field (extension, Section 4.4.2):
+  ``optional <type> <name> [= <default>]``
+
+The parser produces a :class:`MessageSpec`, the single source of truth
+consumed by the plain generator, the SFM generator, every serializer and
+the md5 fingerprint computation.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field as dataclass_field
+from typing import Optional
+
+from repro.msg.fields import (
+    ArrayType,
+    ComplexType,
+    FieldType,
+    MapType,
+    PrimitiveType,
+    StringType,
+    parse_field_type,
+)
+
+_FIELD_NAME_RE = re.compile(r"^[A-Za-z][A-Za-z0-9_]*$")
+_CAPACITY_RE = re.compile(r"^#\s*sfm_capacity\s*:\s*(\d+)\s*$")
+
+
+class MessageDefinitionError(ValueError):
+    """Raised when a ``.msg`` definition cannot be parsed."""
+
+
+@dataclass(frozen=True)
+class Field:
+    """One declared field of a message.
+
+    ``optional`` and ``default`` implement the paper's Section 4.4.2
+    extension: an optional fixed-size field carries a user-defined default,
+    while optional variable-size fields are treated as bound-1 vectors.
+    """
+
+    name: str
+    type: FieldType
+    optional: bool = False
+    default: object = None
+
+    def default_value(self):
+        if self.optional and self.default is not None:
+            return self.default
+        return self.type.default_value()
+
+
+@dataclass(frozen=True)
+class Constant:
+    """A constant declaration such as ``uint8 DEBUG=1``."""
+
+    name: str
+    type: FieldType
+    value: object
+    raw_value: str
+
+
+@dataclass
+class MessageSpec:
+    """A parsed message definition.
+
+    The ``text`` attribute retains the canonical definition text used by the
+    md5 fingerprint; ``sfm_capacity`` is the initial whole-message buffer
+    capacity for SFM allocation (paper Section 4.2: "large enough for the
+    largest message of this message type ... defined by developers in the
+    IDL").
+    """
+
+    full_name: str
+    fields: list[Field] = dataclass_field(default_factory=list)
+    constants: list[Constant] = dataclass_field(default_factory=list)
+    text: str = ""
+    sfm_capacity: Optional[int] = None
+
+    @property
+    def package(self) -> str:
+        return self.full_name.split("/", 1)[0] if "/" in self.full_name else ""
+
+    @property
+    def short_name(self) -> str:
+        return self.full_name.split("/", 1)[-1]
+
+    def field_names(self) -> list[str]:
+        return [f.name for f in self.fields]
+
+    def field(self, name: str) -> Field:
+        for f in self.fields:
+            if f.name == name:
+                return f
+        raise KeyError(f"{self.full_name} has no field {name!r}")
+
+    def complex_dependencies(self) -> list[str]:
+        """Full names of all directly referenced complex types."""
+        deps: list[str] = []
+        for f in self.fields:
+            deps.extend(_complex_names(f.type))
+        return deps
+
+    def has_header(self) -> bool:
+        return bool(
+            self.fields
+            and isinstance(self.fields[0].type, ComplexType)
+            and self.fields[0].type.name == "std_msgs/Header"
+            and self.fields[0].name == "header"
+        )
+
+
+def _complex_names(ftype: FieldType) -> list[str]:
+    if isinstance(ftype, ComplexType):
+        return [ftype.name]
+    if isinstance(ftype, ArrayType):
+        return _complex_names(ftype.element_type)
+    if isinstance(ftype, MapType):
+        return _complex_names(ftype.key_type) + _complex_names(ftype.value_type)
+    return []
+
+
+def parse_message_definition(full_name: str, text: str) -> MessageSpec:
+    """Parse the definition ``text`` of message type ``full_name``.
+
+    >>> spec = parse_message_definition("pkg/Point", "float64 x\\nfloat64 y")
+    >>> [f.name for f in spec.fields]
+    ['x', 'y']
+    """
+    if "/" not in full_name:
+        raise MessageDefinitionError(
+            f"message name must be package-qualified: {full_name!r}"
+        )
+    package = full_name.split("/", 1)[0]
+    spec = MessageSpec(full_name=full_name, text=text)
+    seen_names: set[str] = set()
+
+    for lineno, raw_line in enumerate(text.splitlines(), start=1):
+        line = raw_line.strip()
+        capacity_match = _CAPACITY_RE.match(line)
+        if capacity_match:
+            spec.sfm_capacity = int(capacity_match.group(1))
+            continue
+        # Strip trailing comments, except inside string constant values.
+        line = _strip_comment(line)
+        if not line:
+            continue
+        try:
+            entry = _parse_line(line, package)
+        except MessageDefinitionError as exc:
+            raise MessageDefinitionError(
+                f"{full_name}:{lineno}: {exc}"
+            ) from exc
+        if isinstance(entry, Constant):
+            if entry.name in seen_names:
+                raise MessageDefinitionError(
+                    f"{full_name}:{lineno}: duplicate name {entry.name!r}"
+                )
+            seen_names.add(entry.name)
+            spec.constants.append(entry)
+        else:
+            if entry.name in seen_names:
+                raise MessageDefinitionError(
+                    f"{full_name}:{lineno}: duplicate name {entry.name!r}"
+                )
+            seen_names.add(entry.name)
+            spec.fields.append(entry)
+    return spec
+
+
+def _strip_comment(line: str) -> str:
+    # String constants keep everything after '=' verbatim (ROS rule), so we
+    # must not cut a '#' that appears inside one.  Detect the string-constant
+    # shape first.
+    if line.startswith("#"):
+        return ""
+    if re.match(r"^string\s+[A-Za-z][A-Za-z0-9_]*\s*=", line):
+        return line
+    idx = line.find("#")
+    if idx >= 0:
+        line = line[:idx]
+    return line.strip()
+
+
+def _parse_line(line: str, package: str):
+    optional = False
+    if line.startswith("optional "):
+        optional = True
+        line = line[len("optional ") :].strip()
+
+    if "=" in line and not optional:
+        return _parse_constant(line, package)
+
+    default = None
+    if optional and "=" in line:
+        decl, _, default_text = line.partition("=")
+        line = decl.strip()
+        default_text = default_text.strip()
+    else:
+        default_text = None
+
+    parts = line.split()
+    if len(parts) != 2:
+        raise MessageDefinitionError(f"expected '<type> <name>', got {line!r}")
+    type_spelling, name = parts
+    if not _FIELD_NAME_RE.match(name):
+        raise MessageDefinitionError(f"bad field name {name!r}")
+    ftype = parse_field_type(type_spelling, package)
+    if default_text is not None:
+        default = _coerce_value(ftype, default_text)
+    if optional and default is None and not ftype.is_fixed_size():
+        # Optional variable-size fields carry no default; they are treated
+        # as bound-1 vectors by the SFM generator (paper Section 4.4.2).
+        pass
+    return Field(name=name, type=ftype, optional=optional, default=default)
+
+
+def _parse_constant(line: str, package: str) -> Constant:
+    decl, _, value_text = line.partition("=")
+    parts = decl.split()
+    if len(parts) != 2:
+        raise MessageDefinitionError(f"expected '<type> <NAME>=<value>', got {line!r}")
+    type_spelling, name = parts
+    ftype = parse_field_type(type_spelling, package)
+    if isinstance(ftype, (ArrayType, ComplexType, MapType)):
+        raise MessageDefinitionError(f"constants must be primitive: {line!r}")
+    if isinstance(ftype, StringType):
+        # ROS: everything after '=' is the value, whitespace preserved,
+        # leading whitespace stripped.
+        raw = value_text.lstrip()
+        value: object = raw
+    else:
+        raw = value_text.strip()
+        value = _coerce_value(ftype, raw)
+    return Constant(name=name, type=ftype, value=value, raw_value=raw)
+
+
+def _coerce_value(ftype: FieldType, text: str):
+    if isinstance(ftype, StringType):
+        return text
+    if not isinstance(ftype, PrimitiveType):
+        raise MessageDefinitionError(f"cannot give a default for type {ftype.name!r}")
+    if ftype.name == "bool":
+        lowered = text.lower()
+        if lowered in ("true", "1"):
+            return True
+        if lowered in ("false", "0"):
+            return False
+        raise MessageDefinitionError(f"bad bool value {text!r}")
+    if ftype.is_float:
+        try:
+            return float(text)
+        except ValueError as exc:
+            raise MessageDefinitionError(f"bad float value {text!r}") from exc
+    try:
+        value = int(text, 0)
+    except ValueError as exc:
+        raise MessageDefinitionError(f"bad integer value {text!r}") from exc
+    rng = ftype.range()
+    if rng is not None and not (rng[0] <= value <= rng[1]):
+        raise MessageDefinitionError(
+            f"value {value} out of range for {ftype.name} {rng}"
+        )
+    return value

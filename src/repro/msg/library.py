@@ -1,0 +1,324 @@
+"""The standard message library used throughout the paper's evaluation.
+
+Definitions are transcribed from the ROS common_msgs stack (std_msgs,
+geometry_msgs, sensor_msgs, stereo_msgs) and include the paper's simplified
+``Image`` example (``rossf_bench/SimpleImage``, Fig. 1) whose SFM layout is
+spelled out byte-by-byte in Fig. 7.
+
+Each definition may carry an ``# sfm_capacity`` directive: the initial
+whole-message buffer capacity used by SFM allocation (paper Section 4.2 --
+"large enough for the largest message of this message type", declared in
+the IDL).  Capacities are sized for the paper's largest workload (a
+1920x1080x24bit image, ~6 MB).
+"""
+
+from __future__ import annotations
+
+from repro.msg.generator import generate_message_class
+from repro.msg.registry import TypeRegistry, default_registry
+
+#: Raw definition text for every library type, keyed by full name.
+DEFINITIONS: dict[str, str] = {
+    "std_msgs/Header": (
+        "# Standard metadata for higher-level stamped data types.\n"
+        "uint32 seq\n"
+        "time stamp\n"
+        "string frame_id\n"
+        "# sfm_capacity: 256\n"
+    ),
+    "std_msgs/String": "string data\n# sfm_capacity: 4096\n",
+    "std_msgs/UInt32": "uint32 data\n",
+    "std_msgs/Float64": "float64 data\n",
+    "std_msgs/Time": "time data\n",
+    "geometry_msgs/Point": "float64 x\nfloat64 y\nfloat64 z\n",
+    "geometry_msgs/Point32": "float32 x\nfloat32 y\nfloat32 z\n",
+    "geometry_msgs/Vector3": "float64 x\nfloat64 y\nfloat64 z\n",
+    "geometry_msgs/Quaternion": (
+        "float64 x\nfloat64 y\nfloat64 z\nfloat64 w\n"
+    ),
+    "geometry_msgs/Pose": (
+        "Point position\n"
+        "Quaternion orientation\n"
+    ),
+    "geometry_msgs/PoseStamped": (
+        "Header header\n"
+        "Pose pose\n"
+        "# sfm_capacity: 512\n"
+    ),
+    "geometry_msgs/Transform": (
+        "Vector3 translation\n"
+        "Quaternion rotation\n"
+    ),
+    "geometry_msgs/TransformStamped": (
+        "Header header\n"
+        "string child_frame_id\n"
+        "Transform transform\n"
+        "# sfm_capacity: 512\n"
+    ),
+    "geometry_msgs/Twist": (
+        "Vector3 linear\n"
+        "Vector3 angular\n"
+    ),
+    "sensor_msgs/RegionOfInterest": (
+        "uint32 x_offset\n"
+        "uint32 y_offset\n"
+        "uint32 height\n"
+        "uint32 width\n"
+        "bool do_rectify\n"
+    ),
+    "sensor_msgs/Image": (
+        "# An uncompressed image: 2D pixel data plus encoding metadata.\n"
+        "Header header\n"
+        "uint32 height\n"
+        "uint32 width\n"
+        "string encoding\n"
+        "uint8 is_bigendian\n"
+        "uint32 step\n"
+        "uint8[] data\n"
+        "# sfm_capacity: 8388608\n"
+    ),
+    "sensor_msgs/CompressedImage": (
+        "Header header\n"
+        "string format\n"
+        "uint8[] data\n"
+        "# sfm_capacity: 4194304\n"
+    ),
+    "sensor_msgs/ChannelFloat32": (
+        "string name\n"
+        "float32[] values\n"
+        "# sfm_capacity: 1048576\n"
+    ),
+    "sensor_msgs/PointCloud": (
+        "Header header\n"
+        "geometry_msgs/Point32[] points\n"
+        "ChannelFloat32[] channels\n"
+        "# sfm_capacity: 8388608\n"
+    ),
+    "sensor_msgs/PointField": (
+        "uint8 INT8=1\n"
+        "uint8 UINT8=2\n"
+        "uint8 INT16=3\n"
+        "uint8 UINT16=4\n"
+        "uint8 INT32=5\n"
+        "uint8 UINT32=6\n"
+        "uint8 FLOAT32=7\n"
+        "uint8 FLOAT64=8\n"
+        "string name\n"
+        "uint32 offset\n"
+        "uint8 datatype\n"
+        "uint32 count\n"
+        "# sfm_capacity: 128\n"
+    ),
+    "sensor_msgs/PointCloud2": (
+        "Header header\n"
+        "uint32 height\n"
+        "uint32 width\n"
+        "PointField[] fields\n"
+        "bool is_bigendian\n"
+        "uint32 point_step\n"
+        "uint32 row_step\n"
+        "uint8[] data\n"
+        "bool is_dense\n"
+        "# sfm_capacity: 8388608\n"
+    ),
+    "sensor_msgs/LaserScan": (
+        "Header header\n"
+        "float32 angle_min\n"
+        "float32 angle_max\n"
+        "float32 angle_increment\n"
+        "float32 time_increment\n"
+        "float32 scan_time\n"
+        "float32 range_min\n"
+        "float32 range_max\n"
+        "float32[] ranges\n"
+        "float32[] intensities\n"
+        "# sfm_capacity: 65536\n"
+    ),
+    "sensor_msgs/CameraInfo": (
+        "Header header\n"
+        "uint32 height\n"
+        "uint32 width\n"
+        "string distortion_model\n"
+        "float64[] D\n"
+        "float64[9] K\n"
+        "float64[9] R\n"
+        "float64[12] P\n"
+        "uint32 binning_x\n"
+        "uint32 binning_y\n"
+        "RegionOfInterest roi\n"
+        "# sfm_capacity: 2048\n"
+    ),
+    "stereo_msgs/DisparityImage": (
+        "Header header\n"
+        "sensor_msgs/Image image\n"
+        "float32 f\n"
+        "float32 t\n"
+        "sensor_msgs/RegionOfInterest valid_window\n"
+        "float32 min_disparity\n"
+        "float32 max_disparity\n"
+        "float32 delta_d\n"
+        "# sfm_capacity: 8388608\n"
+    ),
+    "geometry_msgs/PoseWithCovariance": (
+        "Pose pose\n"
+        "float64[36] covariance\n"
+    ),
+    "geometry_msgs/TwistWithCovariance": (
+        "Twist twist\n"
+        "float64[36] covariance\n"
+    ),
+    "nav_msgs/Odometry": (
+        "Header header\n"
+        "string child_frame_id\n"
+        "geometry_msgs/PoseWithCovariance pose\n"
+        "geometry_msgs/TwistWithCovariance twist\n"
+        "# sfm_capacity: 2048\n"
+    ),
+    "nav_msgs/Path": (
+        "Header header\n"
+        "geometry_msgs/PoseStamped[] poses\n"
+        "# sfm_capacity: 1048576\n"
+    ),
+    "nav_msgs/MapMetaData": (
+        "time map_load_time\n"
+        "float32 resolution\n"
+        "uint32 width\n"
+        "uint32 height\n"
+        "geometry_msgs/Pose origin\n"
+    ),
+    "nav_msgs/OccupancyGrid": (
+        "Header header\n"
+        "MapMetaData info\n"
+        "int8[] data\n"
+        "# sfm_capacity: 4194304\n"
+    ),
+    "tf2_msgs/TFMessage": (
+        "geometry_msgs/TransformStamped[] transforms\n"
+        "# sfm_capacity: 65536\n"
+    ),
+    "sensor_msgs/Imu": (
+        "Header header\n"
+        "geometry_msgs/Quaternion orientation\n"
+        "float64[9] orientation_covariance\n"
+        "geometry_msgs/Vector3 angular_velocity\n"
+        "float64[9] angular_velocity_covariance\n"
+        "geometry_msgs/Vector3 linear_acceleration\n"
+        "float64[9] linear_acceleration_covariance\n"
+        "# sfm_capacity: 512\n"
+    ),
+    "sensor_msgs/JointState": (
+        "Header header\n"
+        "string[] name\n"
+        "float64[] position\n"
+        "float64[] velocity\n"
+        "float64[] effort\n"
+        "# sfm_capacity: 65536\n"
+    ),
+    # The paper's running example (Fig. 1): a simplified Image whose SFM
+    # memory layout is given field-by-field in Fig. 7.
+    "rossf_bench/SimpleImage": (
+        "string encoding\n"
+        "uint32 height\n"
+        "uint32 width\n"
+        "uint8[] data\n"
+        "# sfm_capacity: 8388608\n"
+    ),
+    # A stamped variant used by the latency experiments: the creation time
+    # is "stored into the message" (Section 5.1).
+    "rossf_bench/StampedImage": (
+        "time stamp\n"
+        "string encoding\n"
+        "uint32 height\n"
+        "uint32 width\n"
+        "uint8[] data\n"
+        "# sfm_capacity: 8388608\n"
+    ),
+}
+
+
+def register_all(registry: TypeRegistry | None = None) -> TypeRegistry:
+    """Register every library definition into ``registry`` (idempotent)."""
+    registry = registry or default_registry
+    for full_name, text in DEFINITIONS.items():
+        registry.register_text(full_name, text)
+    return registry
+
+
+register_all()
+
+# Plain (ROS-style) generated classes, exported by short name.
+Header = generate_message_class("std_msgs/Header")
+String = generate_message_class("std_msgs/String")
+UInt32 = generate_message_class("std_msgs/UInt32")
+Float64 = generate_message_class("std_msgs/Float64")
+Time = generate_message_class("std_msgs/Time")
+Point = generate_message_class("geometry_msgs/Point")
+Point32 = generate_message_class("geometry_msgs/Point32")
+Vector3 = generate_message_class("geometry_msgs/Vector3")
+Quaternion = generate_message_class("geometry_msgs/Quaternion")
+Pose = generate_message_class("geometry_msgs/Pose")
+PoseStamped = generate_message_class("geometry_msgs/PoseStamped")
+Transform = generate_message_class("geometry_msgs/Transform")
+TransformStamped = generate_message_class("geometry_msgs/TransformStamped")
+Twist = generate_message_class("geometry_msgs/Twist")
+RegionOfInterest = generate_message_class("sensor_msgs/RegionOfInterest")
+Image = generate_message_class("sensor_msgs/Image")
+CompressedImage = generate_message_class("sensor_msgs/CompressedImage")
+ChannelFloat32 = generate_message_class("sensor_msgs/ChannelFloat32")
+PointCloud = generate_message_class("sensor_msgs/PointCloud")
+PointField = generate_message_class("sensor_msgs/PointField")
+PointCloud2 = generate_message_class("sensor_msgs/PointCloud2")
+LaserScan = generate_message_class("sensor_msgs/LaserScan")
+CameraInfo = generate_message_class("sensor_msgs/CameraInfo")
+DisparityImage = generate_message_class("stereo_msgs/DisparityImage")
+PoseWithCovariance = generate_message_class("geometry_msgs/PoseWithCovariance")
+TwistWithCovariance = generate_message_class("geometry_msgs/TwistWithCovariance")
+Odometry = generate_message_class("nav_msgs/Odometry")
+Path = generate_message_class("nav_msgs/Path")
+MapMetaData = generate_message_class("nav_msgs/MapMetaData")
+OccupancyGrid = generate_message_class("nav_msgs/OccupancyGrid")
+TFMessage = generate_message_class("tf2_msgs/TFMessage")
+Imu = generate_message_class("sensor_msgs/Imu")
+JointState = generate_message_class("sensor_msgs/JointState")
+SimpleImage = generate_message_class("rossf_bench/SimpleImage")
+StampedImage = generate_message_class("rossf_bench/StampedImage")
+
+__all__ = [
+    "DEFINITIONS",
+    "register_all",
+    "Header",
+    "String",
+    "UInt32",
+    "Float64",
+    "Time",
+    "Point",
+    "Point32",
+    "Vector3",
+    "Quaternion",
+    "Pose",
+    "PoseStamped",
+    "Transform",
+    "TransformStamped",
+    "Twist",
+    "RegionOfInterest",
+    "Image",
+    "CompressedImage",
+    "ChannelFloat32",
+    "PointCloud",
+    "PointField",
+    "PointCloud2",
+    "LaserScan",
+    "CameraInfo",
+    "DisparityImage",
+    "PoseWithCovariance",
+    "TwistWithCovariance",
+    "Odometry",
+    "Path",
+    "MapMetaData",
+    "OccupancyGrid",
+    "TFMessage",
+    "Imu",
+    "JointState",
+    "SimpleImage",
+    "StampedImage",
+]

@@ -1,0 +1,26 @@
+"""Inter-machine network modeling (the Fig. 16 substrate).
+
+The paper's inter-machine experiment uses two hosts joined by an Intel
+82599 10 GbE NIC.  Offline we substitute a link model: ping-pong latency
+decomposes into compute time (message construction and, for the baseline,
+(de)serialization -- which we *measure*) plus wire time (which we *model*
+as frame overhead + size/bandwidth + propagation delay).  Because ROS-SF
+only changes the compute term, who-wins and the crossover behaviour are
+preserved under any fixed wire model; see DESIGN.md.
+
+:class:`~repro.net.link.NetworkLink` is the analytic model;
+:class:`~repro.net.shaper.ShapedChannel` is an optional real-socket
+token-bucket variant for end-to-end runs.
+"""
+
+from repro.net.link import LinkProfile, NetworkLink, GIGABIT, TEN_GIGABIT, HUNDRED_MEGABIT
+from repro.net.shaper import ShapedChannel
+
+__all__ = [
+    "GIGABIT",
+    "HUNDRED_MEGABIT",
+    "LinkProfile",
+    "NetworkLink",
+    "ShapedChannel",
+    "TEN_GIGABIT",
+]

@@ -1,0 +1,82 @@
+"""Analytic network link model.
+
+Transmitting ``n`` payload bytes over a link takes::
+
+    per_message_overhead + ceil(n / mtu_payload) * per_frame_overhead
+        + n * 8 / bandwidth_bps + propagation_delay
+
+which captures the three effects the paper leans on (Section 1): high
+bandwidth shrinks the ``n/bandwidth`` term tenfold-to-hundredfold while
+the serialization time it is compared against stays put, so serialization
+dominates on fast links.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class LinkProfile:
+    """Static parameters of a point-to-point link."""
+
+    name: str
+    bandwidth_bps: float
+    #: One-way propagation + switching delay in seconds.
+    propagation_s: float = 30e-6
+    #: Fixed per-message software/NIC overhead (syscalls, DMA setup).
+    per_message_overhead_s: float = 20e-6
+    #: Ethernet MTU payload per frame.
+    mtu_payload: int = 1500
+    #: Per-frame serialization-on-the-wire overhead (headers, gaps), bytes.
+    per_frame_overhead_bytes: int = 78
+
+    def transmit_time(self, payload_bytes: int) -> float:
+        """One-way wire time in seconds for a payload of ``payload_bytes``."""
+        if payload_bytes < 0:
+            raise ValueError("payload size cannot be negative")
+        frames = max(1, math.ceil(payload_bytes / self.mtu_payload))
+        wire_bytes = payload_bytes + frames * self.per_frame_overhead_bytes
+        return (
+            self.per_message_overhead_s
+            + wire_bytes * 8.0 / self.bandwidth_bps
+            + self.propagation_s
+        )
+
+
+#: The NIC of the paper's Section 5.2 testbed (Intel 82599, 10 GbE).
+TEN_GIGABIT = LinkProfile(name="10GbE", bandwidth_bps=10e9)
+
+#: Older-generation links used to discuss the bandwidth trend (Section 1).
+GIGABIT = LinkProfile(name="1GbE", bandwidth_bps=1e9)
+HUNDRED_MEGABIT = LinkProfile(name="100Mb", bandwidth_bps=100e6)
+
+
+class NetworkLink:
+    """A stateful link accumulating modeled wire time.
+
+    The Fig. 16 harness runs real compute (construction, serialization,
+    de-serialization) and calls :meth:`send` for every hop; the modeled
+    wire seconds accumulate here and are added to the measured compute
+    time per iteration.
+    """
+
+    def __init__(self, profile: LinkProfile) -> None:
+        self.profile = profile
+        self.messages_sent = 0
+        self.bytes_sent = 0
+        self.modeled_seconds = 0.0
+
+    def send(self, payload_bytes: int) -> float:
+        """Model one one-way transfer; returns its wire time in seconds."""
+        elapsed = self.profile.transmit_time(payload_bytes)
+        self.messages_sent += 1
+        self.bytes_sent += payload_bytes
+        self.modeled_seconds += elapsed
+        return elapsed
+
+    def reset(self) -> None:
+        self.messages_sent = 0
+        self.bytes_sent = 0
+        self.modeled_seconds = 0.0

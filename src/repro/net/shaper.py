@@ -1,0 +1,71 @@
+"""Token-bucket bandwidth shaping over an in-process byte channel.
+
+An optional, real-time alternative to the analytic model: a pair of
+endpoints connected by a queue whose drain rate is capped at the link
+bandwidth.  Useful for end-to-end demonstrations where modeled time would
+be invisible (e.g. the inter-machine example script run with wall-clock
+pacing).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Optional
+
+from repro.net.link import LinkProfile
+
+
+class ShapedChannel:
+    """A unidirectional, bandwidth-shaped, length-framed byte channel."""
+
+    def __init__(self, profile: LinkProfile, max_queued: int = 64) -> None:
+        self.profile = profile
+        self._queue: deque[tuple[bytes, float]] = deque()
+        self._condition = threading.Condition()
+        self._max_queued = max_queued
+        self._closed = False
+
+    def send(self, payload) -> None:
+        """Enqueue a message; it becomes receivable after its modeled
+        wire time has elapsed."""
+        data = bytes(payload)
+        ready_at = time.monotonic() + self.profile.transmit_time(len(data))
+        with self._condition:
+            if self._closed:
+                raise ConnectionError("channel closed")
+            while len(self._queue) >= self._max_queued:
+                self._condition.wait(timeout=0.1)
+                if self._closed:
+                    raise ConnectionError("channel closed")
+            self._queue.append((data, ready_at))
+            self._condition.notify_all()
+
+    def recv(self, timeout: Optional[float] = None) -> Optional[bytes]:
+        """Dequeue the next message, sleeping until its arrival time.
+
+        Returns None on timeout or when the channel is closed and empty.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._condition:
+            while not self._queue:
+                if self._closed:
+                    return None
+                remaining = (
+                    None if deadline is None else deadline - time.monotonic()
+                )
+                if remaining is not None and remaining <= 0:
+                    return None
+                self._condition.wait(timeout=remaining)
+            data, ready_at = self._queue.popleft()
+            self._condition.notify_all()
+        delay = ready_at - time.monotonic()
+        if delay > 0:
+            time.sleep(delay)
+        return data
+
+    def close(self) -> None:
+        with self._condition:
+            self._closed = True
+            self._condition.notify_all()

@@ -1,0 +1,47 @@
+"""miniros: a ROS1-like publish/subscribe middleware substrate.
+
+This subpackage reproduces the parts of ROS1 that the paper's evaluation
+exercises: an XML-RPC master mediating topic discovery, per-node slave
+APIs, TCPROS-style length-framed connections with a key=value handshake
+(callerid/topic/type/md5sum), publisher-side queues and subscriber
+callbacks.  Serialization is pluggable through
+:mod:`repro.ros.codecs`, which is the seam where ROS-SF swaps the
+generated (de)serialization routines for its dummy zero-copy ones while
+the user-facing API (``NodeHandle.advertise`` / ``subscribe`` /
+``Publisher.publish`` / callback signatures) stays identical -- the
+paper's transparency requirement.
+"""
+
+from repro.ros.exceptions import (
+    ConnectionHandshakeError,
+    MasterError,
+    RosError,
+    TopicTypeMismatch,
+)
+from repro.ros.master import Master, MasterProxy
+from repro.ros.node import NodeHandle
+from repro.ros.rate import Rate
+from repro.ros.rostime import Duration, Time
+from repro.ros.graph import RosGraph
+from repro.ros.bag import BagReader, BagRecorder, BagWriter
+from repro.ros.service import ServiceError, ServiceProxy, ServiceServer
+
+__all__ = [
+    "BagReader",
+    "BagRecorder",
+    "BagWriter",
+    "ConnectionHandshakeError",
+    "Duration",
+    "Master",
+    "MasterError",
+    "MasterProxy",
+    "NodeHandle",
+    "Rate",
+    "RosError",
+    "RosGraph",
+    "ServiceError",
+    "ServiceProxy",
+    "ServiceServer",
+    "Time",
+    "TopicTypeMismatch",
+]

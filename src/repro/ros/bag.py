@@ -1,0 +1,310 @@
+"""Bag files: recording and playback of topic traffic (the rosbag
+analogue).
+
+Format (``#REPROBAG V1``): a magic line, then length-framed records.
+Each record is a TCPROS-style key=value header plus a data blob:
+
+- ``op=conn`` records declare a connection: ``conn`` id, ``topic``,
+  ``type``, ``md5sum`` and ``format`` (``ros`` or ``sfm``); no data.
+- ``op=msg`` records carry one message: ``conn`` id, ``secs``/``nsecs``
+  receive stamp, and the **raw wire payload** as data.
+
+Storing wire payloads keeps recording serialization-free for SFM topics
+(the buffer is written as-is) and lets playback republish without
+re-encoding.  ``BagReader.messages`` lazily decodes through the right
+codec when asked.
+"""
+
+from __future__ import annotations
+
+import struct
+import time
+from dataclasses import dataclass
+from typing import Callable, Iterator, Optional
+
+from repro.msg.generator import generate_message_class
+from repro.msg.registry import TypeRegistry, default_registry
+from repro.ros.codecs import codec_for_class, type_info_for_class
+from repro.ros.exceptions import RosError
+from repro.ros.rostime import Time
+from repro.ros.transport.tcpros import decode_header, encode_header
+
+MAGIC = b"#REPROBAG V1\n"
+_U32 = struct.Struct("<I")
+
+
+class BagError(RosError):
+    """Malformed bag file or inconsistent usage."""
+
+
+@dataclass(frozen=True)
+class BagConnection:
+    """Metadata of one recorded topic."""
+
+    conn_id: int
+    topic: str
+    type_name: str
+    md5sum: str
+    format_name: str
+
+
+@dataclass(frozen=True)
+class BagMessage:
+    """One recorded message (payload kept raw until ``decode``)."""
+
+    connection: BagConnection
+    stamp: tuple[int, int]
+    raw: bytes
+
+    @property
+    def topic(self) -> str:
+        """The topic this message was recorded from."""
+        return self.connection.topic
+
+    def stamp_sec(self) -> float:
+        """The receive stamp as fractional seconds."""
+        secs, nsecs = self.stamp
+        return secs + nsecs / 1e9
+
+    def decode(self, registry: Optional[TypeRegistry] = None):
+        """Materialize the message through the recorded wire format."""
+        return _codec_for_connection(self.connection, registry).decode(
+            bytearray(self.raw)
+        )
+
+
+def _codec_for_connection(connection: BagConnection,
+                          registry: Optional[TypeRegistry] = None):
+    registry = registry or default_registry
+    msg_class = _class_for_connection(connection, registry)
+    return codec_for_class(msg_class)
+
+
+def _class_for_connection(connection: BagConnection,
+                          registry: Optional[TypeRegistry] = None) -> type:
+    registry = registry or default_registry
+    if connection.format_name == "sfm":
+        from repro.sfm.generator import generate_sfm_class
+
+        return generate_sfm_class(connection.type_name, registry)
+    return generate_message_class(connection.type_name, registry)
+
+
+class BagWriter:
+    """Writes a bag file; one connection per distinct topic."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._file = open(path, "wb")
+        self._file.write(MAGIC)
+        self._connections: dict[str, BagConnection] = {}
+        self._next_conn_id = 0
+        self.message_count = 0
+        self._closed = False
+
+    def _write_record(self, header: dict[str, str], data: bytes) -> None:
+        body = encode_header(header)
+        self._file.write(_U32.pack(len(body)))
+        self._file.write(body)
+        self._file.write(_U32.pack(len(data)))
+        self._file.write(data)
+
+    def _connection_for(self, topic: str, msg_class: type) -> BagConnection:
+        connection = self._connections.get(topic)
+        if connection is not None:
+            return connection
+        type_name, md5sum = type_info_for_class(msg_class)
+        codec = codec_for_class(msg_class)
+        connection = BagConnection(
+            conn_id=self._next_conn_id,
+            topic=topic,
+            type_name=type_name,
+            md5sum=md5sum,
+            format_name=codec.format_name,
+        )
+        self._next_conn_id += 1
+        self._connections[topic] = connection
+        self._write_record(
+            {
+                "op": "conn",
+                "conn": str(connection.conn_id),
+                "topic": topic,
+                "type": type_name,
+                "md5sum": md5sum,
+                "format": connection.format_name,
+            },
+            b"",
+        )
+        return connection
+
+    def write(self, topic: str, msg, stamp: Optional[tuple[int, int]] = None):
+        """Record one message (encodes through the class's codec)."""
+        if self._closed:
+            raise BagError("bag is closed")
+        connection = self._connection_for(topic, type(msg))
+        codec = codec_for_class(type(msg))
+        payload, release = codec.encode(msg)
+        try:
+            data = bytes(payload)
+        finally:
+            if release is not None:
+                release()
+        secs, nsecs = stamp if stamp is not None else tuple(Time.now())
+        self._write_record(
+            {
+                "op": "msg",
+                "conn": str(connection.conn_id),
+                "secs": str(int(secs)),
+                "nsecs": str(int(nsecs)),
+            },
+            data,
+        )
+        self.message_count += 1
+
+    def close(self) -> None:
+        """Flush and close the bag file (idempotent)."""
+        if not self._closed:
+            self._closed = True
+            self._file.close()
+
+    def __enter__(self) -> "BagWriter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class BagReader:
+    """Reads a bag file; iterable, with per-topic metadata."""
+
+    def __init__(self, path: str,
+                 registry: Optional[TypeRegistry] = None) -> None:
+        self.path = path
+        self.registry = registry or default_registry
+        self.connections: dict[int, BagConnection] = {}
+        self._messages: list[BagMessage] = []
+        self._load()
+
+    def _load(self) -> None:
+        with open(self.path, "rb") as handle:
+            magic = handle.read(len(MAGIC))
+            if magic != MAGIC:
+                raise BagError(f"{self.path}: not a bag file")
+            while True:
+                prefix = handle.read(4)
+                if not prefix:
+                    break
+                if len(prefix) != 4:
+                    raise BagError("truncated record header length")
+                (header_len,) = _U32.unpack(prefix)
+                header = decode_header(handle.read(header_len))
+                (data_len,) = _U32.unpack(handle.read(4))
+                data = handle.read(data_len)
+                if len(data) != data_len:
+                    raise BagError("truncated record data")
+                self._dispatch(header, data)
+
+    def _dispatch(self, header: dict[str, str], data: bytes) -> None:
+        op = header.get("op")
+        if op == "conn":
+            connection = BagConnection(
+                conn_id=int(header["conn"]),
+                topic=header["topic"],
+                type_name=header["type"],
+                md5sum=header["md5sum"],
+                format_name=header.get("format", "ros"),
+            )
+            self.connections[connection.conn_id] = connection
+        elif op == "msg":
+            conn_id = int(header["conn"])
+            connection = self.connections.get(conn_id)
+            if connection is None:
+                raise BagError(f"message references unknown connection {conn_id}")
+            self._messages.append(
+                BagMessage(
+                    connection=connection,
+                    stamp=(int(header["secs"]), int(header["nsecs"])),
+                    raw=data,
+                )
+            )
+        else:
+            raise BagError(f"unknown record op {op!r}")
+
+    def __len__(self) -> int:
+        return len(self._messages)
+
+    def __iter__(self) -> Iterator[BagMessage]:
+        return iter(self._messages)
+
+    def topics(self) -> dict[str, BagConnection]:
+        """Recorded topics and their connection metadata."""
+        return {c.topic: c for c in self.connections.values()}
+
+    def messages(self, topic: Optional[str] = None) -> list[BagMessage]:
+        """All recorded messages, optionally filtered by topic."""
+        if topic is None:
+            return list(self._messages)
+        return [m for m in self._messages if m.topic == topic]
+
+
+class BagRecorder:
+    """Subscribes to topics on a node and records everything it hears."""
+
+    def __init__(self, node, writer: BagWriter) -> None:
+        self.node = node
+        self.writer = writer
+        self._subscribers = []
+
+    def record(self, topic: str, msg_class: type) -> None:
+        """Start recording ``topic`` into the writer."""
+        def on_message(msg, _topic=topic):
+            self.writer.write(_topic, msg)
+
+        self._subscribers.append(
+            self.node.subscribe(topic, msg_class, on_message)
+        )
+
+    def stop(self) -> None:
+        """Unsubscribe from every recorded topic."""
+        for subscriber in self._subscribers:
+            subscriber.unsubscribe()
+        self._subscribers.clear()
+
+
+def play(reader: BagReader, node, rate: float = 1.0,
+         on_published: Optional[Callable] = None,
+         wait_for_subscribers: float = 0.0) -> int:
+    """Republish a bag's messages on ``node``, preserving relative timing
+    scaled by ``rate`` (``rate=0`` publishes as fast as possible).
+
+    ``wait_for_subscribers`` > 0 blocks up to that many seconds until
+    every replayed topic has at least one connected subscriber, so the
+    first messages are not lost to connection latency.
+
+    Returns the number of messages published.
+    """
+    publishers: dict[str, object] = {}
+    for topic, connection in reader.topics().items():
+        msg_class = _class_for_connection(connection, reader.registry)
+        publishers[topic] = node.advertise(topic, msg_class)
+    if wait_for_subscribers > 0:
+        for publisher in publishers.values():
+            publisher.wait_for_subscribers(1, timeout=wait_for_subscribers)
+    messages = reader.messages()
+    if not messages:
+        return 0
+    start_wall = time.monotonic()
+    start_stamp = messages[0].stamp_sec()
+    published = 0
+    for record in messages:
+        if rate > 0:
+            target = start_wall + (record.stamp_sec() - start_stamp) / rate
+            delay = target - time.monotonic()
+            if delay > 0:
+                time.sleep(delay)
+        msg = record.decode(reader.registry)
+        publishers[record.topic].publish(msg)
+        published += 1
+        if on_published is not None:
+            on_published(record)
+    return published

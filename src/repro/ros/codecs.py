@@ -1,0 +1,82 @@
+"""Message codecs: the seam between the topic layer and wire formats.
+
+A codec turns a message object into an outgoing payload and a received
+payload back into a message object.  The original ROS pipeline uses
+:class:`RosCodec` (generated serialize/deserialize routines); ROS-SF swaps
+in :class:`repro.rossf.serializer.SfmCodec`, whose ``encode`` is a
+buffer-pointer copy and whose ``decode`` adopts the received buffer -- the
+paper's "overloaded ROS (de)serialization routine" (Section 4.3.1).
+
+The codec is inferred from the message class, so user code that merely
+switches which generated class it imports (what the ROS-SF Converter
+automates) transparently switches the whole pipeline.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.msg.registry import TypeRegistry
+from repro.serialization.rosser import ROSSerializer
+
+
+class MessageCodec:
+    """Encodes/decodes messages for one topic."""
+
+    #: Wire-format tag exchanged in the connection handshake; both ends
+    #: must agree (mixing SFM and ROS framing would mis-decode buffers).
+    format_name: str = "abstract"
+
+    def encode(self, msg) -> tuple[object, Optional[Callable[[], None]]]:
+        """Return ``(payload, release)``.
+
+        ``payload`` is a bytes-like object ready for framing; ``release``
+        (may be None) must be called exactly once when the transport no
+        longer needs the payload -- for SFM this drops the transport's
+        buffer-pointer reference (Fig. 8).
+        """
+        raise NotImplementedError
+
+    def decode(self, buffer: bytearray):
+        """Turn a received frame into the message object handed to the
+        subscriber callback."""
+        raise NotImplementedError
+
+
+class RosCodec(MessageCodec):
+    """The baseline: generated serialization / de-serialization."""
+
+    format_name = "ros"
+
+    def __init__(self, msg_class: type, registry: Optional[TypeRegistry] = None):
+        self.msg_class = msg_class
+        registry = registry or msg_class._registry
+        self.serializer = ROSSerializer(registry)
+        self.type_name = msg_class._spec.full_name
+
+    def encode(self, msg):
+        return self.serializer.serialize(msg), None
+
+    def decode(self, buffer: bytearray):
+        return self.serializer.deserialize(self.type_name, buffer)
+
+
+def codec_for_class(msg_class: type) -> MessageCodec:
+    """Infer the codec from the message class: SFM classes get the
+    serialization-free codec, plain classes the ROS one."""
+    from repro.sfm.message import SFMMessage
+
+    if isinstance(msg_class, type) and issubclass(msg_class, SFMMessage):
+        from repro.rossf.serializer import SfmCodec
+
+        return SfmCodec(msg_class)
+    return RosCodec(msg_class)
+
+
+def type_info_for_class(msg_class: type) -> tuple[str, str]:
+    """(full type name, md5sum) for the handshake, for either class kind."""
+    from repro.sfm.message import SFMMessage
+
+    if isinstance(msg_class, type) and issubclass(msg_class, SFMMessage):
+        return msg_class._layout.type_name, msg_class.md5sum()
+    return msg_class._spec.full_name, msg_class.md5sum()

@@ -1,0 +1,27 @@
+"""Exception hierarchy for the miniros middleware."""
+
+from __future__ import annotations
+
+
+class RosError(Exception):
+    """Base class for all middleware errors."""
+
+
+class MasterError(RosError):
+    """A master API call failed (non-success status code)."""
+
+
+class NameError_(RosError):
+    """An invalid graph resource name was supplied."""
+
+
+class TopicTypeMismatch(RosError):
+    """Publisher and subscriber disagree on type, md5sum or wire format."""
+
+
+class ConnectionHandshakeError(RosError):
+    """The TCPROS-style handshake failed."""
+
+
+class NodeShutdownError(RosError):
+    """An operation was attempted on a shut-down node."""

@@ -1,0 +1,45 @@
+"""RosGraph: a convenience wrapper bundling a master and its nodes.
+
+Tests, examples and the benchmark harness all need "start a master, make
+a few nodes, tear everything down"; this context manager owns that
+plumbing so experiment code reads like the paper's node/topic diagrams
+(Figs. 12, 15 and 17).
+"""
+
+from __future__ import annotations
+
+from repro.ros.master import Master
+from repro.ros.node import NodeHandle
+
+
+class RosGraph:
+    """A self-contained ROS graph (one master plus managed nodes)."""
+
+    def __init__(self) -> None:
+        self.master = Master()
+        self._nodes: list[NodeHandle] = []
+
+    @property
+    def master_uri(self) -> str:
+        return self.master.uri
+
+    def node(self, name: str, namespace: str = "/") -> NodeHandle:
+        """Create a node registered with this graph's master."""
+        handle = NodeHandle(name, self.master.uri, namespace)
+        self._nodes.append(handle)
+        return handle
+
+    def shutdown(self) -> None:
+        for node in reversed(self._nodes):
+            try:
+                node.shutdown()
+            except Exception:
+                pass
+        self._nodes.clear()
+        self.master.shutdown()
+
+    def __enter__(self) -> "RosGraph":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()

@@ -1,0 +1,88 @@
+"""Graph introspection helpers: the ``rostopic``/``rosservice`` analogues.
+
+Thin, scriptable equivalents of the CLI tools ROS developers reach for:
+``list_topics``, ``topic_info``, ``echo``, ``measure_hz`` and
+``list_services``; used by tests and handy in examples/notebooks.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field as dataclass_field
+
+from repro.ros.master import MasterProxy
+
+
+def list_topics(master_uri: str) -> list[tuple[str, str]]:
+    """``rostopic list``: [(topic, type), ...] known to the master."""
+    proxy = MasterProxy(master_uri)
+    return [tuple(entry) for entry in proxy.get_topic_types("/introspect")]
+
+
+@dataclass
+class TopicInfo:
+    """``rostopic info`` payload."""
+
+    topic: str
+    type_name: str = ""
+    publishers: list = dataclass_field(default_factory=list)
+    subscribers: list = dataclass_field(default_factory=list)
+
+
+def topic_info(master_uri: str, topic: str) -> TopicInfo:
+    proxy = MasterProxy(master_uri)
+    info = TopicInfo(topic=topic)
+    for name, type_name in proxy.get_topic_types("/introspect"):
+        if name == topic:
+            info.type_name = type_name
+    publishers, subscribers, _services = proxy.get_system_state("/introspect")
+    for name, nodes in publishers:
+        if name == topic:
+            info.publishers = list(nodes)
+    for name, nodes in subscribers:
+        if name == topic:
+            info.subscribers = list(nodes)
+    return info
+
+
+def echo(node, topic: str, msg_class: type, count: int = 1,
+         timeout: float = 10.0) -> list:
+    """``rostopic echo -n count``: collect ``count`` messages."""
+    received: list = []
+    done = threading.Event()
+
+    def on_message(msg) -> None:
+        if len(received) < count:
+            received.append(msg)
+            if len(received) >= count:
+                done.set()
+
+    subscriber = node.subscribe(topic, msg_class, on_message)
+    try:
+        done.wait(timeout)
+    finally:
+        subscriber.unsubscribe()
+    return received
+
+
+def measure_hz(node, topic: str, msg_class: type, window: int = 10,
+               timeout: float = 10.0) -> float:
+    """``rostopic hz``: measured publish rate over ``window`` messages."""
+    stamps: list[float] = []
+    done = threading.Event()
+
+    def on_message(_msg) -> None:
+        stamps.append(time.monotonic())
+        if len(stamps) >= window:
+            done.set()
+
+    subscriber = node.subscribe(topic, msg_class, on_message)
+    try:
+        done.wait(timeout)
+    finally:
+        subscriber.unsubscribe()
+    if len(stamps) < 2:
+        return 0.0
+    span = stamps[-1] - stamps[0]
+    return (len(stamps) - 1) / span if span > 0 else 0.0

@@ -1,0 +1,179 @@
+"""Message filters: multi-topic synchronization (the message_filters
+package analogue).
+
+RGBD pipelines (like the paper's ORB-SLAM case study) consume image
+pairs that must be matched by timestamp; ROS ships ``message_filters``
+with exact and approximate time synchronizers for this.  Reproduced here:
+
+- :class:`FilterSubscriber` -- adapts a topic subscription into a filter
+  source.
+- :class:`TimeSynchronizer` -- exact policy: fires the callback once every
+  connected source has delivered a message with the identical
+  ``header.stamp``.
+- :class:`ApproximateTimeSynchronizer` -- fires on sets whose stamps lie
+  within ``slop`` seconds of each other, picking the best available
+  candidate per source.
+
+Both work identically for plain and SFM messages (they only read
+``header.stamp``), so a synchronized pipeline stays transparent under
+ROS-SF.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Callable
+
+
+def _stamp_key(msg) -> tuple[int, int]:
+    secs, nsecs = msg.header.stamp
+    return int(secs), int(nsecs)
+
+
+def _stamp_seconds(msg) -> float:
+    secs, nsecs = msg.header.stamp
+    return int(secs) + int(nsecs) / 1e9
+
+
+class FilterSubscriber:
+    """A topic subscription usable as a synchronizer input."""
+
+    def __init__(self, node, topic: str, msg_class: type, **subscribe_kwargs):
+        self.topic = topic
+        self._callbacks: list[Callable] = []
+        self.subscription = node.subscribe(
+            topic, msg_class, self._dispatch, **subscribe_kwargs
+        )
+
+    def register_callback(self, callback: Callable) -> None:
+        self._callbacks.append(callback)
+
+    def _dispatch(self, msg) -> None:
+        for callback in self._callbacks:
+            callback(msg)
+
+    def unsubscribe(self) -> None:
+        self.subscription.unsubscribe()
+
+
+class TimeSynchronizer:
+    """Exact-stamp synchronization across N sources.
+
+    Buffers up to ``queue_size`` stamps per source; when every source has
+    a message for some stamp, the callback fires with the messages in
+    source order and older incomplete stamps are discarded.
+    """
+
+    def __init__(self, sources, queue_size: int = 10) -> None:
+        if not sources:
+            raise ValueError("TimeSynchronizer needs at least one source")
+        self.sources = list(sources)
+        self.queue_size = queue_size
+        self._lock = threading.Lock()
+        # stamp -> {source_index: msg}; insertion-ordered for eviction.
+        self._pending: OrderedDict[tuple[int, int], dict] = OrderedDict()
+        self._callbacks: list[Callable] = []
+        self.synchronized_count = 0
+        self.dropped_count = 0
+        for index, source in enumerate(self.sources):
+            source.register_callback(
+                lambda msg, _index=index: self._add(_index, msg)
+            )
+
+    def register_callback(self, callback: Callable) -> None:
+        self._callbacks.append(callback)
+
+    def _add(self, source_index: int, msg) -> None:
+        key = _stamp_key(msg)
+        fire_with = None
+        with self._lock:
+            entry = self._pending.get(key)
+            if entry is None:
+                entry = {}
+                self._pending[key] = entry
+                while len(self._pending) > self.queue_size:
+                    self._pending.popitem(last=False)
+                    self.dropped_count += 1
+            entry[source_index] = msg
+            if len(entry) == len(self.sources):
+                del self._pending[key]
+                # Everything older than a completed set can never complete
+                # in order; drop it (message_filters semantics).
+                stale = [k for k in self._pending if k < key]
+                for stale_key in stale:
+                    del self._pending[stale_key]
+                    self.dropped_count += 1
+                self.synchronized_count += 1
+                fire_with = tuple(
+                    entry[index] for index in range(len(self.sources))
+                )
+        if fire_with is not None:
+            for callback in self._callbacks:
+                callback(*fire_with)
+
+
+class ApproximateTimeSynchronizer:
+    """Slop-tolerant synchronization across N sources.
+
+    Keeps the last ``queue_size`` messages per source; whenever a new
+    message arrives, looks for one candidate per other source within
+    ``slop`` seconds (nearest first).  A matched set is consumed.
+    """
+
+    def __init__(self, sources, queue_size: int = 10, slop: float = 0.05):
+        if not sources:
+            raise ValueError(
+                "ApproximateTimeSynchronizer needs at least one source"
+            )
+        if slop < 0:
+            raise ValueError("slop must be non-negative")
+        self.sources = list(sources)
+        self.queue_size = queue_size
+        self.slop = slop
+        self._lock = threading.Lock()
+        self._queues: list[list] = [[] for _ in self.sources]
+        self._callbacks: list[Callable] = []
+        self.synchronized_count = 0
+        for index, source in enumerate(self.sources):
+            source.register_callback(
+                lambda msg, _index=index: self._add(_index, msg)
+            )
+
+    def register_callback(self, callback: Callable) -> None:
+        self._callbacks.append(callback)
+
+    def _add(self, source_index: int, msg) -> None:
+        fire_with = None
+        with self._lock:
+            queue = self._queues[source_index]
+            queue.append(msg)
+            if len(queue) > self.queue_size:
+                queue.pop(0)
+            fire_with = self._try_match(source_index, msg)
+        if fire_with is not None:
+            for callback in self._callbacks:
+                callback(*fire_with)
+
+    def _try_match(self, anchor_index: int, anchor_msg):
+        anchor_time = _stamp_seconds(anchor_msg)
+        chosen = [None] * len(self.sources)
+        chosen[anchor_index] = anchor_msg
+        for index, queue in enumerate(self._queues):
+            if index == anchor_index:
+                continue
+            best, best_delta = None, None
+            for candidate in queue:
+                delta = abs(_stamp_seconds(candidate) - anchor_time)
+                if delta <= self.slop and (best is None or delta < best_delta):
+                    best, best_delta = candidate, delta
+            if best is None:
+                return None
+            chosen[index] = best
+        # Consume the matched messages.
+        for index, queue in enumerate(self._queues):
+            message = chosen[index]
+            if message in queue:
+                queue.remove(message)
+        self.synchronized_count += 1
+        return tuple(chosen)

@@ -1,0 +1,63 @@
+"""ROS graph resource name handling.
+
+Graph names are ``/``-separated; a name may be *global* (``/a/b``),
+*relative* (``a/b``, resolved against the node's namespace) or *private*
+(``~a``, resolved against the node's own name).  This module reproduces
+rosgraph's resolution rules, which the master and the topic layer use as
+canonical keys.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.ros.exceptions import NameError_
+
+_NAME_RE = re.compile(r"^[~/]?[A-Za-z][A-Za-z0-9_/]*$|^/$")
+
+
+def validate_name(name: str) -> str:
+    """Validate a graph name, returning it unchanged.
+
+    >>> validate_name("/camera/image")
+    '/camera/image'
+    """
+    if not name or not _NAME_RE.match(name) or "//" in name:
+        raise NameError_(f"invalid graph resource name {name!r}")
+    return name
+
+
+def resolve(name: str, namespace: str = "/", node_name: str = "") -> str:
+    """Resolve ``name`` to a global name.
+
+    >>> resolve("image", "/camera")
+    '/camera/image'
+    >>> resolve("~debug", "/", "/viewer")
+    '/viewer/debug'
+    >>> resolve("/absolute")
+    '/absolute'
+    """
+    validate_name(name)
+    if name.startswith("/"):
+        return _normalize(name)
+    if name.startswith("~"):
+        if not node_name:
+            raise NameError_(f"private name {name!r} outside a node context")
+        return _normalize(f"{node_name}/{name[1:]}")
+    return _normalize(f"{namespace}/{name}")
+
+
+def _normalize(name: str) -> str:
+    parts = [part for part in name.split("/") if part]
+    return "/" + "/".join(parts)
+
+
+def namespace_of(name: str) -> str:
+    """The parent namespace of a global name.
+
+    >>> namespace_of("/a/b/c")
+    '/a/b'
+    """
+    name = _normalize(name)
+    head, _, _ = name.rpartition("/")
+    return head or "/"

@@ -1,0 +1,39 @@
+"""Fixed-frequency loop helper (the ``ros::Rate`` analogue).
+
+The paper's experiments publish "2,000 times at a frequency of 10 Hz";
+:class:`Rate` provides that pacing, compensating for the time consumed by
+the loop body so long-running bodies do not accumulate drift.
+"""
+
+from __future__ import annotations
+
+import time
+
+
+class Rate:
+    """Sleeps to maintain a target loop frequency."""
+
+    def __init__(self, hz: float) -> None:
+        if hz <= 0:
+            raise ValueError(f"rate must be positive, got {hz}")
+        self.period = 1.0 / hz
+        self._next_deadline = time.monotonic() + self.period
+
+    def sleep(self) -> bool:
+        """Sleep until the next cycle boundary.
+
+        Returns False when the deadline was already missed (no sleep
+        happened and the schedule was re-anchored), True otherwise.
+        """
+        now = time.monotonic()
+        remaining = self._next_deadline - now
+        if remaining > 0:
+            time.sleep(remaining)
+            self._next_deadline += self.period
+            return True
+        # Missed the cycle: re-anchor rather than bursting to catch up.
+        self._next_deadline = now + self.period
+        return False
+
+    def reset(self) -> None:
+        self._next_deadline = time.monotonic() + self.period

@@ -1,0 +1,225 @@
+"""ROS services: request/reply over the TCPROS-style transport.
+
+The wire protocol mirrors ROS1's service flavour of TCPROS:
+
+- the client connects to the provider's ``rosrpc://host:port`` endpoint
+  and sends a handshake header (``service``, ``md5sum``, ``callerid``,
+  ``format``, ``persistent``);
+- the server validates and replies with its header;
+- each call is one request frame; each reply is a 1-byte ok flag followed
+  by one frame (the response on success, an error string on failure).
+
+Services use the same codec seam as topics, so a service whose
+request/response classes are SFM-generated is serialization-free end to
+end -- an extension beyond the paper's evaluation, but a direct corollary
+of its design.
+"""
+
+from __future__ import annotations
+
+import re
+import socket
+import threading
+from typing import Callable, Optional
+
+from repro.msg.srv import ServiceType
+from repro.ros.codecs import codec_for_class
+from repro.ros.exceptions import ConnectionHandshakeError, RosError
+from repro.ros.transport import tcpros
+
+_ROSRPC_RE = re.compile(r"^rosrpc://([^:/]+):(\d+)$")
+
+OK_FLAG = b"\x01"
+ERROR_FLAG = b"\x00"
+
+
+class ServiceError(RosError):
+    """The service handler failed; carries the server-reported reason."""
+
+
+class ServiceServer:
+    """One advertised service endpoint."""
+
+    def __init__(self, node, name: str, srv_type: ServiceType,
+                 handler: Callable) -> None:
+        self.node = node
+        self.name = name
+        self.srv_type = srv_type
+        self.handler = handler
+        self.request_codec = codec_for_class(srv_type.request_class)
+        self.response_codec = codec_for_class(srv_type.response_class)
+        self.call_count = 0
+        self._shutdown = False
+        self._active_lock = threading.Lock()
+        self._active_socks: set[socket.socket] = set()
+
+    @property
+    def uri(self) -> str:
+        server = self.node._data_server
+        return f"rosrpc://{server.host}:{server.port}"
+
+    # Called by the node's data server dispatcher.
+    def _accept(self, sock: socket.socket, header: dict[str, str]) -> None:
+        their_md5 = header.get("md5sum", "*")
+        if their_md5 not in ("*", self.srv_type.md5sum):
+            tcpros.reject_connection(sock, f"md5sum mismatch for {self.name}")
+            return
+        their_format = header.get("format", "ros")
+        if their_format != self.request_codec.format_name:
+            tcpros.reject_connection(
+                sock,
+                f"wire format mismatch: client sends {their_format}, "
+                f"server expects {self.request_codec.format_name}",
+            )
+            return
+        reply = {
+            "callerid": self.node.name,
+            "service": self.name,
+            "md5sum": self.srv_type.md5sum,
+            "type": self.srv_type.spec.full_name,
+            "format": self.request_codec.format_name,
+        }
+        try:
+            tcpros.write_frame(sock, tcpros.encode_header(reply))
+        except OSError:
+            sock.close()
+            return
+        threading.Thread(
+            target=self._serve_loop, args=(sock,), daemon=True,
+            name=f"srv:{self.name}",
+        ).start()
+
+    def _serve_loop(self, sock: socket.socket) -> None:
+        with self._active_lock:
+            if self._shutdown:
+                sock.close()
+                return
+            self._active_socks.add(sock)
+        try:
+            while not self._shutdown:
+                frame = tcpros.read_frame(sock)
+                self.call_count += 1
+                try:
+                    request = self.request_codec.decode(frame)
+                    response = self.handler(request)
+                    if not isinstance(
+                        response, self.srv_type.response_class
+                    ):
+                        raise TypeError(
+                            f"handler returned {type(response).__name__}, "
+                            f"expected "
+                            f"{self.srv_type.response_class.__name__}"
+                        )
+                    payload, release = self.response_codec.encode(response)
+                    try:
+                        sock.sendall(OK_FLAG)
+                        tcpros.write_frame(sock, payload)
+                    finally:
+                        if release is not None:
+                            release()
+                except Exception as exc:  # handler errors go to the client
+                    reason = f"{type(exc).__name__}: {exc}".encode("utf-8")
+                    try:
+                        sock.sendall(ERROR_FLAG)
+                        tcpros.write_frame(sock, reason)
+                    except OSError:
+                        return
+        except (ConnectionError, OSError):
+            pass
+        finally:
+            with self._active_lock:
+                self._active_socks.discard(sock)
+            try:
+                sock.close()
+            except OSError:
+                pass
+
+    def shutdown(self) -> None:
+        if self._shutdown:
+            return
+        self._shutdown = True
+        with self._active_lock:
+            active = list(self._active_socks)
+            self._active_socks.clear()
+        for sock in active:
+            try:
+                sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                sock.close()
+            except OSError:
+                pass
+        self.node._unadvertise_service(self)
+
+
+class ServiceProxy:
+    """A callable client handle for one service."""
+
+    def __init__(self, node, name: str, srv_type: ServiceType,
+                 timeout: float = 10.0) -> None:
+        self.node = node
+        self.name = name
+        self.srv_type = srv_type
+        self.timeout = timeout
+        self.request_codec = codec_for_class(srv_type.request_class)
+        self.response_codec = codec_for_class(srv_type.response_class)
+        self._sock: Optional[socket.socket] = None
+        self._lock = threading.Lock()
+
+    def _connect(self) -> socket.socket:
+        uri = self.node.master.lookup_service(self.node.name, self.name)
+        match = _ROSRPC_RE.match(uri)
+        if not match:
+            raise ConnectionHandshakeError(f"bad service uri {uri!r}")
+        host, port = match.group(1), int(match.group(2))
+        header = {
+            "callerid": self.node.name,
+            "service": self.name,
+            "md5sum": self.srv_type.md5sum,
+            "format": self.request_codec.format_name,
+            "persistent": "1",
+        }
+        sock, _reply = tcpros.connect_subscriber(
+            host, port, header, timeout=self.timeout
+        )
+        return sock
+
+    def __call__(self, request=None, **kwargs):
+        """Invoke the service; returns the response message.
+
+        Pass a request message, or field values as keyword arguments
+        (``proxy(a=1, b=2)``).
+        """
+        if request is None:
+            request = self.srv_type.request_class(**kwargs)
+        elif kwargs:
+            raise TypeError("pass a request message or kwargs, not both")
+        payload, release = self.request_codec.encode(request)
+        with self._lock:
+            if self._sock is None:
+                self._sock = self._connect()
+            try:
+                try:
+                    tcpros.write_frame(self._sock, payload)
+                finally:
+                    if release is not None:
+                        release()
+                flag = tcpros.read_exact(self._sock, 1)
+                frame = tcpros.read_frame(self._sock)
+            except (ConnectionError, OSError):
+                self.close_connection()
+                raise
+        if bytes(flag) == ERROR_FLAG:
+            raise ServiceError(bytes(frame).decode("utf-8", "replace"))
+        return self.response_codec.decode(frame)
+
+    def close_connection(self) -> None:
+        # Callers either hold self._lock already (failure path inside a
+        # call) or are tearing the proxy down; plain swap is sufficient.
+        sock, self._sock = self._sock, None
+        if sock is not None:
+            try:
+                sock.close()
+            except OSError:
+                pass

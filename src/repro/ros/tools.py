@@ -1,0 +1,223 @@
+"""Command-line tools: the rostopic/rosparam/rosbag-style CLI.
+
+Usage::
+
+    python -m repro.ros.tools topic list  --master http://127.0.0.1:PORT/
+    python -m repro.ros.tools topic info  --master URI /camera/image
+    python -m repro.ros.tools topic hz    --master URI /camera/image TYPE
+    python -m repro.ros.tools topic echo  --master URI /camera/image TYPE -n 3
+    python -m repro.ros.tools param get|set|list --master URI [KEY [VALUE]]
+    python -m repro.ros.tools bag info PATH.bag
+    python -m repro.ros.tools check FILE.py [FILE2.py ...]   # ROS-SF Converter
+    python -m repro.ros.tools msg show sensor_msgs/Image
+    python -m repro.ros.tools sfm stats
+
+Message types are given as full names (``sensor_msgs/Image``); append
+``@sfm`` to subscribe with the serialization-free class
+(``sensor_msgs/Image@sfm``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+import repro.msg.library  # noqa: F401  (registers the standard library)
+from repro.msg.generator import generate_message_class
+from repro.msg.registry import default_registry
+
+
+def _resolve_class(spelling: str):
+    name, _, flavour = spelling.partition("@")
+    if flavour == "sfm":
+        from repro.sfm.generator import generate_sfm_class
+
+        return generate_sfm_class(name, default_registry)
+    if flavour:
+        raise SystemExit(f"unknown class flavour {flavour!r} (use @sfm)")
+    return generate_message_class(name, default_registry)
+
+
+def _make_node(master_uri: str):
+    from repro.ros.node import NodeHandle
+
+    return NodeHandle("rossf_tools", master_uri)
+
+
+# ----------------------------------------------------------------------
+# Subcommands
+# ----------------------------------------------------------------------
+def cmd_topic(args) -> int:
+    from repro.ros import introspection
+
+    if args.action == "list":
+        for topic, type_name in introspection.list_topics(args.master):
+            print(f"{topic} [{type_name}]")
+        return 0
+    if args.action == "info":
+        info = introspection.topic_info(args.master, args.topic)
+        print(f"Type: {info.type_name or '<unknown>'}")
+        print("Publishers:")
+        for node in info.publishers:
+            print(f"  {node}")
+        print("Subscribers:")
+        for node in info.subscribers:
+            print(f"  {node}")
+        return 0
+    node = _make_node(args.master)
+    try:
+        msg_class = _resolve_class(args.type)
+        if args.action == "hz":
+            hz = introspection.measure_hz(
+                node, args.topic, msg_class, window=args.count,
+                timeout=args.timeout,
+            )
+            print(f"average rate: {hz:.2f} Hz over {args.count} messages")
+            return 0
+        if args.action == "echo":
+            messages = introspection.echo(
+                node, args.topic, msg_class, count=args.count,
+                timeout=args.timeout,
+            )
+            for msg in messages:
+                print(repr(msg))
+                print("---")
+            return 0 if messages else 1
+    finally:
+        node.shutdown()
+    raise SystemExit(f"unknown topic action {args.action!r}")
+
+
+def cmd_param(args) -> int:
+    from repro.ros.master import MasterProxy
+
+    proxy = MasterProxy(args.master)
+    if args.action == "list":
+        for key in proxy.get_param_names("/rossf_tools"):
+            print(key)
+        return 0
+    if args.action == "get":
+        print(json.dumps(proxy.get_param("/rossf_tools", args.key)))
+        return 0
+    if args.action == "set":
+        try:
+            value = json.loads(args.value)
+        except json.JSONDecodeError:
+            value = args.value
+        proxy.set_param("/rossf_tools", args.key, value)
+        return 0
+    raise SystemExit(f"unknown param action {args.action!r}")
+
+
+def cmd_bag(args) -> int:
+    from repro.ros.bag import BagReader
+
+    reader = BagReader(args.path)
+    print(f"path:     {args.path}")
+    print(f"messages: {len(reader)}")
+    print(f"topics:   {len(reader.topics())}")
+    for topic, connection in sorted(reader.topics().items()):
+        count = len(reader.messages(topic))
+        print(f"  {topic:<30} {count:>6} msgs  {connection.type_name} "
+              f"[{connection.format_name}] md5={connection.md5sum[:8]}")
+    return 0
+
+
+def cmd_check(args) -> int:
+    """The ROS-SF Converter front end: analyze sources, print guidance."""
+    from repro.converter import analyze_source, conversion_guidance
+
+    total_violations = 0
+    for path in args.files:
+        with open(path, "r", encoding="utf-8") as handle:
+            source = handle.read()
+        report = analyze_source(source, path=path)
+        print(conversion_guidance(report))
+        total_violations += len(report.violations)
+    return 1 if total_violations else 0
+
+
+def cmd_msg(args) -> int:
+    if args.action == "list":
+        for name in default_registry.names():
+            print(name)
+        return 0
+    if args.action == "show":
+        spec = default_registry.get(args.type)
+        print(f"# {spec.full_name}  md5={default_registry.md5sum(spec.full_name)}")
+        for const in spec.constants:
+            print(f"{const.type.name} {const.name}={const.raw_value}")
+        for field in spec.fields:
+            optional = "optional " if field.optional else ""
+            print(f"{optional}{field.type.name} {field.name}")
+        if spec.sfm_capacity:
+            print(f"# sfm_capacity: {spec.sfm_capacity}")
+        return 0
+    raise SystemExit(f"unknown msg action {args.action!r}")
+
+
+def cmd_sfm(args) -> int:
+    from repro.rossf.diagnostics import report
+
+    print(report().render())
+    return 0
+
+
+# ----------------------------------------------------------------------
+# Argument parsing
+# ----------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.ros.tools", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    topic = sub.add_parser("topic", help="topic introspection")
+    topic.add_argument("action", choices=["list", "info", "hz", "echo"])
+    topic.add_argument("topic", nargs="?", help="topic name")
+    topic.add_argument("type", nargs="?", help="message type (for hz/echo)")
+    topic.add_argument("--master", required=True)
+    topic.add_argument("-n", "--count", type=int, default=10)
+    topic.add_argument("--timeout", type=float, default=10.0)
+    topic.set_defaults(func=cmd_topic)
+
+    param = sub.add_parser("param", help="parameter server access")
+    param.add_argument("action", choices=["get", "set", "list"])
+    param.add_argument("key", nargs="?")
+    param.add_argument("value", nargs="?")
+    param.add_argument("--master", required=True)
+    param.set_defaults(func=cmd_param)
+
+    bag = sub.add_parser("bag", help="bag file inspection")
+    bag.add_argument("action", choices=["info"])
+    bag.add_argument("path")
+    bag.set_defaults(func=cmd_bag)
+
+    check = sub.add_parser(
+        "check", help="ROS-SF Converter: check sources for the three "
+        "assumptions",
+    )
+    check.add_argument("files", nargs="+")
+    check.set_defaults(func=cmd_check)
+
+    msg = sub.add_parser("msg", help="message definitions")
+    msg.add_argument("action", choices=["list", "show"])
+    msg.add_argument("type", nargs="?")
+    msg.set_defaults(func=cmd_msg)
+
+    sfm = sub.add_parser("sfm", help="ROS-SF runtime diagnostics")
+    sfm.add_argument("action", choices=["stats"])
+    sfm.set_defaults(func=cmd_sfm)
+
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

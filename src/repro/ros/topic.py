@@ -1,0 +1,430 @@
+"""Publisher and Subscriber: the topic layer.
+
+The user-facing API mirrors roscpp/rospy:
+
+- ``pub = nh.advertise(topic, MsgClass)`` then ``pub.publish(msg)``;
+- ``nh.subscribe(topic, MsgClass, callback)`` and the callback receives
+  the message object.
+
+Internally the publisher keeps one outbound link (socket + bounded queue +
+sender thread) per connected subscriber; the subscriber keeps one inbound
+link per discovered publisher.  Payload encoding happens **once per
+publish** regardless of fan-out, and the payload's release hook (the SFM
+buffer pointer) fires only after every link has sent or dropped it --
+reproducing the reference counting of the paper's Fig. 8.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import xmlrpc.client
+from collections import deque
+from typing import Callable, Optional
+
+from repro.ros.codecs import codec_for_class, type_info_for_class
+from repro.ros.exceptions import TopicTypeMismatch
+from repro.ros.transport import tcpros
+from repro.ros.transport.intraprocess import local_bus
+
+
+class _Outgoing:
+    """One encoded payload shared by all links; releases the codec's
+    payload hook when every link is done with it."""
+
+    __slots__ = ("payload", "_remaining", "_release", "_lock")
+
+    def __init__(self, payload, fanout: int, release) -> None:
+        self.payload = payload
+        self._remaining = fanout
+        self._release = release
+        self._lock = threading.Lock()
+
+    def done(self) -> None:
+        with self._lock:
+            self._remaining -= 1
+            finished = self._remaining == 0
+        if finished and self._release is not None:
+            self._release()
+
+
+class _OutboundLink:
+    """Publisher-side connection to one subscriber."""
+
+    def __init__(self, publisher: "Publisher", sock, subscriber_id: str) -> None:
+        self.publisher = publisher
+        self.sock = sock
+        self.subscriber_id = subscriber_id
+        self._queue: deque[_Outgoing] = deque()
+        self._condition = threading.Condition()
+        self._closed = False
+        self.dropped = 0
+        self._thread = threading.Thread(
+            target=self._send_loop,
+            daemon=True,
+            name=f"pub:{publisher.topic}->{subscriber_id}",
+        )
+        self._thread.start()
+
+    def enqueue(self, outgoing: _Outgoing) -> None:
+        with self._condition:
+            if self._closed:
+                outgoing.done()
+                return
+            if (
+                self.publisher.queue_size
+                and len(self._queue) >= self.publisher.queue_size
+            ):
+                oldest = self._queue.popleft()
+                oldest.done()
+                self.dropped += 1
+            self._queue.append(outgoing)
+            self._condition.notify()
+
+    def _send_loop(self) -> None:
+        while True:
+            with self._condition:
+                while not self._queue and not self._closed:
+                    self._condition.wait()
+                if self._closed and not self._queue:
+                    return
+                outgoing = self._queue.popleft()
+            try:
+                tcpros.write_frame(self.sock, outgoing.payload)
+            except OSError:
+                outgoing.done()
+                self._shutdown_from_error()
+                return
+            finally:
+                pass
+            outgoing.done()
+
+    def _shutdown_from_error(self) -> None:
+        self.close()
+        self.publisher._remove_link(self)
+
+    def close(self) -> None:
+        with self._condition:
+            if self._closed:
+                return
+            self._closed = True
+            pending = list(self._queue)
+            self._queue.clear()
+            self._condition.notify_all()
+        for outgoing in pending:
+            outgoing.done()
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+
+
+class Publisher:
+    """A handle for publishing messages on one topic."""
+
+    def __init__(
+        self,
+        node,
+        topic: str,
+        msg_class: type,
+        queue_size: int = 100,
+        intraprocess: bool = False,
+        latch: bool = False,
+    ) -> None:
+        self.node = node
+        self.topic = topic
+        self.msg_class = msg_class
+        self.queue_size = queue_size
+        self.intraprocess = intraprocess
+        self.latch = latch
+        self.codec = codec_for_class(msg_class)
+        self.type_name, self.md5sum = type_info_for_class(msg_class)
+        self._links: list[_OutboundLink] = []
+        self._links_lock = threading.Lock()
+        self._link_event = threading.Event()
+        #: Last published payload, kept when latching so late subscribers
+        #: receive it on connect (map_server-style semantics).
+        self._latched_payload: bytes | None = None
+        self.published_count = 0
+        if intraprocess:
+            local_bus.register_publisher(self)
+
+    # ------------------------------------------------------------------
+    # Publishing
+    # ------------------------------------------------------------------
+    def publish(self, msg) -> None:
+        """Publish ``msg`` to every connected subscriber.
+
+        For plain classes this runs the generated serializer; for SFM
+        classes it takes a buffer pointer (no serialization) -- the same
+        call site either way, which is the transparency the paper claims.
+        """
+        self.published_count += 1
+        if self.intraprocess:
+            local_bus.deliver(self, msg)
+        with self._links_lock:
+            links = list(self._links)
+        if not links and not self.latch:
+            return
+        payload, release = self.codec.encode(msg)
+        if self.latch:
+            # Keep a private copy: the original payload (e.g. an SFM
+            # buffer) is released once every link has sent it.
+            self._latched_payload = bytes(payload)
+        if not links:
+            if release is not None:
+                release()
+            return
+        outgoing = _Outgoing(payload, len(links), release)
+        for link in links:
+            link.enqueue(outgoing)
+
+    # ------------------------------------------------------------------
+    # Connection management (called by the node's data server)
+    # ------------------------------------------------------------------
+    def _accept(self, sock, header: dict[str, str]) -> None:
+        error = self._validate_header(header)
+        if error:
+            tcpros.reject_connection(sock, error)
+            return
+        reply = {
+            "callerid": self.node.name,
+            "topic": self.topic,
+            "type": self.type_name,
+            "md5sum": self.md5sum,
+            "format": self.codec.format_name,
+            "latching": "1" if self.latch else "0",
+        }
+        try:
+            tcpros.write_frame(sock, tcpros.encode_header(reply))
+        except OSError:
+            sock.close()
+            return
+        link = _OutboundLink(self, sock, header.get("callerid", "?"))
+        with self._links_lock:
+            self._links.append(link)
+            latched = self._latched_payload
+        if latched is not None:
+            link.enqueue(_Outgoing(latched, 1, None))
+        self._link_event.set()
+
+    def _validate_header(self, header: dict[str, str]) -> Optional[str]:
+        if header.get("topic") != self.topic:
+            return f"topic mismatch: {header.get('topic')} != {self.topic}"
+        their_type = header.get("type")
+        if their_type not in ("*", self.type_name):
+            return f"type mismatch: {their_type} != {self.type_name}"
+        their_md5 = header.get("md5sum")
+        if their_md5 not in ("*", self.md5sum):
+            return f"md5sum mismatch for {self.type_name}"
+        their_format = header.get("format", "ros")
+        if their_format != self.codec.format_name:
+            return (
+                f"wire format mismatch: subscriber expects {their_format}, "
+                f"publisher sends {self.codec.format_name}"
+            )
+        return None
+
+    def _remove_link(self, link: _OutboundLink) -> None:
+        with self._links_lock:
+            if link in self._links:
+                self._links.remove(link)
+
+    # ------------------------------------------------------------------
+    # Introspection / shutdown
+    # ------------------------------------------------------------------
+    def get_num_connections(self) -> int:
+        """Number of connected subscriber links."""
+        with self._links_lock:
+            return len(self._links)
+
+    def wait_for_subscribers(self, count: int = 1, timeout: float = 10.0) -> bool:
+        """Block until at least ``count`` subscribers are connected."""
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if self.get_num_connections() >= count:
+                return True
+            self._link_event.clear()
+            self._link_event.wait(timeout=0.05)
+        return self.get_num_connections() >= count
+
+    def unadvertise(self) -> None:
+        """Close every link and unregister from the master."""
+        if self.intraprocess:
+            local_bus.unregister_publisher(self)
+        with self._links_lock:
+            links = list(self._links)
+            self._links.clear()
+        for link in links:
+            link.close()
+        self.node._unadvertise(self)
+
+
+class _InboundLink:
+    """Subscriber-side connection to one publisher."""
+
+    def __init__(self, subscriber: "Subscriber", publisher_uri: str) -> None:
+        self.subscriber = subscriber
+        self.publisher_uri = publisher_uri
+        self.sock = None
+        self.error: Optional[Exception] = None
+        self._closed = False
+        self._thread = threading.Thread(
+            target=self._run,
+            daemon=True,
+            name=f"sub:{subscriber.topic}<-{publisher_uri}",
+        )
+        self._thread.start()
+
+    def _run(self) -> None:
+        subscriber = self.subscriber
+        try:
+            proxy = xmlrpc.client.ServerProxy(self.publisher_uri, allow_none=True)
+            code, _status, protocol = proxy.requestTopic(
+                subscriber.node.name, subscriber.topic, [["TCPROS"]]
+            )
+            if code != 1 or not protocol or protocol[0] != "TCPROS":
+                return
+            _proto, host, port = protocol
+            header = {
+                "callerid": subscriber.node.name,
+                "topic": subscriber.topic,
+                "type": subscriber.type_name,
+                "md5sum": subscriber.md5sum,
+                "format": subscriber.codec.format_name,
+                "tcp_nodelay": "1",
+            }
+            self.sock, reply = tcpros.connect_subscriber(host, port, header)
+            their_format = reply.get("format", "ros")
+            if their_format != subscriber.codec.format_name:
+                raise TopicTypeMismatch(
+                    f"publisher sends {their_format}, expected "
+                    f"{subscriber.codec.format_name}"
+                )
+            subscriber._link_connected(self)
+            while not self._closed:
+                frame = tcpros.read_frame(self.sock)
+                msg = subscriber.codec.decode(frame)
+                subscriber._dispatch(msg)
+        except (ConnectionError, OSError) as exc:
+            self.error = exc
+        except (tcpros.ConnectionHandshakeError, TopicTypeMismatch) as exc:
+            # The publisher refused us (type/md5/format mismatch); record
+            # why so wait_for_publishers debugging can surface it.
+            self.error = exc
+        finally:
+            self.close()
+            subscriber._link_closed(self)
+
+    def close(self) -> None:
+        self._closed = True
+        if self.sock is not None:
+            try:
+                self.sock.close()
+            except OSError:
+                pass
+
+
+class Subscriber:
+    """A subscription delivering messages to a callback."""
+
+    def __init__(
+        self,
+        node,
+        topic: str,
+        msg_class: type,
+        callback: Callable,
+        intraprocess: bool = False,
+    ) -> None:
+        self.node = node
+        self.topic = topic
+        self.msg_class = msg_class
+        self.callback = callback
+        self.intraprocess = intraprocess
+        self.codec = codec_for_class(msg_class)
+        self.type_name, self.md5sum = type_info_for_class(msg_class)
+        self._links: dict[str, _InboundLink] = {}
+        self._connected: set[_InboundLink] = set()
+        self._lock = threading.Lock()
+        self._connect_event = threading.Event()
+        self.received_count = 0
+        self._shutdown = False
+        if intraprocess:
+            local_bus.register_subscriber(self)
+
+    # ------------------------------------------------------------------
+    # Publisher discovery
+    # ------------------------------------------------------------------
+    def update_publishers(self, publisher_uris: list[str]) -> None:
+        """React to the master's current publisher list for the topic."""
+        local_uris = (
+            local_bus.local_publisher_uris(self.node.master_uri, self.topic)
+            if self.intraprocess
+            else set()
+        )
+        with self._lock:
+            if self._shutdown:
+                return
+            known = set(self._links)
+            wanted = {
+                uri for uri in publisher_uris
+                if uri != "" and uri not in local_uris
+            }
+            for uri in wanted - known:
+                self._links[uri] = _InboundLink(self, uri)
+            for uri in known - wanted:
+                link = self._links.pop(uri)
+                link.close()
+
+    def _link_connected(self, link: _InboundLink) -> None:
+        with self._lock:
+            self._connected.add(link)
+        self._connect_event.set()
+
+    def _link_closed(self, link: _InboundLink) -> None:
+        with self._lock:
+            self._connected.discard(link)
+            self._links.pop(link.publisher_uri, None)
+
+    def get_num_connections(self) -> int:
+        with self._lock:
+            count = len(self._connected)
+        if self.intraprocess:
+            count += len(
+                local_bus.local_publisher_uris(self.node.master_uri, self.topic)
+            )
+        return count
+
+    def wait_for_publishers(self, count: int = 1, timeout: float = 10.0) -> bool:
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if self.get_num_connections() >= count:
+                return True
+            self._connect_event.clear()
+            self._connect_event.wait(timeout=0.05)
+        return self.get_num_connections() >= count
+
+    # ------------------------------------------------------------------
+    # Delivery
+    # ------------------------------------------------------------------
+    def _dispatch(self, msg) -> None:
+        self.received_count += 1
+        self.callback(msg)
+
+    def _deliver_local(self, msg) -> None:
+        """Intra-process delivery: the message object itself, by
+        reference (const-ptr convention)."""
+        self.received_count += 1
+        self.callback(msg)
+
+    def unsubscribe(self) -> None:
+        """Disconnect from every publisher and unregister."""
+        with self._lock:
+            self._shutdown = True
+            links = list(self._links.values())
+            self._links.clear()
+        if self.intraprocess:
+            local_bus.unregister_subscriber(self)
+        for link in links:
+            link.close()
+        self.node._unsubscribe(self)

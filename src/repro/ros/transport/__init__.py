@@ -1,0 +1,19 @@
+"""Transports: TCPROS-style sockets and the intra-process fast path."""
+
+from repro.ros.transport.tcpros import (
+    TcpRosServer,
+    connect_subscriber,
+    decode_header,
+    encode_header,
+    read_frame,
+    write_frame,
+)
+
+__all__ = [
+    "TcpRosServer",
+    "connect_subscriber",
+    "decode_header",
+    "encode_header",
+    "read_frame",
+    "write_frame",
+]

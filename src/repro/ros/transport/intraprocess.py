@@ -1,0 +1,69 @@
+"""Intra-process topic bus: zero-copy delivery inside one process.
+
+ROS1 reaches this with nodelets (and the paper cites shared-memory systems
+for the intra-machine case); miniros offers an opt-in equivalent: when a
+publisher and a subscriber in the same process both pass
+``intraprocess=True``, messages are handed over by reference -- no
+serialization, no sockets.  Subscribers must treat delivered messages as
+const (the ``ConstPtr`` convention).
+
+The bus also lets subscribers recognize which publisher URIs are local so
+they can skip the redundant TCP connection.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import defaultdict
+
+
+class LocalBus:
+    """Process-wide registry of intra-process publishers/subscribers,
+    keyed by (master_uri, topic) so independent graphs do not mix."""
+
+    def __init__(self) -> None:
+        self._lock = threading.RLock()
+        self._publishers: dict[tuple[str, str], set] = defaultdict(set)
+        self._subscribers: dict[tuple[str, str], set] = defaultdict(set)
+
+    def register_publisher(self, publisher) -> None:
+        key = (publisher.node.master_uri, publisher.topic)
+        with self._lock:
+            self._publishers[key].add(publisher)
+
+    def unregister_publisher(self, publisher) -> None:
+        key = (publisher.node.master_uri, publisher.topic)
+        with self._lock:
+            self._publishers[key].discard(publisher)
+
+    def register_subscriber(self, subscriber) -> None:
+        key = (subscriber.node.master_uri, subscriber.topic)
+        with self._lock:
+            self._subscribers[key].add(subscriber)
+
+    def unregister_subscriber(self, subscriber) -> None:
+        key = (subscriber.node.master_uri, subscriber.topic)
+        with self._lock:
+            self._subscribers[key].discard(subscriber)
+
+    def local_publisher_uris(self, master_uri: str, topic: str) -> set[str]:
+        """Slave API URIs of local intra-process publishers of ``topic``."""
+        with self._lock:
+            return {
+                publisher.node.uri
+                for publisher in self._publishers[(master_uri, topic)]
+            }
+
+    def deliver(self, publisher, msg) -> int:
+        """Hand ``msg`` by reference to every local subscriber; returns
+        the number of deliveries."""
+        key = (publisher.node.master_uri, publisher.topic)
+        with self._lock:
+            subscribers = list(self._subscribers[key])
+        for subscriber in subscribers:
+            subscriber._deliver_local(msg)
+        return len(subscribers)
+
+
+#: The process-wide bus instance.
+local_bus = LocalBus()

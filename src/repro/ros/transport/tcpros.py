@@ -1,0 +1,178 @@
+"""TCPROS-style transport: handshake headers and length-framed messages.
+
+Wire protocol (as in ROS1's TCPROS):
+
+- A *connection header* is a 32-bit little-endian total length followed by
+  fields, each a 32-bit little-endian length plus ``key=value`` bytes.
+  The subscriber sends its header first (callerid, topic, type, md5sum,
+  format); the publisher validates and answers with its own header, or
+  with an ``error`` field.
+- After the handshake, each message is a 32-bit little-endian length
+  followed by the payload bytes.
+
+``write_frame`` accepts any bytes-like payload including memoryviews, so
+the SFM path sends the message buffer without an intermediate copy.
+"""
+
+from __future__ import annotations
+
+import socket
+import struct
+import threading
+from typing import Callable, Optional
+
+from repro.ros.exceptions import ConnectionHandshakeError
+
+_LEN = struct.Struct("<I")
+
+#: Upper bound on accepted frame/header sizes; guards against garbage
+#: lengths from a confused peer (64 MiB covers a 6 MB image many times).
+MAX_FRAME = 64 * 1024 * 1024
+
+
+def encode_header(fields: dict[str, str]) -> bytes:
+    """Encode a connection header (without the outer length prefix)."""
+    out = bytearray()
+    for key, value in fields.items():
+        entry = f"{key}={value}".encode("utf-8")
+        out += _LEN.pack(len(entry))
+        out += entry
+    return bytes(out)
+
+
+def decode_header(data: bytes) -> dict[str, str]:
+    """Decode a connection header body into a field dict."""
+    fields: dict[str, str] = {}
+    offset = 0
+    view = memoryview(data)
+    while offset < len(view):
+        (length,) = _LEN.unpack_from(view, offset)
+        offset += 4
+        entry = bytes(view[offset : offset + length]).decode("utf-8")
+        offset += length
+        key, sep, value = entry.partition("=")
+        if not sep:
+            raise ConnectionHandshakeError(f"malformed header entry {entry!r}")
+        fields[key] = value
+    return fields
+
+
+def read_exact(sock: socket.socket, count: int) -> bytearray:
+    """Read exactly ``count`` bytes (raises ConnectionError on EOF)."""
+    buffer = bytearray(count)
+    view = memoryview(buffer)
+    got = 0
+    while got < count:
+        read = sock.recv_into(view[got:], count - got)
+        if read == 0:
+            raise ConnectionError("peer closed the connection")
+        got += read
+    return buffer
+
+
+def read_frame(sock: socket.socket) -> bytearray:
+    """Read one length-prefixed frame."""
+    (length,) = _LEN.unpack(bytes(read_exact(sock, 4)))
+    if length > MAX_FRAME:
+        raise ConnectionHandshakeError(f"frame length {length} exceeds limit")
+    return read_exact(sock, length)
+
+
+def write_frame(sock: socket.socket, payload) -> None:
+    """Write one length-prefixed frame (payload may be a memoryview)."""
+    sock.sendall(_LEN.pack(len(payload)))
+    sock.sendall(payload)
+
+
+def exchange_header_as_client(
+    sock: socket.socket, fields: dict[str, str]
+) -> dict[str, str]:
+    """Subscriber side of the handshake: send ours, read the reply."""
+    write_frame(sock, encode_header(fields))
+    reply = decode_header(bytes(read_frame(sock)))
+    if "error" in reply:
+        raise ConnectionHandshakeError(reply["error"])
+    return reply
+
+
+def connect_subscriber(
+    host: str, port: int, fields: dict[str, str], timeout: float = 10.0
+) -> tuple[socket.socket, dict[str, str]]:
+    """Open a data connection to a publisher and run the handshake."""
+    sock = socket.create_connection((host, port), timeout=timeout)
+    sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+    try:
+        reply = exchange_header_as_client(sock, fields)
+    except Exception:
+        sock.close()
+        raise
+    sock.settimeout(None)
+    return sock, reply
+
+
+class TcpRosServer:
+    """The publisher-side data server: accepts subscriber connections,
+    reads their handshake header and hands the socket to a dispatcher."""
+
+    def __init__(
+        self,
+        dispatcher: Callable[[socket.socket, dict[str, str]], None],
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self._dispatcher = dispatcher
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind((host, port))
+        self._listener.listen(64)
+        self.host, self.port = self._listener.getsockname()
+        self._closed = threading.Event()
+        self._thread = threading.Thread(
+            target=self._accept_loop, daemon=True, name=f"tcpros:{self.port}"
+        )
+        self._thread.start()
+
+    def _accept_loop(self) -> None:
+        while not self._closed.is_set():
+            try:
+                sock, _addr = self._listener.accept()
+            except OSError:
+                break
+            threading.Thread(
+                target=self._handshake, args=(sock,), daemon=True
+            ).start()
+
+    def _handshake(self, sock: socket.socket) -> None:
+        try:
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            sock.settimeout(10.0)
+            header = decode_header(bytes(read_frame(sock)))
+            sock.settimeout(None)
+            self._dispatcher(sock, header)
+        except Exception:
+            try:
+                sock.close()
+            except OSError:
+                pass
+
+    def close(self) -> None:
+        if not self._closed.is_set():
+            self._closed.set()
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+            self._thread.join(timeout=2.0)
+
+
+def reject_connection(sock: socket.socket, reason: str) -> None:
+    """Answer a handshake with an error header and close."""
+    try:
+        write_frame(sock, encode_header({"error": reason}))
+    except OSError:
+        pass
+    finally:
+        try:
+            sock.close()
+        except OSError:
+            pass

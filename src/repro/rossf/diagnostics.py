@@ -1,0 +1,86 @@
+"""Operational diagnostics for the ROS-SF runtime.
+
+``report()`` summarizes the global message manager's state -- live
+records per type and state, lifetime counters, pool occupancy -- the kind
+of introspection an operator reaches for when chasing a leaked buffer
+pointer or sizing IDL capacities.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field as dataclass_field
+from typing import Optional
+
+from repro.sfm.manager import MessageManager, global_message_manager
+
+
+@dataclass
+class ManagerReport:
+    """A point-in-time snapshot of one message manager."""
+
+    live_records: int
+    live_by_type: dict = dataclass_field(default_factory=dict)
+    live_by_state: dict = dataclass_field(default_factory=dict)
+    live_bytes: int = 0
+    live_capacity_bytes: int = 0
+    pool_buffers: int = 0
+    pool_bytes: int = 0
+    counters: dict = dataclass_field(default_factory=dict)
+
+    def render(self) -> str:
+        lines = [
+            f"live records: {self.live_records} "
+            f"({self.live_bytes} used / {self.live_capacity_bytes} reserved bytes)",
+        ]
+        for type_name, count in sorted(self.live_by_type.items()):
+            lines.append(f"  {type_name}: {count}")
+        lines.append(
+            "states: "
+            + ", ".join(
+                f"{state}={count}"
+                for state, count in sorted(self.live_by_state.items())
+            )
+        )
+        lines.append(
+            f"pool: {self.pool_buffers} recycled buffers "
+            f"({self.pool_bytes} bytes)"
+        )
+        lines.append(
+            "lifetime: "
+            + ", ".join(f"{k}={v}" for k, v in sorted(self.counters.items()))
+        )
+        return "\n".join(lines)
+
+
+def report(manager: Optional[MessageManager] = None) -> ManagerReport:
+    """Snapshot ``manager`` (the global one by default)."""
+    manager = manager or global_message_manager
+    with manager._lock:
+        records = list(manager._records)
+        pool = {cap: len(shelf) for cap, shelf in manager._pool.items()}
+        counters = manager.stats.snapshot()
+    by_type = Counter(record.type_name for record in records)
+    by_state = Counter(record.state.value for record in records)
+    return ManagerReport(
+        live_records=len(records),
+        live_by_type=dict(by_type),
+        live_by_state=dict(by_state),
+        live_bytes=sum(record.size for record in records),
+        live_capacity_bytes=sum(record.capacity for record in records),
+        pool_buffers=sum(pool.values()),
+        pool_bytes=sum(cap * count for cap, count in pool.items()),
+        counters=counters,
+    )
+
+
+def find_leaks(manager: Optional[MessageManager] = None,
+               expected_live: int = 0) -> list:
+    """Records still live beyond ``expected_live`` -- candidates for a
+    leaked buffer pointer (a transport that never released, a callback
+    that stashed a message forever)."""
+    manager = manager or global_message_manager
+    records = manager.live_records()
+    if len(records) <= expected_live:
+        return []
+    return sorted(records, key=lambda record: record.record_id)

@@ -1,0 +1,41 @@
+"""The dummy (de)serialization routines of ROS-SF (paper Section 4.3.1).
+
+``SfmCodec.encode`` replaces the generated serializer: instead of walking
+the message and packing bytes, it transitions the message to *Published*
+and hands the transport a counted buffer pointer whose memoryview IS the
+wire payload (Fig. 8).  ``SfmCodec.decode`` replaces the generated
+de-serializer: the received buffer is adopted by the message manager and
+wrapped -- zero copies (Fig. 9).
+"""
+
+from __future__ import annotations
+
+from repro.ros.codecs import MessageCodec
+from repro.sfm.message import SFMMessage
+
+
+class SfmCodec(MessageCodec):
+    """Serialization-free codec for SFM message classes."""
+
+    format_name = "sfm"
+
+    def __init__(self, msg_class: type) -> None:
+        if not (isinstance(msg_class, type) and issubclass(msg_class, SFMMessage)):
+            raise TypeError(
+                f"SfmCodec requires an SFM message class, got {msg_class!r}"
+            )
+        self.msg_class = msg_class
+        self.type_name = msg_class._layout.type_name
+
+    def encode(self, msg):
+        if not isinstance(msg, SFMMessage):
+            raise TypeError(
+                f"publishing a non-SFM message on an SFM topic "
+                f"({type(msg).__name__}); run the ROS-SF Converter on the "
+                "publisher code"
+            )
+        pointer = msg.publish_pointer()
+        return pointer.memoryview(), pointer.release
+
+    def decode(self, buffer: bytearray):
+        return self.msg_class.from_buffer(buffer)

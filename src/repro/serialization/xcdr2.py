@@ -1,0 +1,379 @@
+"""An XCDR2 / FlatData-like format (the "RTI" / "RTI-FlatData" bars of
+Fig. 14).
+
+Reproduces the EMHEADER parameter-list layout of the paper's Fig. 5: each
+member is ``u32 EMHEADER`` = ``(LC << 28) | member_id`` followed by its
+value, where the length code LC is 2 for 4-byte values, 3 for 8-byte
+values and 4 for length-delimited values (a ``u32`` byte length then the
+content, padded to 4 bytes).
+
+Member ids follow the figure's convention: fixed-size members are
+numbered first in declaration order, then variable-size members (height=0,
+width=1, encoding=2, data=3 for the simplified Image) -- though members
+are *serialized* in declaration/construction order.
+
+Two usage modes, matching RTI Connext:
+
+- **RTI (plain)**: :meth:`XCDR2Format.serialize` /
+  :meth:`~XCDR2Format.deserialize` -- conventional copy-in/copy-out.
+- **RTI-FlatData**: :class:`FlatDataBuilder` constructs the buffer
+  directly and :class:`XcdrView` accesses it zero-copy; as the paper notes
+  (Section 3.2), every access "must traverse all fields until the desired
+  field is found by its index", since offsets are not fixed.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Optional
+
+from repro.msg.fields import (
+    ArrayType,
+    ComplexType,
+    MapType,
+    PrimitiveType,
+    StringType,
+)
+from repro.msg.generator import default_for_type, generate_message_class
+from repro.msg.idl import Field, MessageSpec
+from repro.msg.registry import TypeRegistry
+from repro.serialization.base import WireFormat
+
+_U32 = struct.Struct("<I")
+
+LC_1BYTE = 0
+LC_2BYTE = 1
+LC_4BYTE = 2
+LC_8BYTE = 3
+LC_LENGTH = 4
+
+_BYTE_NAMES = ("uint8", "char")
+
+
+class XcdrError(ValueError):
+    """Raised on malformed buffers or unsupported constructs."""
+
+
+def member_ids(spec: MessageSpec) -> dict[str, int]:
+    """Member ids per the Fig. 5 convention: fixed-size members first."""
+    ids: dict[str, int] = {}
+    counter = 0
+    for field in spec.fields:
+        if isinstance(field.type, PrimitiveType):
+            ids[field.name] = counter
+            counter += 1
+    for field in spec.fields:
+        if field.name not in ids:
+            ids[field.name] = counter
+            counter += 1
+    return ids
+
+
+def _emheader(lc: int, member_id: int) -> bytes:
+    return _U32.pack((lc << 28) | (member_id & 0x0FFF_FFFF))
+
+
+def _pad4(out: bytearray) -> None:
+    while len(out) % 4:
+        out.append(0)
+
+
+def _lc_for_prim(prim: PrimitiveType) -> int:
+    size = 8 if prim.is_time else prim.size
+    return {1: LC_1BYTE, 2: LC_2BYTE, 4: LC_4BYTE, 8: LC_8BYTE}[size]
+
+
+# ----------------------------------------------------------------------
+# Encoding
+# ----------------------------------------------------------------------
+def _encode_member(out: bytearray, field: Field, member_id: int, value,
+                   registry: TypeRegistry) -> None:
+    ftype = field.type
+    if isinstance(ftype, PrimitiveType):
+        out += _emheader(_lc_for_prim(ftype), member_id)
+        if ftype.is_time:
+            secs, nsecs = value
+            out += struct.pack("<" + ftype.struct_fmt, secs, nsecs)
+        else:
+            out += struct.pack("<" + ftype.struct_fmt, value)
+        _pad4(out)
+        return
+    out += _emheader(LC_LENGTH, member_id)
+    body = _encode_body(ftype, value, registry)
+    out += _U32.pack(len(body))
+    out += body
+    _pad4(out)
+
+
+def _encode_body(ftype, value, registry: TypeRegistry) -> bytes:
+    if isinstance(ftype, StringType):
+        data = value.encode("utf-8") if isinstance(value, str) else bytes(value)
+        body = bytearray(data)
+        body.append(0)
+        _pad4(body)
+        return bytes(body)
+    if isinstance(ftype, ComplexType):
+        return encode_message(registry.get(ftype.name), value, registry)
+    if isinstance(ftype, ArrayType):
+        element = ftype.element_type
+        if isinstance(element, PrimitiveType) and element.name in _BYTE_NAMES:
+            return bytes(value)
+        if isinstance(element, PrimitiveType) and not element.is_time:
+            items = list(value)
+            return struct.pack(f"<{len(items)}{element.struct_fmt}", *items)
+        if isinstance(element, PrimitiveType):  # time elements
+            body = bytearray()
+            for secs, nsecs in value:
+                body += struct.pack("<II", secs, nsecs)
+            return bytes(body)
+        # Vector of strings / messages: u32 count, then length-prefixed
+        # element bodies.
+        items = list(value)
+        body = bytearray(_U32.pack(len(items)))
+        for item in items:
+            element_body = _encode_body(
+                element if not isinstance(element, ArrayType) else element,
+                item,
+                registry,
+            )
+            body += _U32.pack(len(element_body))
+            body += element_body
+        return bytes(body)
+    if isinstance(ftype, MapType):
+        raise XcdrError("map fields are not supported by XCDR2 mode")
+    raise XcdrError(f"unsupported field type {ftype!r}")
+
+
+def encode_message(spec: MessageSpec, values, registry: TypeRegistry) -> bytes:
+    """Encode one message (attribute source or dict) as a parameter list."""
+    ids = member_ids(spec)
+    out = bytearray()
+    for field in spec.fields:
+        if isinstance(values, dict):
+            value = values.get(
+                field.name, default_for_type(field.type, registry)
+            )
+        else:
+            value = getattr(values, field.name)
+        _encode_member(out, field, ids[field.name], value, registry)
+    return bytes(out)
+
+
+# ----------------------------------------------------------------------
+# Decoding / traversal
+# ----------------------------------------------------------------------
+def _scan(buffer, offset: int, end: int):
+    """Yield ``(member_id, lc, value_offset, value_length)`` for each
+    member of a parameter list."""
+    while offset < end:
+        (header,) = _U32.unpack_from(buffer, offset)
+        offset += 4
+        lc = header >> 28
+        member_id = header & 0x0FFF_FFFF
+        if lc == LC_LENGTH:
+            (length,) = _U32.unpack_from(buffer, offset)
+            offset += 4
+            yield member_id, lc, offset, length
+            offset += length
+        else:
+            size = {LC_1BYTE: 1, LC_2BYTE: 2, LC_4BYTE: 4, LC_8BYTE: 8}[lc]
+            yield member_id, lc, offset, size
+            offset += size
+        offset = (offset + 3) & ~3  # skip padding
+
+
+def _decode_prim(prim: PrimitiveType, buffer, offset: int):
+    if prim.is_time:
+        return struct.unpack_from("<" + prim.struct_fmt, buffer, offset)
+    return struct.unpack_from("<" + prim.struct_fmt, buffer, offset)[0]
+
+
+def _decode_body(ftype, buffer, offset: int, length: int,
+                 registry: TypeRegistry):
+    if isinstance(ftype, StringType):
+        raw = bytes(buffer[offset : offset + length])
+        nul = raw.find(b"\x00")
+        if nul >= 0:
+            raw = raw[:nul]
+        return raw.decode("utf-8")
+    if isinstance(ftype, ComplexType):
+        return decode_message(
+            registry.get(ftype.name), buffer, offset, offset + length, registry
+        )
+    if isinstance(ftype, ArrayType):
+        element = ftype.element_type
+        if isinstance(element, PrimitiveType) and element.name in _BYTE_NAMES:
+            return bytearray(buffer[offset : offset + length])
+        if isinstance(element, PrimitiveType) and not element.is_time:
+            count = length // element.size
+            return list(
+                struct.unpack_from(f"<{count}{element.struct_fmt}", buffer, offset)
+            )
+        if isinstance(element, PrimitiveType):
+            count = length // 8
+            return [
+                struct.unpack_from("<II", buffer, offset + 8 * index)
+                for index in range(count)
+            ]
+        (count,) = _U32.unpack_from(buffer, offset)
+        pos = offset + 4
+        items = []
+        for _ in range(count):
+            (element_length,) = _U32.unpack_from(buffer, pos)
+            pos += 4
+            items.append(
+                _decode_body(element, buffer, pos, element_length, registry)
+            )
+            pos += element_length
+        return items
+    raise XcdrError(f"unsupported field type {ftype!r}")
+
+
+def decode_message(spec: MessageSpec, buffer, offset: int, end: int,
+                   registry: TypeRegistry):
+    """Decode a parameter list into a plain message instance."""
+    ids = member_ids(spec)
+    by_id = {ids[field.name]: field for field in spec.fields}
+    cls = generate_message_class(spec.full_name, registry)
+    msg = cls.__new__(cls)
+    seen: set[str] = set()
+    for member_id, lc, value_offset, length in _scan(buffer, offset, end):
+        field = by_id.get(member_id)
+        if field is None:
+            continue
+        if isinstance(field.type, PrimitiveType):
+            value = _decode_prim(field.type, buffer, value_offset)
+        else:
+            value = _decode_body(field.type, buffer, value_offset, length, registry)
+        setattr(msg, field.name, value)
+        seen.add(field.name)
+    for field in spec.fields:
+        if field.name not in seen:
+            setattr(msg, field.name, default_for_type(field.type, registry))
+    return msg
+
+
+# ----------------------------------------------------------------------
+# FlatData mode: direct construction + zero-copy traversal access
+# ----------------------------------------------------------------------
+class FlatDataBuilder:
+    """Constructs an XCDR2 buffer directly (``rti::flat::build_data``).
+
+    As in FlatData, members must be *finished in construction order*:
+    each ``add`` appends the member immediately, so the memory layout
+    follows the construction routine (paper Section 3.2).
+    """
+
+    def __init__(self, registry: TypeRegistry, type_name: str) -> None:
+        self.registry = registry
+        self.spec = registry.get(type_name)
+        self._ids = member_ids(self.spec)
+        self._out = bytearray()
+        self._added: set[str] = set()
+        self._finished: Optional[bytes] = None
+
+    def add(self, field_name: str, value) -> "FlatDataBuilder":
+        if self._finished is not None:
+            raise XcdrError("builder already finished")
+        if field_name in self._added:
+            raise XcdrError(f"member {field_name!r} already built")
+        field = self.spec.field(field_name)
+        _encode_member(
+            self._out, field, self._ids[field_name], value, self.registry
+        )
+        self._added.add(field_name)
+        return self
+
+    # FlatData-flavoured aliases from the paper's Fig. 4.
+    add_height = None  # (illustrative names are per-type in RTI; use add)
+    build_encoding = add
+    build_data = add
+
+    def finish_sample(self) -> bytes:
+        if self._finished is None:
+            for field in self.spec.fields:
+                if field.name not in self._added:
+                    _encode_member(
+                        self._out,
+                        field,
+                        self._ids[field.name],
+                        default_for_type(field.type, self.registry),
+                        self.registry,
+                    )
+                    self._added.add(field.name)
+            self._finished = bytes(self._out)
+        return self._finished
+
+    finish = finish_sample
+
+
+class XcdrView:
+    """Zero-copy accessor: every ``get`` linearly scans the parameter list
+    until the member id matches (the traversal cost of Section 3.2)."""
+
+    __slots__ = ("registry", "spec", "buffer", "offset", "end", "_ids")
+
+    def __init__(self, registry: TypeRegistry, spec: MessageSpec, buffer,
+                 offset: int = 0, end: Optional[int] = None) -> None:
+        self.registry = registry
+        self.spec = spec
+        self.buffer = buffer
+        self.offset = offset
+        self.end = len(buffer) if end is None else end
+        self._ids = member_ids(spec)
+
+    def get(self, name: str):
+        field = self.spec.field(name)
+        wanted = self._ids[name]
+        for member_id, lc, value_offset, length in _scan(
+            self.buffer, self.offset, self.end
+        ):
+            if member_id != wanted:
+                continue
+            if isinstance(field.type, PrimitiveType):
+                return _decode_prim(field.type, self.buffer, value_offset)
+            if isinstance(field.type, ComplexType):
+                return XcdrView(
+                    self.registry,
+                    self.registry.get(field.type.name),
+                    self.buffer,
+                    value_offset,
+                    value_offset + length,
+                )
+            if isinstance(field.type, ArrayType) and isinstance(
+                field.type.element_type, PrimitiveType
+            ) and field.type.element_type.name in _BYTE_NAMES:
+                return memoryview(self.buffer)[value_offset : value_offset + length]
+            return _decode_body(
+                field.type, self.buffer, value_offset, length, self.registry
+            )
+        return default_for_type(field.type, self.registry)
+
+    def to_plain(self):
+        return decode_message(
+            self.spec, self.buffer, self.offset, self.end, self.registry
+        )
+
+
+class XCDR2Format(WireFormat):
+    """WireFormat adapter for the conventional (copying) RTI mode."""
+
+    name = "RTI-XCDR2"
+    serialization_free = True  # wrap() is available (FlatData mode)
+
+    def serialize(self, msg) -> bytes:
+        return encode_message(msg._spec, msg, self.registry)
+
+    def deserialize(self, type_name: str, buffer):
+        spec = self.registry.get(type_name)
+        try:
+            return decode_message(spec, buffer, 0, len(buffer), self.registry)
+        except (struct.error, UnicodeDecodeError, KeyError,
+                OverflowError) as exc:
+            raise XcdrError(f"{type_name}: {exc}") from exc
+
+    def wrap(self, type_name: str, buffer) -> XcdrView:
+        return XcdrView(self.registry, self.registry.get(type_name), buffer)
+
+    def builder(self, type_name: str) -> FlatDataBuilder:
+        return FlatDataBuilder(self.registry, type_name)

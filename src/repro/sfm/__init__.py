@@ -1,0 +1,50 @@
+"""SFM: the Serialization-Free Message format (the paper's contribution).
+
+An SFM message *is* its own wire buffer: the object's "memory layout" is a
+contiguous byte buffer laid out per Section 4.1, so publishing needs no
+serialization and a received buffer needs no de-serialization -- it is
+wrapped and accessed in place.
+
+Modules:
+
+- :mod:`repro.sfm.layout` -- skeleton layout computation (fixed field
+  offsets; the property that makes transparent attribute access possible)
+  and subscriber-side endianness conversion (Section 4.4.1).
+- :mod:`repro.sfm.arena` -- a virtual address arena so the life-cycle
+  manager can reproduce the paper's interior-address record lookup.
+- :mod:`repro.sfm.manager` -- ``sfm::mm``: message records, the
+  Allocated/Published/Destructed state machine (Figs. 8 and 9), buffer
+  refcounting and whole-message expansion.
+- :mod:`repro.sfm.string` / :mod:`repro.sfm.vector` -- ``sfm::string`` and
+  ``sfm::vector`` views with ``std::string``/``std::vector``-compatible
+  interfaces and the three assumption checks of Section 4.3.3.
+- :mod:`repro.sfm.message` / :mod:`repro.sfm.generator` -- the SFM message
+  base class and the SFM Generator (the genmsg analogue of Section 4.3.1).
+"""
+
+from repro.sfm.errors import (
+    CapacityError,
+    NoModifierError,
+    OneShotStringError,
+    OneShotVectorError,
+    SfmError,
+    StaleMessageError,
+)
+from repro.sfm.manager import MessageManager, MessageState, global_message_manager
+from repro.sfm.generator import generate_sfm_class, sfm_class_for
+from repro.sfm.message import SFMMessage
+
+__all__ = [
+    "CapacityError",
+    "MessageManager",
+    "MessageState",
+    "NoModifierError",
+    "OneShotStringError",
+    "OneShotVectorError",
+    "SFMMessage",
+    "SfmError",
+    "StaleMessageError",
+    "generate_sfm_class",
+    "global_message_manager",
+    "sfm_class_for",
+]

@@ -1,0 +1,53 @@
+"""Virtual address arena for SFM message records.
+
+In the C++ system, a message lives at a real heap address and the message
+manager locates the owning record from *any interior address* (a field that
+requests expansion only knows its own address; Section 4.3.3).  Python
+objects have no stable user-visible addresses, so we give every SFM
+allocation a range in a process-wide *virtual* address space.  Field views
+carry their virtual address and the manager performs the same
+interior-address binary search the paper describes.
+
+The arena is a bump allocator over a 2**48-byte space; ranges are never
+reused, which keeps "use-after-free" detectable (a freed range resolves to
+no record) exactly like the dangling-pointer bugs the paper's life-cycle
+management prevents.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+
+#: Allocation granularity; keeps ranges visually distinct in debug output.
+_ALIGNMENT = 0x1000
+
+#: Arena base; non-zero so that address 0 is always invalid (a null pointer).
+_BASE = 0x10_0000
+
+
+class Arena:
+    """Hands out non-overlapping virtual address ranges."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._next = _BASE
+        self._allocation_ids = itertools.count(1)
+
+    def allocate(self, size: int) -> int:
+        """Reserve ``size`` bytes; returns the base virtual address."""
+        if size <= 0:
+            raise ValueError(f"arena allocation must be positive, got {size}")
+        span = -(-size // _ALIGNMENT) * _ALIGNMENT
+        with self._lock:
+            base = self._next
+            self._next += span
+            return base
+
+    def next_allocation_id(self) -> int:
+        """A monotonically increasing id for message records."""
+        return next(self._allocation_ids)
+
+
+#: The process-wide arena shared by the global message manager.
+global_arena = Arena()

@@ -1,0 +1,97 @@
+"""Exception hierarchy for the SFM format and its three assumptions.
+
+The paper (Section 4.3.3) states three assumptions under which ROS-SF is
+transparent, and prescribes how each violation surfaces:
+
+1. *One-Shot String Assignment* -- a run-time alert when a non-empty string
+   field is assigned again (:class:`OneShotStringError`).
+2. *One-Shot Vector Resizing* -- a run-time alert when an already-sized
+   vector is resized to a non-zero size (:class:`OneShotVectorError`).
+3. *No Modifier* -- a compile error in C++ because ``sfm::vector`` does not
+   implement ``push_back`` and friends; the closest Python analogue is an
+   immediate :class:`NoModifierError` naming the offending method.
+
+Every error message includes modification guidance, mirroring the paper's
+claim that "even in the failure cases, our ROS-SF framework can provide
+modification guidance".
+"""
+
+from __future__ import annotations
+
+
+class SfmError(Exception):
+    """Base class for all SFM errors."""
+
+
+class OneShotStringError(SfmError):
+    """Violation of the One-Shot String Assignment Assumption."""
+
+    def __init__(self, field_path: str) -> None:
+        super().__init__(
+            f"string field {field_path!r} was assigned a second time. "
+            "ROS-SF requires one-shot string assignment: compute the final "
+            "value first (e.g. build a temporary header) and assign it once "
+            "(see the paper's Fig. 19 rewrite)."
+        )
+        self.field_path = field_path
+
+
+class OneShotVectorError(SfmError):
+    """Violation of the One-Shot Vector Resizing Assumption."""
+
+    def __init__(self, field_path: str) -> None:
+        super().__init__(
+            f"vector field {field_path!r} was resized a second time. "
+            "ROS-SF requires one-shot vector resizing: count the final "
+            "number of elements first and resize exactly once (see the "
+            "paper's Fig. 21 rewrite)."
+        )
+        self.field_path = field_path
+
+
+class NoModifierError(SfmError):
+    """Violation of the No Modifier Assumption."""
+
+    def __init__(self, method: str, field_path: str = "<vector>") -> None:
+        super().__init__(
+            f"sfm vector {field_path!r} does not implement {method}(). "
+            "ROS-SF forbids size-modifying methods: resize once to the "
+            "final element count and assign by index instead (see the "
+            "paper's Fig. 21 rewrite)."
+        )
+        self.method = method
+        self.field_path = field_path
+
+
+class CapacityError(SfmError):
+    """The whole message outgrew its declared IDL capacity."""
+
+    def __init__(self, type_name: str, needed: int, capacity: int) -> None:
+        super().__init__(
+            f"{type_name}: whole message needs {needed} bytes but the IDL "
+            f"capacity is {capacity}. Raise the '# sfm_capacity:' directive "
+            "in the message definition, or construct smaller messages."
+        )
+        self.type_name = type_name
+        self.needed = needed
+        self.capacity = capacity
+
+
+class StaleMessageError(SfmError):
+    """An operation touched a message whose record was already destructed."""
+
+    def __init__(self, detail: str = "") -> None:
+        super().__init__(
+            "operation on a destructed SFM message"
+            + (f": {detail}" if detail else "")
+        )
+
+
+class UnknownRecordError(SfmError):
+    """The manager was asked about an address it does not own."""
+
+    def __init__(self, address: int) -> None:
+        super().__init__(
+            f"no live SFM message record contains address {address:#x}"
+        )
+        self.address = address

@@ -1,0 +1,462 @@
+"""Skeleton layout computation for the SFM format (paper Section 4.1).
+
+The *skeleton* of a message is the fixed-size prefix of its buffer:
+
+- a fixed-size primitive field occupies its wire size, packed exactly like
+  a ROS serialized message;
+- a ``string`` or variable-length vector field occupies a fixed 8-byte
+  pair ``(length:u32, offset:u32)``, where ``offset`` is measured from the
+  address of the offset integer itself to the content;
+- a nested message field occupies the nested message's skeleton inline;
+- a fixed-length array ``T[N]`` occupies N element-skeletons inline;
+- a ``map`` field (Section 4.4.2 extension) is a vector of key/value pairs.
+
+Because every component above has a fixed size, every field lives at a
+fixed offset -- the property that lets SFM messages be accessed "as
+accessing a field in a C++ structure" (transparency), unlike the
+FlatData/FlatBuffer layouts of Figs. 5 and 6.
+
+Variable-size content (string bytes, vector elements) is appended past the
+skeleton in assignment order by the message manager; Fig. 7's byte-exact
+layout for the simplified Image is reproduced by
+``tests/test_sfm_layout.py``.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from repro.msg.fields import (
+    ArrayType,
+    ComplexType,
+    FieldType,
+    MapType,
+    PrimitiveType,
+    StringType,
+)
+from repro.msg.idl import Field, MessageSpec
+from repro.msg.registry import TypeRegistry, default_registry
+
+#: Variable-size content regions are padded to this boundary; the paper's
+#: Fig. 7 pads string contents to 4 bytes ("rgb8" stores as length 8).
+CONTENT_ALIGNMENT = 4
+
+#: Default whole-message capacity when the IDL declares none.
+DEFAULT_CAPACITY = 1 << 20
+
+
+def _u32(order: str) -> struct.Struct:
+    return struct.Struct(order + "I")
+
+
+# ----------------------------------------------------------------------
+# Element descriptors (what a vector/array holds)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class PrimDesc:
+    """A primitive element/field: packer + wire size."""
+
+    type: PrimitiveType
+    size: int
+
+    @property
+    def is_time(self) -> bool:
+        return self.type.is_time
+
+
+@dataclass(frozen=True)
+class StrDesc:
+    """A string element/field: fixed 8-byte (length, offset) skeleton."""
+
+    size: int = 8
+
+
+@dataclass(frozen=True)
+class NestedDesc:
+    """A nested-message element/field: its own skeleton inline."""
+
+    layout: "SkeletonLayout"
+
+    @property
+    def size(self) -> int:
+        return self.layout.skeleton_size
+
+
+@dataclass(frozen=True)
+class PairDesc:
+    """A map entry: key skeleton followed by value skeleton."""
+
+    key: Union[PrimDesc, StrDesc]
+    value: Union[PrimDesc, StrDesc, NestedDesc]
+
+    @property
+    def size(self) -> int:
+        return self.key.size + self.value.size
+
+
+ElementDesc = Union[PrimDesc, StrDesc, NestedDesc, PairDesc]
+
+
+# ----------------------------------------------------------------------
+# Slots (one declared field each)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Slot:
+    """One field of the skeleton: its kind, fixed offset and size.
+
+    ``kind`` is one of ``primitive``, ``string``, ``vector`` (also used for
+    maps, which are vectors of pairs), ``nested`` and ``fixed_array``.
+    ``element`` describes vector/array elements; ``nested`` holds the
+    nested layout; ``prim`` the primitive descriptor.
+    """
+
+    field: Field
+    kind: str
+    offset: int
+    size: int
+    prim: Optional[PrimDesc] = None
+    element: Optional[ElementDesc] = None
+    nested: Optional["SkeletonLayout"] = None
+    fixed_length: Optional[int] = None
+    is_map: bool = False
+
+    @property
+    def name(self) -> str:
+        return self.field.name
+
+
+class SkeletonLayout:
+    """The computed skeleton of one message type."""
+
+    def __init__(
+        self,
+        spec: MessageSpec,
+        slots: list[Slot],
+        skeleton_size: int,
+        capacity: int,
+    ) -> None:
+        self.spec = spec
+        self.slots = slots
+        self.skeleton_size = skeleton_size
+        self.capacity = capacity
+        self.slot_by_name = {slot.name: slot for slot in slots}
+
+    @property
+    def type_name(self) -> str:
+        return self.spec.full_name
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<SkeletonLayout {self.type_name} skeleton={self.skeleton_size}B"
+            f" capacity={self.capacity}B>"
+        )
+
+
+_layout_cache: dict[tuple[int, str], SkeletonLayout] = {}
+
+
+def layout_for(
+    type_name: str, registry: Optional[TypeRegistry] = None
+) -> SkeletonLayout:
+    """Compute (and cache) the skeleton layout of ``type_name``."""
+    registry = registry or default_registry
+    key = (id(registry), type_name)
+    layout = _layout_cache.get(key)
+    if layout is None:
+        layout = _build_layout(type_name, registry, frozenset())
+        _layout_cache[key] = layout
+    return layout
+
+
+def _build_layout(
+    type_name: str, registry: TypeRegistry, stack: frozenset
+) -> SkeletonLayout:
+    if type_name in stack:
+        raise ValueError(f"recursive message type {type_name}")
+    spec = registry.get(type_name)
+    stack = stack | {type_name}
+    slots: list[Slot] = []
+    offset = 0
+    for field in spec.fields:
+        slot = _build_slot(field, offset, registry, stack)
+        slots.append(slot)
+        offset += slot.size
+    capacity = spec.sfm_capacity or DEFAULT_CAPACITY
+    capacity = max(capacity, offset)
+    return SkeletonLayout(spec, slots, offset, capacity)
+
+
+def _build_slot(
+    field: Field, offset: int, registry: TypeRegistry, stack: frozenset
+) -> Slot:
+    ftype = field.type
+    if isinstance(ftype, PrimitiveType):
+        prim = PrimDesc(type=ftype, size=ftype.size)
+        return Slot(field=field, kind="primitive", offset=offset,
+                    size=prim.size, prim=prim)
+    if isinstance(ftype, StringType):
+        return Slot(field=field, kind="string", offset=offset, size=8)
+    if isinstance(ftype, MapType):
+        element = PairDesc(
+            key=_element_desc(ftype.key_type, registry, stack),  # type: ignore[arg-type]
+            value=_element_desc(ftype.value_type, registry, stack),
+        )
+        return Slot(field=field, kind="vector", offset=offset, size=8,
+                    element=element, is_map=True)
+    if isinstance(ftype, ArrayType):
+        element = _element_desc(ftype.element_type, registry, stack)
+        if ftype.length is None:
+            return Slot(field=field, kind="vector", offset=offset, size=8,
+                        element=element)
+        return Slot(
+            field=field,
+            kind="fixed_array",
+            offset=offset,
+            size=element.size * ftype.length,
+            element=element,
+            fixed_length=ftype.length,
+        )
+    if isinstance(ftype, ComplexType):
+        nested = _build_layout(ftype.name, registry, stack)
+        return Slot(field=field, kind="nested", offset=offset,
+                    size=nested.skeleton_size, nested=nested)
+    raise TypeError(f"unknown field type {ftype!r}")
+
+
+def _element_desc(
+    ftype: FieldType, registry: TypeRegistry, stack: frozenset
+) -> ElementDesc:
+    if isinstance(ftype, PrimitiveType):
+        return PrimDesc(type=ftype, size=ftype.size)
+    if isinstance(ftype, StringType):
+        return StrDesc()
+    if isinstance(ftype, ComplexType):
+        return NestedDesc(layout=_build_layout(ftype.name, registry, stack))
+    if isinstance(ftype, MapType):
+        raise TypeError("vectors of maps are not supported")
+    if isinstance(ftype, ArrayType):
+        raise TypeError("vectors of vectors are not supported (as in ROS)")
+    raise TypeError(f"unknown element type {ftype!r}")
+
+
+def align_content(nbytes: int) -> int:
+    """Round a content-region size up to :data:`CONTENT_ALIGNMENT`."""
+    return -(-nbytes // CONTENT_ALIGNMENT) * CONTENT_ALIGNMENT
+
+
+def padded_string_length(content: bytes) -> int:
+    """Stored length of a string: content + terminator, padded (Fig. 7:
+    "rgb8" stores length 8 = 4 content + 1 terminator + 3 padding)."""
+    return align_content(len(content) + 1)
+
+
+# ----------------------------------------------------------------------
+# Endianness conversion (paper Section 4.4.1)
+# ----------------------------------------------------------------------
+def convert_endianness(
+    layout: SkeletonLayout,
+    buffer: bytearray,
+    src_order: str,
+    dst_order: str,
+    base: int = 0,
+) -> None:
+    """Convert a whole SFM buffer from ``src_order`` to ``dst_order``
+    in place.
+
+    The subscriber applies this once when the publisher's byte order
+    differs from its own; the paper notes this can counteract the
+    serialization-free gains, which the endianness ablation measures.
+    """
+    if src_order == dst_order:
+        return
+    _convert_message(layout, buffer, base, src_order, dst_order)
+
+
+def _convert_message(
+    layout: SkeletonLayout, buffer: bytearray, base: int,
+    src: str, dst: str,
+) -> None:
+    for slot in layout.slots:
+        _convert_slot(slot, buffer, base, src, dst)
+
+
+def _convert_slot(slot: Slot, buffer: bytearray, base: int, src: str, dst: str):
+    abs_offset = base + slot.offset
+    if slot.kind == "primitive":
+        _convert_prim(slot.prim, buffer, abs_offset, src, dst)
+    elif slot.kind == "string":
+        _convert_string_skeleton(buffer, abs_offset, src, dst)
+    elif slot.kind == "vector":
+        _convert_vector(slot.element, buffer, abs_offset, src, dst)
+    elif slot.kind == "nested":
+        _convert_message(slot.nested, buffer, abs_offset, src, dst)
+    elif slot.kind == "fixed_array":
+        element = slot.element
+        for index in range(slot.fixed_length):
+            _convert_element(
+                element, buffer, abs_offset + index * element.size, src, dst
+            )
+    else:  # pragma: no cover - exhaustive above
+        raise AssertionError(slot.kind)
+
+
+def _convert_prim(prim: PrimDesc, buffer: bytearray, offset: int, src: str, dst: str):
+    if prim.size == 1:
+        return
+    if prim.is_time or prim.type.struct_fmt in ("II", "ii"):
+        for word in range(2):
+            _swap_scalar(buffer, offset + word * 4, 4, src, dst)
+    else:
+        _swap_scalar(buffer, offset, prim.size, src, dst)
+
+
+def _swap_scalar(buffer: bytearray, offset: int, size: int, src: str, dst: str):
+    raw = bytes(buffer[offset : offset + size])
+    buffer[offset : offset + size] = raw[::-1]
+
+
+def _read_pair(buffer, offset: int, order: str) -> tuple[int, int]:
+    length = _u32(order).unpack_from(buffer, offset)[0]
+    rel = _u32(order).unpack_from(buffer, offset + 4)[0]
+    return length, rel
+
+
+def _convert_string_skeleton(buffer, offset: int, src: str, dst: str):
+    # Content bytes are order-independent; only the two u32s swap.
+    _swap_scalar(buffer, offset, 4, src, dst)
+    _swap_scalar(buffer, offset + 4, 4, src, dst)
+
+
+def _convert_vector(element, buffer, offset: int, src: str, dst: str):
+    count, rel = _read_pair(buffer, offset, src)
+    _swap_scalar(buffer, offset, 4, src, dst)
+    _swap_scalar(buffer, offset + 4, 4, src, dst)
+    if count == 0:
+        return
+    content = offset + 4 + rel
+    if isinstance(element, PrimDesc):
+        # Bulk path: single-byte elements are order-independent and
+        # multi-byte primitive runs swap as one region, instead of one
+        # Python call per element.
+        if element.size == 1:
+            return
+        if not (element.is_time or element.type.struct_fmt in ("II", "ii")):
+            from repro.serialization.endian import swap_region
+
+            swap_region(buffer, content, element.size, count)
+            return
+    for index in range(count):
+        _convert_element(element, buffer, content + index * element.size, src, dst)
+
+
+def _convert_element(element, buffer, offset: int, src: str, dst: str):
+    if isinstance(element, PrimDesc):
+        _convert_prim(element, buffer, offset, src, dst)
+    elif isinstance(element, StrDesc):
+        _convert_string_skeleton(buffer, offset, src, dst)
+    elif isinstance(element, NestedDesc):
+        _convert_message(element.layout, buffer, offset, src, dst)
+    elif isinstance(element, PairDesc):
+        _convert_element(element.key, buffer, offset, src, dst)
+        _convert_element(element.value, buffer, offset + element.key.size, src, dst)
+    else:  # pragma: no cover - exhaustive above
+        raise AssertionError(element)
+
+
+# ----------------------------------------------------------------------
+# Buffer validation (used by property-based tests)
+# ----------------------------------------------------------------------
+def validate_buffer(
+    layout: SkeletonLayout,
+    buffer,
+    whole_size: int,
+    order: str = "<",
+    base: int = 0,
+) -> list[tuple[int, int]]:
+    """Check the structural invariants of an SFM buffer and return the
+    list of ``(start, end)`` content regions discovered.
+
+    Invariants checked:
+
+    - every (length, offset) pair with non-zero length points inside
+      ``[skeleton_end, whole_size)``;
+    - content regions do not extend past ``whole_size``;
+    - nested skeletons stay inside their parent's extent.
+
+    Raises :class:`ValueError` on any violation.
+    """
+    regions: list[tuple[int, int]] = []
+    _validate_message(layout, buffer, base, whole_size, order, regions)
+    return regions
+
+
+def _validate_message(layout, buffer, base, whole_size, order, regions):
+    if base + layout.skeleton_size > whole_size:
+        raise ValueError(
+            f"skeleton of {layout.type_name} at {base} overruns whole size"
+        )
+    for slot in layout.slots:
+        abs_offset = base + slot.offset
+        if slot.kind == "string":
+            _validate_blob(buffer, abs_offset, 1, whole_size, order, regions)
+        elif slot.kind == "vector":
+            element = slot.element
+            _validate_vector(buffer, abs_offset, element, whole_size, order, regions)
+        elif slot.kind == "nested":
+            _validate_message(slot.nested, buffer, abs_offset, whole_size,
+                              order, regions)
+        elif slot.kind == "fixed_array":
+            element = slot.element
+            for index in range(slot.fixed_length):
+                _validate_element(
+                    buffer, abs_offset + index * element.size, element,
+                    whole_size, order, regions,
+                )
+
+
+def _validate_blob(buffer, offset, item_size, whole_size, order, regions):
+    length, rel = _read_pair(buffer, offset, order)
+    if length == 0:
+        return None
+    start = offset + 4 + rel
+    end = start + length * item_size
+    if end > whole_size:
+        raise ValueError(
+            f"content region [{start}, {end}) overruns whole size {whole_size}"
+        )
+    regions.append((start, end))
+    return start
+
+
+def _validate_vector(buffer, offset, element, whole_size, order, regions):
+    if isinstance(element, PrimDesc):
+        _validate_blob(buffer, offset, element.size, whole_size, order, regions)
+        return
+    count, rel = _read_pair(buffer, offset, order)
+    if count == 0:
+        return
+    start = offset + 4 + rel
+    end = start + count * element.size
+    if end > whole_size:
+        raise ValueError(
+            f"element region [{start}, {end}) overruns whole size {whole_size}"
+        )
+    regions.append((start, end))
+    for index in range(count):
+        _validate_element(buffer, start + index * element.size, element,
+                          whole_size, order, regions)
+
+
+def _validate_element(buffer, offset, element, whole_size, order, regions):
+    if isinstance(element, PrimDesc):
+        return
+    if isinstance(element, StrDesc):
+        _validate_blob(buffer, offset, 1, whole_size, order, regions)
+    elif isinstance(element, NestedDesc):
+        _validate_message(element.layout, buffer, offset, whole_size, order, regions)
+    elif isinstance(element, PairDesc):
+        _validate_element(buffer, offset, element.key, whole_size, order, regions)
+        _validate_element(buffer, offset + element.key.size, element.value,
+                          whole_size, order, regions)

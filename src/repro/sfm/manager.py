@@ -1,0 +1,361 @@
+"""The message life-cycle manager (``sfm::mm`` / ``sfm::gmm``).
+
+Paper Section 4.2: every serialization-free message has three states --
+*Allocated*, *Published*, *Destructed*.  A record in the manager holds the
+"buffer pointer" to the message memory; publishing hands a copy of that
+pointer to the transport; the memory is freed only when the reference
+count reaches zero (Figs. 8 and 9).  On the subscriber side a received
+buffer is *adopted* (the dummy de-serialization routine) and enters the
+Published state directly.
+
+Whole-message expansion (Section 4.3.3): when an ``sfm`` string or vector
+needs content space it knows only its own address, so the manager locates
+the owning record via **binary search over records ordered by start
+address** -- reproduced here over the virtual address space of
+:mod:`repro.sfm.arena` -- and appends the region at the current end of the
+whole message.
+"""
+
+from __future__ import annotations
+
+import bisect
+import threading
+from dataclasses import dataclass, field as dataclass_field
+from enum import Enum
+
+from repro.sfm.arena import Arena, global_arena
+from repro.sfm.errors import CapacityError, StaleMessageError, UnknownRecordError
+from repro.sfm.layout import SkeletonLayout, align_content
+
+
+class MessageState(Enum):
+    """Life-cycle states of a serialization-free message (Fig. 8/9)."""
+
+    ALLOCATED = "allocated"
+    PUBLISHED = "published"
+    DESTRUCTED = "destructed"
+
+
+@dataclass
+class ManagerStats:
+    """Counters exposed for tests and the manager ablation benchmark."""
+
+    allocated: int = 0
+    adopted: int = 0
+    published: int = 0
+    destructed: int = 0
+    expansions: int = 0
+    bytes_expanded: int = 0
+    peak_live: int = 0
+
+    def snapshot(self) -> dict:
+        """The counters as a plain dict."""
+        return dict(self.__dict__)
+
+
+@dataclass
+class MessageRecord:
+    """One live serialization-free message."""
+
+    record_id: int
+    type_name: str
+    base: int
+    buffer: bytearray
+    skeleton_size: int
+    size: int
+    capacity: int
+    state: MessageState
+    buffer_refs: int = 1
+    allow_growth: bool = False
+    #: Byte-order marker of the buffer contents (publisher's order).
+    byte_order: str = "<"
+    #: The owning manager (set on registration); views use it to request
+    #: expansion without any global lookup.
+    manager: "MessageManager" = None  # type: ignore[assignment]
+    _extra: dict = dataclass_field(default_factory=dict)
+
+    @property
+    def end(self) -> int:
+        return self.base + self.capacity
+
+    def contains(self, address: int) -> bool:
+        return self.base <= address < self.end
+
+
+class BufferPointer:
+    """A counted reference to a record's message memory.
+
+    The analogue of the ``std::shared_array`` copy handed to ROS's
+    transmission queue on publish.  ``release()`` is idempotent; an
+    un-released pointer releases itself on garbage collection so a dropped
+    transport cannot leak records.
+    """
+
+    __slots__ = ("_manager", "_record", "_released")
+
+    def __init__(self, manager: "MessageManager", record: MessageRecord) -> None:
+        self._manager = manager
+        self._record = record
+        self._released = False
+
+    @property
+    def record(self) -> MessageRecord:
+        return self._record
+
+    @property
+    def buffer(self) -> bytearray:
+        return self._record.buffer
+
+    @property
+    def size(self) -> int:
+        return self._record.size
+
+    def memoryview(self) -> memoryview:
+        """The whole message as a zero-copy view (what goes on the wire)."""
+        return memoryview(self._record.buffer)[: self._record.size]
+
+    def release(self) -> None:
+        if not self._released:
+            self._released = True
+            self._manager.release_ref(self._record)
+
+    def __enter__(self) -> "BufferPointer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.release()
+
+    def __del__(self):  # pragma: no cover - GC safety net
+        try:
+            self.release()
+        except Exception:
+            pass
+
+
+class MessageManager:
+    """``sfm::mm``: the registry of live serialization-free messages."""
+
+    #: Cap on recycled buffers kept per capacity class.
+    POOL_DEPTH = 8
+
+    def __init__(self, arena: Arena | None = None, recycle: bool = True) -> None:
+        self._arena = arena or global_arena
+        self._lock = threading.RLock()
+        self._bases: list[int] = []
+        self._records: list[MessageRecord] = []
+        #: Buffer pool keyed by capacity: freshly zero-filling a large
+        #: capacity buffer on every allocation would dominate small-message
+        #: cost, so destructed buffers are recycled and only the skeleton
+        #: region is re-zeroed (expand() zeroes content grants).
+        self._pool: dict[int, list[bytearray]] = {}
+        self.recycle = recycle
+        self.stats = ManagerStats()
+
+    # ------------------------------------------------------------------
+    # Allocation / adoption
+    # ------------------------------------------------------------------
+    def allocate(
+        self,
+        layout: SkeletonLayout,
+        capacity: int | None = None,
+        allow_growth: bool = False,
+    ) -> MessageRecord:
+        """Create a record for a newly constructed message: a zeroed
+        capacity-sized buffer whose current size is the skeleton size
+        (the paper's overloaded ``new`` + registration step)."""
+        capacity = capacity or layout.capacity
+        if capacity < layout.skeleton_size:
+            raise CapacityError(layout.type_name, layout.skeleton_size, capacity)
+        buffer = self._take_from_pool(capacity, layout.skeleton_size)
+        if buffer is None:
+            buffer = bytearray(capacity)
+        record = MessageRecord(
+            record_id=self._arena.next_allocation_id(),
+            type_name=layout.type_name,
+            base=self._arena.allocate(capacity),
+            buffer=buffer,
+            skeleton_size=layout.skeleton_size,
+            size=layout.skeleton_size,
+            capacity=capacity,
+            state=MessageState.ALLOCATED,
+            allow_growth=allow_growth,
+        )
+        self._insert(record)
+        return record
+
+    def adopt(
+        self,
+        layout: SkeletonLayout,
+        buffer: bytearray,
+        byte_order: str = "<",
+    ) -> MessageRecord:
+        """Register a *received* buffer as a Published message without
+        copying it (the dummy de-serialization routine of Section 4.3.1)."""
+        if len(buffer) < layout.skeleton_size:
+            raise ValueError(
+                f"{layout.type_name}: received buffer shorter than skeleton"
+            )
+        record = MessageRecord(
+            record_id=self._arena.next_allocation_id(),
+            type_name=layout.type_name,
+            base=self._arena.allocate(max(len(buffer), 1)),
+            buffer=buffer,
+            skeleton_size=layout.skeleton_size,
+            size=len(buffer),
+            capacity=len(buffer),
+            state=MessageState.PUBLISHED,
+            byte_order=byte_order,
+        )
+        with self._lock:
+            self.stats.adopted += 1
+        self._insert(record, count_alloc=False)
+        return record
+
+    def _insert(self, record: MessageRecord, count_alloc: bool = True) -> None:
+        record.manager = self
+        with self._lock:
+            index = bisect.bisect_left(self._bases, record.base)
+            self._bases.insert(index, record.base)
+            self._records.insert(index, record)
+            if count_alloc:
+                self.stats.allocated += 1
+            self.stats.peak_live = max(self.stats.peak_live, len(self._records))
+
+    # ------------------------------------------------------------------
+    # Interior-address lookup and expansion
+    # ------------------------------------------------------------------
+    def find_record(self, address: int) -> MessageRecord:
+        """Locate the record containing ``address`` (binary search over
+        records ordered by start address, Section 4.3.3)."""
+        with self._lock:
+            index = bisect.bisect_right(self._bases, address) - 1
+            if index >= 0:
+                record = self._records[index]
+                if record.contains(address):
+                    return record
+        raise UnknownRecordError(address)
+
+    def expand(
+        self, field_address: int, nbytes: int, zero: bool = True
+    ) -> tuple[MessageRecord, int]:
+        """Grant ``nbytes`` of content space to the field at
+        ``field_address``.
+
+        Returns ``(record, content_offset)`` where ``content_offset`` is
+        relative to the start of the whole message.  The region is
+        appended at the current end of the whole message and padded to the
+        content alignment.  The grant is zero-filled unless the caller
+        passes ``zero=False`` because it overwrites the entire grant
+        itself (buffers may be recycled, so unwritten grant bytes would
+        otherwise leak prior message contents onto the wire).
+        """
+        if nbytes < 0:
+            raise ValueError("expansion size must be non-negative")
+        record = self.find_record(field_address)
+        with self._lock:
+            if record.state is MessageState.DESTRUCTED:
+                raise StaleMessageError(record.type_name)
+            granted = align_content(nbytes)
+            content_offset = record.size
+            needed = content_offset + granted
+            zero_grant = zero and granted > 0
+            if needed > record.capacity:
+                if not record.allow_growth:
+                    raise CapacityError(record.type_name, needed, record.capacity)
+                # Growth mode: extend the backing bytearray in place.  A
+                # Python bytearray may relocate internally but every view
+                # holds the same object, so this is safe (unlike C++).
+                record.buffer.extend(bytes(needed - record.capacity))
+                record.capacity = needed
+            record.size = needed
+            if zero_grant:
+                # Guarantee the grant is zeroed: recycled buffers carry
+                # stale bytes, and alignment padding must not leak prior
+                # message contents onto the wire.
+                record.buffer[content_offset:needed] = bytes(granted)
+            self.stats.expansions += 1
+            self.stats.bytes_expanded += granted
+            return record, content_offset
+
+    # ------------------------------------------------------------------
+    # State transitions and reference counting
+    # ------------------------------------------------------------------
+    def publish(self, record: MessageRecord) -> BufferPointer:
+        """Transition to Published and hand a buffer-pointer copy to the
+        caller (the transport's reference, Fig. 8)."""
+        with self._lock:
+            if record.state is MessageState.DESTRUCTED:
+                raise StaleMessageError(record.type_name)
+            record.state = MessageState.PUBLISHED
+            record.buffer_refs += 1
+            self.stats.published += 1
+            return BufferPointer(self, record)
+
+    def acquire_ref(self, record: MessageRecord) -> BufferPointer:
+        """An additional counted reference (e.g. one per subscriber link)."""
+        with self._lock:
+            if record.state is MessageState.DESTRUCTED:
+                raise StaleMessageError(record.type_name)
+            record.buffer_refs += 1
+            return BufferPointer(self, record)
+
+    def release_ref(self, record: MessageRecord) -> None:
+        with self._lock:
+            if record.state is MessageState.DESTRUCTED:
+                return
+            record.buffer_refs -= 1
+            if record.buffer_refs <= 0:
+                self._destruct(record)
+
+    def release_object(self, record: MessageRecord) -> None:
+        """The developer's code released the message object (the
+        overloaded ``delete`` of Section 4.3.1): drop the record's own
+        buffer pointer."""
+        self.release_ref(record)
+
+    def _destruct(self, record: MessageRecord) -> None:
+        record.state = MessageState.DESTRUCTED
+        index = bisect.bisect_left(self._bases, record.base)
+        if index < len(self._bases) and self._bases[index] == record.base:
+            del self._bases[index]
+            del self._records[index]
+        self.stats.destructed += 1
+        if self.recycle:
+            shelf = self._pool.setdefault(record.capacity, [])
+            if len(shelf) < self.POOL_DEPTH:
+                shelf.append(record.buffer)
+        record.buffer = bytearray()  # the record must never alias the pool
+
+    def _take_from_pool(self, capacity: int, skeleton_size: int):
+        """Pop a recycled buffer (skeleton region re-zeroed) or None."""
+        if not self.recycle:
+            return None
+        with self._lock:
+            shelf = self._pool.get(capacity)
+            if not shelf:
+                return None
+            buffer = shelf.pop()
+        buffer[:skeleton_size] = bytes(skeleton_size)
+        return buffer
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def live_count(self) -> int:
+        """Number of records not yet destructed."""
+        with self._lock:
+            return len(self._records)
+
+    def live_records(self) -> list[MessageRecord]:
+        """A snapshot of all live records."""
+        with self._lock:
+            return list(self._records)
+
+    def reset_stats(self) -> None:
+        """Zero the lifetime counters (records stay untouched)."""
+        with self._lock:
+            self.stats = ManagerStats()
+
+
+#: ``sfm::gmm`` -- the global message manager object.
+global_message_manager = MessageManager()

@@ -1,0 +1,166 @@
+"""``sfm::string``: the string view over an SFM buffer.
+
+The skeleton of a string field is two 32-bit integers: the stored length
+(content + terminator + padding, Fig. 7) and the offset from the offset
+integer's own address to the content.  The view exposes a
+``std::string``-compatible interface (the paper keeps ``sfm::string``
+interface-identical to ``std::string``); here that means it can be used
+anywhere a ``str`` is expected -- comparison, formatting, slicing and all
+``str`` methods delegate to the decoded value.
+
+Assignment is *one-shot* (Section 4.3.3): the first assignment expands the
+whole message through the manager; a second assignment to a non-empty
+string raises :class:`~repro.sfm.errors.OneShotStringError`.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.sfm.errors import OneShotStringError
+from repro.sfm.layout import padded_string_length
+from repro.sfm.manager import MessageManager, MessageRecord
+
+_PAIR = struct.Struct("<II")
+
+
+class SfmString:
+    """A transparent view of one string field inside an SFM buffer."""
+
+    __slots__ = ("_manager", "_record", "_offset", "_path")
+
+    def __init__(
+        self,
+        manager: MessageManager,
+        record: MessageRecord,
+        offset: int,
+        path: str,
+    ) -> None:
+        self._manager = manager
+        self._record = record
+        self._offset = offset
+        self._path = path
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    def _stored(self) -> tuple[int, int]:
+        return _PAIR.unpack_from(self._record.buffer, self._offset)
+
+    def _raw(self) -> bytes:
+        length, rel = self._stored()
+        if length == 0:
+            return b""
+        start = self._offset + 4 + rel
+        return bytes(self._record.buffer[start : start + length])
+
+    def value(self) -> str:
+        """The decoded Python string (content up to the terminator)."""
+        raw = self._raw()
+        nul = raw.find(b"\x00")
+        if nul >= 0:
+            raw = raw[:nul]
+        return raw.decode("utf-8")
+
+    def c_str(self) -> str:
+        """``std::string::c_str`` analogue."""
+        return self.value()
+
+    def empty(self) -> bool:
+        return self._stored()[0] == 0 or len(self) == 0
+
+    # ------------------------------------------------------------------
+    # Writing (one-shot)
+    # ------------------------------------------------------------------
+    def _assign(self, value) -> None:
+        if isinstance(value, SfmString):
+            value = value.value()
+        if isinstance(value, str):
+            content = value.encode("utf-8")
+        elif isinstance(value, (bytes, bytearray, memoryview)):
+            content = bytes(value)
+        else:
+            raise TypeError(
+                f"cannot assign {type(value).__name__} to string field "
+                f"{self._path!r}"
+            )
+        if b"\x00" in content:
+            # SFM strings are C strings: the stored length covers content,
+            # terminator and padding (Fig. 7), so an embedded NUL could
+            # not be read back.  Fail loudly instead of truncating.
+            raise ValueError(
+                f"string field {self._path!r}: embedded NUL bytes are not "
+                "representable in the SFM string format"
+            )
+        stored_length, _ = self._stored()
+        if stored_length != 0:
+            raise OneShotStringError(self._path)
+        if not content:
+            return  # assigning "" to an unassigned string is a no-op
+        padded = padded_string_length(content)
+        # zero=False: the content, terminator and padding bytes below
+        # cover the entire grant.
+        record, content_offset = self._manager.expand(
+            self._record.base + self._offset, padded, zero=False
+        )
+        buffer = record.buffer
+        buffer[content_offset : content_offset + len(content)] = content
+        buffer[content_offset + len(content) : content_offset + padded] = bytes(
+            padded - len(content)
+        )
+        rel = content_offset - (self._offset + 4)
+        _PAIR.pack_into(buffer, self._offset, padded, rel)
+
+    # ------------------------------------------------------------------
+    # str-compatible behaviour
+    # ------------------------------------------------------------------
+    def __str__(self) -> str:
+        return self.value()
+
+    def __repr__(self) -> str:
+        return repr(self.value())
+
+    def __len__(self) -> int:
+        return len(self.value())
+
+    def __bool__(self) -> bool:
+        return bool(self.value())
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, SfmString):
+            return self.value() == other.value()
+        if isinstance(other, str):
+            return self.value() == other
+        if isinstance(other, (bytes, bytearray)):
+            return self.value().encode("utf-8") == bytes(other)
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self.value())
+
+    def __getitem__(self, index):
+        return self.value()[index]
+
+    def __iter__(self):
+        return iter(self.value())
+
+    def __contains__(self, item) -> bool:
+        return item in self.value()
+
+    def __add__(self, other):
+        return self.value() + other
+
+    def __radd__(self, other):
+        return other + self.value()
+
+    def __format__(self, spec: str) -> str:
+        return format(self.value(), spec)
+
+    def __getattr__(self, name: str):
+        # Delegate every other str method (startswith, split, lower, ...)
+        # so the view is a drop-in replacement for a plain string.
+        value = self.value()
+        attr = getattr(value, name, None)
+        if attr is None:
+            raise AttributeError(name)
+        return attr

@@ -1,0 +1,39 @@
+"""An ORB-SLAM-like visual SLAM pipeline (the Fig. 17/18 case study).
+
+The paper evaluates ROS-SF on ORB-SLAM fed by the TUM RGBD dataset.  The
+case study needs a compute-heavy node with one large input topic and three
+output topics (small pose, large point cloud, large debug image); this
+subpackage builds that pipeline from scratch:
+
+- :mod:`repro.slam.dataset` -- a synthetic TUM-like RGBD sequence: a
+  procedurally textured planar scene observed by a translating camera,
+  with exact ground-truth poses.
+- :mod:`repro.slam.features` -- ORB-like front end: Harris-score corner
+  detection with grid non-max suppression and BRIEF-like binary
+  descriptors matched by Hamming distance.
+- :mod:`repro.slam.tracker` -- frame-to-frame tracking: descriptor
+  matching, depth back-projection and Kabsch (SVD) rigid-transform
+  estimation, accumulated into a camera trajectory.
+- :mod:`repro.slam.mapping` -- the map: world-frame 3D points with
+  voxel-grid subsampling, exported as ``sensor_msgs/PointCloud2``.
+- :mod:`repro.slam.pipeline` -- the 5-node miniros graph of Fig. 17
+  (``pub_tum`` -> ``orb_slam`` -> pose/cloud/debug subscribers),
+  parameterized over plain vs SFM message classes.
+"""
+
+from repro.slam.dataset import CameraIntrinsics, SyntheticRgbdDataset
+from repro.slam.features import FeatureExtractor, match_descriptors
+from repro.slam.tracker import FrameTracker
+from repro.slam.mapping import PointMap
+from repro.slam.pipeline import SlamNode, SlamPipeline
+
+__all__ = [
+    "CameraIntrinsics",
+    "FeatureExtractor",
+    "FrameTracker",
+    "PointMap",
+    "SlamNode",
+    "SlamPipeline",
+    "SyntheticRgbdDataset",
+    "match_descriptors",
+]

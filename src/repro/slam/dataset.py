@@ -1,0 +1,137 @@
+"""Synthetic TUM-like RGBD sequences.
+
+The TUM RGBD benchmark provides registered color and depth frames plus
+ground-truth camera poses.  Offline we synthesize an equivalent: a large
+procedurally textured plane viewed fronto-parallel by a camera that
+translates (pans) across it.  Each frame is a crop of the master texture,
+so consecutive frames share trackable appearance exactly like a panning
+camera, and the true camera translation is known in meters.
+
+Depth is a constant-depth plane with a mild horizontal gradient, matching
+the planar-scene geometry, encoded like TUM (uint16 millimeters).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class CameraIntrinsics:
+    """Pinhole camera intrinsics."""
+
+    fx: float
+    fy: float
+    cx: float
+    cy: float
+
+    @classmethod
+    def for_resolution(cls, width: int, height: int) -> "CameraIntrinsics":
+        """A plausible camera: ~60 degree horizontal field of view."""
+        fx = width * 0.87
+        return cls(fx=fx, fy=fx, cx=width / 2.0, cy=height / 2.0)
+
+    def back_project(self, u, v, depth):
+        """Pixel (u, v) + depth (meters) -> camera-frame 3D point(s)."""
+        x = (np.asarray(u) - self.cx) * np.asarray(depth) / self.fx
+        y = (np.asarray(v) - self.cy) * np.asarray(depth) / self.fy
+        return np.stack([x, y, np.asarray(depth)], axis=-1)
+
+
+@dataclass(frozen=True)
+class RgbdFrame:
+    """One dataset frame."""
+
+    index: int
+    rgb: np.ndarray          # (H, W, 3) uint8
+    depth_mm: np.ndarray     # (H, W) uint16, TUM-style millimeters
+    true_translation: np.ndarray  # (3,) meters, world frame
+    timestamp: float
+
+    @property
+    def depth_m(self) -> np.ndarray:
+        return self.depth_mm.astype(np.float32) / 1000.0
+
+
+def _make_texture(height: int, width: int, rng: np.random.Generator) -> np.ndarray:
+    """A feature-rich texture: random blobs over low-frequency shading."""
+    yy, xx = np.mgrid[0:height, 0:width]
+    base = (
+        96
+        + 48 * np.sin(xx / 37.0)
+        + 48 * np.cos(yy / 29.0)
+    ).astype(np.float32)
+    texture = np.repeat(base[:, :, None], 3, axis=2)
+    blob_count = max(64, (height * width) // 1200)
+    for _ in range(blob_count):
+        cy = int(rng.integers(4, height - 4))
+        cx = int(rng.integers(4, width - 4))
+        radius = int(rng.integers(2, 7))
+        color = rng.integers(0, 256, size=3).astype(np.float32)
+        y0, y1 = max(0, cy - radius), min(height, cy + radius)
+        x0, x1 = max(0, cx - radius), min(width, cx + radius)
+        texture[y0:y1, x0:x1] = color
+    noise = rng.normal(0.0, 6.0, size=texture.shape)
+    return np.clip(texture + noise, 0, 255).astype(np.uint8)
+
+
+class SyntheticRgbdDataset:
+    """Generates a deterministic panning RGBD sequence.
+
+    The camera pans ``pixels_per_frame`` pixels across the master texture
+    per frame; with the scene plane at ``plane_depth_m``, one pixel of pan
+    corresponds to ``plane_depth_m / fx`` meters of camera translation.
+    """
+
+    def __init__(
+        self,
+        width: int = 320,
+        height: int = 240,
+        length: int = 60,
+        pixels_per_frame: int = 3,
+        plane_depth_m: float = 2.0,
+        seed: int = 7,
+    ) -> None:
+        if length < 1:
+            raise ValueError("dataset length must be >= 1")
+        self.width = width
+        self.height = height
+        self.length = length
+        self.pixels_per_frame = pixels_per_frame
+        self.plane_depth_m = plane_depth_m
+        self.intrinsics = CameraIntrinsics.for_resolution(width, height)
+        rng = np.random.default_rng(seed)
+        margin = pixels_per_frame * length + 16
+        self._texture = _make_texture(height + 32, width + margin, rng)
+        # Depth plane with a mild gradient so back-projections are not
+        # degenerate for the rigid-transform solver.
+        xs = np.linspace(0.0, 0.12, width, dtype=np.float32)
+        depth = plane_depth_m + np.tile(xs, (height, 1))
+        self._depth_mm = np.round(depth * 1000.0).astype(np.uint16)
+
+    def __len__(self) -> int:
+        return self.length
+
+    def frame(self, index: int) -> RgbdFrame:
+        if not 0 <= index < self.length:
+            raise IndexError(index)
+        x0 = index * self.pixels_per_frame
+        rgb = self._texture[16 : 16 + self.height, x0 : x0 + self.width].copy()
+        # One pixel of pan = depth/fx meters of sideways camera motion.
+        meters_per_pixel = self.plane_depth_m / self.intrinsics.fx
+        translation = np.array(
+            [x0 * meters_per_pixel, 0.0, 0.0], dtype=np.float64
+        )
+        return RgbdFrame(
+            index=index,
+            rgb=rgb,
+            depth_mm=self._depth_mm.copy(),
+            true_translation=translation,
+            timestamp=index / 30.0,
+        )
+
+    def __iter__(self):
+        for index in range(self.length):
+            yield self.frame(index)

@@ -1,0 +1,184 @@
+"""ORB-like feature front end: corner detection + binary descriptors.
+
+ORB combines a FAST corner detector with a rotation-aware BRIEF binary
+descriptor.  This module reproduces the computational shape with numpy:
+
+- corner *scores* come from the Harris response (a smoothed structure
+  tensor determinant/trace), which ranks corners the same way ORB's
+  Harris-based keypoint retention does;
+- non-max suppression is grid-based, as in ORB-SLAM's octree
+  distribution, so keypoints spread over the image;
+- descriptors are BRIEF-like: 256 intensity comparisons at fixed seeded
+  offsets on a box-smoothed patch, packed into 32 bytes and matched by
+  Hamming distance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+#: Number of (pairA, pairB) comparisons per descriptor; 256 bits = 32 bytes.
+DESCRIPTOR_BITS = 256
+PATCH_RADIUS = 12
+
+_rng = np.random.default_rng(20221107)
+_OFFSETS_A = _rng.integers(-PATCH_RADIUS + 1, PATCH_RADIUS, size=(DESCRIPTOR_BITS, 2))
+_OFFSETS_B = _rng.integers(-PATCH_RADIUS + 1, PATCH_RADIUS, size=(DESCRIPTOR_BITS, 2))
+
+
+@dataclass
+class FeatureSet:
+    """Keypoints and descriptors of one frame."""
+
+    keypoints: np.ndarray    # (N, 2) float32, (u, v) pixel coordinates
+    descriptors: np.ndarray  # (N, 32) uint8 packed binary descriptors
+    scores: np.ndarray       # (N,) float32 corner responses
+
+    def __len__(self) -> int:
+        return len(self.keypoints)
+
+
+def to_gray(rgb: np.ndarray) -> np.ndarray:
+    """Luma conversion to float32 grayscale."""
+    if rgb.ndim == 2:
+        return rgb.astype(np.float32)
+    weights = np.array([0.299, 0.587, 0.114], dtype=np.float32)
+    return rgb.astype(np.float32) @ weights
+
+
+def _box_smooth(image: np.ndarray, radius: int = 1) -> np.ndarray:
+    """Separable box filter (cheap stand-in for Gaussian smoothing)."""
+    if radius <= 0:
+        return image
+    kernel = np.ones(2 * radius + 1, dtype=np.float32)
+    kernel /= kernel.sum()
+    smoothed = np.apply_along_axis(
+        lambda row: np.convolve(row, kernel, mode="same"), 1, image
+    )
+    return np.apply_along_axis(
+        lambda col: np.convolve(col, kernel, mode="same"), 0, smoothed
+    )
+
+
+def harris_response(gray: np.ndarray, k: float = 0.04) -> np.ndarray:
+    """Harris corner response map."""
+    gy, gx = np.gradient(gray)
+    sxx = _box_smooth(gx * gx)
+    syy = _box_smooth(gy * gy)
+    sxy = _box_smooth(gx * gy)
+    determinant = sxx * syy - sxy * sxy
+    trace = sxx + syy
+    return determinant - k * trace * trace
+
+
+class FeatureExtractor:
+    """Detects up to ``max_features`` keypoints and computes descriptors.
+
+    ``detect_scale`` subsamples the image before detection/description
+    (ORB works on an image pyramid for the same reason): compute stays
+    resolution-independent while keypoint coordinates are reported in
+    full-resolution pixels.
+    """
+
+    def __init__(self, max_features: int = 300, cell_size: int = 16,
+                 detect_scale: int = 1) -> None:
+        if detect_scale < 1:
+            raise ValueError("detect_scale must be >= 1")
+        self.max_features = max_features
+        self.cell_size = cell_size
+        self.detect_scale = detect_scale
+
+    def extract(self, rgb: np.ndarray) -> FeatureSet:
+        gray = to_gray(rgb)
+        scale = self.detect_scale
+        if scale > 1:
+            gray = gray[::scale, ::scale]
+        response = harris_response(gray)
+        keypoints, scores = self._grid_nms(response)
+        descriptors = self._describe(gray, keypoints)
+        if scale > 1 and len(keypoints):
+            keypoints = keypoints * scale
+        return FeatureSet(
+            keypoints=keypoints.astype(np.float32),
+            descriptors=descriptors,
+            scores=scores.astype(np.float32),
+        )
+
+    def _grid_nms(self, response: np.ndarray):
+        """One best corner per grid cell, strongest cells first."""
+        height, width = response.shape
+        border = PATCH_RADIUS + 1
+        cell = self.cell_size
+        candidates: list[tuple[float, int, int]] = []
+        for y0 in range(border, height - border - cell, cell):
+            for x0 in range(border, width - border - cell, cell):
+                window = response[y0 : y0 + cell, x0 : x0 + cell]
+                flat_index = int(np.argmax(window))
+                dy, dx = divmod(flat_index, cell)
+                score = float(window[dy, dx])
+                if score > 0:
+                    candidates.append((score, x0 + dx, y0 + dy))
+        candidates.sort(reverse=True)
+        candidates = candidates[: self.max_features]
+        if not candidates:
+            return np.zeros((0, 2)), np.zeros((0,))
+        scores = np.array([c[0] for c in candidates])
+        points = np.array([[c[1], c[2]] for c in candidates], dtype=np.float64)
+        return points, scores
+
+    def _describe(self, gray: np.ndarray, keypoints: np.ndarray) -> np.ndarray:
+        if len(keypoints) == 0:
+            return np.zeros((0, DESCRIPTOR_BITS // 8), dtype=np.uint8)
+        smoothed = _box_smooth(gray, radius=2)
+        us = keypoints[:, 0].astype(np.intp)
+        vs = keypoints[:, 1].astype(np.intp)
+        # Sample both offset sets for every keypoint at once: (N, BITS).
+        sample_a = smoothed[
+            vs[:, None] + _OFFSETS_A[:, 1][None, :],
+            us[:, None] + _OFFSETS_A[:, 0][None, :],
+        ]
+        sample_b = smoothed[
+            vs[:, None] + _OFFSETS_B[:, 1][None, :],
+            us[:, None] + _OFFSETS_B[:, 0][None, :],
+        ]
+        bits = (sample_a < sample_b).astype(np.uint8)
+        return np.packbits(bits, axis=1)
+
+
+def hamming_distance_matrix(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Pairwise Hamming distances between packed descriptor arrays."""
+    if len(a) == 0 or len(b) == 0:
+        return np.zeros((len(a), len(b)), dtype=np.int32)
+    xored = np.bitwise_xor(a[:, None, :], b[None, :, :])
+    return np.unpackbits(xored, axis=2).sum(axis=2).astype(np.int32)
+
+
+def match_descriptors(
+    a: FeatureSet, b: FeatureSet, max_distance: int = 64, ratio: float = 0.8
+) -> np.ndarray:
+    """Mutual nearest-neighbour matches with Lowe's ratio test.
+
+    Returns an (M, 2) array of index pairs (index_in_a, index_in_b).
+    """
+    distances = hamming_distance_matrix(a.descriptors, b.descriptors)
+    if distances.size == 0:
+        return np.zeros((0, 2), dtype=np.intp)
+    best_b = np.argmin(distances, axis=1)
+    best_dist = distances[np.arange(len(a)), best_b]
+    matches = []
+    for index_a, (index_b, dist) in enumerate(zip(best_b, best_dist)):
+        if dist > max_distance:
+            continue
+        row = distances[index_a]
+        # Ratio test against the second-best candidate.
+        if len(row) > 1:
+            second = np.partition(row, 1)[1]
+            if second > 0 and dist > ratio * second:
+                continue
+        # Mutual check.
+        if np.argmin(distances[:, index_b]) != index_a:
+            continue
+        matches.append((index_a, index_b))
+    return np.array(matches, dtype=np.intp).reshape(-1, 2)

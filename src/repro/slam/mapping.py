@@ -1,0 +1,85 @@
+"""The map: accumulated world-frame 3D points and PointCloud2 export.
+
+ORB-SLAM publishes the point cloud of currently observed map points for
+downstream consumers (obstacle avoidance, visualization).  We keep a
+voxel-grid-subsampled set of world points and pack them in the standard
+``sensor_msgs/PointCloud2`` xyz-float32 layout.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class PointMap:
+    """Voxel-deduplicated accumulation of world-frame points."""
+
+    def __init__(self, voxel_size_m: float = 0.02, max_points: int = 50_000):
+        self.voxel_size_m = voxel_size_m
+        self.max_points = max_points
+        self._voxels: dict[tuple[int, int, int], np.ndarray] = {}
+
+    def insert(self, points_world: np.ndarray) -> int:
+        """Insert points; returns how many new voxels were created."""
+        created = 0
+        if len(points_world) == 0:
+            return created
+        keys = np.floor(points_world / self.voxel_size_m).astype(np.int64)
+        for key_row, point in zip(keys, points_world):
+            if len(self._voxels) >= self.max_points:
+                break
+            key = (int(key_row[0]), int(key_row[1]), int(key_row[2]))
+            if key not in self._voxels:
+                self._voxels[key] = point
+                created += 1
+        return created
+
+    def __len__(self) -> int:
+        return len(self._voxels)
+
+    def points(self) -> np.ndarray:
+        if not self._voxels:
+            return np.zeros((0, 3), dtype=np.float32)
+        return np.array(list(self._voxels.values()), dtype=np.float32)
+
+
+def pack_pointcloud2_fields(msg_namespace) -> list:
+    """The standard xyz PointField triplet for PointCloud2."""
+    PointField = msg_namespace.PointField
+    return [
+        PointField(name="x", offset=0, datatype=7, count=1),
+        PointField(name="y", offset=4, datatype=7, count=1),
+        PointField(name="z", offset=8, datatype=7, count=1),
+    ]
+
+
+def fill_pointcloud2(msg, points: np.ndarray, frame_id: str, stamp,
+                     msg_namespace) -> None:
+    """Populate a PointCloud2 message with xyz-float32 points.
+
+    Written one-shot (single resize / single data assignment) so it is
+    valid for both plain and SFM message classes -- the pattern the
+    paper's Fig. 21 rewrite teaches.
+    """
+    count = len(points)
+    msg.header.frame_id = frame_id
+    msg.header.stamp = stamp
+    msg.height = 1
+    msg.width = count
+    msg.fields = pack_pointcloud2_fields(msg_namespace)
+    msg.is_bigendian = False
+    msg.point_step = 12
+    msg.row_step = 12 * count
+    msg.data = bytearray(
+        np.ascontiguousarray(points, dtype="<f4").view(np.uint8).reshape(-1)
+    )
+    msg.is_dense = True
+
+
+def read_pointcloud2(msg) -> np.ndarray:
+    """Decode an xyz-float32 PointCloud2 back into an (N, 3) array."""
+    raw = msg.data
+    if hasattr(raw, "tobytes"):
+        raw = raw.tobytes()
+    data = np.frombuffer(bytes(raw), dtype="<f4")
+    return data.reshape(-1, 3)

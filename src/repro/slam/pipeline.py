@@ -1,0 +1,346 @@
+"""The Fig. 17 node/topic graph, parameterized over the message profile.
+
+Five nodes: ``pub_tum`` publishes RGB and depth images; ``orb_slam``
+tracks, maps and publishes a pose, a point cloud and a debug image; three
+subscriber nodes record end-to-end latency from the input image's creation
+timestamp to each output's arrival (exactly the paper's measurement).
+
+Every function here is written once and runs unchanged for both plain and
+SFM message classes -- construction follows the one-shot discipline, so
+the *same* application code is measured under both middleware profiles,
+which is the paper's transparency claim in executable form.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field as dataclass_field
+from types import SimpleNamespace
+
+import numpy as np
+
+from repro.ros.graph import RosGraph
+from repro.ros.rostime import Time
+from repro.slam.dataset import SyntheticRgbdDataset
+from repro.slam.mapping import PointMap, fill_pointcloud2
+from repro.slam.tracker import FrameTracker, rotation_to_quaternion
+
+
+def plain_profile() -> SimpleNamespace:
+    """Message classes of the original ROS pipeline."""
+    from repro.msg import library
+
+    return SimpleNamespace(
+        name="ROS",
+        Image=library.Image,
+        PoseStamped=library.PoseStamped,
+        PointCloud2=library.PointCloud2,
+        PointField=library.PointField,
+    )
+
+
+def sfm_profile() -> SimpleNamespace:
+    """Message classes under ROS-SF (SFM generated)."""
+    from repro.rossf import sfm_classes_for
+
+    image, pose, cloud, point_field = sfm_classes_for(
+        "sensor_msgs/Image",
+        "geometry_msgs/PoseStamped",
+        "sensor_msgs/PointCloud2",
+        "sensor_msgs/PointField",
+    )
+    return SimpleNamespace(
+        name="ROS-SF",
+        Image=image,
+        PoseStamped=pose,
+        PointCloud2=cloud,
+        PointField=point_field,
+    )
+
+
+def profile(kind: str) -> SimpleNamespace:
+    """Resolve a middleware profile name (``"ros"`` or ``"rossf"``) to
+    its message-class namespace."""
+    if kind.lower() in ("ros", "plain"):
+        return plain_profile()
+    if kind.lower() in ("ros-sf", "rossf", "sfm"):
+        return sfm_profile()
+    raise ValueError(f"unknown middleware profile {kind!r}")
+
+
+# ----------------------------------------------------------------------
+# Message filling/reading helpers (one-shot discipline; profile-agnostic)
+# ----------------------------------------------------------------------
+def fill_rgb_image(msg, rgb: np.ndarray, seq: int, stamp, frame_id: str) -> None:
+    """Populate an Image message from an (H, W, 3) uint8 array (one-shot
+    discipline; identical for plain and SFM classes)."""
+    height, width = rgb.shape[:2]
+    msg.header.seq = seq
+    msg.header.stamp = stamp
+    msg.header.frame_id = frame_id
+    msg.height = height
+    msg.width = width
+    msg.encoding = "rgb8"
+    msg.is_bigendian = 0
+    msg.step = width * 3
+    # The camera driver's memcpy: both profiles copy the pixels into the
+    # message exactly once here (as the C++ pipeline's resize+memcpy
+    # does); the plain profile then additionally copies at serialization,
+    # which is precisely the cost ROS-SF eliminates.
+    msg.data = bytearray(np.ascontiguousarray(rgb, dtype=np.uint8).reshape(-1))
+
+
+def fill_depth_image(msg, depth_mm: np.ndarray, seq: int, stamp, frame_id: str):
+    """Populate a 16UC1 depth Image from an (H, W) uint16 array of
+    millimeters (the TUM encoding)."""
+    height, width = depth_mm.shape
+    msg.header.seq = seq
+    msg.header.stamp = stamp
+    msg.header.frame_id = frame_id
+    msg.height = height
+    msg.width = width
+    msg.encoding = "16UC1"
+    msg.is_bigendian = 0
+    msg.step = width * 2
+    msg.data = bytearray(
+        np.ascontiguousarray(depth_mm, dtype="<u2").view(np.uint8).reshape(-1)
+    )
+
+
+def _data_buffer(raw):
+    """A zero-copy buffer view of a message ``data`` field, whichever
+    representation the middleware profile delivered (bytes/bytearray for
+    plain messages, an ``sfm`` vector view for ROS-SF)."""
+    if isinstance(raw, (bytes, bytearray, memoryview, np.ndarray)):
+        return raw
+    view = getattr(raw, "view", None)  # SfmVector byte view
+    if isinstance(view, memoryview):
+        return view
+    return bytes(raw)
+
+
+def rgb_image_to_array(msg) -> np.ndarray:
+    """Decode an rgb8 Image message to an (H, W, 3) uint8 array,
+    zero-copy where the profile allows."""
+    data = np.frombuffer(_data_buffer(msg.data), dtype=np.uint8)
+    return data.reshape(int(msg.height), int(msg.width), 3)
+
+
+def depth_image_to_array(msg) -> np.ndarray:
+    """Decode a 16UC1 depth Image message to an (H, W) uint16 array."""
+    data = np.frombuffer(_data_buffer(msg.data), dtype="<u2")
+    return data.reshape(int(msg.height), int(msg.width))
+
+
+def render_debug_image(rgb: np.ndarray, keypoints: np.ndarray) -> np.ndarray:
+    """The input image with keypoint markers (ORB-SLAM's debug output)."""
+    debug = rgb.copy()
+    height, width = debug.shape[:2]
+    for u, v in keypoints.astype(np.intp):
+        if 1 <= u < width - 1 and 1 <= v < height - 1:
+            debug[v - 1 : v + 2, u, 0] = 255
+            debug[v, u - 1 : u + 2, 0] = 255
+            debug[v - 1 : v + 2, u, 1:] = 0
+            debug[v, u - 1 : u + 2, 1:] = 0
+    return debug
+
+
+# ----------------------------------------------------------------------
+# The SLAM node
+# ----------------------------------------------------------------------
+class SlamNode:
+    """The ``orb_slam`` node: subscribes RGB+depth, publishes three
+    output topics.
+
+    ``detect_scale`` keeps the feature front end's cost roughly
+    resolution-independent (detection runs on a subsampled pyramid level),
+    as ORB-SLAM's image pyramid does; it defaults to one level per 320
+    columns so the 640x480 case study tracks at the paper's 30-40 ms.
+    """
+
+    def __init__(self, node, msgs: SimpleNamespace, intrinsics,
+                 detect_scale: int = 1) -> None:
+        from repro.slam.features import FeatureExtractor
+
+        self.msgs = msgs
+        self.tracker = FrameTracker(
+            intrinsics=intrinsics,
+            extractor=FeatureExtractor(detect_scale=detect_scale),
+        )
+        self.map = PointMap()
+        self.pose_pub = node.advertise("/orb_slam/pose", msgs.PoseStamped)
+        self.cloud_pub = node.advertise("/orb_slam/pointcloud", msgs.PointCloud2)
+        self.debug_pub = node.advertise("/orb_slam/debug_image", msgs.Image)
+        self.frames_processed = 0
+        # RGB and depth frames carry identical stamps, so the exact-time
+        # synchronizer pairs them -- the message_filters idiom of real
+        # RGBD nodes; it works unchanged for SFM messages since it only
+        # reads header.stamp.
+        from repro.ros.message_filters import (
+            FilterSubscriber,
+            TimeSynchronizer,
+        )
+
+        self._rgb_filter = FilterSubscriber(node, "/camera/rgb", msgs.Image)
+        self._depth_filter = FilterSubscriber(
+            node, "/camera/depth", msgs.Image
+        )
+        self.synchronizer = TimeSynchronizer(
+            [self._rgb_filter, self._depth_filter], queue_size=30
+        )
+        self.synchronizer.register_callback(self._on_pair)
+
+    def _on_pair(self, rgb_msg, depth_msg) -> None:
+        # The synchronizer keeps the message objects alive until here, so
+        # the zero-copy depth view is safe to read within this call.
+        self._process(rgb_msg, depth_image_to_array(depth_msg))
+
+    def _process(self, rgb_msg, depth_mm: np.ndarray) -> None:
+        msgs = self.msgs
+        stamp = tuple(rgb_msg.header.stamp)
+        frame_id = str(rgb_msg.header.frame_id)
+        seq = int(rgb_msg.header.seq)
+        rgb = rgb_image_to_array(rgb_msg)
+        result = self.tracker.track(rgb, depth_mm.astype(np.float32) / 1000.0)
+        self.map.insert(result.points_world)
+        self.frames_processed += 1
+
+        pose = msgs.PoseStamped()
+        pose.header.seq = seq
+        pose.header.stamp = stamp
+        pose.header.frame_id = "world"
+        x, y, z = result.translation
+        pose.pose.position.x = float(x)
+        pose.pose.position.y = float(y)
+        pose.pose.position.z = float(z)
+        qx, qy, qz, qw = rotation_to_quaternion(result.rotation)
+        pose.pose.orientation.x = qx
+        pose.pose.orientation.y = qy
+        pose.pose.orientation.z = qz
+        pose.pose.orientation.w = qw
+        self.pose_pub.publish(pose)
+
+        # ORB-SLAM publishes the current *map* point cloud (all tracked
+        # 3D points), which grows over the run -- not just this frame's
+        # observations.
+        cloud = msgs.PointCloud2()
+        cloud.header.seq = seq
+        fill_pointcloud2(cloud, self.map.points(), "world", stamp, msgs)
+        self.cloud_pub.publish(cloud)
+
+        debug = msgs.Image()
+        fill_rgb_image(
+            debug,
+            render_debug_image(rgb, result.keypoints),
+            seq,
+            stamp,
+            frame_id,
+        )
+        self.debug_pub.publish(debug)
+
+
+# ----------------------------------------------------------------------
+# The full pipeline
+# ----------------------------------------------------------------------
+@dataclass
+class PipelineResult:
+    """Per-output latency samples (seconds) and bookkeeping."""
+
+    profile_name: str
+    frames: int
+    latencies: dict = dataclass_field(default_factory=dict)
+
+    def mean_ms(self, output: str) -> float:
+        """Mean latency for one output topic, in milliseconds."""
+        samples = self.latencies[output]
+        return 1000.0 * sum(samples) / len(samples) if samples else float("nan")
+
+
+class SlamPipeline:
+    """Owns the five-node graph and runs a dataset through it."""
+
+    OUTPUTS = ("pose", "pointcloud", "debug_image")
+
+    def __init__(self, graph: RosGraph, msgs: SimpleNamespace,
+                 intrinsics, detect_scale: int = 0) -> None:
+        self.graph = graph
+        self.msgs = msgs
+        self.pub_node = graph.node("pub_tum_" + msgs.name.lower().replace("-", "_"))
+        self.slam_node_handle = graph.node(
+            "orb_slam_" + msgs.name.lower().replace("-", "_")
+        )
+        self.rgb_pub = self.pub_node.advertise("/camera/rgb", msgs.Image)
+        self.depth_pub = self.pub_node.advertise("/camera/depth", msgs.Image)
+        if detect_scale <= 0:
+            detect_scale = max(1, round(2 * intrinsics.cx) // 320)
+        self.slam = SlamNode(
+            self.slam_node_handle, msgs, intrinsics, detect_scale
+        )
+
+        self._latencies = {name: [] for name in self.OUTPUTS}
+        self._received = {name: 0 for name in self.OUTPUTS}
+        self._done = threading.Condition()
+        self.sub_node = graph.node("sub_" + msgs.name.lower().replace("-", "_"))
+        self.sub_node.subscribe(
+            "/orb_slam/pose", msgs.PoseStamped, self._recorder("pose")
+        )
+        self.sub_node.subscribe(
+            "/orb_slam/pointcloud", msgs.PointCloud2, self._recorder("pointcloud")
+        )
+        self.sub_node.subscribe(
+            "/orb_slam/debug_image", msgs.Image, self._recorder("debug_image")
+        )
+
+    def _recorder(self, output: str):
+        def record(msg) -> None:
+            secs, nsecs = msg.header.stamp
+            sent = secs + nsecs / 1e9
+            latency = time.time() - sent
+            with self._done:
+                self._latencies[output].append(latency)
+                self._received[output] += 1
+                self._done.notify_all()
+
+        return record
+
+    def wait_for_wiring(self, timeout: float = 10.0) -> None:
+        """Block until every topic of the Fig. 17 graph is connected."""
+        ok = self.rgb_pub.wait_for_subscribers(1, timeout)
+        ok &= self.depth_pub.wait_for_subscribers(1, timeout)
+        ok &= self.slam.pose_pub.wait_for_subscribers(1, timeout)
+        ok &= self.slam.cloud_pub.wait_for_subscribers(1, timeout)
+        ok &= self.slam.debug_pub.wait_for_subscribers(1, timeout)
+        if not ok:
+            raise TimeoutError("SLAM pipeline wiring did not complete")
+
+    def run(self, dataset: SyntheticRgbdDataset, frame_gap_s: float = 0.0,
+            timeout: float = 60.0) -> PipelineResult:
+        """Publish every dataset frame and wait for all outputs."""
+        self.wait_for_wiring()
+        msgs = self.msgs
+        for frame in dataset:
+            stamp = tuple(Time.now())
+            depth = msgs.Image()
+            fill_depth_image(depth, frame.depth_mm, frame.index, stamp, "camera")
+            self.depth_pub.publish(depth)
+            rgb = msgs.Image()
+            fill_rgb_image(rgb, frame.rgb, frame.index, stamp, "camera")
+            self.rgb_pub.publish(rgb)
+            if frame_gap_s:
+                time.sleep(frame_gap_s)
+        deadline = time.monotonic() + timeout
+        with self._done:
+            while any(
+                self._received[name] < len(dataset) for name in self.OUTPUTS
+            ):
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                self._done.wait(timeout=min(remaining, 0.25))
+            latencies = {
+                name: list(samples) for name, samples in self._latencies.items()
+            }
+        return PipelineResult(
+            profile_name=msgs.name, frames=len(dataset), latencies=latencies
+        )

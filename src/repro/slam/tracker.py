@@ -1,0 +1,140 @@
+"""Frame-to-frame RGBD tracking: the SLAM back end's pose estimator.
+
+Given matched keypoints with depth in two consecutive frames, the tracker
+back-projects both sets to 3D and solves the rigid transform aligning the
+previous frame's points onto the current frame's with the Kabsch
+algorithm (SVD of the cross-covariance), exactly as RGBD odometry systems
+initialize their pose.  Per-frame relative transforms are accumulated
+into a world-frame camera trajectory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field as dataclass_field
+
+import numpy as np
+
+from repro.slam.dataset import CameraIntrinsics
+from repro.slam.features import FeatureExtractor, FeatureSet, match_descriptors
+
+
+@dataclass
+class TrackingResult:
+    """Output of tracking one frame."""
+
+    frame_index: int
+    translation: np.ndarray        # (3,) world-frame camera position
+    rotation: np.ndarray           # (3, 3) world-frame camera orientation
+    matched: int                   # matches used for the estimate
+    inliers: int
+    points_world: np.ndarray       # (N, 3) map points observed this frame
+    keypoints: np.ndarray          # (N, 2) their pixel locations
+
+
+def kabsch(source: np.ndarray, target: np.ndarray):
+    """Rigid transform (R, t) minimizing ||R @ source + t - target||."""
+    if len(source) < 3:
+        return np.eye(3), np.zeros(3)
+    source_center = source.mean(axis=0)
+    target_center = target.mean(axis=0)
+    cross = (target - target_center).T @ (source - source_center)
+    u, _s, vt = np.linalg.svd(cross)
+    sign = np.sign(np.linalg.det(u @ vt))
+    correction = np.diag([1.0, 1.0, sign])
+    rotation = u @ correction @ vt
+    translation = target_center - rotation @ source_center
+    return rotation, translation
+
+
+@dataclass
+class FrameTracker:
+    """Stateful tracker: feed frames in order, get world poses out."""
+
+    intrinsics: CameraIntrinsics
+    extractor: FeatureExtractor = dataclass_field(default_factory=FeatureExtractor)
+    max_match_distance: int = 64
+    inlier_threshold_m: float = 0.05
+
+    def __post_init__(self) -> None:
+        self._previous: FeatureSet | None = None
+        self._previous_points: np.ndarray | None = None
+        self.rotation = np.eye(3)
+        self.translation = np.zeros(3)
+        self._frame_index = -1
+
+    def track(self, rgb: np.ndarray, depth_m: np.ndarray) -> TrackingResult:
+        """Process one frame; returns the updated world pose and the
+        observed 3D points (world frame)."""
+        self._frame_index += 1
+        features = self.extractor.extract(rgb)
+        points_cam = self._back_project(features, depth_m)
+
+        matched = inliers = 0
+        if self._previous is not None and len(features) and len(self._previous):
+            matches = match_descriptors(
+                self._previous, features, self.max_match_distance
+            )
+            matched = len(matches)
+            if matched >= 6:
+                source = points_cam[matches[:, 1]]
+                target = self._previous_points[matches[:, 0]]
+                # source (current cam) -> target (previous cam): the motion
+                # of scene points in camera coordinates; camera motion is
+                # its inverse composition into the world pose.
+                rotation, translation = kabsch(source, target)
+                residual = (
+                    (rotation @ source.T).T + translation - target
+                )
+                errors = np.linalg.norm(residual, axis=1)
+                inlier_mask = errors < self.inlier_threshold_m
+                inliers = int(inlier_mask.sum())
+                if inliers >= 6:
+                    rotation, translation = kabsch(
+                        source[inlier_mask], target[inlier_mask]
+                    )
+                self.rotation = self.rotation @ rotation
+                self.translation = self.rotation @ translation + self.translation
+
+        self._previous = features
+        self._previous_points = points_cam
+        points_world = (self.rotation @ points_cam.T).T + self.translation
+        return TrackingResult(
+            frame_index=self._frame_index,
+            translation=self.translation.copy(),
+            rotation=self.rotation.copy(),
+            matched=matched,
+            inliers=inliers,
+            points_world=points_world,
+            keypoints=features.keypoints,
+        )
+
+    def _back_project(self, features: FeatureSet, depth_m: np.ndarray) -> np.ndarray:
+        if len(features) == 0:
+            return np.zeros((0, 3))
+        us = features.keypoints[:, 0]
+        vs = features.keypoints[:, 1]
+        depths = depth_m[vs.astype(np.intp), us.astype(np.intp)]
+        return self.intrinsics.back_project(us, vs, depths)
+
+
+def rotation_to_quaternion(rotation: np.ndarray) -> tuple[float, float, float, float]:
+    """Rotation matrix -> (x, y, z, w) quaternion (Shepperd's method)."""
+    trace = np.trace(rotation)
+    if trace > 0:
+        s = np.sqrt(trace + 1.0) * 2
+        w = 0.25 * s
+        x = (rotation[2, 1] - rotation[1, 2]) / s
+        y = (rotation[0, 2] - rotation[2, 0]) / s
+        z = (rotation[1, 0] - rotation[0, 1]) / s
+    else:
+        diag = np.diag(rotation)
+        i = int(np.argmax(diag))
+        j, k = (i + 1) % 3, (i + 2) % 3
+        s = np.sqrt(1.0 + rotation[i, i] - rotation[j, j] - rotation[k, k]) * 2
+        q = [0.0, 0.0, 0.0, 0.0]
+        q[i] = 0.25 * s
+        q[3] = (rotation[k, j] - rotation[j, k]) / s
+        q[j] = (rotation[j, i] + rotation[i, j]) / s
+        q[k] = (rotation[k, i] + rotation[i, k]) / s
+        x, y, z, w = q[0], q[1], q[2], q[3]
+    return float(x), float(y), float(z), float(w)

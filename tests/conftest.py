@@ -1,0 +1,27 @@
+"""Shared fixtures: the registered library, private managers, workloads."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.msg.library  # noqa: F401  (registers the standard library)
+from repro.msg.registry import TypeRegistry, default_registry
+from repro.sfm.manager import MessageManager
+
+
+@pytest.fixture
+def registry() -> TypeRegistry:
+    """The process-wide registry with the standard library loaded."""
+    return default_registry
+
+
+@pytest.fixture
+def manager() -> MessageManager:
+    """A private message manager so lifecycle assertions are exact."""
+    return MessageManager()
+
+
+@pytest.fixture
+def fresh_registry() -> TypeRegistry:
+    """An empty registry for registration-behaviour tests."""
+    return TypeRegistry()

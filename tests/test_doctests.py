@@ -1,0 +1,29 @@
+"""Run the doctests embedded in the pure (side-effect-free) modules."""
+
+import doctest
+
+import pytest
+
+import repro.converter.rewriter
+import repro.msg.fields
+import repro.msg.idl
+import repro.msg.srv
+import repro.net.link
+import repro.ros.names
+import repro.serialization.endian
+
+MODULES = [
+    repro.msg.fields,
+    repro.msg.idl,
+    repro.msg.srv,
+    repro.ros.names,
+    repro.serialization.endian,
+    repro.net.link,
+    repro.converter.rewriter,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_module_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, f"{module.__name__}: {results.failed} failed"

@@ -1,0 +1,74 @@
+"""Smoke tests: every example script runs to completion.
+
+Heavier examples get reduced workloads through their CLI arguments or
+environment; the goal is executable documentation, not benchmarks.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def _run(script: str, *args: str, timeout: int = 240) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / script), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert result.returncode == 0, (
+        f"{script} failed:\n{result.stdout}\n{result.stderr}"
+    )
+    return result.stdout
+
+
+def test_format_gallery():
+    out = _run("format_gallery.py")
+    assert "paper: 0x014c = 332" in out
+    assert "0x40000002" in out
+    assert "vtable" in out
+
+
+def test_converter_workflow():
+    out = _run("converter_workflow.py")
+    assert "string-reassignment" in out
+    assert "sensor_msgs/LaserScan" in out
+    assert "whole size" in out
+
+
+def test_image_pipeline_failure_case():
+    out = _run("image_pipeline_failure_case.py")
+    assert "RUNTIME ALERT" in out
+    assert "[ROS-SF, fixed] delivered" in out
+
+
+def test_bag_record_replay():
+    out = _run("bag_record_replay.py")
+    assert "recorded 5 messages" in out
+    assert "replayed sequence" in out
+    assert "[0, 1, 2, 3, 4]" in out
+
+
+@pytest.mark.slow
+def test_quickstart():
+    out = _run("quickstart.py")
+    assert "ROS-SF" in out
+    assert "mean latency" in out
+
+
+@pytest.mark.slow
+def test_orb_slam_pipeline():
+    out = _run("orb_slam_pipeline.py", "6", timeout=420)
+    assert "trajectory error" in out
+    assert "pose" in out
+
+
+@pytest.mark.slow
+def test_inter_machine_pingpong():
+    out = _run("inter_machine_pingpong.py")
+    assert "10GbE" in out
+    assert "shaped channel" in out

@@ -1,0 +1,172 @@
+"""Failure injection: node death, corrupt buffers, service loss.
+
+A middleware earns trust by what happens when things go wrong; these
+tests kill peers mid-stream, feed garbage to every deserializer, and
+verify each failure is contained (typed error or clean link teardown,
+never a hung thread or an unrelated exception type).
+"""
+
+import threading
+import time
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.msg import library as L
+from repro.msg.registry import default_registry
+from repro.ros import RosGraph
+from repro.rossf import sfm_classes_for
+from repro.serialization.protobuf import ProtoBufDecodeError, ProtoBufFormat
+from repro.serialization.rosser import DeserializationError, ROSSerializer
+from repro.serialization.xcdr2 import XCDR2Format, XcdrError
+
+
+class TestPeerDeath:
+    def test_subscriber_death_detaches_link(self):
+        with RosGraph() as graph:
+            pub_node = graph.node("resilient_pub")
+            sub_node = graph.node("mortal_sub")
+            sub_node.subscribe("/mortal", L.UInt32, lambda m: None)
+            pub = pub_node.advertise("/mortal", L.UInt32)
+            assert pub.wait_for_subscribers(1)
+            sub_node.shutdown()
+            # Publishing into the dead link must not raise; the link is
+            # removed once the send fails.
+            deadline = time.monotonic() + 5
+            while pub.get_num_connections() > 0 and time.monotonic() < deadline:
+                pub.publish(L.UInt32(data=1))
+                time.sleep(0.02)
+            assert pub.get_num_connections() == 0
+            pub.publish(L.UInt32(data=2))  # still fine with zero links
+
+    def test_publisher_death_then_replacement(self):
+        with RosGraph() as graph:
+            sub_node = graph.node("steady_sub")
+            received = []
+            event = threading.Event()
+
+            def on_message(msg):
+                received.append(msg.data)
+                event.set()
+
+            sub = sub_node.subscribe("/comeback", L.UInt32, on_message)
+
+            first_pub_node = graph.node("first_pub")
+            first = first_pub_node.advertise("/comeback", L.UInt32)
+            assert first.wait_for_subscribers(1)
+            first.publish(L.UInt32(data=1))
+            assert event.wait(10)
+            event.clear()
+            first_pub_node.shutdown()
+
+            second_pub_node = graph.node("second_pub")
+            second = second_pub_node.advertise("/comeback", L.UInt32)
+            assert second.wait_for_subscribers(1, timeout=10)
+            second.publish(L.UInt32(data=2))
+            assert event.wait(10)
+            assert received[-1] == 2
+
+    def test_service_provider_death_breaks_call(self):
+        from repro.msg.srv import service_type
+
+        with RosGraph() as graph:
+            server_node = graph.node("mortal_srv")
+            client_node = graph.node("srv_user")
+            add = service_type("rossf_bench/AddTwoInts")
+            server_node.advertise_service(
+                "/mortal_add", add,
+                lambda req: add.response_class(sum=req.a + req.b),
+            )
+            assert client_node.wait_for_service("/mortal_add")
+            proxy = client_node.service_proxy("/mortal_add", add)
+            assert proxy(a=1, b=1).sum == 2
+            server_node.shutdown()
+            with pytest.raises((ConnectionError, OSError, Exception)):
+                proxy(a=1, b=1)
+
+
+class TestCorruptBuffers:
+    """Every deserializer must answer garbage with its own error type."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.binary(max_size=128))
+    def test_rosser_fuzz(self, data):
+        serializer = ROSSerializer(default_registry)
+        try:
+            serializer.deserialize("sensor_msgs/Image", data)
+        except DeserializationError:
+            pass
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.binary(max_size=128))
+    def test_protobuf_fuzz(self, data):
+        fmt = ProtoBufFormat(default_registry)
+        try:
+            fmt.deserialize("sensor_msgs/Image", data)
+        except ProtoBufDecodeError:
+            pass
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.binary(max_size=128))
+    def test_xcdr2_fuzz(self, data):
+        fmt = XCDR2Format(default_registry)
+        try:
+            fmt.deserialize("sensor_msgs/Image", data)
+        except XcdrError:
+            pass
+
+    def test_sfm_validate_rejects_corrupt_offsets(self):
+        import struct
+
+        SImage, = sfm_classes_for("sensor_msgs/Image")
+        img = SImage(height=1, width=1, step=3)
+        img.data = b"\x01\x02\x03"
+        wire = bytearray(bytes(img.to_wire()))
+        # Corrupt the data vector count to point far out of bounds.
+        data_slot = SImage._layout.slot_by_name["data"]
+        struct.pack_into("<I", wire, data_slot.offset, 2**30)
+        with pytest.raises(ValueError, match="corrupt"):
+            SImage.from_buffer(wire, validate=True)
+
+    def test_sfm_validate_accepts_good_buffer(self):
+        SImage, = sfm_classes_for("sensor_msgs/Image")
+        img = SImage(height=1, width=1, step=3)
+        img.encoding = "rgb8"
+        img.data = b"\x01\x02\x03"
+        received = SImage.from_buffer(
+            bytearray(bytes(img.to_wire())), validate=True
+        )
+        assert received == img
+
+    def test_sfm_short_buffer_rejected(self):
+        SImage, = sfm_classes_for("sensor_msgs/Image")
+        with pytest.raises(ValueError):
+            SImage.from_buffer(bytearray(3))
+
+
+class TestBackpressure:
+    def test_burst_beyond_queue_does_not_deadlock(self):
+        with RosGraph() as graph:
+            pub_node = graph.node("burst_pub")
+            sub_node = graph.node("burst_sub")
+            count = 0
+            lock = threading.Lock()
+
+            def slow(msg):
+                nonlocal count
+                time.sleep(0.005)
+                with lock:
+                    count += 1
+
+            sub_node.subscribe("/burst", L.UInt32, slow)
+            pub = pub_node.advertise("/burst", L.UInt32, queue_size=4)
+            assert pub.wait_for_subscribers(1)
+            start = time.monotonic()
+            for i in range(200):
+                pub.publish(L.UInt32(data=i))
+            publish_elapsed = time.monotonic() - start
+            # Publishing never blocks on the slow consumer.
+            assert publish_elapsed < 2.0
+            time.sleep(0.5)
+            with lock:
+                assert 0 < count < 200  # some delivered, some dropped

@@ -1,0 +1,85 @@
+"""Unit tests for plain message class generation."""
+
+import pytest
+
+from repro.msg import library as L
+from repro.msg.generator import generate_message_class
+
+
+class TestGeneratedClasses:
+    def test_defaults(self):
+        img = L.Image()
+        assert img.height == 0
+        assert img.encoding == ""
+        assert bytes(img.data) == b""
+        assert img.header.stamp == (0, 0)
+        assert img.header.frame_id == ""
+
+    def test_kwargs_constructor(self):
+        img = L.Image(height=4, width=3, encoding="mono8")
+        assert (img.height, img.width, str(img.encoding)) == (4, 3, "mono8")
+
+    def test_unknown_kwarg_rejected(self):
+        with pytest.raises(TypeError, match="no field"):
+            L.Image(bogus=1)
+
+    def test_nested_default_is_fresh_instance(self):
+        a, b = L.Image(), L.Image()
+        a.header.seq = 9
+        assert b.header.seq == 0
+
+    def test_fixed_array_default(self):
+        info = L.CameraInfo()
+        assert len(info.K) == 9
+        assert all(value == 0.0 for value in info.K)
+
+    def test_byte_array_default_is_bytearray(self):
+        assert isinstance(L.Image().data, bytearray)
+
+    def test_equality(self):
+        a = L.Point(x=1.0, y=2.0, z=3.0)
+        b = L.Point(x=1.0, y=2.0, z=3.0)
+        c = L.Point(x=1.0, y=2.0, z=4.0)
+        assert a == b
+        assert a != c
+
+    def test_equality_bytes_vs_bytearray(self):
+        a, b = L.Image(), L.Image()
+        a.data = b"\x01\x02"
+        b.data = bytearray(b"\x01\x02")
+        assert a == b
+
+    def test_messages_unhashable(self):
+        with pytest.raises(TypeError):
+            hash(L.Image())
+
+    def test_repr_truncates_long_data(self):
+        img = L.Image()
+        img.data = bytes(10_000)
+        assert len(repr(img)) < 600
+
+    def test_class_cache(self, registry):
+        assert generate_message_class("sensor_msgs/Image") is L.Image
+
+    def test_type_name_and_md5(self):
+        assert L.Image.type_name() == "sensor_msgs/Image"
+        assert len(L.Image.md5sum()) == 32
+
+    def test_constants_exposed(self):
+        assert L.PointField.FLOAT32 == 7
+        assert L.PointField.INT8 == 1
+
+    def test_optional_default_applied(self, fresh_registry):
+        fresh_registry.register_text(
+            "pkg/Opt", "optional uint32 retries = 3\nuint32 plain\n"
+        )
+        cls = generate_message_class("pkg/Opt", fresh_registry)
+        msg = cls()
+        assert msg.retries == 3
+        assert msg.plain == 0
+
+    def test_disparity_image_nesting(self):
+        d = L.DisparityImage()
+        d.image.encoding = "32FC1"
+        assert str(d.image.encoding) == "32FC1"
+        assert d.valid_window.do_rectify is False

@@ -1,0 +1,121 @@
+"""Unit tests for the .msg definition parser."""
+
+import pytest
+
+from repro.msg.fields import ComplexType, StringType
+from repro.msg.idl import (
+    MessageDefinitionError,
+    parse_message_definition,
+)
+
+
+class TestParsing:
+    def test_simple_fields(self):
+        spec = parse_message_definition(
+            "pkg/Point", "float64 x\nfloat64 y\nfloat64 z\n"
+        )
+        assert spec.field_names() == ["x", "y", "z"]
+        assert spec.package == "pkg"
+        assert spec.short_name == "Point"
+
+    def test_comments_and_blanks_ignored(self):
+        spec = parse_message_definition(
+            "pkg/M", "# leading comment\n\nuint32 a  # trailing\n   \n"
+        )
+        assert spec.field_names() == ["a"]
+
+    def test_header_field(self):
+        spec = parse_message_definition("pkg/M", "Header header\nuint8 x\n")
+        assert spec.has_header()
+        assert spec.fields[0].type.name == "std_msgs/Header"
+
+    def test_constants(self):
+        spec = parse_message_definition(
+            "pkg/M", "uint8 DEBUG=1\nuint8 INFO=2\nstring NAME=hello world\n"
+        )
+        assert [c.name for c in spec.constants] == ["DEBUG", "INFO", "NAME"]
+        assert spec.constants[0].value == 1
+        assert spec.constants[2].value == "hello world"
+
+    def test_string_constant_keeps_hash(self):
+        spec = parse_message_definition("pkg/M", "string S=a#b\n")
+        assert spec.constants[0].value == "a#b"
+
+    def test_constant_range_check(self):
+        with pytest.raises(MessageDefinitionError):
+            parse_message_definition("pkg/M", "uint8 BIG=300\n")
+
+    def test_negative_constant(self):
+        spec = parse_message_definition("pkg/M", "int16 LOW=-5\n")
+        assert spec.constants[0].value == -5
+
+    def test_bool_constant(self):
+        spec = parse_message_definition("pkg/M", "bool FLAG=True\n")
+        assert spec.constants[0].value is True
+
+    def test_sfm_capacity_directive(self):
+        spec = parse_message_definition(
+            "pkg/M", "uint8[] data\n# sfm_capacity: 4096\n"
+        )
+        assert spec.sfm_capacity == 4096
+
+    def test_duplicate_field_rejected(self):
+        with pytest.raises(MessageDefinitionError):
+            parse_message_definition("pkg/M", "uint8 a\nuint8 a\n")
+
+    def test_unqualified_name_rejected(self):
+        with pytest.raises(MessageDefinitionError):
+            parse_message_definition("NoPackage", "uint8 a\n")
+
+    def test_bad_field_line_rejected(self):
+        with pytest.raises(MessageDefinitionError):
+            parse_message_definition("pkg/M", "uint8\n")
+
+    def test_bad_field_name_rejected(self):
+        with pytest.raises(MessageDefinitionError):
+            parse_message_definition("pkg/M", "uint8 9lives\n")
+
+    def test_complex_dependencies(self):
+        spec = parse_message_definition(
+            "pkg/M", "Header header\ngeometry_msgs/Point[] pts\nstring s\n"
+        )
+        assert spec.complex_dependencies() == [
+            "std_msgs/Header", "geometry_msgs/Point",
+        ]
+
+
+class TestOptionalExtension:
+    def test_optional_with_default(self):
+        spec = parse_message_definition("pkg/M", "optional uint32 retries = 3\n")
+        field = spec.fields[0]
+        assert field.optional
+        assert field.default == 3
+        assert field.default_value() == 3
+
+    def test_optional_without_default(self):
+        spec = parse_message_definition("pkg/M", "optional string note\n")
+        field = spec.fields[0]
+        assert field.optional
+        assert field.default is None
+        assert field.default_value() == ""
+
+    def test_optional_float_default(self):
+        spec = parse_message_definition("pkg/M", "optional float64 gain = 1.5\n")
+        assert spec.fields[0].default == 1.5
+
+    def test_plain_field_not_optional(self):
+        spec = parse_message_definition("pkg/M", "uint32 a\n")
+        assert not spec.fields[0].optional
+
+
+class TestMapExtension:
+    def test_map_field(self):
+        spec = parse_message_definition("pkg/M", "map<string,uint32> tags\n")
+        field = spec.fields[0]
+        assert isinstance(field.type.key_type, StringType)
+
+    def test_map_of_complex_values(self):
+        spec = parse_message_definition(
+            "pkg/M", "map<uint32,geometry_msgs/Point> by_id\n"
+        )
+        assert isinstance(spec.fields[0].type.value_type, ComplexType)

@@ -1,0 +1,160 @@
+"""Round-trip tests for the extended library types through every wire
+format and the SFM path."""
+
+import pytest
+
+from repro.msg import library as L
+from repro.msg.registry import default_registry
+from repro.serialization.protobuf import ProtoBufFormat
+from repro.serialization.rosser import ROSSerializer
+from repro.serialization.xcdr2 import XCDR2Format
+from repro.sfm.generator import generate_sfm_class
+
+
+@pytest.fixture(scope="module")
+def ros_fmt():
+    return ROSSerializer(default_registry)
+
+
+def _odometry():
+    odom = L.Odometry()
+    odom.header.frame_id = "odom"
+    odom.child_frame_id = "base_link"
+    odom.pose.pose.position.x = 1.5
+    odom.pose.pose.orientation.w = 1.0
+    odom.pose.covariance = [0.01 * i for i in range(36)]
+    odom.twist.twist.linear.x = 0.25
+    odom.twist.covariance = [0.0] * 36
+    return odom
+
+
+def _path(n=3):
+    path = L.Path()
+    path.header.frame_id = "map"
+    path.poses = []
+    for i in range(n):
+        pose = L.PoseStamped()
+        pose.header.seq = i
+        pose.pose.position.x = float(i)
+        pose.pose.orientation.w = 1.0
+        path.poses.append(pose)
+    return path
+
+
+def _grid():
+    grid = L.OccupancyGrid()
+    grid.header.frame_id = "map"
+    grid.info.resolution = 0.25  # exactly representable in float32
+    grid.info.width = 4
+    grid.info.height = 2
+    grid.data = [0, 100, -1, 50, 0, 0, 100, -1]
+    return grid
+
+
+def _tf():
+    tf = L.TFMessage()
+    transform = L.TransformStamped()
+    transform.header.frame_id = "map"
+    transform.child_frame_id = "odom"
+    transform.transform.rotation.w = 1.0
+    transform.transform.translation.x = 0.5
+    tf.transforms = [transform]
+    return tf
+
+
+def _joint_state():
+    js = L.JointState()
+    js.name = ["shoulder", "elbow", "wrist"]
+    js.position = [0.1, 0.2, 0.3]
+    js.velocity = [0.0, 0.0, 0.0]
+    js.effort = []
+    return js
+
+
+BUILDERS = {
+    "nav_msgs/Odometry": _odometry,
+    "nav_msgs/Path": _path,
+    "nav_msgs/OccupancyGrid": _grid,
+    "tf2_msgs/TFMessage": _tf,
+    "sensor_msgs/JointState": _joint_state,
+}
+
+
+@pytest.mark.parametrize("type_name", sorted(BUILDERS))
+def test_ros_roundtrip(ros_fmt, type_name):
+    msg = BUILDERS[type_name]()
+    assert ros_fmt.deserialize(type_name, ros_fmt.serialize(msg)) == msg
+
+
+@pytest.mark.parametrize("type_name", sorted(BUILDERS))
+def test_protobuf_roundtrip(type_name):
+    fmt = ProtoBufFormat(default_registry)
+    msg = BUILDERS[type_name]()
+    assert fmt.deserialize(type_name, fmt.serialize(msg)) == msg
+
+
+@pytest.mark.parametrize("type_name", sorted(BUILDERS))
+def test_xcdr2_roundtrip(type_name):
+    fmt = XCDR2Format(default_registry)
+    msg = BUILDERS[type_name]()
+    assert fmt.deserialize(type_name, fmt.serialize(msg)) == msg
+
+
+class TestSfmExtendedTypes:
+    def test_odometry_sfm(self):
+        cls = generate_sfm_class("nav_msgs/Odometry")
+        odom = cls()
+        odom.header.frame_id = "odom"
+        odom.child_frame_id = "base_link"
+        odom.pose.pose.position.x = 1.5
+        odom.pose.covariance = [0.01 * i for i in range(36)]
+        plain = odom.to_plain()
+        assert plain.child_frame_id == "base_link"
+        assert plain.pose.covariance[35] == pytest.approx(0.35)
+        received = cls.from_buffer(bytearray(bytes(odom.to_wire())))
+        assert received == odom
+
+    def test_path_sfm_vector_of_stamped_poses(self):
+        cls = generate_sfm_class("nav_msgs/Path")
+        path = cls()
+        path.header.frame_id = "map"
+        path.poses.resize(3)
+        for i in range(3):
+            path.poses[i].header.seq = i
+            path.poses[i].header.frame_id = f"wp{i}"
+            path.poses[i].pose.position.x = float(i)
+        received = cls.from_buffer(bytearray(bytes(path.to_wire())))
+        assert len(received.poses) == 3
+        assert received.poses[2].header.frame_id == "wp2"
+        assert received.poses[2].pose.position.x == 2.0
+
+    def test_joint_state_string_vector(self):
+        cls = generate_sfm_class("sensor_msgs/JointState")
+        js = cls()
+        js.name.resize(2)
+        js.name[0] = "shoulder"
+        js.name[1] = "elbow"
+        js.position = [0.5, -0.5]
+        received = cls.from_buffer(bytearray(bytes(js.to_wire())))
+        assert [str(n) for n in received.name] == ["shoulder", "elbow"]
+        assert list(received.position) == [0.5, -0.5]
+
+    def test_imu_fixed_covariances(self):
+        cls = generate_sfm_class("sensor_msgs/Imu")
+        imu = cls()
+        imu.orientation.w = 1.0
+        imu.orientation_covariance = [0.1] * 9
+        imu.linear_acceleration.z = 9.81
+        assert imu.whole_size == cls._layout.skeleton_size  # all inline
+        received = cls.from_buffer(bytearray(bytes(imu.to_wire())))
+        assert received.linear_acceleration.z == 9.81
+        assert list(received.orientation_covariance) == [0.1] * 9
+
+    def test_occupancy_grid_signed_bytes(self):
+        cls = generate_sfm_class("nav_msgs/OccupancyGrid")
+        grid = cls()
+        grid.info.width = 2
+        grid.info.height = 2
+        grid.data = [0, 100, -1, 50]
+        received = cls.from_buffer(bytearray(bytes(grid.to_wire())))
+        assert list(received.data) == [0, 100, -1, 50]

@@ -1,0 +1,105 @@
+"""Unit tests for the type registry and md5 fingerprints."""
+
+import pytest
+
+from repro.msg.fields import parse_field_type
+from repro.msg.registry import TypeRegistry, UnknownTypeError
+
+
+@pytest.fixture
+def reg(fresh_registry):
+    fresh_registry.register_text("pkg/Inner", "uint32 a\nstring s\n")
+    fresh_registry.register_text("pkg/Outer", "pkg/Inner inner\nuint8[] data\n")
+    fresh_registry.register_text("pkg/Fixed", "uint32 a\nfloat64 b\n")
+    return fresh_registry
+
+
+class TestRegistration:
+    def test_lookup(self, reg):
+        assert reg.get("pkg/Inner").short_name == "Inner"
+        assert "pkg/Outer" in reg
+
+    def test_unknown_raises(self, reg):
+        with pytest.raises(UnknownTypeError):
+            reg.get("pkg/Nope")
+
+    def test_reregister_identical_is_noop(self, reg):
+        spec = reg.get("pkg/Inner")
+        again = reg.register_text("pkg/Inner", "uint32 a\nstring s\n")
+        assert again is spec
+
+    def test_conflicting_registration_rejected(self, reg):
+        with pytest.raises(ValueError):
+            reg.register_text("pkg/Inner", "uint64 different\n")
+
+    def test_names_sorted(self, reg):
+        assert reg.names() == ["pkg/Fixed", "pkg/Inner", "pkg/Outer"]
+
+
+class TestStructuralQueries:
+    def test_fixed_size_primitive_message(self, reg):
+        assert reg.is_fixed_size(parse_field_type("pkg/Fixed"))
+
+    def test_variable_size_through_nesting(self, reg):
+        assert not reg.is_fixed_size(parse_field_type("pkg/Outer"))
+
+    def test_fixed_array_of_fixed_message(self, reg):
+        assert reg.is_fixed_size(parse_field_type("pkg/Fixed[4]"))
+        assert not reg.is_fixed_size(parse_field_type("pkg/Fixed[]"))
+
+    def test_dependency_closure(self, reg):
+        assert reg.dependency_closure("pkg/Outer") == ["pkg/Inner"]
+        assert reg.dependency_closure("pkg/Fixed") == []
+
+    def test_dependency_closure_transitive(self, reg):
+        reg.register_text("pkg/Top", "pkg/Outer o\n")
+        closure = reg.dependency_closure("pkg/Top")
+        assert closure == ["pkg/Inner", "pkg/Outer"]
+
+    def test_iter_flat_fields(self, reg):
+        flat = dict(reg.iter_flat_fields("pkg/Outer"))
+        assert set(flat) == {"inner.a", "inner.s", "data"}
+
+    def test_recursive_type_detected(self, fresh_registry):
+        fresh_registry.register_text("pkg/Loop", "pkg/Loop next\n")
+        with pytest.raises(ValueError, match="recursive"):
+            fresh_registry.md5sum("pkg/Loop")
+
+
+class TestMd5:
+    def test_stable(self, reg):
+        assert reg.md5sum("pkg/Inner") == reg.md5sum("pkg/Inner")
+
+    def test_differs_across_types(self, reg):
+        assert reg.md5sum("pkg/Inner") != reg.md5sum("pkg/Fixed")
+
+    def test_nested_md5_changes_with_dependency(self):
+        a, b = TypeRegistry(), TypeRegistry()
+        a.register_text("p/In", "uint32 x\n")
+        b.register_text("p/In", "uint64 x\n")
+        for r in (a, b):
+            r.register_text("p/Out", "p/In inner\n")
+        assert a.md5sum("p/Out") != b.md5sum("p/Out")
+
+    def test_comments_do_not_affect_md5(self):
+        a, b = TypeRegistry(), TypeRegistry()
+        a.register_text("p/M", "uint32 x\n")
+        b.register_text("p/M", "# doc\nuint32 x  # trailing\n")
+        assert a.md5sum("p/M") == b.md5sum("p/M")
+
+    def test_constants_affect_md5(self):
+        a, b = TypeRegistry(), TypeRegistry()
+        a.register_text("p/M", "uint8 K=1\nuint32 x\n")
+        b.register_text("p/M", "uint8 K=2\nuint32 x\n")
+        assert a.md5sum("p/M") != b.md5sum("p/M")
+
+    def test_library_image_md5_matches_known_structure(self, registry):
+        # 32 hex chars, stable across calls and cache invalidation.
+        digest = registry.md5sum("sensor_msgs/Image")
+        assert len(digest) == 32
+        int(digest, 16)
+
+    def test_full_text_contains_dependencies(self, reg):
+        text = reg.full_text("pkg/Outer")
+        assert "MSG: pkg/Inner" in text
+        assert "=" * 80 in text

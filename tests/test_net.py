@@ -1,0 +1,111 @@
+"""Tests for the network link model and the shaped channel."""
+
+import threading
+import time
+
+import pytest
+
+from repro.net.link import (
+    GIGABIT,
+    HUNDRED_MEGABIT,
+    LinkProfile,
+    NetworkLink,
+    TEN_GIGABIT,
+)
+from repro.net.shaper import ShapedChannel
+
+
+class TestLinkProfile:
+    def test_transmit_time_monotone_in_size(self):
+        times = [TEN_GIGABIT.transmit_time(n) for n in (0, 1_000, 1_000_000,
+                                                        6_000_000)]
+        assert times == sorted(times)
+
+    def test_bandwidth_ordering(self):
+        # Section 1's trend: the same payload is much faster on faster links.
+        size = 6_000_000
+        slow = HUNDRED_MEGABIT.transmit_time(size)
+        mid = GIGABIT.transmit_time(size)
+        fast = TEN_GIGABIT.transmit_time(size)
+        assert slow > mid > fast
+        assert slow / fast > 50  # "tenfold or even hundredfold"
+
+    def test_six_megabytes_on_ten_gig(self):
+        # ~6 MB at 10 Gbps is about 5 ms of wire time.
+        elapsed = TEN_GIGABIT.transmit_time(6_220_800)
+        assert 0.004 < elapsed < 0.007
+
+    def test_small_message_dominated_by_overhead(self):
+        profile = TEN_GIGABIT
+        assert profile.transmit_time(8) >= (
+            profile.per_message_overhead_s + profile.propagation_s
+        )
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            TEN_GIGABIT.transmit_time(-1)
+
+    def test_frame_overhead_counted(self):
+        profile = LinkProfile(name="test", bandwidth_bps=1e9,
+                              propagation_s=0.0, per_message_overhead_s=0.0)
+        one_frame = profile.transmit_time(1500)
+        two_frames = profile.transmit_time(1501)
+        assert two_frames > one_frame
+
+
+class TestNetworkLink:
+    def test_accounting(self):
+        link = NetworkLink(TEN_GIGABIT)
+        elapsed = link.send(1_000_000)
+        assert link.messages_sent == 1
+        assert link.bytes_sent == 1_000_000
+        assert link.modeled_seconds == pytest.approx(elapsed)
+        link.send(1_000_000)
+        assert link.modeled_seconds == pytest.approx(2 * elapsed)
+        link.reset()
+        assert link.messages_sent == 0
+
+
+class TestShapedChannel:
+    def test_delivery_order_and_content(self):
+        channel = ShapedChannel(TEN_GIGABIT)
+        channel.send(b"one")
+        channel.send(b"two")
+        assert channel.recv(timeout=1) == b"one"
+        assert channel.recv(timeout=1) == b"two"
+
+    def test_shaping_delays_delivery(self):
+        slow = LinkProfile(name="slow", bandwidth_bps=1e6,
+                           propagation_s=0.0, per_message_overhead_s=0.0)
+        channel = ShapedChannel(slow)
+        payload = bytes(12_500)  # 0.1 s at 1 Mbps
+        start = time.monotonic()
+        channel.send(payload)
+        received = channel.recv(timeout=2)
+        elapsed = time.monotonic() - start
+        assert received == payload
+        assert elapsed >= 0.08
+
+    def test_recv_timeout_returns_none(self):
+        channel = ShapedChannel(TEN_GIGABIT)
+        assert channel.recv(timeout=0.05) is None
+
+    def test_close_unblocks_receiver(self):
+        channel = ShapedChannel(TEN_GIGABIT)
+        results = []
+
+        def receiver():
+            results.append(channel.recv(timeout=5))
+
+        thread = threading.Thread(target=receiver)
+        thread.start()
+        time.sleep(0.05)
+        channel.close()
+        thread.join(timeout=2)
+        assert results == [None]
+
+    def test_send_after_close_raises(self):
+        channel = ShapedChannel(TEN_GIGABIT)
+        channel.close()
+        with pytest.raises(ConnectionError):
+            channel.send(b"x")

@@ -1,0 +1,78 @@
+"""Tests for the rostopic-style introspection helpers."""
+
+import time
+
+import pytest
+
+from repro.msg import library as L
+from repro.ros import RosGraph
+from repro.ros.introspection import echo, list_topics, measure_hz, topic_info
+
+
+@pytest.fixture(scope="module")
+def graph_with_traffic():
+    with RosGraph() as graph:
+        pub_node = graph.node("intro_pub")
+        sub_node = graph.node("intro_sub")
+        pub = pub_node.advertise("/intro/count", L.UInt32)
+        sub_node.subscribe("/intro/count", L.UInt32, lambda m: None)
+        pub.wait_for_subscribers(1)
+        yield graph, pub_node, sub_node, pub
+
+
+class TestListAndInfo:
+    def test_list_topics(self, graph_with_traffic):
+        graph, *_ = graph_with_traffic
+        topics = dict(list_topics(graph.master_uri))
+        assert topics.get("/intro/count") == "std_msgs/UInt32"
+
+    def test_topic_info(self, graph_with_traffic):
+        graph, *_ = graph_with_traffic
+        info = topic_info(graph.master_uri, "/intro/count")
+        assert info.type_name == "std_msgs/UInt32"
+        assert "/intro_pub" in info.publishers
+        assert "/intro_sub" in info.subscribers
+
+    def test_unknown_topic_info_empty(self, graph_with_traffic):
+        graph, *_ = graph_with_traffic
+        info = topic_info(graph.master_uri, "/nothing")
+        assert info.type_name == ""
+        assert info.publishers == []
+
+
+class TestEchoAndHz:
+    def test_echo_collects_messages(self, graph_with_traffic):
+        graph, pub_node, _sub, pub = graph_with_traffic
+        probe_node = graph.node("intro_probe")
+        import threading
+
+        def publish_soon():
+            time.sleep(0.3)
+            for i in range(5):
+                pub.publish(L.UInt32(data=i))
+                time.sleep(0.02)
+
+        thread = threading.Thread(target=publish_soon)
+        thread.start()
+        received = echo(probe_node, "/intro/count", L.UInt32, count=3,
+                        timeout=10)
+        thread.join()
+        assert len(received) == 3
+
+    def test_measure_hz(self, graph_with_traffic):
+        graph, pub_node, _sub, pub = graph_with_traffic
+        probe_node = graph.node("intro_hz")
+        import threading
+
+        def publish_at_50hz():
+            time.sleep(0.3)
+            for _ in range(15):
+                pub.publish(L.UInt32(data=0))
+                time.sleep(0.02)
+
+        thread = threading.Thread(target=publish_at_50hz)
+        thread.start()
+        hz = measure_hz(probe_node, "/intro/count", L.UInt32, window=10,
+                        timeout=10)
+        thread.join()
+        assert 25 < hz < 100  # ~50 Hz with scheduling slack

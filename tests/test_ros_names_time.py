@@ -1,0 +1,95 @@
+"""Unit tests for graph names, Time/Duration and Rate."""
+
+import time
+
+import pytest
+
+from repro.ros import names
+from repro.ros.exceptions import NameError_
+from repro.ros.rate import Rate
+from repro.ros.rostime import Duration, Time
+
+
+class TestNames:
+    @pytest.mark.parametrize(
+        "name,namespace,node,expected",
+        [
+            ("/abs/topic", "/", "", "/abs/topic"),
+            ("image", "/camera", "", "/camera/image"),
+            ("image", "/", "", "/image"),
+            ("~debug", "/", "/viewer", "/viewer/debug"),
+            ("a/b", "/ns", "", "/ns/a/b"),
+        ],
+    )
+    def test_resolution(self, name, namespace, node, expected):
+        assert names.resolve(name, namespace, node) == expected
+
+    def test_private_without_node_rejected(self):
+        with pytest.raises(NameError_):
+            names.resolve("~x")
+
+    @pytest.mark.parametrize("bad", ["", "9abc", "a b", "a//b", "a$b"])
+    def test_invalid_names_rejected(self, bad):
+        with pytest.raises(NameError_):
+            names.validate_name(bad)
+
+    def test_namespace_of(self):
+        assert names.namespace_of("/a/b/c") == "/a/b"
+        assert names.namespace_of("/a") == "/"
+
+
+class TestTime:
+    def test_normalization(self):
+        t = Time(1, 1_500_000_000)
+        assert (t.secs, t.nsecs) == (2, 500_000_000)
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            Time(-1, 0)
+
+    def test_now_monotonic_enough(self):
+        a = Time.now()
+        b = Time.now()
+        assert b >= a
+
+    def test_arithmetic(self):
+        t = Time(10, 0)
+        d = Duration(1, 500_000_000)
+        assert t + d == Time(11, 500_000_000)
+        assert (t + d) - t == d
+        assert t - d == Time(8, 500_000_000)
+
+    def test_iterable_as_wire_tuple(self):
+        secs, nsecs = Time(3, 4)
+        assert (secs, nsecs) == (3, 4)
+
+    def test_from_to_sec(self):
+        assert Time.from_sec(1.25).to_sec() == pytest.approx(1.25)
+        assert Duration.from_sec(-0.5).to_sec() == pytest.approx(-0.5)
+
+    def test_duration_negation(self):
+        assert -Duration(1, 0) == Duration(-1, 0)
+
+    def test_duration_bool(self):
+        assert not Duration()
+        assert Duration(0, 1)
+
+
+class TestRate:
+    def test_sleep_maintains_period(self):
+        rate = Rate(100.0)
+        start = time.monotonic()
+        for _ in range(5):
+            rate.sleep()
+        elapsed = time.monotonic() - start
+        assert elapsed >= 0.04
+
+    def test_missed_deadline_reanchors(self):
+        rate = Rate(1000.0)
+        time.sleep(0.01)
+        assert rate.sleep() is False
+        assert rate.sleep() is True
+
+    def test_bad_rate_rejected(self):
+        with pytest.raises(ValueError):
+            Rate(0)

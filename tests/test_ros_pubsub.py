@@ -1,0 +1,223 @@
+"""Integration tests for the full pub/sub middleware."""
+
+import threading
+import time
+
+import pytest
+
+from repro.msg import library as L
+from repro.ros import RosGraph
+from repro.rossf import sfm_classes_for
+
+
+@pytest.fixture(scope="module")
+def graph():
+    with RosGraph() as g:
+        yield g
+
+
+def _collect(n, timeout=10.0):
+    """A callback collecting n messages plus a wait helper."""
+    received = []
+    done = threading.Event()
+
+    def callback(msg):
+        received.append(msg)
+        if len(received) >= n:
+            done.set()
+
+    def wait():
+        assert done.wait(timeout), f"only received {len(received)}/{n}"
+        return received
+
+    return callback, wait
+
+
+class TestPlainPubSub:
+    def test_messages_arrive_in_order(self, graph):
+        pub_node = graph.node("order_pub")
+        sub_node = graph.node("order_sub")
+        callback, wait = _collect(10)
+        sub_node.subscribe("/order", L.UInt32, callback)
+        pub = pub_node.advertise("/order", L.UInt32)
+        assert pub.wait_for_subscribers(1)
+        for i in range(10):
+            pub.publish(L.UInt32(data=i))
+        received = wait()
+        assert [m.data for m in received] == list(range(10))
+        pub_node.shutdown()
+        sub_node.shutdown()
+
+    def test_image_content_survives(self, graph):
+        pub_node = graph.node("img_pub")
+        sub_node = graph.node("img_sub")
+        callback, wait = _collect(1)
+        sub_node.subscribe("/img", L.Image, callback)
+        pub = pub_node.advertise("/img", L.Image)
+        assert pub.wait_for_subscribers(1)
+        img = L.Image(height=2, width=3, encoding="rgb8", step=9)
+        img.data = bytes(range(18))
+        img.header.frame_id = "cam"
+        pub.publish(img)
+        (received,) = wait()
+        assert received == img
+        pub_node.shutdown()
+        sub_node.shutdown()
+
+    def test_multiple_subscribers_fanout(self, graph):
+        pub_node = graph.node("fan_pub")
+        sub_a = graph.node("fan_sub_a")
+        sub_b = graph.node("fan_sub_b")
+        cb_a, wait_a = _collect(3)
+        cb_b, wait_b = _collect(3)
+        sub_a.subscribe("/fan", L.UInt32, cb_a)
+        sub_b.subscribe("/fan", L.UInt32, cb_b)
+        pub = pub_node.advertise("/fan", L.UInt32)
+        assert pub.wait_for_subscribers(2)
+        for i in range(3):
+            pub.publish(L.UInt32(data=i))
+        assert [m.data for m in wait_a()] == [0, 1, 2]
+        assert [m.data for m in wait_b()] == [0, 1, 2]
+        pub_node.shutdown()
+        sub_a.shutdown()
+        sub_b.shutdown()
+
+    def test_late_publisher_discovered_via_update(self, graph):
+        sub_node = graph.node("late_sub")
+        callback, wait = _collect(1)
+        sub = sub_node.subscribe("/late", L.UInt32, callback)
+        # Publisher arrives after the subscription.
+        pub_node = graph.node("late_pub")
+        pub = pub_node.advertise("/late", L.UInt32)
+        assert sub.wait_for_publishers(1)
+        assert pub.wait_for_subscribers(1)
+        pub.publish(L.UInt32(data=7))
+        assert wait()[0].data == 7
+        pub_node.shutdown()
+        sub_node.shutdown()
+
+    def test_publish_with_no_subscribers_is_fine(self, graph):
+        pub_node = graph.node("lonely_pub")
+        pub = pub_node.advertise("/lonely", L.UInt32)
+        pub.publish(L.UInt32(data=1))
+        assert pub.published_count == 1
+        pub_node.shutdown()
+
+
+class TestSfmPubSub:
+    def test_sfm_end_to_end(self, graph):
+        SImage, = sfm_classes_for("sensor_msgs/Image")
+        pub_node = graph.node("sfm_pub")
+        sub_node = graph.node("sfm_sub")
+        results = []
+        done = threading.Event()
+
+        def callback(msg):
+            # Access inside the callback, zero-copy.
+            results.append(
+                (int(msg.header.seq), str(msg.encoding), msg.data.tobytes())
+            )
+            if len(results) >= 3:
+                done.set()
+
+        sub_node.subscribe("/sfm_img", SImage, callback)
+        pub = pub_node.advertise("/sfm_img", SImage)
+        assert pub.wait_for_subscribers(1)
+        for i in range(3):
+            msg = SImage(height=2, width=2, step=6)
+            msg.header.seq = i
+            msg.encoding = "rgb8"
+            msg.data = bytes([i]) * 12
+            pub.publish(msg)
+        assert done.wait(10)
+        assert results == [
+            (i, "rgb8", bytes([i]) * 12) for i in range(3)
+        ]
+        pub_node.shutdown()
+        sub_node.shutdown()
+
+    def test_format_mismatch_rejected(self, graph):
+        """A plain subscriber on an SFM topic must not connect (wire
+        formats differ), and vice versa."""
+        SImage, = sfm_classes_for("sensor_msgs/Image")
+        pub_node = graph.node("mismatch_pub")
+        sub_node = graph.node("mismatch_sub")
+        pub = pub_node.advertise("/mismatch", SImage)
+        sub = sub_node.subscribe("/mismatch", L.Image, lambda m: None)
+        time.sleep(0.4)
+        assert sub.get_num_connections() == 0
+        pub_node.shutdown()
+        sub_node.shutdown()
+
+    def test_publishing_plain_on_sfm_topic_raises(self, graph):
+        SImage, = sfm_classes_for("sensor_msgs/Image")
+        pub_node = graph.node("wrongclass_pub")
+        sub_node = graph.node("wrongclass_sub")
+        sub_node.subscribe("/wrongclass", SImage, lambda m: None)
+        pub = pub_node.advertise("/wrongclass", SImage)
+        assert pub.wait_for_subscribers(1)
+        with pytest.raises(TypeError, match="Converter"):
+            pub.publish(L.Image())
+        pub_node.shutdown()
+        sub_node.shutdown()
+
+
+class TestIntraProcess:
+    def test_local_delivery_shares_object(self, graph):
+        pub_node = graph.node("local_pub")
+        sub_node = graph.node("local_sub")
+        received = []
+        sub_node.subscribe("/local", L.Image, received.append,
+                           intraprocess=True)
+        pub = pub_node.advertise("/local", L.Image, intraprocess=True)
+        img = L.Image(height=1)
+        pub.publish(img)
+        assert received and received[0] is img  # zero-copy by reference
+        pub_node.shutdown()
+        sub_node.shutdown()
+
+
+class TestQueueing:
+    def test_slow_subscriber_drops_oldest(self, graph):
+        pub_node = graph.node("drop_pub")
+        sub_node = graph.node("drop_sub")
+        release = threading.Event()
+        received = []
+
+        def slow_callback(msg):
+            release.wait(5)
+            received.append(msg.data)
+
+        sub_node.subscribe("/drop", L.UInt32, slow_callback)
+        pub = pub_node.advertise("/drop", L.UInt32, queue_size=2)
+        assert pub.wait_for_subscribers(1)
+        for i in range(30):
+            pub.publish(L.UInt32(data=i))
+        time.sleep(0.3)
+        release.set()
+        deadline = time.monotonic() + 5
+        while time.monotonic() < deadline and not received:
+            time.sleep(0.05)
+        link = pub._links[0]
+        assert link.dropped > 0
+        pub_node.shutdown()
+        sub_node.shutdown()
+
+
+class TestShutdown:
+    def test_node_shutdown_unregisters(self):
+        with RosGraph() as g:
+            node = g.node("temp")
+            node.advertise("/temp_topic", L.UInt32)
+            assert g.master.registry.publishers_of("/temp_topic")
+            node.shutdown()
+            assert not g.master.registry.publishers_of("/temp_topic")
+
+    def test_operations_after_shutdown_rejected(self):
+        from repro.ros.exceptions import NodeShutdownError
+
+        with RosGraph() as g:
+            node = g.node("dead")
+            node.shutdown()
+            with pytest.raises(NodeShutdownError):
+                node.advertise("/x", L.UInt32)

@@ -1,0 +1,180 @@
+"""Tests for .srv parsing, the service transport and the parameter
+server."""
+
+import pytest
+
+from repro.msg.idl import MessageDefinitionError
+from repro.msg.srv import (
+    default_service_registry,
+    parse_service_definition,
+    service_type,
+    sfm_service_type,
+)
+from repro.ros import RosGraph
+from repro.ros.service import ServiceError
+
+
+class TestSrvParsing:
+    def test_request_response_split(self):
+        spec = parse_service_definition(
+            "pkg/AddTwoInts", "int64 a\nint64 b\n---\nint64 sum\n"
+        )
+        assert spec.request.field_names() == ["a", "b"]
+        assert spec.response.field_names() == ["sum"]
+        assert spec.request.full_name == "pkg/AddTwoIntsRequest"
+
+    def test_empty_request(self):
+        spec = parse_service_definition("pkg/Trigger", "---\nbool ok\n")
+        assert spec.request.fields == []
+        assert spec.response.field_names() == ["ok"]
+
+    def test_missing_separator_rejected(self):
+        with pytest.raises(MessageDefinitionError, match="---"):
+            parse_service_definition("pkg/Bad", "int64 a\n")
+
+    def test_double_separator_rejected(self):
+        with pytest.raises(MessageDefinitionError):
+            parse_service_definition("pkg/Bad", "---\n---\n")
+
+    def test_service_md5_differs_by_halves(self):
+        registry = default_service_registry
+        assert registry.md5sum("std_srvs/Trigger") != registry.md5sum(
+            "std_srvs/SetBool"
+        )
+
+    def test_service_type_classes(self):
+        add = service_type("rossf_bench/AddTwoInts")
+        request = add.request_class(a=1, b=2)
+        assert (request.a, request.b) == (1, 2)
+        assert add.response_class().sum == 0
+
+
+@pytest.fixture(scope="module")
+def service_graph():
+    with RosGraph() as graph:
+        server_node = graph.node("srv_server")
+        client_node = graph.node("srv_client")
+
+        add = service_type("rossf_bench/AddTwoInts")
+
+        def add_handler(request):
+            if request.a == 666:
+                raise ValueError("unlucky request")
+            return add.response_class(sum=request.a + request.b)
+
+        server_node.advertise_service("/add", add, add_handler)
+
+        trigger = service_type("std_srvs/Trigger")
+
+        def trigger_handler(_request):
+            return trigger.response_class(success=True, message="pong")
+
+        server_node.advertise_service("/ping", trigger, trigger_handler)
+
+        yield graph, server_node, client_node, add, trigger
+
+
+class TestServiceCalls:
+    def test_basic_call(self, service_graph):
+        _graph, _server, client, add, _trigger = service_graph
+        assert client.wait_for_service("/add")
+        proxy = client.service_proxy("/add", add)
+        assert proxy(a=19, b=23).sum == 42
+
+    def test_request_object_call(self, service_graph):
+        _graph, _server, client, add, _trigger = service_graph
+        proxy = client.service_proxy("/add", add)
+        assert proxy(add.request_class(a=-5, b=5)).sum == 0
+
+    def test_persistent_connection_reused(self, service_graph):
+        _graph, _server, client, add, _trigger = service_graph
+        proxy = client.service_proxy("/add", add)
+        results = [proxy(a=i, b=i).sum for i in range(5)]
+        assert results == [0, 2, 4, 6, 8]
+
+    def test_handler_error_propagates(self, service_graph):
+        _graph, _server, client, add, _trigger = service_graph
+        proxy = client.service_proxy("/add", add)
+        with pytest.raises(ServiceError, match="unlucky"):
+            proxy(a=666, b=0)
+        # Connection survives an application error.
+        assert proxy(a=1, b=1).sum == 2
+
+    def test_empty_request_service(self, service_graph):
+        _graph, _server, client, _add, trigger = service_graph
+        proxy = client.service_proxy("/ping", trigger)
+        response = proxy()
+        assert response.success is True
+        assert response.message == "pong"
+
+    def test_unknown_service_lookup_fails(self, service_graph):
+        _graph, _server, client, _add, _trigger = service_graph
+        assert not client.wait_for_service("/ghost", timeout=0.3)
+
+    def test_call_counts(self, service_graph):
+        _graph, server, client, add, _trigger = service_graph
+        before = server._services["/add"].call_count
+        client.service_proxy("/add", add)(a=1, b=2)
+        assert server._services["/add"].call_count == before + 1
+
+
+class TestSfmServices:
+    def test_serialization_free_image_service(self, service_graph):
+        graph, _server, _client, _add, _trigger = service_graph
+        node_a = graph.node("sfm_srv_server")
+        node_b = graph.node("sfm_srv_client")
+        get_image = sfm_service_type("rossf_bench/GetImage")
+
+        def handler(request):
+            response = get_image.response_class()
+            response.image.height = request.height
+            response.image.width = request.width
+            response.image.encoding = "rgb8"
+            response.image.data = bytes(
+                int(request.height) * int(request.width) * 3
+            )
+            return response
+
+        node_a.advertise_service("/get_image", get_image, handler)
+        assert node_b.wait_for_service("/get_image")
+        proxy = node_b.service_proxy("/get_image", get_image)
+        response = proxy(height=8, width=16)
+        assert int(response.image.height) == 8
+        assert len(response.image.data) == 8 * 16 * 3
+        assert response.image.encoding == "rgb8"
+
+    def test_format_mismatch_rejected(self, service_graph):
+        graph, server, client, add, _trigger = service_graph
+        sfm_add = sfm_service_type("rossf_bench/AddTwoInts")
+        proxy = client.service_proxy("/add", sfm_add)  # server is plain
+        from repro.ros.exceptions import ConnectionHandshakeError
+
+        with pytest.raises(ConnectionHandshakeError, match="format"):
+            proxy(a=1, b=2)
+
+
+class TestParameterServer:
+    def test_set_get_roundtrip(self, service_graph):
+        _graph, server, client, _add, _trigger = service_graph
+        server.set_param("/camera/fps", 30)
+        server.set_param("/camera/name", "front")
+        assert client.get_param("/camera/fps") == 30
+        assert client.get_param("/camera/name") == "front"
+
+    def test_structured_values(self, service_graph):
+        _graph, server, client, _add, _trigger = service_graph
+        server.set_param("/calib", {"fx": 500.5, "size": [640, 480]})
+        value = client.get_param("/calib")
+        assert value["fx"] == 500.5
+        assert value["size"] == [640, 480]
+
+    def test_has_delete(self, service_graph):
+        _graph, server, client, _add, _trigger = service_graph
+        server.set_param("/tmp_key", 1)
+        assert client.has_param("/tmp_key")
+        client.delete_param("/tmp_key")
+        assert not client.has_param("/tmp_key")
+
+    def test_default_on_missing(self, service_graph):
+        _graph, _server, client, _add, _trigger = service_graph
+        assert client.get_param("/never_set", default=7) == 7

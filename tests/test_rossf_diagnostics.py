@@ -1,0 +1,43 @@
+"""Tests for the ROS-SF diagnostics snapshot."""
+
+from repro.rossf.diagnostics import find_leaks, report
+from repro.sfm.generator import generate_sfm_class
+from repro.sfm.manager import MessageManager
+
+
+def test_report_counts_live_records(registry):
+    manager = MessageManager()
+    cls = generate_sfm_class("rossf_bench/SimpleImage", registry)
+    messages = [cls(_manager=manager, _capacity=4096) for _ in range(3)]
+    messages[0].publish_pointer()  # moves to Published, adds a ref
+    snapshot = report(manager)
+    assert snapshot.live_records == 3
+    assert snapshot.live_by_type == {"rossf_bench/SimpleImage": 3}
+    assert snapshot.live_by_state.get("published") == 1
+    assert snapshot.live_by_state.get("allocated") == 2
+    assert snapshot.live_capacity_bytes == 3 * 4096
+    assert snapshot.counters["allocated"] == 3
+    text = snapshot.render()
+    assert "rossf_bench/SimpleImage: 3" in text
+    assert "pool:" in text
+
+
+def test_report_pool_accounting(registry):
+    manager = MessageManager()
+    cls = generate_sfm_class("rossf_bench/SimpleImage", registry)
+    msg = cls(_manager=manager, _capacity=4096)
+    msg.release()
+    snapshot = report(manager)
+    assert snapshot.live_records == 0
+    assert snapshot.pool_buffers == 1
+    assert snapshot.pool_bytes == 4096
+
+
+def test_find_leaks(registry):
+    manager = MessageManager()
+    cls = generate_sfm_class("rossf_bench/SimpleImage", registry)
+    keep = cls(_manager=manager, _capacity=4096)
+    assert find_leaks(manager, expected_live=1) == []
+    leaks = find_leaks(manager, expected_live=0)
+    assert len(leaks) == 1
+    assert leaks[0] is keep.record

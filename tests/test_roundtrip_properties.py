@@ -1,0 +1,113 @@
+"""Cross-cutting property tests: bag persistence, handshake headers and
+cross-format agreement."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.msg import library as L
+from repro.msg.registry import default_registry
+from repro.ros.bag import BagReader, BagWriter
+from repro.ros.transport.tcpros import decode_header, encode_header
+
+header_keys = st.text(
+    alphabet=st.characters(min_codepoint=33, max_codepoint=126,
+                           exclude_characters="="),
+    min_size=1, max_size=24,
+)
+header_values = st.text(
+    alphabet=st.characters(min_codepoint=32, max_codepoint=1000),
+    max_size=64,
+)
+
+
+@settings(max_examples=80, deadline=None)
+@given(st.dictionaries(header_keys, header_values, max_size=12))
+def test_tcpros_header_roundtrip(fields):
+    assert decode_header(encode_header(fields)) == fields
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.sampled_from(["/a", "/b", "/camera/image"]),
+            st.integers(0, 2**32 - 1),
+            st.tuples(st.integers(0, 2**31 - 1), st.integers(0, 10**9 - 1)),
+        ),
+        min_size=1, max_size=20,
+    )
+)
+def test_bag_persistence_property(tmp_path_factory, records):
+    path = str(tmp_path_factory.mktemp("bags") / "prop.bag")
+    with BagWriter(path) as writer:
+        for topic, value, stamp in records:
+            writer.write(topic, L.UInt32(data=value), stamp=stamp)
+    reader = BagReader(path)
+    assert len(reader) == len(records)
+    for message, (topic, value, stamp) in zip(reader, records):
+        assert message.topic == topic
+        assert message.stamp == stamp
+        assert message.decode().data == value
+
+
+# ----------------------------------------------------------------------
+# Cross-format agreement: every serializer decodes every serializer's
+# message to the same field values (through plain message equality).
+# ----------------------------------------------------------------------
+def _formats():
+    from repro.serialization.flatbuffer import FlatBufferFormat
+    from repro.serialization.protobuf import ProtoBufFormat
+    from repro.serialization.rosser import ROSSerializer
+    from repro.serialization.xcdr2 import XCDR2Format
+
+    return [
+        ROSSerializer(default_registry),
+        ProtoBufFormat(default_registry),
+        FlatBufferFormat(default_registry),
+        XCDR2Format(default_registry),
+    ]
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    height=st.integers(0, 1000),
+    width=st.integers(0, 1000),
+    encoding=st.text(
+        alphabet=st.characters(min_codepoint=32, max_codepoint=400,
+                               exclude_characters="\x00"),
+        max_size=8,
+    ),
+    data=st.binary(max_size=128),
+)
+def test_cross_format_agreement(height, width, encoding, data):
+    source = L.Image(height=height, width=width, encoding=encoding)
+    source.data = bytearray(data)
+    decoded = [
+        fmt.deserialize("sensor_msgs/Image", fmt.serialize(source))
+        for fmt in _formats()
+    ]
+    for result in decoded:
+        assert result == source
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    encoding=st.text(max_size=8).filter(lambda s: "\x00" not in s),
+    data=st.binary(max_size=256),
+)
+def test_sfm_wire_decodable_as_structured(encoding, data):
+    """An SFM wire buffer is self-describing enough that adopting it on
+    another 'machine' (fresh manager) reproduces the message exactly."""
+    from repro.sfm.generator import generate_sfm_class
+    from repro.sfm.manager import MessageManager
+
+    cls = generate_sfm_class("rossf_bench/SimpleImage")
+    sender_manager = MessageManager()
+    receiver_manager = MessageManager()
+    msg = cls(_manager=sender_manager)
+    msg.encoding = encoding
+    msg.data = bytearray(data)
+    wire = bytes(msg.to_wire())
+    received = cls.from_buffer(bytearray(wire), _manager=receiver_manager)
+    assert received == msg
+    assert bytes(received.to_wire()) == wire

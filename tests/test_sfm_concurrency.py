@@ -1,0 +1,149 @@
+"""Concurrency stress tests for the message manager.
+
+The global manager serves every thread in the process (publishers,
+subscribers, transports).  These tests hammer it from many threads and
+assert the bookkeeping invariants hold: no lost records, exact state
+transitions, correct pool behaviour, disjoint expansions.
+"""
+
+import threading
+
+import pytest
+
+from repro.msg.registry import default_registry
+from repro.sfm.generator import generate_sfm_class
+from repro.sfm.layout import layout_for
+from repro.sfm.manager import MessageManager, MessageState
+
+
+@pytest.fixture
+def image_layout(registry):
+    return layout_for("rossf_bench/SimpleImage")
+
+
+def _run_threads(worker, count=8):
+    errors = []
+
+    def wrapped(index):
+        try:
+            worker(index)
+        except Exception as exc:  # pragma: no cover - failure reporting
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=wrapped, args=(i,)) for i in range(count)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=60)
+    assert not errors, errors
+
+
+class TestConcurrentLifecycle:
+    def test_parallel_allocate_release(self, image_layout):
+        manager = MessageManager()
+        per_thread = 200
+
+        def worker(_index):
+            for _ in range(per_thread):
+                record = manager.allocate(image_layout, capacity=512)
+                pointer = manager.publish(record)
+                manager.release_object(record)
+                pointer.release()
+                assert record.state is MessageState.DESTRUCTED
+
+        _run_threads(worker)
+        assert manager.live_count() == 0
+        assert manager.stats.allocated == 8 * per_thread
+        assert manager.stats.destructed == 8 * per_thread
+
+    def test_parallel_expansion_disjoint_regions(self, image_layout):
+        """Concurrent expands on one record must hand out disjoint,
+        in-bounds regions."""
+        manager = MessageManager()
+        record = manager.allocate(image_layout, capacity=1 << 20)
+        grants: list[tuple[int, int]] = []
+        lock = threading.Lock()
+
+        def worker(index):
+            for i in range(50):
+                _, offset = manager.expand(record.base + 4, 16)
+                with lock:
+                    grants.append((offset, offset + 16))
+
+        _run_threads(worker)
+        grants.sort()
+        for (start_a, end_a), (start_b, _end_b) in zip(grants, grants[1:]):
+            assert end_a <= start_b
+        assert grants[-1][1] <= record.size <= record.capacity
+
+    def test_parallel_find_record(self, image_layout):
+        manager = MessageManager()
+        records = [
+            manager.allocate(image_layout, capacity=256) for _ in range(64)
+        ]
+
+        def worker(index):
+            for _ in range(300):
+                record = records[(index * 7) % len(records)]
+                assert manager.find_record(record.base + 10) is record
+
+        _run_threads(worker)
+
+    def test_parallel_refcounting_exact(self, image_layout):
+        manager = MessageManager()
+        record = manager.allocate(image_layout, capacity=256)
+        pointers = [manager.acquire_ref(record) for _ in range(80)]
+
+        def worker(index):
+            for pointer in pointers[index::8]:
+                pointer.release()
+
+        _run_threads(worker)
+        assert record.state is not MessageState.DESTRUCTED
+        manager.release_object(record)
+        assert record.state is MessageState.DESTRUCTED
+
+    def test_pool_reuse_under_contention(self, image_layout):
+        manager = MessageManager()
+
+        def worker(_index):
+            for _ in range(150):
+                record = manager.allocate(image_layout, capacity=4096)
+                # Touch the skeleton so recycled buffers must be re-zeroed.
+                record.buffer[: image_layout.skeleton_size] = (
+                    b"z" * image_layout.skeleton_size
+                )
+                manager.release_object(record)
+
+        _run_threads(worker)
+        fresh = manager.allocate(image_layout, capacity=4096)
+        assert bytes(fresh.buffer[: image_layout.skeleton_size]) == bytes(
+            image_layout.skeleton_size
+        )
+
+
+class TestConcurrentMessages:
+    def test_parallel_message_construction(self):
+        cls = generate_sfm_class("sensor_msgs/Image", default_registry)
+        manager = MessageManager()
+        wires = []
+        lock = threading.Lock()
+
+        def worker(index):
+            for i in range(40):
+                msg = cls(_manager=manager, _capacity=65536)
+                msg.header.seq = index * 1000 + i
+                msg.encoding = "rgb8"
+                msg.data = bytes([index]) * 256
+                with lock:
+                    wires.append((index, bytes(msg.to_wire())))
+
+        _run_threads(worker)
+        assert len(wires) == 8 * 40
+        for index, wire in wires:
+            received = cls.from_buffer(bytearray(wire), _manager=manager)
+            assert received.encoding == "rgb8"
+            assert received.data.tobytes() == bytes([index]) * 256
+        assert manager.live_count() <= 8 * 40  # adopted copies may linger

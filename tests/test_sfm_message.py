@@ -1,0 +1,213 @@
+"""Tests for the SFM message base class and generator."""
+
+import pytest
+
+from repro.msg import library as L
+from repro.sfm import SFMMessage, generate_sfm_class
+from repro.sfm.manager import MessageManager, MessageState
+
+
+@pytest.fixture
+def SImage(registry):
+    return generate_sfm_class("sensor_msgs/Image")
+
+
+@pytest.fixture
+def SSimple(registry):
+    return generate_sfm_class("rossf_bench/SimpleImage")
+
+
+class TestConstruction:
+    def test_defaults_all_zero(self, SImage):
+        img = SImage()
+        assert img.height == 0
+        assert img.encoding == ""
+        assert len(img.data) == 0
+        assert img.header.stamp == (0, 0)
+        assert img.is_bigendian == 0
+
+    def test_kwargs(self, SImage):
+        img = SImage(height=4, width=5, step=15)
+        assert (img.height, img.width, img.step) == (4, 5, 15)
+
+    def test_unknown_kwarg_rejected(self, SImage):
+        with pytest.raises(TypeError):
+            SImage(bogus=1)
+
+    def test_program_pattern_of_fig3(self, SSimple):
+        """The paper's Fig. 3 code works verbatim on an SFM class."""
+        img = SSimple()
+        img.encoding = "rgb8"
+        img.height = 10
+        img.width = 10
+        img.data.resize(10 * 10 * 3)
+        assert img.height == 10
+        assert img.width == 10
+        assert len(img.data) == 300
+
+    def test_constants_exposed(self, registry):
+        PF = generate_sfm_class("sensor_msgs/PointField")
+        assert PF.FLOAT32 == 7
+
+    def test_private_manager(self, SImage):
+        manager = MessageManager()
+        img = SImage(_manager=manager, _capacity=4096)
+        assert manager.live_count() == 1
+        assert img.record.capacity == 4096
+
+    def test_optional_defaults(self, fresh_registry):
+        fresh_registry.register_text(
+            "pkg/Opt", "optional uint32 retries = 3\nuint32 plain\n"
+        )
+        cls = generate_sfm_class("pkg/Opt", fresh_registry)
+        msg = cls()
+        assert msg.retries == 3
+        assert msg.plain == 0
+
+
+class TestNestedFields:
+    def test_nested_view_reads_and_writes(self, SImage):
+        img = SImage()
+        img.header.seq = 42
+        img.header.stamp = (7, 8)
+        img.header.frame_id = "cam"
+        assert img.header.seq == 42
+        assert img.header.stamp == (7, 8)
+        assert img.header.frame_id == "cam"
+
+    def test_nested_assignment_copies_fields(self, SImage):
+        plain_header = L.Header(seq=9, stamp=(1, 2), frame_id="map")
+        img = SImage()
+        img.header = plain_header
+        assert img.header.seq == 9
+        assert img.header.frame_id == "map"
+
+    def test_nested_assignment_from_dict(self, SImage):
+        img = SImage()
+        img.header = {"seq": 5, "frame_id": "odom"}
+        assert img.header.seq == 5
+        assert img.header.frame_id == "odom"
+
+    def test_nested_view_shares_buffer(self, SImage):
+        img = SImage()
+        header = img.header
+        header.seq = 77
+        assert img.header.seq == 77
+
+
+class TestWireAndAdoption:
+    def test_to_wire_is_whole_message(self, SSimple):
+        img = SSimple(height=1, width=2)
+        img.data = b"abcd"
+        wire = img.to_wire()
+        assert len(wire) == img.whole_size
+
+    def test_from_buffer_zero_copy(self, SSimple):
+        img = SSimple(height=3)
+        img.data = b"xyz!"
+        buffer = bytearray(bytes(img.to_wire()))
+        received = SSimple.from_buffer(buffer)
+        assert received.record.buffer is buffer
+        assert received.height == 3
+        assert received.data == b"xyz!"
+
+    def test_wire_roundtrip_equality(self, SImage):
+        img = SImage(height=2, width=2, step=6)
+        img.encoding = "rgb8"
+        img.data = bytes(12)
+        img.header.frame_id = "cam"
+        received = SImage.from_buffer(bytearray(bytes(img.to_wire())))
+        assert received == img
+
+    def test_nested_view_to_wire_rejected(self, SImage):
+        with pytest.raises(ValueError):
+            SImage().header.to_wire()
+
+
+class TestInterop:
+    def test_to_plain(self, SImage):
+        img = SImage(height=5)
+        img.encoding = "mono8"
+        img.data = b"\x01\x02"
+        plain = img.to_plain()
+        assert type(plain) is L.Image
+        assert plain.height == 5
+        assert plain.encoding == "mono8"
+        assert bytes(plain.data) == b"\x01\x02"
+
+    def test_equality_with_plain(self, SImage):
+        sfm_img = SImage(height=2)
+        sfm_img.encoding = "rgb8"
+        sfm_img.data = b"ab"
+        plain = L.Image(height=2, encoding="rgb8")
+        plain.data = bytearray(b"ab")
+        assert sfm_img == plain
+        plain.height = 3
+        assert sfm_img != plain
+
+    def test_equality_different_types_not_implemented(self, SImage, registry):
+        pose_cls = generate_sfm_class("geometry_msgs/PoseStamped")
+        assert SImage().__eq__(pose_cls()) is NotImplemented
+
+    def test_type_name_and_md5_match_plain(self, SImage):
+        assert SImage.type_name() == "sensor_msgs/Image"
+        assert SImage.md5sum() == L.Image.md5sum()
+
+
+class TestCopy:
+    def test_copy_constructor(self, SSimple):
+        img = SSimple(height=2, width=3)
+        img.encoding = "rgb8"
+        img.data = bytes(range(18))
+        clone = img.copy()
+        assert clone == img
+        assert clone.record is not img.record
+        # Mutating the clone's remaining fields does not touch the source.
+        assert bytes(clone.to_wire()) == bytes(img.to_wire())
+
+    def test_copy_copies_whole_message_size(self, SSimple):
+        img = SSimple()
+        img.data = bytes(100)
+        clone = img.copy()
+        assert clone.whole_size == img.whole_size
+
+
+class TestLifecycleIntegration:
+    def test_release_and_publish_states(self, SSimple):
+        manager = MessageManager()
+        img = SSimple(_manager=manager)
+        record = img.record
+        pointer = img.publish_pointer()
+        assert record.state is MessageState.PUBLISHED
+        img.release()
+        assert record.state is MessageState.PUBLISHED
+        pointer.release()
+        assert record.state is MessageState.DESTRUCTED
+
+    def test_gc_releases_record(self, SSimple):
+        manager = MessageManager()
+        img = SSimple(_manager=manager)
+        assert manager.live_count() == 1
+        del img
+        assert manager.live_count() == 0
+
+    def test_nested_views_do_not_own(self, SImage):
+        manager = MessageManager()
+        img = SImage(_manager=manager)
+        header = img.header
+        del header
+        assert manager.live_count() == 1
+        del img
+        assert manager.live_count() == 0
+
+
+class TestRepr:
+    def test_repr_mentions_fields(self, SSimple):
+        img = SSimple(height=4)
+        text = repr(img)
+        assert "height=4" in text
+        assert text.startswith("sfm::")
+
+    def test_unhashable(self, SSimple):
+        with pytest.raises(TypeError):
+            hash(SSimple())

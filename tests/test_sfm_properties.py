@@ -1,0 +1,163 @@
+"""Property-based tests for SFM core invariants (hypothesis).
+
+Three families:
+
+1. **Transparency**: a message built with the same statements through the
+   plain class and the SFM class is field-for-field identical.
+2. **Wire invariance**: an SFM message adopted from its own wire bytes
+   equals the original, and the buffer satisfies the structural
+   invariants of :func:`repro.sfm.layout.validate_buffer`.
+3. **Endianness**: converting to big-endian and back is the identity, and
+   adopting a big-endian buffer yields the same values.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.msg import library as L
+from repro.sfm.generator import generate_sfm_class
+from repro.sfm.layout import convert_endianness, layout_for, validate_buffer
+from repro.sfm.manager import MessageManager
+
+image_fields = st.fixed_dictionaries(
+    {
+        "height": st.integers(0, 2**32 - 1),
+        "width": st.integers(0, 2**32 - 1),
+        "encoding": st.text(max_size=12).filter(lambda s: "\x00" not in s),
+        "data": st.binary(max_size=300),
+        "frame_id": st.text(max_size=12).filter(lambda s: "\x00" not in s),
+        "seq": st.integers(0, 2**32 - 1),
+        "stamp": st.tuples(st.integers(0, 2**31 - 1), st.integers(0, 10**9)),
+    }
+)
+
+
+def _build(cls, fields):
+    msg = cls()
+    msg.header.seq = fields["seq"]
+    msg.header.stamp = fields["stamp"]
+    msg.header.frame_id = fields["frame_id"]
+    msg.height = fields["height"]
+    msg.width = fields["width"]
+    msg.encoding = fields["encoding"]
+    msg.data = bytearray(fields["data"])
+    return msg
+
+
+@settings(max_examples=50, deadline=None)
+@given(fields=image_fields)
+def test_transparency_plain_vs_sfm(fields):
+    sfm_cls = generate_sfm_class("sensor_msgs/Image")
+    plain = _build(L.Image, fields)
+    sfm = _build(sfm_cls, fields)
+    assert sfm == plain
+    assert sfm.to_plain() == plain
+
+
+@settings(max_examples=50, deadline=None)
+@given(fields=image_fields)
+def test_wire_adoption_identity(fields):
+    sfm_cls = generate_sfm_class("sensor_msgs/Image")
+    msg = _build(sfm_cls, fields)
+    received = sfm_cls.from_buffer(bytearray(bytes(msg.to_wire())))
+    assert received == msg
+
+
+@settings(max_examples=50, deadline=None)
+@given(fields=image_fields)
+def test_buffer_structural_invariants(fields):
+    sfm_cls = generate_sfm_class("sensor_msgs/Image")
+    msg = _build(sfm_cls, fields)
+    layout = layout_for("sensor_msgs/Image")
+    regions = validate_buffer(layout, msg.record.buffer, msg.whole_size)
+    # Content regions never overlap each other or the skeleton.
+    regions.sort()
+    previous_end = layout.skeleton_size
+    for start, end in regions:
+        assert start >= previous_end
+        previous_end = end
+    assert previous_end <= msg.whole_size
+
+
+@settings(max_examples=30, deadline=None)
+@given(fields=image_fields)
+def test_endianness_roundtrip_identity(fields):
+    sfm_cls = generate_sfm_class("sensor_msgs/Image")
+    msg = _build(sfm_cls, fields)
+    buffer = bytearray(bytes(msg.to_wire()))
+    original = bytes(buffer)
+    layout = layout_for("sensor_msgs/Image")
+    convert_endianness(layout, buffer, "<", ">")
+    convert_endianness(layout, buffer, ">", "<")
+    assert bytes(buffer) == original
+
+
+@settings(max_examples=30, deadline=None)
+@given(fields=image_fields)
+def test_big_endian_adoption_equals_source(fields):
+    sfm_cls = generate_sfm_class("sensor_msgs/Image")
+    msg = _build(sfm_cls, fields)
+    buffer = bytearray(bytes(msg.to_wire()))
+    convert_endianness(layout_for("sensor_msgs/Image"), buffer, "<", ">")
+    received = sfm_cls.from_buffer(buffer, byte_order=">")
+    assert received == msg
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    ranges=st.lists(
+        st.floats(width=32, allow_nan=False, allow_infinity=False), max_size=48
+    ),
+    frame=st.text(max_size=8).filter(lambda s: "\x00" not in s),
+)
+def test_laserscan_transparency(ranges, frame):
+    sfm_cls = generate_sfm_class("sensor_msgs/LaserScan")
+    scan = sfm_cls()
+    scan.header.frame_id = frame
+    scan.ranges = ranges
+    plain = L.LaserScan(ranges=list(ranges))
+    plain.header.frame_id = frame
+    assert scan == plain
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    points=st.lists(
+        st.tuples(*([st.floats(width=32, allow_nan=False,
+                               allow_infinity=False)] * 3)),
+        max_size=12,
+    ),
+    names=st.lists(st.text(max_size=6).filter(lambda s: "\x00" not in s), max_size=4),
+)
+def test_pointcloud_nested_vector_property(points, names):
+    sfm_cls = generate_sfm_class("sensor_msgs/PointCloud")
+    manager = MessageManager()
+    pc = sfm_cls(_manager=manager)
+    pc.points.resize(len(points))
+    for index, (x, y, z) in enumerate(points):
+        pc.points[index] = L.Point32(x=x, y=y, z=z)
+    pc.channels.resize(len(names))
+    for index, name in enumerate(names):
+        pc.channels[index].name = name
+    received = sfm_cls.from_buffer(
+        bytearray(bytes(pc.to_wire())), _manager=manager
+    )
+    assert len(received.points) == len(points)
+    for got, (x, y, z) in zip(received.points, points):
+        assert (got.x, got.y, got.z) == (x, y, z)
+    assert [str(channel.name) for channel in received.channels] == list(names)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.integers(0, 255), min_size=0, max_size=200))
+def test_expansion_accounting(values):
+    """Manager size accounting: whole size equals skeleton plus aligned
+    grants, and never exceeds capacity."""
+    sfm_cls = generate_sfm_class("rossf_bench/SimpleImage")
+    manager = MessageManager()
+    msg = sfm_cls(_manager=manager, _capacity=4096)
+    msg.data = bytes(values)
+    layout = layout_for("rossf_bench/SimpleImage")
+    expected = layout.skeleton_size + (-(-len(values) // 4) * 4 if values else 0)
+    assert msg.whole_size == expected
+    assert msg.whole_size <= msg.record.capacity

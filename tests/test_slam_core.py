@@ -1,0 +1,195 @@
+"""Tests for the SLAM substrate: dataset, features, tracker, mapping."""
+
+import numpy as np
+import pytest
+
+from repro.msg import library as L
+from repro.slam.dataset import CameraIntrinsics, SyntheticRgbdDataset
+from repro.slam.features import (
+    FeatureExtractor,
+    hamming_distance_matrix,
+    match_descriptors,
+    to_gray,
+)
+from repro.slam.mapping import PointMap, fill_pointcloud2, read_pointcloud2
+from repro.slam.tracker import FrameTracker, kabsch, rotation_to_quaternion
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return SyntheticRgbdDataset(width=240, height=180, length=8, seed=3)
+
+
+class TestDataset:
+    def test_deterministic(self):
+        a = SyntheticRgbdDataset(width=120, height=90, length=3, seed=5)
+        b = SyntheticRgbdDataset(width=120, height=90, length=3, seed=5)
+        assert np.array_equal(a.frame(1).rgb, b.frame(1).rgb)
+
+    def test_frame_shapes(self, dataset):
+        frame = dataset.frame(0)
+        assert frame.rgb.shape == (180, 240, 3)
+        assert frame.rgb.dtype == np.uint8
+        assert frame.depth_mm.shape == (180, 240)
+        assert frame.depth_mm.dtype == np.uint16
+
+    def test_ground_truth_translation_linear(self, dataset):
+        t1 = dataset.frame(1).true_translation
+        t4 = dataset.frame(4).true_translation
+        assert t4[0] == pytest.approx(4 * t1[0])
+        assert t1[1] == t1[2] == 0.0
+
+    def test_consecutive_frames_overlap(self, dataset):
+        a = dataset.frame(0).rgb
+        b = dataset.frame(1).rgb
+        shift = dataset.pixels_per_frame
+        assert np.array_equal(a[:, shift:], b[:, : a.shape[1] - shift])
+
+    def test_out_of_range_rejected(self, dataset):
+        with pytest.raises(IndexError):
+            dataset.frame(len(dataset))
+
+    def test_intrinsics_back_projection(self):
+        intr = CameraIntrinsics.for_resolution(640, 480)
+        point = intr.back_project(intr.cx, intr.cy, 2.0)
+        assert point == pytest.approx([0.0, 0.0, 2.0])
+        off_center = intr.back_project(intr.cx + intr.fx, intr.cy, 2.0)
+        assert off_center[0] == pytest.approx(2.0)
+
+
+class TestFeatures:
+    def test_extraction_counts_and_bounds(self, dataset):
+        extractor = FeatureExtractor(max_features=150)
+        features = extractor.extract(dataset.frame(0).rgb)
+        assert 20 < len(features) <= 150
+        h, w = dataset.frame(0).rgb.shape[:2]
+        assert (features.keypoints[:, 0] < w).all()
+        assert (features.keypoints[:, 1] < h).all()
+        assert features.descriptors.shape == (len(features), 32)
+
+    def test_descriptors_match_across_frames(self, dataset):
+        extractor = FeatureExtractor()
+        a = extractor.extract(dataset.frame(0).rgb)
+        b = extractor.extract(dataset.frame(1).rgb)
+        matches = match_descriptors(a, b)
+        assert len(matches) >= 0.3 * min(len(a), len(b))
+
+    def test_matches_are_shifted_by_pan(self, dataset):
+        extractor = FeatureExtractor()
+        a = extractor.extract(dataset.frame(0).rgb)
+        b = extractor.extract(dataset.frame(1).rgb)
+        matches = match_descriptors(a, b)
+        du = (a.keypoints[matches[:, 0], 0] - b.keypoints[matches[:, 1], 0])
+        assert np.median(du) == pytest.approx(dataset.pixels_per_frame, abs=1.0)
+
+    def test_hamming_distance_identity(self):
+        desc = np.random.default_rng(0).integers(
+            0, 256, size=(5, 32), dtype=np.uint8
+        )
+        distances = hamming_distance_matrix(desc, desc)
+        assert np.diag(distances).sum() == 0
+
+    def test_gray_conversion(self):
+        rgb = np.zeros((4, 4, 3), dtype=np.uint8)
+        rgb[..., 1] = 255  # pure green
+        gray = to_gray(rgb)
+        assert gray[0, 0] == pytest.approx(0.587 * 255, rel=1e-3)
+
+
+class TestKabsch:
+    def test_recovers_known_transform(self):
+        rng = np.random.default_rng(1)
+        source = rng.normal(size=(30, 3))
+        angle = 0.3
+        rotation_true = np.array(
+            [[np.cos(angle), -np.sin(angle), 0],
+             [np.sin(angle), np.cos(angle), 0],
+             [0, 0, 1]]
+        )
+        translation_true = np.array([0.5, -0.2, 1.0])
+        target = (rotation_true @ source.T).T + translation_true
+        rotation, translation = kabsch(source, target)
+        assert rotation == pytest.approx(rotation_true, abs=1e-9)
+        assert translation == pytest.approx(translation_true, abs=1e-9)
+
+    def test_degenerate_input_returns_identity(self):
+        rotation, translation = kabsch(np.zeros((2, 3)), np.zeros((2, 3)))
+        assert np.array_equal(rotation, np.eye(3))
+
+    def test_rotation_to_quaternion_identity(self):
+        assert rotation_to_quaternion(np.eye(3)) == pytest.approx(
+            (0.0, 0.0, 0.0, 1.0)
+        )
+
+    def test_quaternion_unit_norm(self):
+        angle = 1.2
+        rotation = np.array(
+            [[1, 0, 0],
+             [0, np.cos(angle), -np.sin(angle)],
+             [0, np.sin(angle), np.cos(angle)]]
+        )
+        q = np.array(rotation_to_quaternion(rotation))
+        assert np.linalg.norm(q) == pytest.approx(1.0, abs=1e-9)
+
+
+class TestTracker:
+    def test_trajectory_tracks_ground_truth(self, dataset):
+        tracker = FrameTracker(intrinsics=dataset.intrinsics)
+        result = None
+        for frame in dataset:
+            result = tracker.track(frame.rgb, frame.depth_m)
+        true = dataset.frame(len(dataset) - 1).true_translation
+        error = np.linalg.norm(result.translation - true)
+        assert error < 0.05  # < 5 cm over the sequence
+        assert result.inliers > 20
+
+    def test_first_frame_has_identity_pose(self, dataset):
+        tracker = FrameTracker(intrinsics=dataset.intrinsics)
+        result = tracker.track(dataset.frame(0).rgb, dataset.frame(0).depth_m)
+        assert result.translation == pytest.approx([0, 0, 0])
+        assert result.matched == 0
+
+
+class TestMapping:
+    def test_voxel_dedup(self):
+        point_map = PointMap(voxel_size_m=0.1)
+        created = point_map.insert(np.array([[0.0, 0.0, 0.0],
+                                             [0.01, 0.01, 0.01],
+                                             [0.5, 0.5, 0.5]]))
+        assert created == 2
+        assert len(point_map) == 2
+
+    def test_max_points_bound(self):
+        point_map = PointMap(voxel_size_m=0.001, max_points=10)
+        rng = np.random.default_rng(0)
+        point_map.insert(rng.normal(size=(100, 3)))
+        assert len(point_map) <= 10
+
+    def test_pointcloud2_roundtrip_plain(self):
+        from types import SimpleNamespace
+
+        msgs = SimpleNamespace(PointField=L.PointField)
+        points = np.array([[1.0, 2.0, 3.0], [4.0, 5.0, 6.0]], dtype=np.float32)
+        msg = L.PointCloud2()
+        fill_pointcloud2(msg, points, "world", (1, 2), msgs)
+        assert msg.width == 2
+        assert msg.point_step == 12
+        assert [str(f.name) for f in msg.fields] == ["x", "y", "z"]
+        back = read_pointcloud2(msg)
+        assert np.array_equal(back, points)
+
+    def test_pointcloud2_roundtrip_sfm(self):
+        from types import SimpleNamespace
+
+        from repro.rossf import sfm_classes_for
+
+        Cloud, PF = sfm_classes_for(
+            "sensor_msgs/PointCloud2", "sensor_msgs/PointField"
+        )
+        msgs = SimpleNamespace(PointField=PF)
+        points = np.array([[1.0, 2.0, 3.0]], dtype=np.float32)
+        msg = Cloud()
+        fill_pointcloud2(msg, points, "world", (0, 0), msgs)
+        back = read_pointcloud2(msg)
+        assert np.array_equal(back, points)
+        assert msg.header.frame_id == "world"
