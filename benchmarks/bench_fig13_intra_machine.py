@@ -1,8 +1,9 @@
 """Fig. 13: intra-machine transmission latency, ROS vs ROS-SF.
 
 The paper's Fig. 12 topology -- one publisher node, one subscriber node,
-one ``sensor_msgs/Image`` topic over loopback TCPROS -- at the three image
-sizes (~200 KB, ~1 MB, ~6 MB).  Each benchmark iteration is one complete
+one ``sensor_msgs/Image`` topic -- at the three image sizes (~200 KB,
+~1 MB, ~6 MB), crossed with the transport axis: loopback TCPROS vs the
+SHMROS shared-memory ring.  Each benchmark iteration is one complete
 message trip: construct (copying the frame in), publish, transport,
 decode, callback; the reported time is the paper's "transmission latency".
 
@@ -27,14 +28,15 @@ from repro.ros.rostime import Time
 class LatencyRig:
     """A standing pub/sub pair; ``once`` runs one full message trip."""
 
-    def __init__(self, msg_class, workload) -> None:
+    def __init__(self, msg_class, workload, transport: str = "tcpros") -> None:
         self.msg_class = msg_class
         self.workload = workload
         self.frame = workload.make_frame()
         self.graph = RosGraph()
         self._received = threading.Event()
-        self.sub_node = self.graph.node("bench_sub")
-        self.pub_node = self.graph.node("bench_pub")
+        use_shm = transport == "shmros"
+        self.sub_node = self.graph.node("bench_sub", shmros=use_shm)
+        self.pub_node = self.graph.node("bench_pub", shmros=use_shm)
         self.sub_node.subscribe("/bench", msg_class, self._on_message)
         self.publisher = self.pub_node.advertise("/bench", msg_class)
         if not self.publisher.wait_for_subscribers(1):
@@ -63,16 +65,22 @@ def profile_name(request):
     return request.param
 
 
+@pytest.fixture(params=["tcpros", "shmros"])
+def transport(request):
+    return request.param
+
+
 @pytest.mark.parametrize(
     "workload", IMAGE_WORKLOADS, ids=[w.label for w in IMAGE_WORKLOADS]
 )
 def bench_intra_machine_latency(benchmark, image_classes, profile_name,
-                                workload):
-    rig = LatencyRig(image_classes[profile_name], workload)
+                                transport, workload):
+    rig = LatencyRig(image_classes[profile_name], workload, transport)
     try:
         for _ in range(10):  # allocator + connection warmup
             rig.once()
         benchmark.extra_info["profile"] = profile_name
+        benchmark.extra_info["transport"] = transport
         benchmark.extra_info["payload_bytes"] = workload.data_bytes
         benchmark(rig.once)
     finally:

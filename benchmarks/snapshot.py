@@ -1,0 +1,98 @@
+#!/usr/bin/env python
+"""A quick committed snapshot of the Fig. 13 experiment.
+
+Runs the intra-machine latency experiment across both transports
+(loopback TCPROS and the SHMROS shared-memory ring) at reduced iteration
+counts and writes ``BENCH_fig13.json`` at the repository root, so CI and
+reviewers see the transport comparison without a full paper-scale run.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/snapshot.py [--iterations N] [--out PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+from repro.bench.harness import IntraMachineExperiment
+from repro.bench.stats import improvement_percent
+from repro.bench.workloads import IMAGE_WORKLOADS
+
+
+def run_snapshot(iterations: int) -> dict:
+    experiment = IntraMachineExperiment(
+        iterations=iterations,
+        warmup=5,
+        rate_hz=None,
+        sync=True,  # stop-and-wait: no queueing noise on small machines
+        stamp_at_publish=True,  # measure the transport trip, not construction
+        workloads=IMAGE_WORKLOADS,
+        transports=("tcpros", "shmros"),
+    )
+    results = experiment.run()
+    payload: dict = {
+        "experiment": "fig13_intra_machine",
+        "generated": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "python": platform.python_version(),
+        "iterations": iterations,
+        "workloads": {},
+    }
+    for workload in IMAGE_WORKLOADS:
+        per_profile = results[workload.label]
+        entry: dict = {"payload_bytes": workload.data_bytes, "profiles": {}}
+        for key, stats in per_profile.items():
+            entry["profiles"][key] = {
+                "count": stats.count,
+                "mean_ms": round(stats.mean_ms, 4),
+                "std_ms": round(stats.std_ms, 4),
+                "p50_ms": round(stats.p50_ms, 4),
+                "p99_ms": round(stats.p99_ms, 4),
+            }
+        # The two headline ratios: what SFM saves over serialization, and
+        # what shared memory saves over loopback sockets.
+        entry["rossf_vs_ros_tcpros_pct"] = round(
+            improvement_percent(
+                per_profile["ROS@tcpros"], per_profile["ROS-SF@tcpros"]
+            ),
+            2,
+        )
+        # Median-based: on a small shared machine rare multi-ms scheduler
+        # stalls land in arbitrary cells and would dominate a mean ratio.
+        entry["shmros_speedup_vs_tcpros"] = round(
+            per_profile["ROS-SF@tcpros"].p50_ms
+            / per_profile["ROS-SF@shmros"].p50_ms,
+            3,
+        )
+        entry["speedup_basis"] = "p50"
+        payload["workloads"][workload.label] = entry
+    return payload
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--iterations", type=int, default=40)
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent / "BENCH_fig13.json",
+    )
+    args = parser.parse_args(argv)
+    payload = run_snapshot(args.iterations)
+    args.out.write_text(json.dumps(payload, indent=2) + "\n")
+    for label, entry in payload["workloads"].items():
+        print(
+            f"{label:<24} SHMROS speedup over TCPROS (ROS-SF): "
+            f"{entry['shmros_speedup_vs_tcpros']:.2f}x"
+        )
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -81,7 +81,7 @@ def run_pipeline(image_class, label: str, count: int = 30) -> float:
 def main() -> None:
     tune_for_large_messages()
     print(f"== quickstart: {WIDTH}x{HEIGHT} rgb8 image (~{len(FRAME)//1000} KB) "
-          "over loopback TCPROS ==")
+          "over the negotiated local transport (SHMROS, TCPROS fallback) ==")
     ros_ms = run_pipeline(library.Image, "ROS")
 
     # The one-line switch ROS-SF's converter performs automatically:

@@ -47,39 +47,65 @@ class IntraMachineExperiment:
     rate_hz: Optional[float] = 50.0
     warmup: int = 10
     workloads: tuple[ImageWorkload, ...] = IMAGE_WORKLOADS
+    #: Transport column(s): ``"tcpros"`` (loopback sockets) and/or
+    #: ``"shmros"`` (shared-memory ring).  With the single default the
+    #: result keys stay the plain profile names; with several, keys are
+    #: ``"<profile>@<transport>"`` so columns can sit side by side.
+    transports: tuple[str, ...] = ("tcpros",)
+    #: Stop-and-wait pacing: publish the next message only once the
+    #: previous one arrived.  Removes queueing noise on small machines
+    #: (a paced burst larger than one core can drain would otherwise
+    #: measure backlog depth, not per-message latency).
+    sync: bool = False
+    #: Re-stamp immediately before ``publish``: the sample then covers
+    #: the transport trip alone, excluding message construction (which is
+    #: identical across transports and dilutes transport comparisons).
+    stamp_at_publish: bool = False
 
     def run(self) -> dict[str, dict[str, LatencyStats]]:
-        """Returns ``{workload_label: {profile: stats}}``."""
+        """Returns ``{workload_label: {profile[@transport]: stats}}``."""
         from repro.bench.allocator import tune_for_large_messages
 
         tune_for_large_messages()
+        labelled = len(self.transports) > 1
         results: dict[str, dict[str, LatencyStats]] = {}
         for workload in self.workloads:
             per_profile: dict[str, LatencyStats] = {}
-            for profile_name, msg_class in _image_classes().items():
-                samples = self._run_one(msg_class, workload, profile_name)
-                per_profile[profile_name] = summarize(
-                    f"{profile_name} {workload.label}", samples, self.warmup
-                )
+            for transport in self.transports:
+                for profile_name, msg_class in _image_classes().items():
+                    key = (
+                        f"{profile_name}@{transport}"
+                        if labelled
+                        else profile_name
+                    )
+                    samples = self._run_one(
+                        msg_class, workload, key, transport
+                    )
+                    per_profile[key] = summarize(
+                        f"{key} {workload.label}", samples, self.warmup
+                    )
             results[workload.label] = per_profile
         return results
 
     def _run_one(self, msg_class, workload: ImageWorkload,
-                 profile_name: str) -> list[float]:
+                 profile_name: str, transport: str = "tcpros") -> list[float]:
         frame = workload.make_frame()
         total = self.iterations + self.warmup
         samples: list[float] = []
         done = threading.Event()
+        arrived = threading.Event()
 
         def callback(msg) -> None:
             secs, nsecs = msg.header.stamp
             samples.append(time.time() - (secs + nsecs / 1e9))
+            arrived.set()
             if len(samples) >= total:
                 done.set()
 
+        use_shm = transport == "shmros"
         with RosGraph() as graph:
-            pub_node = graph.node("pub")
-            sub_node = graph.node("sub")
+            pub_node = graph.node("pub", shmros=use_shm)
+            sub_node = graph.node("sub", shmros=use_shm)
             sub_node.subscribe("/bench_image", msg_class, callback)
             publisher = pub_node.advertise("/bench_image", msg_class)
             if not publisher.wait_for_subscribers(1):
@@ -89,7 +115,14 @@ class IntraMachineExperiment:
                 msg = construct_image(
                     msg_class, frame, workload, seq, tuple(Time.now())
                 )
+                if self.stamp_at_publish:
+                    msg.header.stamp = tuple(Time.now())
+                arrived.clear()
                 publisher.publish(msg)
+                if self.sync and not arrived.wait(timeout=30.0):
+                    raise TimeoutError(
+                        f"{profile_name}: message {seq} did not arrive"
+                    )
                 if rate is not None:
                     rate.sleep()
             if not done.wait(timeout=60.0):

@@ -42,6 +42,15 @@ class MessageCodec:
         subscriber callback."""
         raise NotImplementedError
 
+    def decode_external(self, view: memoryview):
+        """Decode from a *borrowed* buffer (a shared-memory slot view).
+
+        Codecs that copy while decoding read straight from the view; the
+        SFM codec overrides this to adopt the view zero-copy.  The default
+        materializes a private copy, which is always safe.
+        """
+        return self.decode(bytearray(view))
+
 
 class RosCodec(MessageCodec):
     """The baseline: generated serialization / de-serialization."""
@@ -59,6 +68,11 @@ class RosCodec(MessageCodec):
 
     def decode(self, buffer: bytearray):
         return self.serializer.deserialize(self.type_name, buffer)
+
+    def decode_external(self, view: memoryview):
+        # The generated reader copies every field out as it decodes, so
+        # it can consume the borrowed view directly -- no staging bytes().
+        return self.serializer.deserialize(self.type_name, view)
 
 
 def codec_for_class(msg_class: type) -> MessageCodec:

@@ -23,9 +23,13 @@ class RosGraph:
     def master_uri(self) -> str:
         return self.master.uri
 
-    def node(self, name: str, namespace: str = "/") -> NodeHandle:
-        """Create a node registered with this graph's master."""
-        handle = NodeHandle(name, self.master.uri, namespace)
+    def node(self, name: str, namespace: str = "/", **kwargs) -> NodeHandle:
+        """Create a node registered with this graph's master.
+
+        Extra keyword arguments (e.g. ``shmros=False``) are forwarded to
+        :class:`~repro.ros.node.NodeHandle`.
+        """
+        handle = NodeHandle(name, self.master.uri, namespace, **kwargs)
         self._nodes.append(handle)
         return handle
 

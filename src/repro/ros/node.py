@@ -40,10 +40,30 @@ class _SlaveHandlers:
 
     def requestTopic(self, caller_id, topic, protocols):
         node = self._node
-        if topic not in node._publishers:
+        publisher = node._publishers.get(topic)
+        if publisher is None:
             return ERROR, f"{node.name} does not publish {topic}", []
+        # Honour the subscriber's preference order: SHMROS when both ends
+        # share a machine and the publisher can set up a ring, TCPROS
+        # otherwise.  Either way the data connection lands on the same
+        # TCPROS server; SHMROS merely changes what flows over it.
         for protocol in protocols:
-            if protocol and protocol[0] == "TCPROS":
+            if not protocol:
+                continue
+            if protocol[0] == "SHMROS" and len(protocol) >= 2:
+                ring = publisher._offer_shm(protocol[1])
+                if ring is not None:
+                    return (
+                        SUCCESS,
+                        "ready",
+                        [
+                            "SHMROS",
+                            node._data_server.host,
+                            node._data_server.port,
+                            ring.name,
+                        ],
+                    )
+            elif protocol[0] == "TCPROS":
                 return (
                     SUCCESS,
                     "ready",
@@ -67,11 +87,19 @@ class NodeHandle:
     """A running node registered with a master."""
 
     def __init__(
-        self, name: str, master_uri: str, namespace: str = "/"
+        self,
+        name: str,
+        master_uri: str,
+        namespace: str = "/",
+        shmros: bool = True,
     ) -> None:
         self.name = names.resolve(name, namespace)
         self.namespace = namespace
         self.master_uri = master_uri
+        #: Allow the SHMROS shared-memory transport for this node's
+        #: publishers and subscribers (negotiation still falls back to
+        #: TCPROS per connection; REPRO_SHMROS=0 disables globally).
+        self.shmros = shmros
         self.master = MasterProxy(master_uri)
         self._publishers: dict[str, Publisher] = {}
         self._subscribers: dict[str, list[Subscriber]] = {}
@@ -104,15 +132,28 @@ class NodeHandle:
         queue_size: int = 100,
         intraprocess: bool = False,
         latch: bool = False,
+        shm_slots: int = None,
+        shm_slot_bytes: int = None,
     ) -> Publisher:
-        """Declare a topic and return a publisher handle (Fig. 3)."""
+        """Declare a topic and return a publisher handle (Fig. 3).
+
+        ``shm_slots`` / ``shm_slot_bytes`` size the SHMROS ring for this
+        topic (defaults in :mod:`repro.ros.transport.shm`).
+        """
         self._check_alive()
         topic = names.resolve(topic, self.namespace, self.name)
         with self._lock:
             if topic in self._publishers:
                 raise ValueError(f"{self.name} already publishes {topic}")
             publisher = Publisher(
-                self, topic, msg_class, queue_size, intraprocess, latch
+                self,
+                topic,
+                msg_class,
+                queue_size,
+                intraprocess,
+                latch,
+                shm_slots=shm_slots,
+                shm_slot_bytes=shm_slot_bytes,
             )
             self._publishers[topic] = publisher
         self.master.register_publisher(

@@ -16,6 +16,7 @@ reproducing the reference counting of the paper's Fig. 8.
 
 from __future__ import annotations
 
+import itertools
 import threading
 import time
 import xmlrpc.client
@@ -24,8 +25,9 @@ from typing import Callable, Optional
 
 from repro.ros.codecs import codec_for_class, type_info_for_class
 from repro.ros.exceptions import TopicTypeMismatch
-from repro.ros.transport import tcpros
+from repro.ros.transport import shm, tcpros
 from repro.ros.transport.intraprocess import local_bus
+from repro.sfm.manager import MessageState
 
 
 class _Outgoing:
@@ -50,6 +52,8 @@ class _Outgoing:
 
 class _OutboundLink:
     """Publisher-side connection to one subscriber."""
+
+    is_shm = False
 
     def __init__(self, publisher: "Publisher", sock, subscriber_id: str) -> None:
         self.publisher = publisher
@@ -95,8 +99,6 @@ class _OutboundLink:
                 outgoing.done()
                 self._shutdown_from_error()
                 return
-            finally:
-                pass
             outgoing.done()
 
     def _shutdown_from_error(self) -> None:
@@ -119,6 +121,156 @@ class _OutboundLink:
             pass
 
 
+class _ShmOutboundLink:
+    """Publisher-side SHMROS connection to one subscriber.
+
+    The socket that carried the handshake becomes the *doorbell*: the
+    send loop writes tiny control frames (slot notifications, ring
+    reseg notices, or inline payloads when shared memory cannot serve),
+    and the ack loop reads slot acknowledgements so ring slots can be
+    reused.  Queue overflow drops the oldest droppable entry and releases
+    its slot -- the same slow-subscriber policy as ``_OutboundLink``.
+    """
+
+    is_shm = True
+
+    def __init__(
+        self, publisher: "Publisher", sock, subscriber_id: str, ring=None
+    ) -> None:
+        self.publisher = publisher
+        self.sock = sock
+        self.subscriber_id = subscriber_id
+        #: The ring this link's subscriber is currently attached to; when
+        #: the publisher grows the ring, a reseg notice is queued before
+        #: the first slot frame of the new ring (per-link frame order).
+        self.ring = ring if ring is not None else publisher._shm_ring
+        self._queue: deque[tuple] = deque()
+        self._condition = threading.Condition()
+        self._closed = False
+        self.dropped = 0
+        self._send_thread = threading.Thread(
+            target=self._send_loop,
+            daemon=True,
+            name=f"shmpub:{publisher.topic}->{subscriber_id}",
+        )
+        self._ack_thread = threading.Thread(
+            target=self._ack_loop,
+            daemon=True,
+            name=f"shmack:{publisher.topic}->{subscriber_id}",
+        )
+        self._send_thread.start()
+        self._ack_thread.start()
+
+    # ------------------------------------------------------------------
+    # Enqueueing (publisher thread)
+    # ------------------------------------------------------------------
+    def enqueue(self, outgoing: _Outgoing) -> None:
+        """Inline fallback (and latched replay): the payload itself rides
+        the doorbell socket, TCPROS-framed inside a control frame."""
+        self._enqueue(("inline", outgoing))
+
+    def enqueue_slot(self, ring, slot: int, seq: int, size: int) -> None:
+        self._enqueue(("slot", ring, slot, seq, size))
+
+    def enqueue_reseg(self, ring) -> None:
+        self._enqueue(("reseg", ring))
+
+    def _enqueue(self, item: tuple) -> None:
+        with self._condition:
+            if self._closed:
+                self._discard(item)
+                return
+            queue_size = self.publisher.queue_size
+            if (
+                queue_size
+                and item[0] != "reseg"
+                and sum(1 for it in self._queue if it[0] != "reseg")
+                >= queue_size
+            ):
+                # Drop the oldest droppable entry; reseg notices are
+                # control-plane and must never be dropped.
+                for index, candidate in enumerate(self._queue):
+                    if candidate[0] != "reseg":
+                        del self._queue[index]
+                        self._discard(candidate)
+                        self.dropped += 1
+                        break
+            self._queue.append(item)
+            self._condition.notify()
+
+    def _discard(self, item: tuple) -> None:
+        """Release whatever the queued entry was holding."""
+        if item[0] == "slot":
+            _kind, ring, slot, seq, _size = item
+            ring.release(slot, seq, self)
+        elif item[0] == "inline":
+            item[1].done()
+
+    def _note_reclaimed(self) -> None:
+        """The ring forcibly reclaimed a slot this subscriber had not yet
+        acknowledged (ring full, subscriber too slow)."""
+        self.dropped += 1
+
+    # ------------------------------------------------------------------
+    # Doorbell I/O
+    # ------------------------------------------------------------------
+    def _send_loop(self) -> None:
+        while True:
+            with self._condition:
+                while not self._queue and not self._closed:
+                    self._condition.wait()
+                if self._closed and not self._queue:
+                    return
+                item = self._queue.popleft()
+            try:
+                if item[0] == "slot":
+                    _kind, _ring, slot, seq, size = item
+                    shm.send_slot_frame(self.sock, slot, seq, size)
+                elif item[0] == "inline":
+                    outgoing = item[1]
+                    shm.send_inline_frame(self.sock, outgoing.payload)
+                    outgoing.done()
+                else:  # reseg
+                    ring = item[1]
+                    shm.send_reseg_frame(
+                        self.sock, ring.name, ring.slot_count, ring.slot_bytes
+                    )
+            except OSError:
+                self._discard(item)
+                self._shutdown_from_error()
+                return
+
+    def _ack_loop(self) -> None:
+        try:
+            while not self._closed:
+                frame = shm.read_control_frame(self.sock)
+                if frame[0] == "ack":
+                    _kind, slot, seq = frame
+                    self.publisher._shm_ack(slot, seq, self)
+        except (ConnectionError, OSError, shm.ShmTransportError):
+            self._shutdown_from_error()
+
+    def _shutdown_from_error(self) -> None:
+        self.close()
+        self.publisher._remove_link(self)
+
+    def close(self) -> None:
+        with self._condition:
+            if self._closed:
+                return
+            self._closed = True
+            pending = list(self._queue)
+            self._queue.clear()
+            self._condition.notify_all()
+        for item in pending:
+            self._discard(item)
+        self.publisher._shm_drop_reader(self)
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+
+
 class Publisher:
     """A handle for publishing messages on one topic."""
 
@@ -130,6 +282,8 @@ class Publisher:
         queue_size: int = 100,
         intraprocess: bool = False,
         latch: bool = False,
+        shm_slots: Optional[int] = None,
+        shm_slot_bytes: Optional[int] = None,
     ) -> None:
         self.node = node
         self.topic = topic
@@ -146,6 +300,20 @@ class Publisher:
         #: receive it on connect (map_server-style semantics).
         self._latched_payload: bytes | None = None
         self.published_count = 0
+        # --- SHMROS state -------------------------------------------------
+        self._shm_enabled = (
+            getattr(node, "shmros", True)
+            and shm.shm_available()
+            and not shm.env_disabled()
+        )
+        self._shm_slots = shm_slots or shm.DEFAULT_SLOT_COUNT
+        self._shm_slot_bytes = shm_slot_bytes or shm.DEFAULT_SLOT_BYTES
+        self._shm_lock = threading.Lock()
+        self._shm_ring: Optional[shm.ShmRingWriter] = None
+        #: Rings superseded by a reseg, kept mapped until their in-flight
+        #: slots are acknowledged.
+        self._shm_retired: list[shm.ShmRingWriter] = []
+        self._shm_seq = itertools.count(1).__next__
         if intraprocess:
             local_bus.register_publisher(self)
 
@@ -169,14 +337,40 @@ class Publisher:
         payload, release = self.codec.encode(msg)
         if self.latch:
             # Keep a private copy: the original payload (e.g. an SFM
-            # buffer) is released once every link has sent it.
-            self._latched_payload = bytes(payload)
+            # buffer) is released once every link has sent it.  Already-
+            # immutable bytes need no defensive copy.
+            self._latched_payload = (
+                payload if isinstance(payload, bytes) else bytes(payload)
+            )
         if not links:
             if release is not None:
                 release()
             return
-        outgoing = _Outgoing(payload, len(links), release)
-        for link in links:
+        shm_links = [link for link in links if link.is_shm]
+        tcp_links = [link for link in links if not link.is_shm]
+        ticket = self._shm_write(payload, shm_links) if shm_links else None
+        # The payload is referenced once per TCP link plus once for the
+        # whole shared-memory fan-out: the ring write above already copied
+        # the bytes into the slot shared by every SHM subscriber.
+        fanout = len(tcp_links) + (
+            1 if ticket is not None else len(shm_links)
+        )
+        outgoing = _Outgoing(payload, fanout, release)
+        if shm_links:
+            if ticket is not None:
+                ring, slot, seq, size = ticket
+                for link in shm_links:
+                    if link.ring is not ring:
+                        link.enqueue_reseg(ring)
+                        link.ring = ring
+                    link.enqueue_slot(ring, slot, seq, size)
+                outgoing.done()  # the SHM fan-out's shared reference
+            else:
+                # Shared memory unavailable (or the write failed): the
+                # payload travels inline over each doorbell socket.
+                for link in shm_links:
+                    link.enqueue(outgoing)
+        for link in tcp_links:
             link.enqueue(outgoing)
 
     # ------------------------------------------------------------------
@@ -195,12 +389,26 @@ class Publisher:
             "format": self.codec.format_name,
             "latching": "1" if self.latch else "0",
         }
+        # The subscriber *requests* shared memory with ``shmros=1``; the
+        # reply grants it by naming the segment.  If the ring cannot be
+        # served the reply omits the fields and the connection degrades to
+        # plain TCPROS on the same socket -- fallback without a round trip.
+        ring = self._ensure_shm_ring() if header.get("shmros") == "1" else None
+        if ring is not None:
+            reply["shm_segment"] = ring.name
+            reply["shm_slots"] = str(ring.slot_count)
+            reply["shm_slot_bytes"] = str(ring.slot_bytes)
         try:
             tcpros.write_frame(sock, tcpros.encode_header(reply))
         except OSError:
             sock.close()
             return
-        link = _OutboundLink(self, sock, header.get("callerid", "?"))
+        if ring is not None:
+            link = _ShmOutboundLink(
+                self, sock, header.get("callerid", "?"), ring=ring
+            )
+        else:
+            link = _OutboundLink(self, sock, header.get("callerid", "?"))
         with self._links_lock:
             self._links.append(link)
             latched = self._latched_payload
@@ -225,10 +433,103 @@ class Publisher:
             )
         return None
 
-    def _remove_link(self, link: _OutboundLink) -> None:
+    def _remove_link(self, link) -> None:
         with self._links_lock:
             if link in self._links:
                 self._links.remove(link)
+
+    # ------------------------------------------------------------------
+    # SHMROS ring management
+    # ------------------------------------------------------------------
+    def _offer_shm(self, peer_machine: str) -> Optional[shm.ShmRingWriter]:
+        """Transport negotiation: a ring to advertise in ``requestTopic``,
+        or None when SHMROS cannot serve this subscriber (different
+        machine, disabled, or segment creation failure)."""
+        if not self._shm_enabled or peer_machine != shm.machine_id():
+            return None
+        return self._ensure_shm_ring()
+
+    def _ensure_shm_ring(self) -> Optional[shm.ShmRingWriter]:
+        if not self._shm_enabled:
+            return None
+        with self._shm_lock:
+            if self._shm_ring is None:
+                try:
+                    self._shm_ring = shm.ShmRingWriter(
+                        slot_count=self._shm_slots,
+                        slot_bytes=self._shm_slot_bytes,
+                        seq_source=self._shm_seq,
+                        on_reclaim=lambda link: link._note_reclaimed(),
+                    )
+                except (OSError, shm.ShmTransportError):
+                    # No shared memory on this host: disable for good so
+                    # every future subscriber negotiates plain TCPROS.
+                    self._shm_enabled = False
+                    return None
+            return self._shm_ring
+
+    def _shm_write(self, payload, readers) -> Optional[tuple]:
+        """Copy ``payload`` once into a ring slot shared by all SHM
+        subscribers; returns ``(ring, slot, seq, size)`` or None when the
+        payload must travel inline instead."""
+        with self._shm_lock:
+            ring = self._shm_ring
+            if ring is None:
+                return None
+            if len(payload) > ring.slot_bytes:
+                try:
+                    grown = shm.ShmRingWriter(
+                        slot_count=ring.slot_count,
+                        slot_bytes=shm.next_slot_bytes(
+                            ring.slot_bytes, len(payload)
+                        ),
+                        seq_source=self._shm_seq,
+                        on_reclaim=lambda link: link._note_reclaimed(),
+                    )
+                except (OSError, shm.ShmTransportError):
+                    return None
+                self._shm_retired.append(ring)
+                self._shm_ring = ring = grown
+            try:
+                written = ring.write(payload, readers)
+            except shm.ShmTransportError:
+                return None
+            # A full ring (every slot awaiting acks) degrades to inline
+            # delivery: backlog depth stays governed by queue_size and no
+            # in-flight slot is yanked from under a reader.
+            return None if written is None else (ring,) + written
+
+    def _shm_ack(self, slot: int, seq: int, link) -> None:
+        """Route a subscriber acknowledgement to the owning ring (the
+        sequence counter is shared across rings, so a (slot, seq) pair is
+        unambiguous even across a reseg)."""
+        with self._shm_lock:
+            rings = (
+                [self._shm_ring] if self._shm_ring is not None else []
+            ) + self._shm_retired
+        for ring in rings:
+            if ring.release(slot, seq, link):
+                break
+        self._gc_retired_rings()
+
+    def _shm_drop_reader(self, link) -> None:
+        with self._shm_lock:
+            rings = (
+                [self._shm_ring] if self._shm_ring is not None else []
+            ) + self._shm_retired
+        for ring in rings:
+            ring.drop_reader(link)
+        self._gc_retired_rings()
+
+    def _gc_retired_rings(self) -> None:
+        """Unmap superseded rings once their last slot is acknowledged."""
+        with self._shm_lock:
+            drained = [ring for ring in self._shm_retired if ring.idle()]
+            self._shm_retired = [
+                ring for ring in self._shm_retired if not ring.idle()
+            ]
+        for ring in drained:
+            ring.close()
 
     # ------------------------------------------------------------------
     # Introspection / shutdown
@@ -257,17 +558,37 @@ class Publisher:
             self._links.clear()
         for link in links:
             link.close()
+        with self._shm_lock:
+            rings = (
+                [self._shm_ring] if self._shm_ring is not None else []
+            ) + self._shm_retired
+            self._shm_ring = None
+            self._shm_retired = []
+        for ring in rings:
+            ring.close()
         self.node._unadvertise(self)
 
 
 class _InboundLink:
-    """Subscriber-side connection to one publisher."""
+    """Subscriber-side connection to one publisher.
+
+    Transport preference: SHMROS when both ends share a machine and allow
+    it, TCPROS otherwise.  Fallback is transparent at two levels -- the
+    publisher can decline shared memory in the handshake reply (the same
+    socket then carries plain TCPROS frames), and a subscriber-side
+    attach failure reconnects with SHMROS off.
+    """
 
     def __init__(self, subscriber: "Subscriber", publisher_uri: str) -> None:
         self.subscriber = subscriber
         self.publisher_uri = publisher_uri
         self.sock = None
         self.error: Optional[Exception] = None
+        #: "SHMROS" or "TCPROS" once connected (None before/after).
+        self.transport: Optional[str] = None
+        #: Slot notifications skipped because the publisher had already
+        #: reclaimed the slot by the time this subscriber got to it.
+        self.stale_drops = 0
         self._closed = False
         self._thread = threading.Thread(
             target=self._run,
@@ -278,43 +599,147 @@ class _InboundLink:
 
     def _run(self) -> None:
         subscriber = self.subscriber
+        allow_shm = (
+            getattr(subscriber.node, "shmros", True)
+            and shm.shm_available()
+            and not shm.env_disabled()
+        )
         try:
-            proxy = xmlrpc.client.ServerProxy(self.publisher_uri, allow_none=True)
-            code, _status, protocol = proxy.requestTopic(
-                subscriber.node.name, subscriber.topic, [["TCPROS"]]
-            )
-            if code != 1 or not protocol or protocol[0] != "TCPROS":
-                return
-            _proto, host, port = protocol
-            header = {
-                "callerid": subscriber.node.name,
-                "topic": subscriber.topic,
-                "type": subscriber.type_name,
-                "md5sum": subscriber.md5sum,
-                "format": subscriber.codec.format_name,
-                "tcp_nodelay": "1",
-            }
-            self.sock, reply = tcpros.connect_subscriber(host, port, header)
-            their_format = reply.get("format", "ros")
-            if their_format != subscriber.codec.format_name:
-                raise TopicTypeMismatch(
-                    f"publisher sends {their_format}, expected "
-                    f"{subscriber.codec.format_name}"
-                )
-            subscriber._link_connected(self)
-            while not self._closed:
-                frame = tcpros.read_frame(self.sock)
-                msg = subscriber.codec.decode(frame)
-                subscriber._dispatch(msg)
+            try:
+                self._connect_and_stream(allow_shm)
+            except shm.ShmAttachError:
+                # The publisher granted a segment we cannot map (stale
+                # name, exhausted /dev/shm, ...): renegotiate pure TCPROS.
+                if not self._closed:
+                    self._reset_socket()
+                    self._connect_and_stream(False)
         except (ConnectionError, OSError) as exc:
-            self.error = exc
+            # An intentional close() tears the socket down under the
+            # reader; only an unexpected failure is worth recording.
+            if not self._closed:
+                self.error = exc
         except (tcpros.ConnectionHandshakeError, TopicTypeMismatch) as exc:
             # The publisher refused us (type/md5/format mismatch); record
             # why so wait_for_publishers debugging can surface it.
             self.error = exc
+        except shm.ShmTransportError as exc:
+            self.error = exc
         finally:
             self.close()
             subscriber._link_closed(self)
+
+    def _connect_and_stream(self, allow_shm: bool) -> None:
+        subscriber = self.subscriber
+        protocols = (
+            [["SHMROS", shm.machine_id()], ["TCPROS"]]
+            if allow_shm
+            else [["TCPROS"]]
+        )
+        proxy = xmlrpc.client.ServerProxy(self.publisher_uri, allow_none=True)
+        code, _status, protocol = proxy.requestTopic(
+            subscriber.node.name, subscriber.topic, protocols
+        )
+        if code != 1 or not protocol or protocol[0] not in ("TCPROS", "SHMROS"):
+            return
+        host, port = protocol[1], protocol[2]
+        header = {
+            "callerid": subscriber.node.name,
+            "topic": subscriber.topic,
+            "type": subscriber.type_name,
+            "md5sum": subscriber.md5sum,
+            "format": subscriber.codec.format_name,
+            "tcp_nodelay": "1",
+        }
+        if protocol[0] == "SHMROS":
+            header["shmros"] = "1"
+        self.sock, reply = tcpros.connect_subscriber(host, port, header)
+        their_format = reply.get("format", "ros")
+        if their_format != subscriber.codec.format_name:
+            raise TopicTypeMismatch(
+                f"publisher sends {their_format}, expected "
+                f"{subscriber.codec.format_name}"
+            )
+        if reply.get("shm_segment"):
+            self._stream_shm(reply)
+        else:
+            self._stream_tcpros()
+
+    def _reset_socket(self) -> None:
+        if self.sock is not None:
+            try:
+                self.sock.close()
+            except OSError:
+                pass
+            self.sock = None
+
+    # ------------------------------------------------------------------
+    # TCPROS streaming (length-framed messages on the data socket)
+    # ------------------------------------------------------------------
+    def _stream_tcpros(self) -> None:
+        subscriber = self.subscriber
+        self.transport = "TCPROS"
+        subscriber._link_connected(self)
+        while not self._closed:
+            frame = tcpros.read_frame(self.sock)
+            msg = subscriber.codec.decode(frame)
+            subscriber._dispatch(msg)
+
+    # ------------------------------------------------------------------
+    # SHMROS streaming (doorbell frames + shared-memory slots)
+    # ------------------------------------------------------------------
+    def _stream_shm(self, reply: dict[str, str]) -> None:
+        subscriber = self.subscriber
+        reader = shm.ShmRingReader(
+            reply["shm_segment"],
+            int(reply["shm_slots"]),
+            int(reply["shm_slot_bytes"]),
+        )
+        self.transport = "SHMROS"
+        subscriber._link_connected(self)
+        try:
+            while not self._closed:
+                frame = shm.read_control_frame(self.sock)
+                kind = frame[0]
+                if kind == "slot":
+                    _kind, slot, seq, size = frame
+                    if reader.slot_seq(slot) != seq:
+                        # The publisher reclaimed the slot before we got
+                        # here (we were too slow); it already counted the
+                        # drop on its side.
+                        self.stale_drops += 1
+                        continue
+                    self._dispatch_slot(reader, slot, seq, size)
+                elif kind == "inline":
+                    subscriber._dispatch(subscriber.codec.decode(frame[1]))
+                elif kind == "reseg":
+                    _kind, name, slot_count, slot_bytes = frame
+                    reader.close()
+                    reader = shm.ShmRingReader(name, slot_count, slot_bytes)
+        finally:
+            reader.close()
+
+    def _dispatch_slot(self, reader, slot: int, seq: int, size: int) -> None:
+        """One zero-copy delivery: adopt the slot in place, run the
+        callback, detach if the user kept the message, acknowledge."""
+        subscriber = self.subscriber
+        view = reader.payload_view(slot, size)
+        msg = subscriber.codec.decode_external(view)
+        # SFM messages borrow the slot memory itself; remember the record
+        # so we can copy it out *after* the callback if it is still alive.
+        record = getattr(msg, "_record", None)
+        try:
+            subscriber._dispatch(msg)
+        finally:
+            del msg, view
+            if (
+                record is not None
+                and record.external
+                and record.state is not MessageState.DESTRUCTED
+            ):
+                # The callback kept a reference: detach it from the slot
+                # so the publisher can reclaim the memory.
+                record.materialize()
+            shm.send_ack(self.sock, slot, seq)
 
     def close(self) -> None:
         self._closed = True
@@ -345,6 +770,9 @@ class Subscriber:
         self.type_name, self.md5sum = type_info_for_class(msg_class)
         self._links: dict[str, _InboundLink] = {}
         self._connected: set[_InboundLink] = set()
+        #: Last connection failure per publisher URI (type/md5/format
+        #: mismatches land here), for wait_for_publishers debugging.
+        self.link_errors: dict[str, Exception] = {}
         self._lock = threading.Lock()
         self._connect_event = threading.Event()
         self.received_count = 0
@@ -385,6 +813,8 @@ class Subscriber:
         with self._lock:
             self._connected.discard(link)
             self._links.pop(link.publisher_uri, None)
+            if link.error is not None:
+                self.link_errors[link.publisher_uri] = link.error
 
     def get_num_connections(self) -> int:
         with self._lock:

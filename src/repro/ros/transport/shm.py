@@ -1,0 +1,438 @@
+"""SHMROS: zero-copy shared-memory transport for intra-machine pub/sub.
+
+The paper's thesis is that serialization, not the wire, dominates
+intra-machine message cost.  TCPROS over loopback still pays two kernel
+copies plus socket syscalls per message; since an SFM message *is* its
+buffer, a message written once into a shared segment can be adopted by
+another process with zero further copies (the TZC / Agnocast design
+lineage -- see PAPERS.md).
+
+Architecture
+------------
+
+- Each publisher owns a **ring** of fixed-size slots inside one
+  ``multiprocessing.shared_memory`` segment.  ``Publisher.publish`` copies
+  the encoded payload into a free slot exactly once, shared by every
+  shared-memory subscriber (fan-out without re-copy).
+- A small TCP **doorbell** connection per subscriber (the same socket that
+  carried the TCPROS-style handshake) wakes the subscriber with a tiny
+  control frame naming the slot, its sequence number and payload size;
+  the subscriber maps the segment and reads the payload in place, then
+  acknowledges the slot so the publisher can reuse it.
+- Slots carry a generation header (sequence + size) written after the
+  payload, so a subscriber that arrives late -- or reads a slot the
+  publisher was forced to reclaim -- detects staleness instead of
+  decoding torn bytes.
+- Payloads larger than the current slot size trigger a **reseg**: the
+  publisher allocates a bigger ring and tells each subscriber (in frame
+  order) to re-attach; payloads are never silently truncated, and if
+  shared memory is unavailable the payload travels inline over the
+  doorbell socket, TCPROS-framed.
+
+Slot reclamation: a slot stays busy until every notified subscriber has
+acknowledged it.  When the ring is full, new payloads degrade to inline
+delivery over the doorbell socket, so backlog depth is governed by the
+publisher's ordinary ``queue_size`` -- and when a slow subscriber's queue
+overflows, dropping the queued notification releases its slot hold.  A
+slow or killed subscriber can therefore never wedge the publisher; its
+losses surface in the link's ``dropped`` counter.  ``write(force=True)``
+additionally supports reclaiming the oldest busy slot outright (bumping
+its generation so stragglers see staleness instead of torn bytes).
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import struct
+import threading
+import uuid
+from collections import deque
+from typing import Callable, Iterable, Optional
+
+from repro.ros.transport.tcpros import read_exact
+
+try:  # pragma: no cover - exercised only where shm is unavailable
+    from multiprocessing import shared_memory as _shared_memory
+except ImportError:  # pragma: no cover
+    _shared_memory = None
+
+#: Ring geometry defaults.  Slots grow adaptively (reseg) when a payload
+#: does not fit, so the defaults only size the common case; untouched
+#: slot pages are never committed by the kernel.
+DEFAULT_SLOT_COUNT = 8
+DEFAULT_SLOT_BYTES = 1 << 20
+
+_MAGIC = 0x53484D52  # "SHMR"
+_VERSION = 1
+_RING_HEADER = struct.Struct("<IIIIQ")  # magic, version, slot_count, pad, slot_bytes
+_RING_HEADER_SPACE = 64
+_SLOT_HEADER = struct.Struct("<QQ")  # seq, size
+_SLOT_HEADER_SPACE = 16
+_PAGE = 4096
+
+#: Doorbell control frames: a fixed header, optionally followed by a body.
+_FRAME = struct.Struct("<BIQQ")  # kind, a, b, c
+KIND_SLOT = 1    # a=slot, b=seq, c=size
+KIND_INLINE = 2  # c=size, followed by the payload bytes
+KIND_RESEG = 3   # a=slot_count, b=len(name), c=slot_bytes, followed by name
+KIND_ACK = 4     # a=slot, b=seq
+
+
+class ShmTransportError(Exception):
+    """Shared-memory transport failure (caller falls back to TCPROS)."""
+
+
+class ShmAttachError(ShmTransportError):
+    """The subscriber could not attach the publisher's segment."""
+
+
+class SlotTooLarge(ShmTransportError):
+    """Payload exceeds the ring's slot size (caller must reseg or inline)."""
+
+
+def shm_available() -> bool:
+    """Whether this interpreter/platform can serve shared memory."""
+    return _shared_memory is not None
+
+
+_machine_id: Optional[str] = None
+_machine_id_lock = threading.Lock()
+
+
+def machine_id() -> str:
+    """A stable identifier for this machine, exchanged during transport
+    negotiation so SHMROS is only offered to same-machine peers (a
+    hostname alone is not unique across containers sharing a network)."""
+    global _machine_id
+    with _machine_id_lock:
+        if _machine_id is None:
+            boot = ""
+            try:
+                with open("/proc/sys/kernel/random/boot_id") as fh:
+                    boot = fh.read().strip()
+            except OSError:
+                boot = f"{uuid.getnode():x}"
+            _machine_id = f"{socket.gethostname()}:{boot}"
+        return _machine_id
+
+
+def _data_base(slot_count: int) -> int:
+    """Offset of slot 0's payload area (page aligned past the headers)."""
+    headers_end = _RING_HEADER_SPACE + slot_count * _SLOT_HEADER_SPACE
+    return (headers_end + _PAGE - 1) // _PAGE * _PAGE
+
+
+#: Segment names created by THIS process; attaching to one of these must
+#: not unregister it from the resource tracker (the creator's unlink
+#: performs the one matching unregister).
+_local_segments: set[str] = set()
+
+
+def _unregister_from_tracker(shm) -> None:
+    """Detach an *attached* segment from the resource tracker: on
+    CPython < 3.13 the tracker registers every ``SharedMemory`` and would
+    unlink the publisher's segment when the subscriber exits."""
+    try:  # pragma: no cover - depends on interpreter internals
+        from multiprocessing import resource_tracker
+
+        resource_tracker.unregister(shm._name, "shared_memory")
+    except Exception:
+        pass
+
+
+class _BusySlot:
+    """Publisher-side bookkeeping for one in-flight slot."""
+
+    __slots__ = ("seq", "readers")
+
+    def __init__(self, seq: int, readers: set) -> None:
+        self.seq = seq
+        self.readers = readers
+
+
+class ShmRingWriter:
+    """The publisher side of one shared-memory ring."""
+
+    def __init__(
+        self,
+        slot_count: int = DEFAULT_SLOT_COUNT,
+        slot_bytes: int = DEFAULT_SLOT_BYTES,
+        seq_source=None,
+        on_reclaim: Optional[Callable[[object], None]] = None,
+    ) -> None:
+        if not shm_available():
+            raise ShmTransportError("shared memory is unavailable")
+        if slot_count < 1 or slot_bytes < 1:
+            raise ValueError("ring needs at least one non-empty slot")
+        self.slot_count = slot_count
+        self.slot_bytes = slot_bytes
+        self._data_base = _data_base(slot_count)
+        size = self._data_base + slot_count * slot_bytes
+        self._shm = _shared_memory.SharedMemory(create=True, size=size)
+        self.name = self._shm.name
+        _local_segments.add(self.name)
+        self._buf = self._shm.buf
+        _RING_HEADER.pack_into(
+            self._buf, 0, _MAGIC, _VERSION, slot_count, 0, slot_bytes
+        )
+        for slot in range(slot_count):
+            _SLOT_HEADER.pack_into(self._buf, self._slot_header_at(slot), 0, 0)
+        self._lock = threading.Lock()
+        self._free: deque[int] = deque(range(slot_count))
+        self._busy: dict[int, _BusySlot] = {}
+        self._seq = seq_source if seq_source is not None else iter(
+            range(1, 1 << 62)
+        ).__next__
+        self._on_reclaim = on_reclaim
+        self.forced_reclaims = 0
+        self._closed = False
+
+    def _slot_header_at(self, slot: int) -> int:
+        return _RING_HEADER_SPACE + slot * _SLOT_HEADER_SPACE
+
+    def _slot_data_at(self, slot: int) -> int:
+        return self._data_base + slot * self.slot_bytes
+
+    # ------------------------------------------------------------------
+    # Writing
+    # ------------------------------------------------------------------
+    def write(
+        self, payload, readers: Iterable[object], force: bool = False
+    ) -> Optional[tuple[int, int, int]]:
+        """Copy ``payload`` into a free slot; returns (slot, seq, size).
+
+        ``readers`` are opaque tokens (one per subscriber link) that must
+        each :meth:`release` the slot before it is reused.  When no slot
+        is free the write returns ``None`` so the caller can fall back to
+        inline delivery (preserving queue semantics) -- unless ``force``
+        is set, in which case the oldest busy slot is reclaimed: its
+        pending readers are reported through ``on_reclaim`` and counted
+        in :attr:`forced_reclaims`, and stragglers reading the reused
+        slot see a changed sequence number instead of torn bytes.
+        """
+        size = len(payload)
+        if size > self.slot_bytes:
+            raise SlotTooLarge(
+                f"payload of {size} bytes exceeds {self.slot_bytes}-byte slots"
+            )
+        reclaimed: list[object] = []
+        with self._lock:
+            if self._closed:
+                raise ShmTransportError("ring is closed")
+            if not self._free:
+                if not force:
+                    return None
+                victim = min(self._busy, key=lambda s: self._busy[s].seq)
+                reclaimed = list(self._busy.pop(victim).readers)
+                self._free.append(victim)
+                self.forced_reclaims += 1
+            slot = self._free.popleft()
+            seq = self._seq()
+            header_at = self._slot_header_at(slot)
+            data_at = self._slot_data_at(slot)
+            # Invalidate the header before touching the payload area so a
+            # straggling reader never matches a half-written slot.
+            _SLOT_HEADER.pack_into(self._buf, header_at, 0, 0)
+            self._buf[data_at : data_at + size] = payload
+            _SLOT_HEADER.pack_into(self._buf, header_at, seq, size)
+            self._busy[slot] = _BusySlot(seq, set(readers))
+        if reclaimed and self._on_reclaim is not None:
+            for reader in reclaimed:
+                self._on_reclaim(reader)
+        return slot, seq, size
+
+    def release(self, slot: int, seq: int, reader: object) -> bool:
+        """Drop ``reader``'s hold on (slot, seq); True if it matched."""
+        with self._lock:
+            busy = self._busy.get(slot)
+            if busy is None or busy.seq != seq:
+                return False
+            busy.readers.discard(reader)
+            if not busy.readers:
+                del self._busy[slot]
+                if not self._closed:
+                    self._free.append(slot)
+            return True
+
+    def drop_reader(self, reader: object) -> None:
+        """Release every slot ``reader`` still holds (link death)."""
+        with self._lock:
+            for slot in list(self._busy):
+                busy = self._busy[slot]
+                busy.readers.discard(reader)
+                if not busy.readers:
+                    del self._busy[slot]
+                    if not self._closed:
+                        self._free.append(slot)
+
+    def idle(self) -> bool:
+        with self._lock:
+            return not self._busy
+
+    def busy_count(self) -> int:
+        with self._lock:
+            return len(self._busy)
+
+    def close(self, unlink: bool = True) -> None:
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            self._busy.clear()
+            self._free.clear()
+        self._buf = None
+        try:
+            self._shm.close()
+        except OSError:  # pragma: no cover
+            pass
+        if unlink:
+            # A subscriber spawned from this process shares our resource
+            # tracker, so its attach-time unregister already consumed the
+            # tracker entry; re-register (idempotent) so the unregister
+            # inside ``unlink`` always finds one and the tracker does not
+            # spew KeyError tracebacks.
+            try:  # pragma: no cover - depends on interpreter internals
+                from multiprocessing import resource_tracker
+
+                resource_tracker.register(self._shm._name, "shared_memory")
+            except Exception:
+                pass
+            try:
+                self._shm.unlink()
+            except (OSError, FileNotFoundError):  # pragma: no cover
+                pass
+            _local_segments.discard(self.name)
+
+
+class ShmRingReader:
+    """The subscriber side: a read-only window onto a publisher's ring."""
+
+    def __init__(self, name: str, slot_count: int, slot_bytes: int) -> None:
+        if not shm_available():
+            raise ShmAttachError("shared memory is unavailable")
+        try:
+            self._shm = _shared_memory.SharedMemory(name=name)
+        except (OSError, ValueError, FileNotFoundError) as exc:
+            raise ShmAttachError(f"cannot attach segment {name!r}: {exc}") from exc
+        if name not in _local_segments:
+            _unregister_from_tracker(self._shm)
+        self._buf = self._shm.buf
+        try:
+            magic, version, count, _pad, nbytes = _RING_HEADER.unpack_from(
+                self._buf, 0
+            )
+        except struct.error as exc:
+            self.close()
+            raise ShmAttachError(f"segment {name!r} too small") from exc
+        if magic != _MAGIC or version != _VERSION:
+            self.close()
+            raise ShmAttachError(f"segment {name!r} is not a SHMROS ring")
+        if count != slot_count or nbytes != slot_bytes:
+            self.close()
+            raise ShmAttachError(
+                f"segment {name!r} geometry mismatch "
+                f"({count}x{nbytes} != {slot_count}x{slot_bytes})"
+            )
+        self.name = name
+        self.slot_count = slot_count
+        self.slot_bytes = slot_bytes
+        self._data_base = _data_base(slot_count)
+
+    def slot_seq(self, slot: int) -> int:
+        """The slot's current generation (0 while being rewritten)."""
+        seq, _size = _SLOT_HEADER.unpack_from(
+            self._buf, _RING_HEADER_SPACE + slot * _SLOT_HEADER_SPACE
+        )
+        return seq
+
+    def payload_view(self, slot: int, size: int) -> memoryview:
+        """Read-only zero-copy view of the slot's payload."""
+        start = self._data_base + slot * self.slot_bytes
+        return memoryview(self._buf)[start : start + size].toreadonly()
+
+    def close(self) -> None:
+        self._buf = None
+        try:
+            self._shm.close()
+        except (OSError, BufferError):  # pragma: no cover
+            pass
+
+
+# ----------------------------------------------------------------------
+# Doorbell control frames
+# ----------------------------------------------------------------------
+def send_slot_frame(sock: socket.socket, slot: int, seq: int, size: int) -> None:
+    sock.sendall(_FRAME.pack(KIND_SLOT, slot, seq, size))
+
+
+def send_inline_frame(sock: socket.socket, payload) -> None:
+    """Oversize/no-shm fallback: the payload rides the doorbell socket."""
+    header = _FRAME.pack(KIND_INLINE, 0, 0, len(payload))
+    if hasattr(sock, "sendmsg"):
+        _sendmsg_all(sock, header, payload)
+    else:  # pragma: no cover - non-POSIX
+        sock.sendall(header)
+        sock.sendall(payload)
+
+
+def send_reseg_frame(
+    sock: socket.socket, name: str, slot_count: int, slot_bytes: int
+) -> None:
+    encoded = name.encode("utf-8")
+    sock.sendall(
+        _FRAME.pack(KIND_RESEG, slot_count, len(encoded), slot_bytes) + encoded
+    )
+
+
+def send_ack(sock: socket.socket, slot: int, seq: int) -> None:
+    sock.sendall(_FRAME.pack(KIND_ACK, slot, seq, 0))
+
+
+def read_control_frame(sock: socket.socket) -> tuple:
+    """Read one doorbell frame; returns a ``(kind, ...)`` tuple:
+
+    - ``("slot", slot, seq, size)``
+    - ``("inline", payload_bytearray)``
+    - ``("reseg", segment_name, slot_count, slot_bytes)``
+    - ``("ack", slot, seq)``
+    """
+    kind, a, b, c = _FRAME.unpack(bytes(read_exact(sock, _FRAME.size)))
+    if kind == KIND_SLOT:
+        return ("slot", a, b, c)
+    if kind == KIND_INLINE:
+        return ("inline", read_exact(sock, c))
+    if kind == KIND_RESEG:
+        name = bytes(read_exact(sock, b)).decode("utf-8")
+        return ("reseg", name, a, c)
+    if kind == KIND_ACK:
+        return ("ack", a, b)
+    raise ShmTransportError(f"unknown doorbell frame kind {kind}")
+
+
+def _sendmsg_all(sock: socket.socket, header: bytes, payload) -> None:
+    """Vectored send of header+payload, finishing any partial write."""
+    view = memoryview(payload)
+    total = len(header) + len(view)
+    sent = sock.sendmsg([header, view])
+    while sent < total:
+        if sent < len(header):
+            sock.sendall(header[sent:])
+            sent = len(header)
+            continue
+        sent += sock.send(view[sent - len(header) :])
+
+
+def next_slot_bytes(current: int, payload_size: int) -> int:
+    """The grown slot size after a payload overflow: the next power of
+    two comfortably above the payload (headroom for jitter in sizes)."""
+    needed = max(current * 2, payload_size + (payload_size >> 2) + 64)
+    grown = 1
+    while grown < needed:
+        grown <<= 1
+    return grown
+
+
+def env_disabled() -> bool:
+    """Global kill switch: ``REPRO_SHMROS=0`` disables SHMROS entirely."""
+    return os.environ.get("REPRO_SHMROS", "1") == "0"

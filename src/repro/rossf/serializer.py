@@ -39,3 +39,10 @@ class SfmCodec(MessageCodec):
 
     def decode(self, buffer: bytearray):
         return self.msg_class.from_buffer(buffer)
+
+    def decode_external(self, view: memoryview):
+        """Adopt a shared-memory slot view zero-copy: field access in the
+        subscriber callback reads the publisher's bytes in place; the
+        first write -- or slot reclamation -- copies out (Section 4.3.1's
+        dummy de-serialization, extended to borrowed memory)."""
+        return self.msg_class.adopt_external(view)

@@ -48,7 +48,9 @@ class _PrimitiveField:
         return self.packer.unpack_from(obj._record.buffer, obj._base + self.offset)[0]
 
     def __set__(self, obj, value) -> None:
-        self.packer.pack_into(obj._record.buffer, obj._base + self.offset, value)
+        self.packer.pack_into(
+            obj._record.writable(), obj._base + self.offset, value
+        )
 
 
 class _TimeField:
@@ -69,7 +71,7 @@ class _TimeField:
     def __set__(self, obj, value) -> None:
         secs, nsecs = value
         self.packer.pack_into(
-            obj._record.buffer, obj._base + self.offset, secs, nsecs
+            obj._record.writable(), obj._base + self.offset, secs, nsecs
         )
 
 

@@ -42,6 +42,8 @@ class ManagerStats:
 
     allocated: int = 0
     adopted: int = 0
+    adopted_external: int = 0
+    materialized: int = 0
     published: int = 0
     destructed: int = 0
     expansions: int = 0
@@ -69,6 +71,10 @@ class MessageRecord:
     allow_growth: bool = False
     #: Byte-order marker of the buffer contents (publisher's order).
     byte_order: str = "<"
+    #: True while ``buffer`` is a borrowed read-only view over memory the
+    #: transport owns (a shared-memory slot); the first write -- or slot
+    #: reclamation -- copies it into a private bytearray (``materialize``).
+    external: bool = False
     #: The owning manager (set on registration); views use it to request
     #: expansion without any global lookup.
     manager: "MessageManager" = None  # type: ignore[assignment]
@@ -80,6 +86,26 @@ class MessageRecord:
 
     def contains(self, address: int) -> bool:
         return self.base <= address < self.end
+
+    def writable(self) -> bytearray:
+        """The buffer, guaranteed mutable: every write path goes through
+        here so an adopted external buffer is copied out (copy-on-write)
+        before the first mutation."""
+        if self.external:
+            self.materialize()
+        return self.buffer
+
+    def materialize(self) -> None:
+        """Detach from borrowed memory: copy the external view into a
+        private bytearray (idempotent; no-op for ordinary records)."""
+        if not self.external:
+            return
+        self.buffer = bytearray(self.buffer)
+        self.external = False
+        manager = self.manager
+        if manager is not None:
+            with manager._lock:
+                manager.stats.materialized += 1
 
 
 class BufferPointer:
@@ -211,6 +237,43 @@ class MessageManager:
         self._insert(record, count_alloc=False)
         return record
 
+    def adopt_external(
+        self, layout: SkeletonLayout, view: memoryview
+    ) -> MessageRecord:
+        """Adopt a *borrowed* buffer -- e.g. a memoryview over a shared
+        memory slot -- as a Published message with **zero** copies.
+
+        The record starts in external mode: reads go straight to the
+        borrowed memory; the first write (or an explicit
+        :meth:`MessageRecord.materialize`, issued by the transport before
+        the slot is reclaimed) copies it into a private bytearray.
+        External adoption assumes little-endian contents (SHMROS peers
+        share a machine, hence a byte order).
+        """
+        if len(view) < layout.skeleton_size:
+            raise ValueError(
+                f"{layout.type_name}: external buffer shorter than skeleton"
+            )
+        if not isinstance(view, memoryview):
+            view = memoryview(view)
+        view = view.toreadonly()
+        record = MessageRecord(
+            record_id=self._arena.next_allocation_id(),
+            type_name=layout.type_name,
+            base=self._arena.allocate(max(len(view), 1)),
+            buffer=view,  # type: ignore[arg-type] -- mutable only after materialize
+            skeleton_size=layout.skeleton_size,
+            size=len(view),
+            capacity=len(view),
+            state=MessageState.PUBLISHED,
+            external=True,
+        )
+        with self._lock:
+            self.stats.adopted += 1
+            self.stats.adopted_external += 1
+        self._insert(record, count_alloc=False)
+        return record
+
     def _insert(self, record: MessageRecord, count_alloc: bool = True) -> None:
         record.manager = self
         with self._lock:
@@ -265,14 +328,14 @@ class MessageManager:
                 # Growth mode: extend the backing bytearray in place.  A
                 # Python bytearray may relocate internally but every view
                 # holds the same object, so this is safe (unlike C++).
-                record.buffer.extend(bytes(needed - record.capacity))
+                record.writable().extend(bytes(needed - record.capacity))
                 record.capacity = needed
             record.size = needed
             if zero_grant:
                 # Guarantee the grant is zeroed: recycled buffers carry
                 # stale bytes, and alignment padding must not leak prior
                 # message contents onto the wire.
-                record.buffer[content_offset:needed] = bytes(granted)
+                record.writable()[content_offset:needed] = bytes(granted)
             self.stats.expansions += 1
             self.stats.bytes_expanded += granted
             return record, content_offset
@@ -320,10 +383,13 @@ class MessageManager:
             del self._bases[index]
             del self._records[index]
         self.stats.destructed += 1
-        if self.recycle:
+        # External (borrowed) buffers belong to the transport and must
+        # never enter the recycling pool.
+        if self.recycle and isinstance(record.buffer, bytearray):
             shelf = self._pool.setdefault(record.capacity, [])
             if len(shelf) < self.POOL_DEPTH:
                 shelf.append(record.buffer)
+        record.external = False
         record.buffer = bytearray()  # the record must never alias the pool
 
     def _take_from_pool(self, capacity: int, skeleton_size: int):

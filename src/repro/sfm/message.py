@@ -118,6 +118,23 @@ class SFMMessage:
         return self
 
     @classmethod
+    def adopt_external(
+        cls, view, _manager: Optional[MessageManager] = None
+    ) -> "SFMMessage":
+        """Adopt a *borrowed* read-only buffer -- a memoryview over a
+        shared-memory slot -- with zero copies (the SHMROS receive path).
+
+        Reads are served straight from the borrowed memory; the first
+        field write, or the transport reclaiming the slot, copies the
+        buffer out (:meth:`~repro.sfm.manager.MessageRecord.materialize`).
+        """
+        manager = _manager or cls._manager
+        record = manager.adopt_external(cls._layout, view)
+        self = cls._view(record, 0, cls._layout.type_name)
+        object.__setattr__(self, "_owns", True)
+        return self
+
+    @classmethod
     def wrap_record(cls, record: MessageRecord, owning: bool = False):
         """Wrap an existing record (used by the transport layer)."""
         self = cls._view(record, 0, cls._layout.type_name)

@@ -103,7 +103,7 @@ class SfmString:
         record, content_offset = self._manager.expand(
             self._record.base + self._offset, padded, zero=False
         )
-        buffer = record.buffer
+        buffer = record.writable()
         buffer[content_offset : content_offset + len(content)] = content
         buffer[content_offset + len(content) : content_offset + padded] = bytes(
             padded - len(content)

@@ -110,7 +110,7 @@ class _SfmSequenceBase:
     def _set_element(self, index: int, value) -> None:
         element = self._element
         offset = self._element_offset(index)
-        buffer = self._record.buffer
+        buffer = self._record.writable()
         if isinstance(element, PrimDesc):
             prim = element.type
             if prim.is_time or prim.struct_fmt in ("II", "ii"):
@@ -274,7 +274,7 @@ class SfmVector(_SfmSequenceBase):
             if count == 0:
                 # Shrinking to zero is always allowed; the content region
                 # is leaked inside the whole message, as in the paper.
-                _PAIR.pack_into(self._record.buffer, self._offset, 0, 0)
+                _PAIR.pack_into(self._record.writable(), self._offset, 0, 0)
                 return
             raise OneShotVectorError(self._path)
         if count == 0:
@@ -285,8 +285,10 @@ class SfmVector(_SfmSequenceBase):
         record, content_offset = self._manager.expand(
             self._record.base + self._offset, nbytes
         )
-        rel = content_offset - (self._offset + 4)
-        _PAIR.pack_into(record.buffer, self._offset, count, rel)
+        _PAIR.pack_into(
+            record.writable(), self._offset, count,
+            content_offset - (self._offset + 4),
+        )
 
     def _assign(self, value) -> None:
         """Whole-vector assignment: one-shot resize + element writes."""
@@ -314,7 +316,9 @@ class SfmVector(_SfmSequenceBase):
             or self._element.type.struct_fmt in ("II", "ii")
         ):
             fmt = f"<{len(values)}{self._element.type.struct_fmt}"
-            struct.pack_into(fmt, self._record.buffer, self._content_start(), *values)
+            struct.pack_into(
+                fmt, self._record.writable(), self._content_start(), *values
+            )
             return
         for index, item in enumerate(values):
             self._set_element(index, item)
@@ -329,7 +333,7 @@ class SfmVector(_SfmSequenceBase):
         current, _ = self._stored()
         if current != 0:
             if count == 0:
-                _PAIR.pack_into(self._record.buffer, self._offset, 0, 0)
+                _PAIR.pack_into(self._record.writable(), self._offset, 0, 0)
                 return
             raise OneShotVectorError(self._path)
         if count == 0:
@@ -337,7 +341,7 @@ class SfmVector(_SfmSequenceBase):
         record, content_offset = self._manager.expand(
             self._record.base + self._offset, count, zero=False
         )
-        buffer = record.buffer
+        buffer = record.writable()
         buffer[content_offset : content_offset + count] = value
         padding = align_content(count) - count
         if padding:
@@ -368,7 +372,7 @@ class SfmVector(_SfmSequenceBase):
         current, _ = self._stored()
         if current != 0:
             if count == 0:
-                _PAIR.pack_into(self._record.buffer, self._offset, 0, 0)
+                _PAIR.pack_into(self._record.writable(), self._offset, 0, 0)
                 return
             raise OneShotVectorError(self._path)
         if count == 0:
@@ -377,7 +381,7 @@ class SfmVector(_SfmSequenceBase):
         record, content_offset = self._manager.expand(
             self._record.base + self._offset, nbytes, zero=False
         )
-        buffer = record.buffer
+        buffer = record.writable()
         view = numpy.frombuffer(
             memoryview(buffer)[content_offset : content_offset + nbytes],
             dtype=dtype,
@@ -556,7 +560,7 @@ def _scalar_view(vector: SfmVector, desc, offset: int, index: int, role: str):
 
 
 def _write_scalar(vector: SfmVector, desc, offset: int, value) -> None:
-    buffer = vector._record.buffer
+    buffer = vector._record.writable()
     if isinstance(desc, PrimDesc):
         struct.pack_into("<" + desc.type.struct_fmt, buffer, offset, value)
     elif isinstance(desc, StrDesc):

@@ -115,6 +115,21 @@ class TestExperimentsQuick:
         results = experiment.run()
         assert set(results["tiny"]) == {"ROS", "ROS-SF"}
 
+    def test_intra_machine_transport_axis(self):
+        from repro.bench.harness import IntraMachineExperiment
+        from repro.bench.workloads import ImageWorkload
+
+        experiment = IntraMachineExperiment(
+            iterations=3, warmup=1, rate_hz=None, sync=True,
+            stamp_at_publish=True,
+            workloads=(ImageWorkload("tiny", 64, 64),),
+            transports=("tcpros", "shmros"),
+        )
+        results = experiment.run()
+        assert set(results["tiny"]) == {
+            "ROS@tcpros", "ROS-SF@tcpros", "ROS@shmros", "ROS-SF@shmros"
+        }
+
     def test_tables_render(self):
         from repro.bench.harness import MiddlewareComparison
         from repro.bench.tables import render_middleware_bars

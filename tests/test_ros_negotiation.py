@@ -1,0 +1,162 @@
+"""Transport negotiation: protocol selection, mismatch surfacing, and
+SHMROS <-> TCPROS fallback in every direction."""
+
+from __future__ import annotations
+
+import threading
+import time
+import xmlrpc.client
+
+import pytest
+
+from repro.msg import library as L
+from repro.ros import RosGraph
+from repro.ros.master import SUCCESS, ERROR
+from repro.ros.transport import shm
+from repro.rossf import sfm_classes_for
+
+
+def _roundtrip(graph, pub_kwargs=None, sub_kwargs=None, topic="/nego"):
+    """One message end to end; returns the subscriber's inbound links."""
+    received = []
+    done = threading.Event()
+
+    def callback(msg):
+        received.append(msg.data)
+        done.set()
+
+    pub_node = graph.node("nego_pub", **(pub_kwargs or {}))
+    sub_node = graph.node("nego_sub", **(sub_kwargs or {}))
+    sub = sub_node.subscribe(topic, L.UInt32, callback)
+    pub = pub_node.advertise(topic, L.UInt32)
+    assert pub.wait_for_subscribers(1)
+    assert sub.wait_for_publishers(1)  # negotiation (incl. retries) settled
+    # Re-publish until delivery: during a fallback reconnect the doomed
+    # first link can satisfy wait_for_subscribers before the replacement
+    # link lands in the publisher's list, losing a lone probe message.
+    deadline = time.monotonic() + 10
+    while not done.is_set() and time.monotonic() < deadline:
+        pub.publish(L.UInt32(data=42))
+        done.wait(0.5)
+    assert done.is_set()
+    assert received and set(received) == {42}
+    links = list(sub._links.values())
+    pub_node.shutdown()
+    sub_node.shutdown()
+    return links
+
+
+class TestRequestTopic:
+    def test_unsupported_protocols_rejected(self):
+        with RosGraph() as graph:
+            node = graph.node("proto_pub")
+            node.advertise("/proto", L.UInt32)
+            proxy = xmlrpc.client.ServerProxy(node.uri, allow_none=True)
+            code, status, protocol = proxy.requestTopic(
+                "/caller", "/proto", [["UDPROS"], ["WEIRD", 1, 2]]
+            )
+            assert code == ERROR
+            assert "no supported protocol" in status
+            assert protocol == []
+
+    def test_unknown_topic_rejected(self):
+        with RosGraph() as graph:
+            node = graph.node("proto_pub2")
+            proxy = xmlrpc.client.ServerProxy(node.uri, allow_none=True)
+            code, _status, _protocol = proxy.requestTopic(
+                "/caller", "/never_advertised", [["TCPROS"]]
+            )
+            assert code == ERROR
+
+    def test_shmros_grant_names_segment(self):
+        with RosGraph() as graph:
+            node = graph.node("proto_pub3")
+            node.advertise("/proto3", L.UInt32)
+            proxy = xmlrpc.client.ServerProxy(node.uri, allow_none=True)
+            code, _status, protocol = proxy.requestTopic(
+                "/caller", "/proto3",
+                [["SHMROS", shm.machine_id()], ["TCPROS"]],
+            )
+            assert code == SUCCESS
+            assert protocol[0] == "SHMROS"
+            assert len(protocol) == 4  # proto, host, port, segment name
+
+    def test_shmros_declined_for_foreign_machine(self):
+        """A different machine id downgrades the grant to TCPROS."""
+        with RosGraph() as graph:
+            node = graph.node("proto_pub4")
+            node.advertise("/proto4", L.UInt32)
+            proxy = xmlrpc.client.ServerProxy(node.uri, allow_none=True)
+            code, _status, protocol = proxy.requestTopic(
+                "/caller", "/proto4",
+                [["SHMROS", "otherhost:deadbeef"], ["TCPROS"]],
+            )
+            assert code == SUCCESS
+            assert protocol[0] == "TCPROS"
+
+
+class TestMismatchSurfacing:
+    def test_format_mismatch_recorded_on_subscriber(self):
+        """A plain subscriber on an SFM topic fails the handshake; the
+        reason lands in ``Subscriber.link_errors``."""
+        SImage, = sfm_classes_for("sensor_msgs/Image")
+        with RosGraph() as graph:
+            pub_node = graph.node("mm_pub")
+            sub_node = graph.node("mm_sub")
+            pub_node.advertise("/mm", SImage)
+            sub = sub_node.subscribe("/mm", L.Image, lambda m: None)
+            deadline = time.monotonic() + 5
+            while time.monotonic() < deadline and not sub.link_errors:
+                time.sleep(0.05)
+            assert sub.get_num_connections() == 0
+            (error,) = sub.link_errors.values()
+            assert "format" in str(error) or "sfm" in str(error)
+
+    def test_type_mismatch_recorded_on_subscriber(self):
+        with RosGraph() as graph:
+            pub_node = graph.node("tm_pub")
+            sub_node = graph.node("tm_sub")
+            pub_node.advertise("/tm", L.UInt32)
+            sub = sub_node.subscribe("/tm", L.Image, lambda m: None)
+            deadline = time.monotonic() + 5
+            while time.monotonic() < deadline and not sub.link_errors:
+                time.sleep(0.05)
+            assert sub.get_num_connections() == 0
+            assert sub.link_errors
+
+
+@pytest.mark.skipif(not shm.shm_available(), reason="no shared memory")
+class TestShmFallback:
+    def test_publisher_declines_shm(self):
+        """Publisher node with shmros=False: the subscriber still asks,
+        the reply downgrades, delivery runs over TCPROS."""
+        with RosGraph() as graph:
+            links = _roundtrip(graph, pub_kwargs={"shmros": False})
+        assert [link.transport for link in links] == ["TCPROS"]
+
+    def test_subscriber_declines_shm(self):
+        with RosGraph() as graph:
+            links = _roundtrip(graph, sub_kwargs={"shmros": False})
+        assert [link.transport for link in links] == ["TCPROS"]
+
+    def test_both_enabled_uses_shm(self):
+        with RosGraph() as graph:
+            links = _roundtrip(graph)
+        assert [link.transport for link in links] == ["SHMROS"]
+
+    def test_attach_failure_falls_back_to_tcpros(self, monkeypatch):
+        """A granted segment the subscriber cannot map (stale name,
+        /dev/shm exhausted) triggers a transparent TCPROS reconnect."""
+        def failing_reader(name, slot_count, slot_bytes):
+            raise shm.ShmAttachError(f"cannot attach segment {name!r}")
+
+        monkeypatch.setattr(shm, "ShmRingReader", failing_reader)
+        with RosGraph() as graph:
+            links = _roundtrip(graph)
+        assert [link.transport for link in links] == ["TCPROS"]
+
+    def test_env_kill_switch_disables_shm(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SHMROS", "0")
+        with RosGraph() as graph:
+            links = _roundtrip(graph)
+        assert [link.transport for link in links] == ["TCPROS"]

@@ -79,6 +79,42 @@ class TestFraming:
         writer.join()
         assert bytes(received) == payload
 
+    def test_frames_around_coalescing_boundary(self, sock_pair):
+        """Both write paths -- coalesced sendall at/below SMALL_FRAME,
+        vectored sendmsg above it -- produce identical wire frames."""
+        a, b = sock_pair
+        for size in (tcpros.SMALL_FRAME - 1, tcpros.SMALL_FRAME,
+                     tcpros.SMALL_FRAME + 1):
+            payload = bytes([size % 251]) * size
+            writer = threading.Thread(
+                target=tcpros.write_frame, args=(a, payload)
+            )
+            writer.start()
+            assert bytes(tcpros.read_frame(b)) == payload
+            writer.join()
+
+    def test_vectored_path_accepts_wide_itemsize_view(self, sock_pair):
+        """A multi-byte-itemsize memoryview (e.g. over an int array) is
+        cast to bytes before the vectored send."""
+        import array
+
+        a, b = sock_pair
+        values = array.array("I", range(4096))  # 16 KiB > SMALL_FRAME
+        view = memoryview(values)
+        assert view.itemsize != 1
+        writer = threading.Thread(target=tcpros.write_frame, args=(a, view))
+        writer.start()
+        assert bytes(tcpros.read_frame(b)) == values.tobytes()
+        writer.join()
+
+    def test_vectored_path_accepts_bytearray(self, sock_pair):
+        a, b = sock_pair
+        payload = bytearray(range(256)) * 64  # 16 KiB > SMALL_FRAME
+        writer = threading.Thread(target=tcpros.write_frame, args=(a, payload))
+        writer.start()
+        assert bytes(tcpros.read_frame(b)) == bytes(payload)
+        writer.join()
+
 
 class TestServerHandshake:
     def test_accept_and_reply(self):
