@@ -1,0 +1,175 @@
+#!/usr/bin/env python
+"""Bridge fan-out: msgs/s and bytes-on-wire, full vs. selective fields.
+
+One internal publisher pushes a >=1 MB ``sensor_msgs/Image@sfm`` through
+the :mod:`repro.bridge` gateway to K concurrent external clients, for K
+across 1-64.  Two headline modes face off:
+
+* ``full_json``     -- the whole message converted to JSON per delivery
+                       (what a field-oblivious rosbridge does);
+* ``selective_json``-- ``fields=["height", "width"]``, sliced straight
+                       out of the SFM buffer by compiled offset readers.
+
+Plus two codec extras at a single client count, for the codec matrix:
+``cbin`` (packed little-endian fields) and ``raw`` (SFM bytes forwarded
+untouched).
+
+Delivery is stop-and-wait -- each message is published only after every
+client confirmed the previous one -- so memory stays bounded and the
+aggregate rate is not flattered by server-side queueing.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_bridge_fanout.py [--messages N]
+
+``benchmarks/snapshot.py --experiment bridge`` wraps this into the
+committed ``BENCH_bridge.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import itertools
+import json
+import sys
+import time
+
+from repro.bridge.client import BridgeClient
+from repro.bridge.server import BridgeServer
+from repro.msg.registry import default_registry
+from repro.ros.graph import RosGraph
+from repro.sfm.generator import generate_sfm_class
+
+TYPE_SPELLING = "sensor_msgs/Image@sfm"
+DATA_BYTES = 1 << 20  # the >=1 MB payload the acceptance bar names
+FIELDS = ["height", "width"]  # <=2 scalar fields
+CLIENT_COUNTS = (1, 4, 16, 64)
+EXTRA_CODEC_CLIENTS = 16
+
+MODES = {
+    "full_json": {"codec": "json", "fields": None},
+    "selective_json": {"codec": "json", "fields": FIELDS},
+    "cbin": {"codec": "cbin", "fields": FIELDS},
+    "raw": {"codec": "raw", "fields": None},
+}
+
+_topic_source = itertools.count()
+
+
+def _fresh_image():
+    image_class = generate_sfm_class("sensor_msgs/Image", default_registry)
+    msg = image_class()
+    msg.height = 1080
+    msg.width = 1920
+    msg.encoding = "rgb8"
+    msg.data.resize(DATA_BYTES)
+    return msg
+
+
+def _wait_counts(clients, sids, target: int, deadline: float) -> bool:
+    while time.monotonic() < deadline:
+        if all(
+            client.received.get(sid, 0) >= target
+            for client, sid in zip(clients, sids)
+        ):
+            return True
+        time.sleep(0.001)
+    return False
+
+
+def run_mode(graph, server, mode: str, n_clients: int, messages: int) -> dict:
+    """One (mode, K) cell: connect K clients, stop-and-wait M messages."""
+    config = MODES[mode]
+    topic = f"/bench_bridge_{next(_topic_source)}"
+    node = graph.node(f"bench_pub_{topic.strip('/')}")
+    publisher = node.advertise(
+        topic, generate_sfm_class("sensor_msgs/Image", default_registry)
+    )
+    clients: list[BridgeClient] = []
+    sids: list[int] = []
+    try:
+        for _ in range(n_clients):
+            client = BridgeClient(server.host, server.port)
+            clients.append(client)
+            sids.append(client.subscribe(
+                topic, TYPE_SPELLING, lambda _msg, _meta: None,
+                fields=config["fields"], codec=config["codec"],
+            ))
+        if not publisher.wait_for_subscribers(1, timeout=10.0):
+            raise RuntimeError("bridge tap never connected")
+        msg = _fresh_image()
+        start = time.perf_counter()
+        for index in range(messages):
+            msg.header.seq = index
+            publisher.publish(msg)
+            if not _wait_counts(clients, sids, index + 1,
+                                time.monotonic() + 30.0):
+                raise RuntimeError(
+                    f"{mode} x{n_clients}: message {index} not fully "
+                    f"delivered"
+                )
+        elapsed = time.perf_counter() - start
+        total_wire = sum(
+            client.wire_bytes.get(sid, 0)
+            for client, sid in zip(clients, sids)
+        )
+        deliveries = n_clients * messages
+        return {
+            "mode": mode,
+            "clients": n_clients,
+            "messages": messages,
+            "elapsed_s": round(elapsed, 4),
+            "deliveries_per_sec": round(deliveries / elapsed, 2),
+            "msgs_per_sec_per_client": round(messages / elapsed, 2),
+            "wire_bytes_per_delivery": round(total_wire / deliveries, 1),
+        }
+    finally:
+        for client in clients:
+            client.close()
+        node.shutdown()
+
+
+def run_fanout(messages: int) -> dict:
+    cells = []
+    with RosGraph() as graph:
+        with BridgeServer(graph.master_uri) as server:
+            for n_clients in CLIENT_COUNTS:
+                for mode in ("full_json", "selective_json"):
+                    cells.append(run_mode(graph, server, mode, n_clients,
+                                          messages))
+                    print("  ran", cells[-1], flush=True)
+            for mode in ("cbin", "raw"):
+                cells.append(run_mode(graph, server, mode,
+                                      EXTRA_CODEC_CLIENTS, messages))
+                print("  ran", cells[-1], flush=True)
+    by_key = {(cell["mode"], cell["clients"]): cell for cell in cells}
+    full = by_key[("full_json", EXTRA_CODEC_CLIENTS)]
+    selective = by_key[("selective_json", EXTRA_CODEC_CLIENTS)]
+    return {
+        "payload_bytes": DATA_BYTES,
+        "type": TYPE_SPELLING,
+        "fields": FIELDS,
+        "cells": cells,
+        # The acceptance headline: bytes-on-wire shrinkage at 16 clients.
+        "selective_vs_full_json_wire_ratio": round(
+            full["wire_bytes_per_delivery"]
+            / selective["wire_bytes_per_delivery"],
+            1,
+        ),
+        "selective_vs_full_json_rate_ratio": round(
+            selective["deliveries_per_sec"] / full["deliveries_per_sec"], 2
+        ),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--messages", type=int, default=8)
+    args = parser.parse_args(argv)
+    payload = run_fanout(args.messages)
+    print(json.dumps(payload, indent=2))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,14 +1,20 @@
 #!/usr/bin/env python
-"""A quick committed snapshot of the Fig. 13 experiment.
+"""Quick committed snapshots of the headline experiments.
 
-Runs the intra-machine latency experiment across both transports
-(loopback TCPROS and the SHMROS shared-memory ring) at reduced iteration
-counts and writes ``BENCH_fig13.json`` at the repository root, so CI and
-reviewers see the transport comparison without a full paper-scale run.
+``--experiment fig13`` (default) runs the intra-machine latency
+experiment across both transports (loopback TCPROS and the SHMROS
+shared-memory ring) at reduced iteration counts and writes
+``BENCH_fig13.json`` at the repository root, so CI and reviewers see the
+transport comparison without a full paper-scale run.
+
+``--experiment bridge`` runs ``bench_bridge_fanout.py`` (gateway fan-out,
+full-message vs. selective-field subscriptions) and writes
+``BENCH_bridge.json``.
 
 Usage::
 
     PYTHONPATH=src python benchmarks/snapshot.py [--iterations N] [--out PATH]
+    PYTHONPATH=src python benchmarks/snapshot.py --experiment bridge
 """
 
 from __future__ import annotations
@@ -74,23 +80,51 @@ def run_snapshot(iterations: int) -> dict:
     return payload
 
 
+def run_bridge_snapshot(messages: int) -> dict:
+    sys.path.insert(0, str(Path(__file__).resolve().parent))
+    import bench_bridge_fanout
+
+    payload: dict = {
+        "experiment": "bridge_fanout",
+        "generated": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "python": platform.python_version(),
+        "messages": messages,
+    }
+    payload.update(bench_bridge_fanout.run_fanout(messages))
+    return payload
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--iterations", type=int, default=40)
-    parser.add_argument(
-        "--out",
-        type=Path,
-        default=Path(__file__).resolve().parent.parent / "BENCH_fig13.json",
-    )
+    parser.add_argument("--experiment", choices=("fig13", "bridge"),
+                        default="fig13")
+    parser.add_argument("--iterations", type=int, default=40,
+                        help="fig13 iterations")
+    parser.add_argument("--messages", type=int, default=8,
+                        help="bridge messages per fan-out cell")
+    parser.add_argument("--out", type=Path, default=None)
     args = parser.parse_args(argv)
+    root = Path(__file__).resolve().parent.parent
+    if args.experiment == "bridge":
+        out = args.out or root / "BENCH_bridge.json"
+        payload = run_bridge_snapshot(args.messages)
+        out.write_text(json.dumps(payload, indent=2) + "\n")
+        print(
+            f"selective vs full-JSON wire ratio (16 clients, "
+            f"{payload['payload_bytes']} B payload): "
+            f"{payload['selective_vs_full_json_wire_ratio']:.0f}x smaller"
+        )
+        print(f"wrote {out}")
+        return 0
+    out = args.out or root / "BENCH_fig13.json"
     payload = run_snapshot(args.iterations)
-    args.out.write_text(json.dumps(payload, indent=2) + "\n")
+    out.write_text(json.dumps(payload, indent=2) + "\n")
     for label, entry in payload["workloads"].items():
         print(
             f"{label:<24} SHMROS speedup over TCPROS (ROS-SF): "
             f"{entry['shmros_speedup_vs_tcpros']:.2f}x"
         )
-    print(f"wrote {args.out}")
+    print(f"wrote {out}")
     return 0
 
 

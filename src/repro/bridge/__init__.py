@@ -1,0 +1,23 @@
+"""repro.bridge: a rosbridge-style gateway for external clients.
+
+One TCP port in front of a miniros graph; a rosbridge-v2-style op
+protocol (advertise / publish / subscribe / unsubscribe / call_service /
+status) with three delivery codecs and serialization-free selective
+field extraction for SFM topics (see DESIGN.md, "Bridge").
+"""
+
+from repro.bridge.client import BridgeClient, BridgeError
+from repro.bridge.extract import FieldPathError, FieldSelector
+from repro.bridge.protocol import PROTOCOL_VERSION, BridgeProtocolError
+from repro.bridge.server import BridgeServer, resolve_msg_class
+
+__all__ = [
+    "BridgeClient",
+    "BridgeError",
+    "BridgeProtocolError",
+    "BridgeServer",
+    "FieldPathError",
+    "FieldSelector",
+    "PROTOCOL_VERSION",
+    "resolve_msg_class",
+]

@@ -1,0 +1,216 @@
+"""Message <-> JSON-able dict conversion (the bridge's ``json`` codec).
+
+The conversion is type-driven off the message spec, so it covers both the
+plain generated classes and the SFM classes with identical output:
+
+- ``time``/``duration``   <->  ``[secs, nsecs]``
+- ``uint8[]`` / ``char[]`` (and fixed byte arrays)  <->  base64 string
+  (rosbridge's convention for binary blobs)
+- nested messages         <->  nested objects
+- ``map`` fields          <->  ``[[key, value], ...]`` pair lists (JSON
+  objects cannot carry non-string keys)
+
+``msg_to_dict`` is the *full conversion* path -- it walks every field,
+which for a big Image costs exactly the serialization the paper wants to
+avoid.  That cost is the bridge benchmark's baseline; selective
+subscriptions bypass this module entirely via
+:mod:`repro.bridge.extract`.
+"""
+
+from __future__ import annotations
+
+import base64
+
+from repro.msg.fields import (
+    ArrayType,
+    ComplexType,
+    MapType,
+    PrimitiveType,
+    StringType,
+)
+from repro.msg.generator import generate_message_class
+from repro.msg.registry import TypeRegistry
+from repro.sfm.message import SFMMessage
+
+
+class ConversionError(ValueError):
+    """A JSON value does not fit the field it is assigned to."""
+
+
+def _is_byte_element(ftype) -> bool:
+    return isinstance(ftype, PrimitiveType) and ftype.name in ("uint8", "char")
+
+
+# ----------------------------------------------------------------------
+# Message -> dict
+# ----------------------------------------------------------------------
+def msg_to_dict(msg) -> dict:
+    """Convert a plain or SFM message object to a JSON-able dict."""
+    spec = type(msg)._spec
+    registry = type(msg)._registry
+    return {
+        field.name: _value_to_jsonable(
+            getattr(msg, field.name), field.type, registry
+        )
+        for field in spec.fields
+    }
+
+
+def _value_to_jsonable(value, ftype, registry: TypeRegistry):
+    if isinstance(ftype, PrimitiveType):
+        if ftype.is_time or ftype.struct_fmt in ("II", "ii"):
+            secs, nsecs = value
+            return [int(secs), int(nsecs)]
+        if ftype.struct_fmt == "?":
+            return bool(value)
+        return value
+    if isinstance(ftype, StringType):
+        return str(value)
+    if isinstance(ftype, MapType):
+        items = value.items() if hasattr(value, "items") else value
+        return [
+            [
+                _value_to_jsonable(key, ftype.key_type, registry),
+                _value_to_jsonable(val, ftype.value_type, registry),
+            ]
+            for key, val in items
+        ]
+    if isinstance(ftype, ArrayType):
+        if _is_byte_element(ftype.element_type):
+            raw = value.tobytes() if hasattr(value, "tobytes") else bytes(value)
+            return base64.b64encode(raw).decode("ascii")
+        return [
+            _value_to_jsonable(item, ftype.element_type, registry)
+            for item in value
+        ]
+    if isinstance(ftype, ComplexType):
+        return msg_to_dict(
+            value if hasattr(value, "_spec") else _as_message(value)
+        )
+    raise ConversionError(f"unconvertible field type {ftype!r}")
+
+
+def _as_message(value):  # pragma: no cover - defensive
+    raise ConversionError(f"cannot convert {type(value).__name__} to JSON")
+
+
+# ----------------------------------------------------------------------
+# dict -> message
+# ----------------------------------------------------------------------
+def dict_to_msg(data: dict, msg_class: type):
+    """Build a ``msg_class`` instance from a JSON-decoded dict.
+
+    Unknown keys are rejected (they signal a schema mismatch between
+    client and graph); missing keys keep their defaults, so sparse
+    publishes work.
+    """
+    if not isinstance(data, dict):
+        raise ConversionError(
+            f"message value must be an object, got {type(data).__name__}"
+        )
+    spec = msg_class._spec
+    registry = msg_class._registry
+    known = {field.name: field for field in spec.fields}
+    unknown = set(data) - set(known)
+    if unknown:
+        raise ConversionError(
+            f"{spec.full_name} has no field(s): {', '.join(sorted(unknown))}"
+        )
+    sfm = isinstance(msg_class, type) and issubclass(msg_class, SFMMessage)
+    kwargs = {
+        name: _jsonable_to_value(value, known[name].type, registry, sfm)
+        for name, value in data.items()
+    }
+    return msg_class(**kwargs)
+
+
+def _jsonable_to_value(value, ftype, registry: TypeRegistry, sfm: bool):
+    if isinstance(ftype, PrimitiveType):
+        if ftype.is_time or ftype.struct_fmt in ("II", "ii"):
+            if not isinstance(value, (list, tuple)) or len(value) != 2:
+                raise ConversionError(
+                    f"time value must be [secs, nsecs], got {value!r}"
+                )
+            return (int(value[0]), int(value[1]))
+        if ftype.is_integral and isinstance(value, bool):
+            return int(value) if ftype.struct_fmt != "?" else value
+        if ftype.is_integral and not isinstance(value, int):
+            raise ConversionError(f"expected integer, got {value!r}")
+        if ftype.is_float and not isinstance(value, (int, float)):
+            raise ConversionError(f"expected number, got {value!r}")
+        return value
+    if isinstance(ftype, StringType):
+        if not isinstance(value, str):
+            raise ConversionError(f"expected string, got {value!r}")
+        return value
+    if isinstance(ftype, MapType):
+        if isinstance(value, dict):
+            pairs = list(value.items())
+        elif isinstance(value, list):
+            pairs = value
+        else:
+            raise ConversionError(f"expected map pairs, got {value!r}")
+        return {
+            _jsonable_to_value(k, ftype.key_type, registry, sfm):
+                _jsonable_to_value(v, ftype.value_type, registry, sfm)
+            for k, v in pairs
+        }
+    if isinstance(ftype, ArrayType):
+        if _is_byte_element(ftype.element_type):
+            if isinstance(value, str):
+                try:
+                    raw = base64.b64decode(value.encode("ascii"),
+                                           validate=True)
+                except (ValueError, UnicodeEncodeError) as exc:
+                    raise ConversionError(
+                        f"undecodable base64 byte array: {exc}"
+                    ) from exc
+            elif isinstance(value, list):
+                raw = bytes(value)
+            else:
+                raise ConversionError(
+                    f"expected base64 string or int list, got {value!r}"
+                )
+            if ftype.length is not None and len(raw) != ftype.length:
+                raise ConversionError(
+                    f"fixed array expects {ftype.length} bytes, "
+                    f"got {len(raw)}"
+                )
+            return bytearray(raw)
+        if not isinstance(value, list):
+            raise ConversionError(f"expected array, got {value!r}")
+        if ftype.length is not None and len(value) != ftype.length:
+            raise ConversionError(
+                f"fixed array expects {ftype.length} elements, "
+                f"got {len(value)}"
+            )
+        return [
+            _jsonable_to_value(item, ftype.element_type, registry, sfm)
+            for item in value
+        ]
+    if isinstance(ftype, ComplexType):
+        if sfm:
+            # SFM nested assignment takes a field dict directly (the
+            # descriptor recurses through _copy_fields_from).
+            nested_cls = None
+        else:
+            nested_cls = generate_message_class(ftype.name, registry)
+        if not isinstance(value, dict):
+            raise ConversionError(
+                f"expected object for {ftype.name}, got {value!r}"
+            )
+        spec = registry.get(ftype.name)
+        known = {field.name: field for field in spec.fields}
+        unknown = set(value) - set(known)
+        if unknown:
+            raise ConversionError(
+                f"{ftype.name} has no field(s): {', '.join(sorted(unknown))}"
+            )
+        converted = {
+            name: _jsonable_to_value(item, known[name].type, registry, sfm)
+            for name, item in value.items()
+        }
+        if nested_cls is None:
+            return converted
+        return nested_cls(**converted)
+    raise ConversionError(f"unconvertible field type {ftype!r}")

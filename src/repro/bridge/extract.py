@@ -1,0 +1,401 @@
+"""Serialization-free selective field extraction (the bridge's headline).
+
+Klüner et al.'s Selective Field Transmission observation (PAPERS.md) is
+that most external subscribers of standardized schemas need only a few
+fields.  rosbridge still converts the *whole* message to JSON; with SFM
+the bridge can do strictly better, because every field of an SFM buffer
+lives at a fixed offset (paper Section 4.1).  A :class:`FieldSelector`
+compiles a list of dotted field paths against the message type's
+:class:`~repro.sfm.layout.SkeletonLayout` **once at subscribe time**:
+
+- a fixed-size primitive becomes a precompiled ``struct`` read at an
+  absolute offset;
+- a string/vector becomes one ``(length, offset)`` pair read plus a slice
+  of the content region;
+- a nested message path (``header.stamp``) folds the bases together at
+  compile time into a single absolute offset.
+
+``extract()`` then slices exactly the requested fields out of the raw
+published buffer -- no SFM object is constructed, no generated
+deserializer runs, and untouched fields (for an Image, the megabytes of
+``data``) are never read at all.
+
+The compact binary codec rides the same compilation: ``pack()`` copies
+each selected field's bytes (already little-endian on the wire) into a
+tiny frame, and ``unpack_packed()`` reverses it client-side from the
+``schema()`` the server sends in the subscribe ack.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Optional
+
+from repro.sfm.layout import (
+    NestedDesc,
+    PairDesc,
+    PrimDesc,
+    SkeletonLayout,
+    Slot,
+    StrDesc,
+)
+
+_PAIR = struct.Struct("<II")
+_U32 = struct.Struct("<I")
+
+
+class FieldPathError(ValueError):
+    """A requested field path does not resolve against the layout."""
+
+
+def _is_time(prim) -> bool:
+    return prim.is_time or prim.type.struct_fmt in ("II", "ii")
+
+
+def _string_at(buffer, offset: int) -> str:
+    """Read an SFM string field/element at ``offset`` (length includes
+    terminator + padding; content ends at the first NUL)."""
+    length, rel = _PAIR.unpack_from(buffer, offset)
+    if length == 0:
+        return ""
+    start = offset + 4 + rel
+    raw = bytes(buffer[start : start + length])
+    nul = raw.find(b"\x00")
+    return (raw[:nul] if nul >= 0 else raw).decode("utf-8")
+
+
+class _Reader:
+    """One compiled terminal: reads a python value at a fixed offset."""
+
+    __slots__ = ("path", "offset", "kind", "packer", "element", "sub", "count")
+
+    def __init__(self, path: str, offset: int, kind: str, packer=None,
+                 element=None, sub=None, count: Optional[int] = None) -> None:
+        self.path = path
+        self.offset = offset
+        self.kind = kind
+        self.packer = packer
+        self.element = element
+        self.sub = sub          # list[_Reader] for nested terminals
+        self.count = count      # fixed_array length
+
+    # ------------------------------------------------------------------
+    def read(self, buffer):
+        kind = self.kind
+        offset = self.offset
+        if kind == "prim":
+            return self.packer.unpack_from(buffer, offset)[0]
+        if kind == "time":
+            return list(self.packer.unpack_from(buffer, offset))
+        if kind == "string":
+            return _string_at(buffer, offset)
+        if kind == "bytes":
+            count, rel = _PAIR.unpack_from(buffer, offset)
+            start = offset + 4 + rel
+            return bytes(buffer[start : start + count])
+        if kind == "prim_vector":
+            count, rel = _PAIR.unpack_from(buffer, offset)
+            if count == 0:
+                return []
+            start = offset + 4 + rel
+            return list(
+                struct.unpack_from(f"<{count}{self.element.type.struct_fmt}",
+                                   buffer, start)
+            )
+        if kind == "time_vector":
+            count, rel = _PAIR.unpack_from(buffer, offset)
+            start = offset + 4 + rel
+            return [
+                list(self.packer.unpack_from(buffer, start + i * 8))
+                for i in range(count)
+            ]
+        if kind == "str_vector":
+            count, rel = _PAIR.unpack_from(buffer, offset)
+            start = offset + 4 + rel
+            return [_string_at(buffer, start + i * 8) for i in range(count)]
+        if kind == "nested_vector":
+            count, rel = _PAIR.unpack_from(buffer, offset)
+            start = offset + 4 + rel
+            size = self.element.size
+            return [
+                _read_all(self.sub, buffer, start + i * size)
+                for i in range(count)
+            ]
+        if kind == "map":
+            count, rel = _PAIR.unpack_from(buffer, offset)
+            start = offset + 4 + rel
+            pair: PairDesc = self.element
+            out = []
+            for i in range(count):
+                base = start + i * pair.size
+                out.append([
+                    _read_element(pair.key, buffer, base),
+                    _read_element(pair.value, buffer, base + pair.key.size),
+                ])
+            return out
+        if kind == "fixed_bytes":
+            return bytes(buffer[offset : offset + self.count])
+        if kind == "fixed_prims":
+            return list(
+                struct.unpack_from(
+                    f"<{self.count}{self.element.type.struct_fmt}",
+                    buffer, offset,
+                )
+            )
+        if kind == "fixed_elems":
+            size = self.element.size
+            return [
+                _read_element(self.element, buffer, offset + i * size)
+                for i in range(self.count)
+            ]
+        if kind == "nested":
+            return _read_all(self.sub, buffer, 0)
+        raise AssertionError(kind)  # pragma: no cover - exhaustive
+
+
+def _read_all(readers: list[_Reader], buffer, shift: int) -> dict:
+    """Read a nested terminal's sub-readers, shifted by an element base."""
+    out = {}
+    for reader in readers:
+        if shift:
+            reader = _shifted(reader, shift)
+        out[reader.path] = reader.read(buffer)
+    return out
+
+
+def _shifted(reader: _Reader, shift: int) -> _Reader:
+    return _Reader(reader.path, reader.offset + shift, reader.kind,
+                   reader.packer, reader.element, reader.sub, reader.count)
+
+
+def _read_element(element, buffer, offset: int):
+    if isinstance(element, PrimDesc):
+        if _is_time(element):
+            return list(struct.unpack_from("<II", buffer, offset))
+        return struct.unpack_from(
+            "<" + element.type.struct_fmt, buffer, offset
+        )[0]
+    if isinstance(element, StrDesc):
+        return _string_at(buffer, offset)
+    if isinstance(element, NestedDesc):
+        readers = [
+            _compile_slot(slot.name, slot, slot.offset)
+            for slot in element.layout.slots
+        ]
+        return _read_all(readers, buffer, offset)
+    raise AssertionError(element)  # pragma: no cover
+
+
+# ----------------------------------------------------------------------
+# Compilation
+# ----------------------------------------------------------------------
+def _compile_slot(path: str, slot: Slot, offset: int) -> _Reader:
+    if slot.kind == "primitive":
+        packer = struct.Struct("<" + slot.prim.type.struct_fmt)
+        kind = "time" if _is_time(slot.prim) else "prim"
+        return _Reader(path, offset, kind, packer=packer)
+    if slot.kind == "string":
+        return _Reader(path, offset, "string")
+    if slot.kind == "vector":
+        if slot.is_map:
+            return _Reader(path, offset, "map", element=slot.element)
+        element = slot.element
+        if isinstance(element, PrimDesc):
+            if _is_time(element):
+                return _Reader(path, offset, "time_vector",
+                               packer=struct.Struct("<II"), element=element)
+            if element.size == 1 and element.type.is_integral:
+                return _Reader(path, offset, "bytes", element=element)
+            return _Reader(path, offset, "prim_vector", element=element)
+        if isinstance(element, StrDesc):
+            return _Reader(path, offset, "str_vector", element=element)
+        sub = [
+            _compile_slot(s.name, s, s.offset) for s in element.layout.slots
+        ]
+        return _Reader(path, offset, "nested_vector", element=element, sub=sub)
+    if slot.kind == "fixed_array":
+        element = slot.element
+        if isinstance(element, PrimDesc) and not _is_time(element):
+            if element.size == 1 and element.type.is_integral:
+                return _Reader(path, offset, "fixed_bytes",
+                               count=slot.fixed_length)
+            return _Reader(path, offset, "fixed_prims", element=element,
+                           count=slot.fixed_length)
+        return _Reader(path, offset, "fixed_elems", element=element,
+                       count=slot.fixed_length)
+    if slot.kind == "nested":
+        sub = [
+            _compile_slot(s.name, s, offset + s.offset)
+            for s in slot.nested.slots
+        ]
+        return _Reader(path, offset, "nested", sub=sub)
+    raise AssertionError(slot.kind)  # pragma: no cover
+
+
+def _resolve(layout: SkeletonLayout, path: str) -> _Reader:
+    parts = path.split(".")
+    base = 0
+    current = layout
+    for depth, part in enumerate(parts):
+        slot = current.slot_by_name.get(part)
+        if slot is None:
+            raise FieldPathError(
+                f"{layout.type_name}: no field {path!r} "
+                f"({current.type_name} has no {part!r})"
+            )
+        if depth == len(parts) - 1:
+            return _compile_slot(path, slot, base + slot.offset)
+        if slot.kind != "nested":
+            raise FieldPathError(
+                f"{layout.type_name}: {path!r} descends through "
+                f"non-message field {part!r}"
+            )
+        base += slot.offset
+        current = slot.nested
+    raise FieldPathError(f"{layout.type_name}: empty path")  # pragma: no cover
+
+
+#: Compact-binary schema entry kinds the client-side unpacker understands.
+_CBIN_PACKABLE = ("prim", "time", "string", "bytes", "prim_vector")
+
+
+class FieldSelector:
+    """Selected fields of one SFM message type, compiled to offset reads.
+
+    ``extracts`` counts how many buffers this selector has sliced -- the
+    observable witness (used by tests and the fan-out benchmark) that the
+    serialization-free accessor path served the subscription, rather than
+    a decode of the whole message.
+    """
+
+    def __init__(self, layout: SkeletonLayout, paths: list[str]) -> None:
+        if not paths:
+            raise FieldPathError("empty field selection")
+        seen = set()
+        self.paths = []
+        for path in paths:
+            if path not in seen:
+                seen.add(path)
+                self.paths.append(path)
+        self.layout = layout
+        self._readers = [_resolve(layout, path) for path in self.paths]
+        self.extracts = 0
+
+    # ------------------------------------------------------------------
+    # JSON-able extraction
+    # ------------------------------------------------------------------
+    def extract(self, buffer) -> dict:
+        """Flat ``{path: value}`` dict sliced from a raw SFM buffer."""
+        self.extracts += 1
+        return {reader.path: reader.read(buffer) for reader in self._readers}
+
+    def extract_nested(self, buffer) -> dict:
+        """Like :meth:`extract` but with dotted paths unfolded into
+        nested objects (the shape a rosbridge ``msg`` field has)."""
+        return nest_paths(self.extract(buffer))
+
+    # ------------------------------------------------------------------
+    # Compact binary codec
+    # ------------------------------------------------------------------
+    def schema(self) -> list[list]:
+        """Wire schema for ``cbin`` subscriptions: one
+        ``[path, kind, struct_fmt]`` entry per selected field.
+
+        Raises :class:`FieldPathError` when a selected field has no
+        compact encoding (nested/map/array-of-message terminals) -- the
+        server degrades such subscriptions to JSON delivery.
+        """
+        entries = []
+        for reader in self._readers:
+            if reader.kind not in _CBIN_PACKABLE:
+                raise FieldPathError(
+                    f"field {reader.path!r} ({reader.kind}) has no compact "
+                    "binary encoding"
+                )
+            fmt = ""
+            if reader.kind == "prim":
+                fmt = reader.packer.format.lstrip("<")
+            elif reader.kind == "prim_vector":
+                fmt = reader.element.type.struct_fmt
+            entries.append([reader.path, reader.kind, fmt])
+        return entries
+
+    def pack(self, buffer) -> bytes:
+        """Pack the selected fields into one compact binary body.
+
+        Fixed-size fields are raw byte copies (the buffer is already
+        little-endian wire format); strings and vectors carry a u32 count
+        before their content bytes.
+        """
+        self.extracts += 1
+        out = bytearray()
+        for reader in self._readers:
+            kind = reader.kind
+            offset = reader.offset
+            if kind == "prim":
+                out += bytes(buffer[offset : offset + reader.packer.size])
+            elif kind == "time":
+                out += bytes(buffer[offset : offset + 8])
+            elif kind == "string":
+                text = _string_at(buffer, offset).encode("utf-8")
+                out += _U32.pack(len(text)) + text
+            elif kind == "bytes":
+                count, rel = _PAIR.unpack_from(buffer, offset)
+                start = offset + 4 + rel
+                out += _U32.pack(count)
+                out += bytes(buffer[start : start + count])
+            elif kind == "prim_vector":
+                count, rel = _PAIR.unpack_from(buffer, offset)
+                start = offset + 4 + rel
+                size = reader.element.size
+                out += _U32.pack(count)
+                out += bytes(buffer[start : start + count * size])
+            else:  # pragma: no cover - schema() rejects these up front
+                raise FieldPathError(reader.kind)
+        return bytes(out)
+
+
+def unpack_packed(schema: list, payload: bytes) -> dict:
+    """Client-side inverse of :meth:`FieldSelector.pack`."""
+    out: dict = {}
+    offset = 0
+    for path, kind, fmt in schema:
+        if kind == "prim":
+            packer = struct.Struct("<" + fmt)
+            out[path] = packer.unpack_from(payload, offset)[0]
+            offset += packer.size
+        elif kind == "time":
+            out[path] = list(struct.unpack_from("<II", payload, offset))
+            offset += 8
+        elif kind == "string":
+            (length,) = _U32.unpack_from(payload, offset)
+            offset += 4
+            out[path] = payload[offset : offset + length].decode("utf-8")
+            offset += length
+        elif kind == "bytes":
+            (length,) = _U32.unpack_from(payload, offset)
+            offset += 4
+            out[path] = bytes(payload[offset : offset + length])
+            offset += length
+        elif kind == "prim_vector":
+            (count,) = _U32.unpack_from(payload, offset)
+            offset += 4
+            out[path] = list(
+                struct.unpack_from(f"<{count}{fmt}", payload, offset)
+            )
+            offset += count * struct.calcsize("<" + fmt)
+        else:
+            raise FieldPathError(f"unknown schema kind {kind!r}")
+    return out
+
+
+def nest_paths(flat: dict) -> dict:
+    """``{"header.seq": 1}`` -> ``{"header": {"seq": 1}}``."""
+    out: dict = {}
+    for path, value in flat.items():
+        node = out
+        parts = path.split(".")
+        for part in parts[:-1]:
+            node = node.setdefault(part, {})
+        node[parts[-1]] = value
+    return out

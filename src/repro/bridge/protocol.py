@@ -1,0 +1,273 @@
+"""The bridge wire protocol: framing, op validation and fragmentation.
+
+The gateway speaks a rosbridge-v2-style op protocol over a single TCP
+port.  Every protocol unit is a *frame*::
+
+    u32 LE length | u8 tag | body        (length counts tag + body)
+
+with three frame kinds (the three wire codecs of the bridge):
+
+- ``TAG_JSON``   -- ``body`` is one UTF-8 JSON object, an *op* such as
+  ``subscribe`` or ``publish`` (full-message JSON conversion);
+- ``TAG_RAW``    -- ``body`` is ``u32 sid | payload``: the payload bytes
+  of one message exactly as they travelled the internal graph.  For SFM
+  topics this is the SFM buffer untouched -- the serialization-free
+  forwarding path;
+- ``TAG_CBIN``   -- ``body`` is ``u32 sid | packed fields``: the compact
+  binary encoding of the subscription's selected fields, packed straight
+  out of the SFM buffer by :mod:`repro.bridge.extract`.
+
+Ops are JSON regardless of delivery codec, so every connection can issue
+control traffic.  Frames larger than the connection's negotiated
+``max_frame`` are split into ``fragment`` ops (base64 chunks of the inner
+``tag | body`` unit) and re-assembled by :class:`Reassembler` -- the
+rosbridge fragmentation capability, generalized to all three codecs.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import socket
+import struct
+from typing import Iterator, Optional
+
+from repro.ros.transport import tcpros
+
+PROTOCOL_VERSION = "2.0"
+
+#: Frame tags (first byte inside the length-framed unit).
+TAG_JSON = 0x00
+TAG_RAW = 0x01
+TAG_CBIN = 0x02
+
+#: Upper bound on accepted frames, mirroring the TCPROS guard.
+MAX_FRAME = tcpros.MAX_FRAME
+
+#: Smallest negotiable fragmentation threshold; below this the base64 +
+#: envelope overhead of a fragment op would not fit.
+MIN_MAX_FRAME = 256
+
+_LEN = struct.Struct("<I")
+_SID = struct.Struct("<I")
+
+#: Delivery codecs a subscription (or a connection default) may name.
+CODECS = ("json", "raw", "cbin")
+
+#: Status severity levels (rosbridge's set).
+STATUS_LEVELS = ("error", "warning", "info", "none")
+
+
+class BridgeProtocolError(Exception):
+    """A malformed frame or op that cannot be attributed to a request."""
+
+
+# ----------------------------------------------------------------------
+# Framing
+# ----------------------------------------------------------------------
+def write_bridge_frame(sock: socket.socket, tag: int, body) -> int:
+    """Write one ``length | tag | body`` frame; returns bytes on wire."""
+    payload = bytes([tag]) + bytes(body)
+    tcpros.write_frame(sock, payload)
+    return 4 + len(payload)
+
+
+def read_bridge_frame(sock: socket.socket) -> tuple[int, bytearray]:
+    """Read one frame, returning ``(tag, body)``."""
+    frame = tcpros.read_frame(sock)
+    if not frame:
+        raise BridgeProtocolError("empty bridge frame")
+    return frame[0], frame[1:]
+
+
+def encode_json_op(op: dict) -> bytes:
+    return json.dumps(op, separators=(",", ":")).encode("utf-8")
+
+
+def decode_json_op(body) -> dict:
+    try:
+        op = json.loads(bytes(body).decode("utf-8"))
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise BridgeProtocolError(f"undecodable JSON op: {exc}") from exc
+    if not isinstance(op, dict):
+        raise BridgeProtocolError("JSON op must be an object")
+    return op
+
+
+def encode_sid_body(sid: int, payload) -> bytes:
+    """``u32 sid | payload`` body for RAW and CBIN frames."""
+    return _SID.pack(sid) + bytes(payload)
+
+
+def decode_sid_body(body) -> tuple[int, bytes]:
+    if len(body) < 4:
+        raise BridgeProtocolError("binary frame shorter than its sid")
+    return _SID.unpack_from(body)[0], bytes(body[4:])
+
+
+# ----------------------------------------------------------------------
+# Op validation
+# ----------------------------------------------------------------------
+#: Required fields per op, as (name, acceptable types).  ``subscribe``'s
+#: ``type`` may carry an ``@sfm`` suffix, resolved by the server.
+_REQUIRED: dict[str, tuple[tuple[str, tuple], ...]] = {
+    "hello": (),
+    "advertise": (("topic", (str,)), ("type", (str,))),
+    "unadvertise": (("topic", (str,)),),
+    "publish": (("topic", (str,)), ("msg", (dict,))),
+    "subscribe": (("topic", (str,)), ("type", (str,))),
+    "unsubscribe": (),
+    "call_service": (("service", (str,)), ("type", (str,))),
+    "status": (("msg", (str,)),),
+    "stats": (),
+    "fragment": (
+        ("id", (str, int)),
+        ("num", (int,)),
+        ("total", (int,)),
+        ("data", (str,)),
+    ),
+}
+
+#: Optional fields with type constraints (checked when present).
+_OPTIONAL: dict[str, tuple[tuple[str, tuple], ...]] = {
+    "hello": (
+        ("codec", (str,)),
+        ("max_frame", (int,)),
+    ),
+    "subscribe": (
+        ("fields", (list,)),
+        ("throttle_rate", (int,)),
+        ("queue_length", (int,)),
+        ("codec", (str,)),
+    ),
+    "unsubscribe": (("topic", (str,)), ("sid", (int,))),
+    "call_service": (("args", (dict,)), ("timeout", (int, float))),
+    "status": (("level", (str,)),),
+}
+
+
+def validate_op(op: dict) -> Optional[str]:
+    """Return an error description for a malformed op, or None if OK."""
+    name = op.get("op")
+    if not isinstance(name, str):
+        return "op object is missing its 'op' field"
+    required = _REQUIRED.get(name)
+    if required is None:
+        return f"unknown op {name!r}"
+    for field, types in required:
+        if field not in op:
+            return f"op {name!r} is missing required field {field!r}"
+        if not isinstance(op[field], types):
+            return (
+                f"op {name!r} field {field!r} has type "
+                f"{type(op[field]).__name__}, expected "
+                f"{'/'.join(t.__name__ for t in types)}"
+            )
+    for field, types in _OPTIONAL.get(name, ()):
+        if field in op and not isinstance(op[field], types):
+            return (
+                f"op {name!r} field {field!r} has type "
+                f"{type(op[field]).__name__}, expected "
+                f"{'/'.join(t.__name__ for t in types)}"
+            )
+    if name == "hello" and op.get("codec") not in (None,) + tuple(CODECS):
+        return f"unknown codec {op.get('codec')!r} (one of {CODECS})"
+    if name == "subscribe":
+        codec = op.get("codec")
+        if codec is not None and codec not in CODECS:
+            return f"unknown codec {codec!r} (one of {CODECS})"
+        fields = op.get("fields")
+        if fields is not None and not all(
+            isinstance(path, str) and path for path in fields
+        ):
+            return "op 'subscribe' field 'fields' must be non-empty strings"
+        for bound in ("throttle_rate", "queue_length"):
+            if op.get(bound) is not None and op[bound] < 0:
+                return f"op 'subscribe' field {bound!r} must be >= 0"
+    if name == "unsubscribe" and "topic" not in op and "sid" not in op:
+        return "op 'unsubscribe' needs a 'topic' or a 'sid'"
+    if name == "fragment" and (op["total"] <= 0 or not 0 <= op["num"] < op["total"]):
+        return "op 'fragment' has an inconsistent num/total"
+    return None
+
+
+def status_op(level: str, msg: str, id=None) -> dict:
+    """Build a ``status`` op (the error/diagnostic channel)."""
+    op = {"op": "status", "level": level, "msg": msg}
+    if id is not None:
+        op["id"] = id
+    return op
+
+
+# ----------------------------------------------------------------------
+# Fragmentation
+# ----------------------------------------------------------------------
+def fragment_unit(
+    tag: int, body, max_frame: int, frag_id
+) -> Iterator[dict]:
+    """Split one oversized ``tag | body`` unit into ``fragment`` ops.
+
+    The chunks carry base64 of the *whole inner unit* (tag byte included),
+    so reassembly is codec-agnostic: RAW and CBIN deliveries fragment
+    exactly like JSON ops.
+    """
+    unit = bytes([tag]) + bytes(body)
+    encoded = base64.b64encode(unit).decode("ascii")
+    # Budget for chunk text: the negotiated frame bound minus a generous
+    # envelope allowance (op name, id, counters, JSON punctuation).
+    chunk = max(MIN_MAX_FRAME // 2, max_frame - 128)
+    total = -(-len(encoded) // chunk)
+    for num in range(total):
+        yield {
+            "op": "fragment",
+            "id": frag_id,
+            "num": num,
+            "total": total,
+            "data": encoded[num * chunk : (num + 1) * chunk],
+        }
+
+
+class Reassembler:
+    """Collects ``fragment`` ops and yields the reassembled unit.
+
+    Keeps at most ``max_pending`` in-progress messages; older ones are
+    discarded (a slow or broken peer must not grow memory unboundedly).
+    """
+
+    def __init__(self, max_pending: int = 8) -> None:
+        self._pending: dict[object, list] = {}
+        self._order: list = []
+        self._max_pending = max_pending
+
+    def add(self, op: dict) -> Optional[tuple[int, bytearray]]:
+        """Feed one fragment op; returns ``(tag, body)`` when complete."""
+        error = validate_op(op) if op.get("op") == "fragment" else "not a fragment"
+        if error:
+            raise BridgeProtocolError(error)
+        frag_id, num, total = op["id"], op["num"], op["total"]
+        slots = self._pending.get(frag_id)
+        if slots is None:
+            slots = [None] * total
+            self._pending[frag_id] = slots
+            self._order.append(frag_id)
+            while len(self._order) > self._max_pending:
+                stale = self._order.pop(0)
+                self._pending.pop(stale, None)
+        if len(slots) != total:
+            raise BridgeProtocolError(
+                f"fragment {frag_id!r}: total changed mid-stream"
+            )
+        slots[num] = op["data"]
+        if any(part is None for part in slots):
+            return None
+        del self._pending[frag_id]
+        self._order.remove(frag_id)
+        try:
+            unit = base64.b64decode("".join(slots).encode("ascii"))
+        except (ValueError, UnicodeEncodeError) as exc:
+            raise BridgeProtocolError(
+                f"fragment {frag_id!r}: undecodable base64: {exc}"
+            ) from exc
+        if not unit:
+            raise BridgeProtocolError(f"fragment {frag_id!r}: empty unit")
+        return unit[0], bytearray(unit[1:])

@@ -1,0 +1,759 @@
+"""The bridge gateway: many external clients, one port, one graph node.
+
+Architecture (mirroring rosbridge's server/protocol split, adapted to the
+serialization-free middleware)::
+
+    external clients                 gateway                 miniros graph
+    ----------------   frames   -----------------   SHMROS/TCPROS
+    BridgeClient  <--------------> _ClientSession <---+
+    BridgeClient  <--------------> _ClientSession <---+--- _TopicTap --- Subscriber(raw)
+    ...                                                |
+                                                       +--- _Advertisement --- Publisher
+
+- one **_ClientSession** per connection: a reader thread parsing frames
+  and a writer thread draining that client's shared fan-out queue (all of
+  its subscriptions feed one bounded queue, like the per-link queues of
+  :mod:`repro.ros.topic`);
+- one **_TopicTap** per (topic, class flavour): a single *raw* internal
+  subscription whose payload bytes fan out to every bridge subscription,
+  so the graph-side cost is paid once regardless of client count;
+- per-delivery encoding happens **once per message per distinct
+  (codec, fields) shape** and the encoded payload is shared by every
+  subscription of that shape -- the bridge-level analogue of the
+  topic layer's encode-once fan-out.
+
+Selective field subscriptions on SFM topics never decode the message:
+the tap hands the raw buffer to a compiled
+:class:`~repro.bridge.extract.FieldSelector`, which slices the requested
+fields by fixed offset (serialization-free selective field extraction).
+"""
+
+from __future__ import annotations
+
+import base64
+import itertools
+import json
+import socket
+import threading
+import time
+from collections import deque
+from typing import Optional
+
+from repro.bridge import protocol
+from repro.bridge.conversion import ConversionError, dict_to_msg, msg_to_dict
+from repro.bridge.extract import FieldPathError, FieldSelector, nest_paths
+from repro.bridge.protocol import (
+    BridgeProtocolError,
+    TAG_CBIN,
+    TAG_JSON,
+    TAG_RAW,
+    status_op,
+)
+from repro.msg.generator import generate_message_class
+from repro.msg.registry import TypeRegistry, UnknownTypeError, default_registry
+from repro.msg.srv import default_service_registry, service_type
+from repro.ros.codecs import codec_for_class
+from repro.sfm.generator import generate_sfm_class
+from repro.sfm.message import SFMMessage
+
+
+def resolve_msg_class(spelling: str, registry: Optional[TypeRegistry] = None):
+    """``pkg/Type`` -> plain class, ``pkg/Type@sfm`` -> SFM class.
+
+    Raises :class:`ValueError` for bad flavours and
+    :class:`~repro.msg.registry.UnknownTypeError` for unknown types.
+    """
+    registry = registry or default_registry
+    name, _, flavour = spelling.partition("@")
+    if flavour and flavour != "sfm":
+        raise ValueError(f"unknown class flavour {flavour!r} (use @sfm)")
+    try:
+        if flavour == "sfm":
+            return generate_sfm_class(name, registry)
+        return generate_message_class(name, registry)
+    except UnknownTypeError:
+        raise UnknownTypeError(f"unknown message type {name!r}") from None
+
+
+class _Subscription:
+    """One client subscription: codec shape, throttle/queue policy and
+    wire counters."""
+
+    __slots__ = (
+        "sid", "session", "topic", "spelling", "codec", "fields", "selector",
+        "schema", "throttle_rate", "queue_length", "sent", "wire_bytes",
+        "dropped", "throttled", "_last_send",
+    )
+
+    def __init__(self, sid, session, topic, spelling, codec, fields,
+                 selector, schema, throttle_rate, queue_length) -> None:
+        self.sid = sid
+        self.session = session
+        self.topic = topic
+        self.spelling = spelling
+        self.codec = codec
+        self.fields = fields
+        self.selector = selector
+        self.schema = schema
+        self.throttle_rate = throttle_rate
+        self.queue_length = queue_length
+        self.sent = 0
+        self.wire_bytes = 0
+        self.dropped = 0
+        self.throttled = 0
+        self._last_send = 0.0
+
+    def throttle(self, now: float) -> bool:
+        """True when this message must be dropped by throttle_rate."""
+        if self.throttle_rate and (now - self._last_send) * 1000.0 < self.throttle_rate:
+            self.throttled += 1
+            return True
+        self._last_send = now
+        return False
+
+    def describe(self) -> dict:
+        return {
+            "sid": self.sid,
+            "topic": self.topic,
+            "type": self.spelling,
+            "codec": self.codec,
+            "fields": self.fields,
+            "throttle_rate": self.throttle_rate,
+            "queue_length": self.queue_length,
+            "sent": self.sent,
+            "wire_bytes": self.wire_bytes,
+            "dropped": self.dropped,
+            "throttled": self.throttled,
+        }
+
+
+class _TopicTap:
+    """One raw internal subscription fanning out to bridge subscriptions."""
+
+    def __init__(self, server: "BridgeServer", topic: str, spelling: str) -> None:
+        self.server = server
+        self.topic = topic
+        self.spelling = spelling
+        self.msg_class = resolve_msg_class(spelling, server.registry)
+        self.is_sfm = issubclass(self.msg_class, SFMMessage)
+        self.codec = codec_for_class(self.msg_class)
+        self._subs: list[_Subscription] = []
+        self._lock = threading.Lock()
+        self.subscriber = server.node.subscribe(
+            topic, self.msg_class, self._on_raw, raw=True
+        )
+
+    def add(self, sub: _Subscription) -> None:
+        with self._lock:
+            self._subs.append(sub)
+
+    def remove(self, sub: _Subscription) -> bool:
+        """Drop ``sub``; returns True when the tap became empty."""
+        with self._lock:
+            if sub in self._subs:
+                self._subs.remove(sub)
+            return not self._subs
+
+    def empty(self) -> bool:
+        with self._lock:
+            return not self._subs
+
+    # ------------------------------------------------------------------
+    # Fan-out (runs on the internal subscriber's receive thread)
+    # ------------------------------------------------------------------
+    def _on_raw(self, payload: bytes) -> None:
+        with self._lock:
+            subs = list(self._subs)
+        if not subs:
+            return
+        now = time.monotonic()
+        topic_json = json.dumps(self.topic)
+        cache: dict[tuple, object] = {}
+        decoded_dict: Optional[dict] = None
+        for sub in subs:
+            if sub.throttle(now):
+                continue
+            if sub.codec == "raw":
+                sub.session.enqueue_delivery(
+                    sub, TAG_RAW, protocol.encode_sid_body(sub.sid, payload)
+                )
+                continue
+            if sub.codec == "cbin":
+                key = ("cbin", tuple(sub.fields))
+                packed = cache.get(key)
+                if packed is None:
+                    packed = sub.selector.pack(payload)
+                    cache[key] = packed
+                sub.session.enqueue_delivery(
+                    sub, TAG_CBIN, protocol.encode_sid_body(sub.sid, packed)
+                )
+                continue
+            # JSON delivery: serialize the msg part once per distinct
+            # fields shape, then compose the tiny envelope per client.
+            key = ("json", tuple(sub.fields) if sub.fields else None)
+            msg_json = cache.get(key)
+            if msg_json is None:
+                if sub.selector is not None:
+                    msg_dict = _json_safe(sub.selector.extract_nested(payload))
+                else:
+                    if decoded_dict is None:
+                        decoded_dict = msg_to_dict(self._decode(payload))
+                    msg_dict = (
+                        _pick_paths(decoded_dict, sub.fields)
+                        if sub.fields else decoded_dict
+                    )
+                msg_json = json.dumps(msg_dict, separators=(",", ":"))
+                cache[key] = msg_json
+            body = (
+                '{"op":"publish","sid":%d,"topic":%s,"msg":%s}'
+                % (sub.sid, topic_json, msg_json)
+            ).encode("utf-8")
+            sub.session.enqueue_delivery(sub, TAG_JSON, body)
+
+    def _decode(self, payload: bytes):
+        """Full decode (the expensive path, used only by full-JSON and
+        decoded-subset subscriptions on plain topics)."""
+        return self.codec.decode(bytearray(payload))
+
+
+def _json_safe(value):
+    """Base64 any raw byte values a selector sliced out (matching the
+    full-conversion convention of :func:`msg_to_dict`)."""
+    if isinstance(value, (bytes, bytearray)):
+        return base64.b64encode(bytes(value)).decode("ascii")
+    if isinstance(value, dict):
+        return {key: _json_safe(val) for key, val in value.items()}
+    if isinstance(value, list):
+        return [_json_safe(item) for item in value]
+    return value
+
+
+def _pick_paths(full: dict, paths: list[str]) -> dict:
+    """Subset a decoded message dict by dotted paths (plain topics)."""
+    flat = {}
+    for path in paths:
+        node = full
+        for part in path.split("."):
+            if not isinstance(node, dict) or part not in node:
+                raise ConversionError(f"no field {path!r} in message")
+            node = node[part]
+        flat[path] = node
+    return nest_paths(flat)
+
+
+class _Advertisement:
+    """One externally advertised topic (shared across sessions)."""
+
+    def __init__(self, server: "BridgeServer", chan: int, topic: str,
+                 spelling: str) -> None:
+        self.chan = chan
+        self.topic = topic
+        self.spelling = spelling
+        self.msg_class = resolve_msg_class(spelling, server.registry)
+        self.is_sfm = issubclass(self.msg_class, SFMMessage)
+        self.publisher = server.node.advertise(topic, self.msg_class)
+        self.codec = codec_for_class(self.msg_class)
+        self.sessions: set = set()
+        self.published = 0
+
+
+class _ClientSession:
+    """One connected bridge client: reader + writer thread pair around a
+    shared bounded fan-out queue."""
+
+    def __init__(self, server: "BridgeServer", sock: socket.socket,
+                 peer: str) -> None:
+        self.server = server
+        self.sock = sock
+        self.peer = peer
+        self.codec = "json"
+        self.max_frame = protocol.MAX_FRAME
+        self.subscriptions: dict[int, _Subscription] = {}
+        self.closed = False
+        self._queue: deque = deque()
+        self._condition = threading.Condition()
+        self._frag_ids = itertools.count(1)
+        self._reassembler = protocol.Reassembler()
+        self._reader = threading.Thread(
+            target=self._read_loop, daemon=True, name=f"bridge-read:{peer}"
+        )
+        self._writer = threading.Thread(
+            target=self._write_loop, daemon=True, name=f"bridge-write:{peer}"
+        )
+        self._reader.start()
+        self._writer.start()
+
+    # ------------------------------------------------------------------
+    # Outgoing queue
+    # ------------------------------------------------------------------
+    def enqueue_op(self, op: dict) -> None:
+        """Control traffic: never dropped by subscription queue bounds."""
+        self._enqueue(None, TAG_JSON, protocol.encode_json_op(op))
+
+    def enqueue_delivery(self, sub: _Subscription, tag: int, body: bytes) -> None:
+        self._enqueue(sub, tag, body)
+
+    def _enqueue(self, sub: Optional[_Subscription], tag: int, body: bytes) -> None:
+        with self._condition:
+            if self.closed:
+                return
+            if sub is not None and sub.queue_length:
+                backlog = sum(1 for s, _t, _b in self._queue if s is sub)
+                if backlog >= sub.queue_length:
+                    # Drop the oldest queued delivery of this subscription
+                    # (slow external client; same policy as _OutboundLink).
+                    for index, (queued, _t, _b) in enumerate(self._queue):
+                        if queued is sub:
+                            del self._queue[index]
+                            sub.dropped += 1
+                            break
+            self._queue.append((sub, tag, body))
+            self._condition.notify()
+
+    def _write_loop(self) -> None:
+        while True:
+            with self._condition:
+                while not self._queue and not self.closed:
+                    self._condition.wait()
+                if self.closed and not self._queue:
+                    return
+                sub, tag, body = self._queue.popleft()
+            try:
+                wire = self._write_unit(tag, body)
+            except OSError:
+                self.server._drop_session(self)
+                return
+            if sub is not None:
+                sub.sent += 1
+                sub.wire_bytes += wire
+
+    def _write_unit(self, tag: int, body: bytes) -> int:
+        """Write one unit, fragmenting when it exceeds max_frame."""
+        if 5 + len(body) <= self.max_frame:
+            return protocol.write_bridge_frame(self.sock, tag, body)
+        wire = 0
+        frag_id = f"f{next(self._frag_ids)}"
+        for fragment in protocol.fragment_unit(tag, body, self.max_frame, frag_id):
+            wire += protocol.write_bridge_frame(
+                self.sock, TAG_JSON, protocol.encode_json_op(fragment)
+            )
+        return wire
+
+    # ------------------------------------------------------------------
+    # Incoming frames
+    # ------------------------------------------------------------------
+    def _read_loop(self) -> None:
+        try:
+            self._handshake()
+            while not self.closed:
+                tag, body = protocol.read_bridge_frame(self.sock)
+                self._dispatch_unit(tag, body)
+        except (ConnectionError, OSError, BridgeProtocolError):
+            pass
+        finally:
+            self.server._drop_session(self)
+
+    def _handshake(self) -> None:
+        self.sock.settimeout(10.0)
+        tag, body = protocol.read_bridge_frame(self.sock)
+        self.sock.settimeout(None)
+        if tag != TAG_JSON:
+            raise BridgeProtocolError("handshake must be a JSON hello op")
+        op = protocol.decode_json_op(body)
+        error = protocol.validate_op(op)
+        if error is None and op.get("op") != "hello":
+            error = f"expected hello, got {op.get('op')!r}"
+        if error:
+            # Written synchronously: the session is about to die and the
+            # writer thread's queue would be discarded with it.
+            try:
+                protocol.write_bridge_frame(
+                    self.sock, TAG_JSON,
+                    protocol.encode_json_op(status_op("error", error,
+                                                      op.get("id"))),
+                )
+            except OSError:
+                pass
+            raise BridgeProtocolError(error)
+        self.codec = op.get("codec", "json")
+        if op.get("max_frame"):
+            self.max_frame = max(protocol.MIN_MAX_FRAME, int(op["max_frame"]))
+        self.enqueue_op({
+            "op": "hello_ok",
+            "version": protocol.PROTOCOL_VERSION,
+            "codec": self.codec,
+            "max_frame": self.max_frame,
+            "id": op.get("id"),
+        })
+
+    def _dispatch_unit(self, tag: int, body) -> None:
+        if tag == TAG_RAW:
+            chan, payload = protocol.decode_sid_body(body)
+            self.server.publish_raw(self, chan, payload)
+            return
+        if tag == TAG_CBIN:
+            self.enqueue_op(status_op(
+                "error", "cbin frames are server-to-client only"
+            ))
+            return
+        if tag != TAG_JSON:
+            self.enqueue_op(status_op("error", f"unknown frame tag {tag}"))
+            return
+        try:
+            op = protocol.decode_json_op(body)
+        except BridgeProtocolError as exc:
+            self.enqueue_op(status_op("error", str(exc)))
+            return
+        error = protocol.validate_op(op)
+        if error:
+            self.enqueue_op(status_op("error", error, op.get("id")))
+            return
+        if op["op"] == "fragment":
+            try:
+                unit = self._reassembler.add(op)
+            except BridgeProtocolError as exc:
+                self.enqueue_op(status_op("error", str(exc), op.get("id")))
+                return
+            if unit is not None:
+                self._dispatch_unit(*unit)
+            return
+        self.server.handle_op(self, op)
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        with self._condition:
+            if self.closed:
+                return
+            self.closed = True
+            self._queue.clear()
+            self._condition.notify_all()
+        # shutdown() (not just close()) so a reader blocked in recv on
+        # this socket -- ours or the peer's -- wakes up with EOF instead
+        # of holding the connection open forever.
+        try:
+            self.sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+
+
+class BridgeServer:
+    """A rosbridge-style gateway in front of one miniros graph."""
+
+    def __init__(
+        self,
+        master_uri: str,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        node_name: str = "rossf_bridge",
+        registry: Optional[TypeRegistry] = None,
+        service_timeout: float = 10.0,
+    ) -> None:
+        from repro.ros.node import NodeHandle
+
+        self.registry = registry or default_registry
+        self.service_timeout = service_timeout
+        self.node = NodeHandle(node_name, master_uri)
+        self._lock = threading.RLock()
+        self._sessions: list[_ClientSession] = []
+        self._taps: dict[tuple[str, str], _TopicTap] = {}
+        self._advertisements: dict[str, _Advertisement] = {}
+        self._chan_by_id: dict[int, _Advertisement] = {}
+        self._sid_source = itertools.count(1)
+        self._chan_source = itertools.count(1)
+        self._closed = False
+
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind((host, port))
+        self._listener.listen(128)
+        self.host, self.port = self._listener.getsockname()
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, daemon=True,
+            name=f"bridge-accept:{self.port}",
+        )
+        self._accept_thread.start()
+
+    @property
+    def uri(self) -> str:
+        return f"bridge://{self.host}:{self.port}"
+
+    # ------------------------------------------------------------------
+    # Accepting clients
+    # ------------------------------------------------------------------
+    def _accept_loop(self) -> None:
+        while not self._closed:
+            try:
+                sock, addr = self._listener.accept()
+            except OSError:
+                break
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            session = _ClientSession(self, sock, f"{addr[0]}:{addr[1]}")
+            with self._lock:
+                if self._closed:
+                    session.close()
+                    return
+                self._sessions.append(session)
+
+    def _drop_session(self, session: _ClientSession) -> None:
+        with self._lock:
+            if session in self._sessions:
+                self._sessions.remove(session)
+            subs = list(session.subscriptions.values())
+            session.subscriptions.clear()
+        session.close()
+        for sub in subs:
+            self._release_subscription(sub)
+
+    def _release_subscription(self, sub: _Subscription) -> None:
+        with self._lock:
+            tap = self._taps.get((sub.topic, sub.spelling))
+            if tap is not None and tap.remove(sub):
+                del self._taps[(sub.topic, sub.spelling)]
+            else:
+                tap = None
+        if tap is not None:
+            tap.subscriber.unsubscribe()
+
+    # ------------------------------------------------------------------
+    # Op dispatch
+    # ------------------------------------------------------------------
+    def handle_op(self, session: _ClientSession, op: dict) -> None:
+        handler = getattr(self, f"_op_{op['op']}", None)
+        if handler is None:
+            session.enqueue_op(status_op(
+                "error", f"unsupported op {op['op']!r}", op.get("id")
+            ))
+            return
+        try:
+            handler(session, op)
+        except (ValueError, UnknownTypeError, ConversionError,
+                FieldPathError, KeyError) as exc:
+            # KeyError's str() wraps the message in repr quotes.
+            text = exc.args[0] if isinstance(exc, KeyError) and exc.args \
+                else str(exc)
+            session.enqueue_op(status_op("error", str(text), op.get("id")))
+
+    def _op_status(self, session, op) -> None:
+        pass  # client-side diagnostics are informational
+
+    def _op_advertise(self, session, op) -> None:
+        topic, spelling = op["topic"], op["type"]
+        with self._lock:
+            adv = self._advertisements.get(topic)
+            if adv is None:
+                adv = _Advertisement(self, next(self._chan_source), topic,
+                                     spelling)
+                self._advertisements[topic] = adv
+                self._chan_by_id[adv.chan] = adv
+            elif adv.spelling != spelling:
+                raise ValueError(
+                    f"{topic} is already advertised as {adv.spelling}"
+                )
+            adv.sessions.add(session)
+        session.enqueue_op({
+            "op": "advertise_ok", "id": op.get("id"),
+            "topic": topic, "chan": adv.chan,
+        })
+
+    def _op_unadvertise(self, session, op) -> None:
+        topic = op["topic"]
+        with self._lock:
+            adv = self._advertisements.get(topic)
+            if adv is None:
+                raise ValueError(f"{topic} is not advertised")
+            adv.sessions.discard(session)
+            last = not adv.sessions
+            if last:
+                del self._advertisements[topic]
+                del self._chan_by_id[adv.chan]
+        if last:
+            adv.publisher.unadvertise()
+
+    def _op_publish(self, session, op) -> None:
+        with self._lock:
+            adv = self._advertisements.get(op["topic"])
+        if adv is None:
+            raise ValueError(f"{op['topic']} is not advertised (advertise first)")
+        msg = dict_to_msg(op["msg"], adv.msg_class)
+        adv.publisher.publish(msg)
+        adv.published += 1
+
+    def publish_raw(self, session, chan: int, payload: bytes) -> None:
+        """A TAG_RAW frame from a client: adopt and publish without any
+        per-field work (zero-copy for SFM topics)."""
+        with self._lock:
+            adv = self._chan_by_id.get(chan)
+        if adv is None:
+            session.enqueue_op(status_op("error", f"unknown channel {chan}"))
+            return
+        try:
+            msg = adv.codec.decode(bytearray(payload))
+            adv.publisher.publish(msg)
+            adv.published += 1
+        except Exception as exc:
+            session.enqueue_op(status_op(
+                "error", f"raw publish on {adv.topic} failed: {exc}"
+            ))
+
+    def _op_subscribe(self, session, op) -> None:
+        topic, spelling = op["topic"], op["type"]
+        codec = op.get("codec") or session.codec
+        fields = op.get("fields")
+        msg_class = resolve_msg_class(spelling, self.registry)
+        is_sfm = issubclass(msg_class, SFMMessage)
+        selector = None
+        schema = None
+        if codec == "cbin" and not fields:
+            raise ValueError("cbin subscriptions require a 'fields' list")
+        if codec == "raw" and fields:
+            raise ValueError(
+                "raw subscriptions forward whole messages; drop 'fields' "
+                "or use the json/cbin codec"
+            )
+        if fields:
+            if is_sfm:
+                from repro.sfm.layout import layout_for
+
+                selector = FieldSelector(
+                    layout_for(spelling.partition("@")[0], self.registry),
+                    fields,
+                )
+                if codec == "cbin":
+                    schema = selector.schema()
+            elif codec == "cbin":
+                raise ValueError(
+                    "cbin requires an @sfm type (fixed-offset layout)"
+                )
+            # plain topics keep fields as a decoded-subset filter
+        sid = next(self._sid_source)
+        sub = _Subscription(
+            sid, session, topic, spelling, codec, fields, selector, schema,
+            int(op.get("throttle_rate") or 0), int(op.get("queue_length") or 0),
+        )
+        with self._lock:
+            tap = self._taps.get((topic, spelling))
+            if tap is None:
+                tap = _TopicTap(self, topic, spelling)
+                self._taps[(topic, spelling)] = tap
+            tap.add(sub)
+            session.subscriptions[sid] = sub
+        ack = {
+            "op": "subscribe_ok", "id": op.get("id"), "sid": sid,
+            "topic": topic, "codec": codec,
+            "mode": (
+                "sfm-offset" if selector is not None
+                else ("decoded-subset" if fields else "full")
+            ),
+        }
+        if schema is not None:
+            ack["schema"] = schema
+        session.enqueue_op(ack)
+
+    def _op_unsubscribe(self, session, op) -> None:
+        sid = op.get("sid")
+        topic = op.get("topic")
+        with self._lock:
+            if sid is not None:
+                subs = [session.subscriptions.pop(sid, None)]
+                if subs[0] is None:
+                    raise ValueError(f"unknown subscription {sid}")
+            else:
+                subs = [
+                    sub for sub in session.subscriptions.values()
+                    if sub.topic == topic
+                ]
+                if not subs:
+                    raise ValueError(f"no subscription on {topic}")
+                for sub in subs:
+                    session.subscriptions.pop(sub.sid, None)
+        for sub in subs:
+            self._release_subscription(sub)
+        session.enqueue_op({
+            "op": "unsubscribe_ok", "id": op.get("id"),
+            "sids": [sub.sid for sub in subs],
+        })
+
+    def _op_call_service(self, session, op) -> None:
+        # Service calls block on the remote handler; run them off the
+        # reader thread so one slow service cannot stall the session.
+        threading.Thread(
+            target=self._call_service, args=(session, op), daemon=True,
+            name=f"bridge-srv:{op['service']}",
+        ).start()
+
+    def _call_service(self, session, op) -> None:
+        response_op = {
+            "op": "service_response", "id": op.get("id"),
+            "service": op["service"], "result": False, "values": {},
+        }
+        try:
+            srv = service_type(op["type"], default_service_registry)
+            request = dict_to_msg(op.get("args") or {}, srv.request_class)
+            timeout = float(op.get("timeout") or self.service_timeout)
+            proxy = self.node.service_proxy(op["service"], srv, timeout)
+            try:
+                response = proxy(request)
+            finally:
+                proxy.close_connection()
+            response_op["result"] = True
+            response_op["values"] = msg_to_dict(response)
+        except Exception as exc:
+            response_op["values"] = {"error": str(exc)}
+        session.enqueue_op(response_op)
+
+    def _op_stats(self, session, op) -> None:
+        with self._lock:
+            subs = [
+                sub.describe()
+                for sess in self._sessions
+                for sub in sess.subscriptions.values()
+            ]
+            advs = [
+                {"topic": adv.topic, "type": adv.spelling, "chan": adv.chan,
+                 "published": adv.published}
+                for adv in self._advertisements.values()
+            ]
+            link_errors = {
+                tap.topic: {
+                    uri: str(error)
+                    for uri, error in tap.subscriber.link_errors.items()
+                }
+                for tap in self._taps.values()
+                if tap.subscriber.link_errors
+            }
+        session.enqueue_op({
+            "op": "stats", "id": op.get("id"),
+            "clients": len(self._sessions),
+            "subscriptions": subs,
+            "advertisements": advs,
+            "link_errors": link_errors,
+        })
+
+    # ------------------------------------------------------------------
+    # Shutdown
+    # ------------------------------------------------------------------
+    def shutdown(self) -> None:
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            sessions = list(self._sessions)
+            self._sessions.clear()
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        for session in sessions:
+            session.close()
+        self.node.shutdown()
+        self._accept_thread.join(timeout=2.0)
+
+    def __enter__(self) -> "BridgeServer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()

@@ -28,9 +28,15 @@ class TopicInfo:
     type_name: str = ""
     publishers: list = dataclass_field(default_factory=list)
     subscribers: list = dataclass_field(default_factory=list)
+    #: Handshake failures per publisher URI (``{uri: error string}``),
+    #: populated when a live subscriber is passed to :func:`topic_info`.
+    link_errors: dict = dataclass_field(default_factory=dict)
 
 
-def topic_info(master_uri: str, topic: str) -> TopicInfo:
+def topic_info(master_uri: str, topic: str, subscriber=None) -> TopicInfo:
+    """``rostopic info``; pass a live :class:`~repro.ros.topic.Subscriber`
+    to also surface its per-publisher handshake failures (type/md5/format
+    mismatches that otherwise require a debugger to see)."""
     proxy = MasterProxy(master_uri)
     info = TopicInfo(topic=topic)
     for name, type_name in proxy.get_topic_types("/introspect"):
@@ -43,12 +49,35 @@ def topic_info(master_uri: str, topic: str) -> TopicInfo:
     for name, nodes in subscribers:
         if name == topic:
             info.subscribers = list(nodes)
+    if subscriber is not None:
+        info.link_errors = {
+            uri: str(error) for uri, error in subscriber.link_errors.items()
+        }
     return info
 
 
+def _teardown(subscriber, errors) -> None:
+    """Release a helper subscription and surface its handshake failures.
+
+    The unsubscribe must run even when the caller is exiting early (count
+    reached, timeout, Ctrl-C) -- a leaked subscription keeps its inbound
+    links streaming and the node registered with the master.
+    """
+    try:
+        subscriber.unsubscribe()
+    finally:
+        if errors is not None:
+            for uri, error in subscriber.link_errors.items():
+                errors[uri] = str(error)
+
+
 def echo(node, topic: str, msg_class: type, count: int = 1,
-         timeout: float = 10.0) -> list:
-    """``rostopic echo -n count``: collect ``count`` messages."""
+         timeout: float = 10.0, errors: dict = None) -> list:
+    """``rostopic echo -n count``: collect ``count`` messages.
+
+    ``errors``, when given, receives the subscription's per-publisher
+    handshake failures (``{uri: error string}``) on return.
+    """
     received: list = []
     done = threading.Event()
 
@@ -62,12 +91,12 @@ def echo(node, topic: str, msg_class: type, count: int = 1,
     try:
         done.wait(timeout)
     finally:
-        subscriber.unsubscribe()
+        _teardown(subscriber, errors)
     return received
 
 
 def measure_hz(node, topic: str, msg_class: type, window: int = 10,
-               timeout: float = 10.0) -> float:
+               timeout: float = 10.0, errors: dict = None) -> float:
     """``rostopic hz``: measured publish rate over ``window`` messages."""
     stamps: list[float] = []
     done = threading.Event()
@@ -81,7 +110,7 @@ def measure_hz(node, topic: str, msg_class: type, window: int = 10,
     try:
         done.wait(timeout)
     finally:
-        subscriber.unsubscribe()
+        _teardown(subscriber, errors)
     if len(stamps) < 2:
         return 0.0
     span = stamps[-1] - stamps[0]

@@ -167,13 +167,19 @@ class NodeHandle:
         msg_class: type,
         callback: Callable,
         intraprocess: bool = False,
+        raw: bool = False,
     ) -> Subscriber:
-        """Register ``callback`` for ``topic`` (Fig. 3)."""
+        """Register ``callback`` for ``topic`` (Fig. 3).
+
+        With ``raw=True`` the callback receives the undecoded payload
+        bytes of each message instead of a message object (used by the
+        bridge gateway to fan out without deserializing).
+        """
         self._check_alive()
         topic = names.resolve(topic, self.namespace, self.name)
         with self._lock:
             subscriber = Subscriber(
-                self, topic, msg_class, callback, intraprocess
+                self, topic, msg_class, callback, intraprocess, raw=raw
             )
             self._subscribers.setdefault(topic, []).append(subscriber)
         publishers = self.master.register_subscriber(

@@ -11,6 +11,7 @@ Usage::
     python -m repro.ros.tools check FILE.py [FILE2.py ...]   # ROS-SF Converter
     python -m repro.ros.tools msg show sensor_msgs/Image
     python -m repro.ros.tools sfm stats
+    python -m repro.ros.tools bridge --master URI --port 9090
 
 Message types are given as full names (``sensor_msgs/Image``); append
 ``@sfm`` to subscribe with the serialization-free class
@@ -24,19 +25,16 @@ import json
 import sys
 
 import repro.msg.library  # noqa: F401  (registers the standard library)
-from repro.msg.generator import generate_message_class
 from repro.msg.registry import default_registry
 
 
 def _resolve_class(spelling: str):
-    name, _, flavour = spelling.partition("@")
-    if flavour == "sfm":
-        from repro.sfm.generator import generate_sfm_class
+    from repro.bridge.server import resolve_msg_class
 
-        return generate_sfm_class(name, default_registry)
-    if flavour:
-        raise SystemExit(f"unknown class flavour {flavour!r} (use @sfm)")
-    return generate_message_class(name, default_registry)
+    try:
+        return resolve_msg_class(spelling, default_registry)
+    except ValueError as exc:
+        raise SystemExit(str(exc))
 
 
 def _make_node(master_uri: str):
@@ -64,29 +62,43 @@ def cmd_topic(args) -> int:
         print("Subscribers:")
         for node in info.subscribers:
             print(f"  {node}")
+        _print_link_errors(info.link_errors)
         return 0
     node = _make_node(args.master)
+    link_errors: dict = {}
     try:
         msg_class = _resolve_class(args.type)
         if args.action == "hz":
             hz = introspection.measure_hz(
                 node, args.topic, msg_class, window=args.count,
-                timeout=args.timeout,
+                timeout=args.timeout, errors=link_errors,
             )
+            _print_link_errors(link_errors)
             print(f"average rate: {hz:.2f} Hz over {args.count} messages")
             return 0
         if args.action == "echo":
             messages = introspection.echo(
                 node, args.topic, msg_class, count=args.count,
-                timeout=args.timeout,
+                timeout=args.timeout, errors=link_errors,
             )
+            _print_link_errors(link_errors)
             for msg in messages:
                 print(repr(msg))
                 print("---")
             return 0 if messages else 1
     finally:
+        # The node (slave server, data server, any remaining
+        # subscriptions) must go down on every exit path -- early count
+        # completion, timeout and Ctrl-C alike.
         node.shutdown()
     raise SystemExit(f"unknown topic action {args.action!r}")
+
+
+def _print_link_errors(link_errors: dict) -> None:
+    """Surface per-publisher handshake failures on stderr."""
+    for uri, error in sorted(link_errors.items()):
+        print(f"warning: connection to {uri} failed: {error}",
+              file=sys.stderr)
 
 
 def cmd_param(args) -> int:
@@ -164,6 +176,26 @@ def cmd_sfm(args) -> int:
     return 0
 
 
+def cmd_bridge(args) -> int:
+    """Run the external-client gateway until interrupted."""
+    import time
+
+    from repro.bridge.server import BridgeServer
+
+    server = BridgeServer(
+        args.master, host=args.host, port=args.port, node_name=args.name
+    )
+    print(f"bridge listening on {server.host}:{server.port} "
+          f"(graph master {args.master})", flush=True)
+    try:
+        while True:
+            time.sleep(0.5)
+    except KeyboardInterrupt:
+        return 0
+    finally:
+        server.shutdown()
+
+
 # ----------------------------------------------------------------------
 # Argument parsing
 # ----------------------------------------------------------------------
@@ -210,6 +242,15 @@ def build_parser() -> argparse.ArgumentParser:
     sfm = sub.add_parser("sfm", help="ROS-SF runtime diagnostics")
     sfm.add_argument("action", choices=["stats"])
     sfm.set_defaults(func=cmd_sfm)
+
+    bridge = sub.add_parser(
+        "bridge", help="run the external-client gateway (repro.bridge)"
+    )
+    bridge.add_argument("--master", required=True)
+    bridge.add_argument("--host", default="127.0.0.1")
+    bridge.add_argument("--port", type=int, default=9090)
+    bridge.add_argument("--name", default="rossf_bridge")
+    bridge.set_defaults(func=cmd_bridge)
 
     return parser
 

@@ -681,8 +681,10 @@ class _InboundLink:
         subscriber._link_connected(self)
         while not self._closed:
             frame = tcpros.read_frame(self.sock)
-            msg = subscriber.codec.decode(frame)
-            subscriber._dispatch(msg)
+            if subscriber.raw:
+                subscriber._dispatch(bytes(frame))
+            else:
+                subscriber._dispatch(subscriber.codec.decode(frame))
 
     # ------------------------------------------------------------------
     # SHMROS streaming (doorbell frames + shared-memory slots)
@@ -710,7 +712,10 @@ class _InboundLink:
                         continue
                     self._dispatch_slot(reader, slot, seq, size)
                 elif kind == "inline":
-                    subscriber._dispatch(subscriber.codec.decode(frame[1]))
+                    if subscriber.raw:
+                        subscriber._dispatch(bytes(frame[1]))
+                    else:
+                        subscriber._dispatch(subscriber.codec.decode(frame[1]))
                 elif kind == "reseg":
                     _kind, name, slot_count, slot_bytes = frame
                     reader.close()
@@ -723,6 +728,15 @@ class _InboundLink:
         callback, detach if the user kept the message, acknowledge."""
         subscriber = self.subscriber
         view = reader.payload_view(slot, size)
+        if subscriber.raw:
+            # Raw delivery must copy out of the slot: the bytes object is
+            # the callback's to keep, the slot goes back to the publisher.
+            try:
+                subscriber._dispatch(bytes(view))
+            finally:
+                del view
+                shm.send_ack(self.sock, slot, seq)
+            return
         msg = subscriber.codec.decode_external(view)
         # SFM messages borrow the slot memory itself; remember the record
         # so we can copy it out *after* the callback if it is still alive.
@@ -760,12 +774,20 @@ class Subscriber:
         msg_class: type,
         callback: Callable,
         intraprocess: bool = False,
+        raw: bool = False,
     ) -> None:
         self.node = node
         self.topic = topic
         self.msg_class = msg_class
         self.callback = callback
         self.intraprocess = intraprocess
+        #: Raw subscriptions hand the callback the undecoded payload bytes
+        #: of every message (the exact frame that travelled the wire or
+        #: shared-memory slot).  The handshake still negotiates type,
+        #: md5sum and wire format from ``msg_class``, so a raw subscriber
+        #: is type-checked without paying for decoding -- the gateway's
+        #: forward-without-deserializing path.
+        self.raw = raw
         self.codec = codec_for_class(msg_class)
         self.type_name, self.md5sum = type_info_for_class(msg_class)
         self._links: dict[str, _InboundLink] = {}
@@ -844,6 +866,16 @@ class Subscriber:
     def _deliver_local(self, msg) -> None:
         """Intra-process delivery: the message object itself, by
         reference (const-ptr convention)."""
+        if self.raw:
+            # Raw subscribers always see payload bytes, even from the
+            # local bus, so the callback contract stays uniform.
+            payload, release = self.codec.encode(msg)
+            try:
+                self._dispatch(bytes(payload))
+            finally:
+                if release is not None:
+                    release()
+            return
         self.received_count += 1
         self.callback(msg)
 

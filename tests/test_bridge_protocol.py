@@ -1,0 +1,202 @@
+"""Bridge wire protocol: framing, op validation, fragmentation."""
+
+from __future__ import annotations
+
+import socket
+import threading
+
+import pytest
+
+from repro.bridge import protocol
+from repro.bridge.protocol import (
+    BridgeProtocolError,
+    Reassembler,
+    TAG_CBIN,
+    TAG_JSON,
+    TAG_RAW,
+    decode_json_op,
+    decode_sid_body,
+    encode_json_op,
+    encode_sid_body,
+    fragment_unit,
+    read_bridge_frame,
+    status_op,
+    validate_op,
+    write_bridge_frame,
+)
+
+
+# ----------------------------------------------------------------------
+# Framing
+# ----------------------------------------------------------------------
+def _socketpair():
+    a, b = socket.socketpair()
+    a.settimeout(5.0)
+    b.settimeout(5.0)
+    return a, b
+
+
+def test_frame_roundtrip():
+    a, b = _socketpair()
+    try:
+        wire = write_bridge_frame(a, TAG_RAW, b"payload")
+        assert wire == 4 + 1 + 7
+        tag, body = read_bridge_frame(b)
+        assert (tag, bytes(body)) == (TAG_RAW, b"payload")
+    finally:
+        a.close()
+        b.close()
+
+
+def test_json_op_roundtrip():
+    op = {"op": "subscribe", "topic": "/t", "type": "std_msgs/String"}
+    assert decode_json_op(encode_json_op(op)) == op
+
+
+def test_decode_json_op_rejects_garbage():
+    with pytest.raises(BridgeProtocolError):
+        decode_json_op(b"\xff\xfe not json")
+    with pytest.raises(BridgeProtocolError):
+        decode_json_op(b"[1, 2]")  # not an object
+
+
+def test_sid_body_roundtrip():
+    body = encode_sid_body(42, b"bytes")
+    assert decode_sid_body(body) == (42, b"bytes")
+    with pytest.raises(BridgeProtocolError):
+        decode_sid_body(b"\x01")  # shorter than the sid
+
+
+# ----------------------------------------------------------------------
+# Op validation (the malformed-op cases the server turns into statuses)
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("op, fragment", [
+    ({}, "missing its 'op'"),
+    ({"op": "frobnicate"}, "unknown op"),
+    ({"op": "subscribe", "topic": "/t"}, "missing required field 'type'"),
+    ({"op": "subscribe", "topic": 7, "type": "std_msgs/String"}, "has type"),
+    ({"op": "subscribe", "topic": "/t", "type": "std_msgs/String",
+      "codec": "xml"}, "unknown codec"),
+    ({"op": "subscribe", "topic": "/t", "type": "std_msgs/String",
+      "fields": ["ok", ""]}, "non-empty strings"),
+    ({"op": "subscribe", "topic": "/t", "type": "std_msgs/String",
+      "throttle_rate": -1}, "must be >= 0"),
+    ({"op": "subscribe", "topic": "/t", "type": "std_msgs/String",
+      "queue_length": -5}, "must be >= 0"),
+    ({"op": "publish", "topic": "/t", "msg": "not a dict"}, "has type"),
+    ({"op": "publish", "topic": "/t"}, "missing required field 'msg'"),
+    ({"op": "unsubscribe"}, "needs a 'topic' or a 'sid'"),
+    ({"op": "call_service", "service": "/s"}, "missing required field"),
+    ({"op": "hello", "codec": "carrier-pigeon"}, "unknown codec"),
+    ({"op": "fragment", "id": "f", "num": 3, "total": 3, "data": "x"},
+     "inconsistent num/total"),
+    ({"op": "fragment", "id": "f", "num": 0, "total": 0, "data": "x"},
+     "inconsistent num/total"),
+])
+def test_validate_rejects_malformed_ops(op, fragment):
+    error = validate_op(op)
+    assert error is not None and fragment in error
+
+
+@pytest.mark.parametrize("op", [
+    {"op": "hello"},
+    {"op": "hello", "codec": "raw", "max_frame": 4096},
+    {"op": "subscribe", "topic": "/t", "type": "sensor_msgs/Image@sfm",
+     "fields": ["height", "width"], "throttle_rate": 100, "queue_length": 2,
+     "codec": "cbin"},
+    {"op": "publish", "topic": "/t", "msg": {"data": 1}},
+    {"op": "unsubscribe", "sid": 3},
+    {"op": "unsubscribe", "topic": "/t"},
+    {"op": "advertise", "topic": "/t", "type": "std_msgs/String"},
+    {"op": "call_service", "service": "/s", "type": "std_srvs/Trigger",
+     "args": {}},
+    {"op": "status", "msg": "all good", "level": "info"},
+    {"op": "stats"},
+])
+def test_validate_accepts_wellformed_ops(op):
+    assert validate_op(op) is None
+
+
+def test_status_op_shape():
+    assert status_op("error", "boom", id="q1") == {
+        "op": "status", "level": "error", "msg": "boom", "id": "q1",
+    }
+    assert "id" not in status_op("info", "fine")
+
+
+# ----------------------------------------------------------------------
+# Fragmentation
+# ----------------------------------------------------------------------
+def test_fragment_roundtrip_small_max_frame():
+    body = bytes(range(256)) * 40  # 10240 bytes
+    fragments = list(fragment_unit(TAG_CBIN, body, 512, "frag-1"))
+    assert len(fragments) > 1
+    assert all(validate_op(op) is None for op in fragments)
+    # Every fragment op fits the negotiated frame bound once framed.
+    assert all(
+        5 + len(encode_json_op(op)) <= 512 + 256 for op in fragments
+    )
+    reassembler = Reassembler()
+    result = None
+    for op in fragments:
+        assert result is None
+        result = reassembler.add(op)
+    tag, unit = result
+    assert tag == TAG_CBIN
+    assert bytes(unit) == body
+
+
+def test_fragment_roundtrip_out_of_order():
+    body = b"payload" * 300
+    fragments = list(fragment_unit(TAG_JSON, body, 300, "x"))
+    reassembler = Reassembler()
+    result = None
+    for op in reversed(fragments):
+        result = reassembler.add(op)
+    assert bytes(result[1]) == body
+
+
+def test_fragment_interleaved_streams():
+    a = list(fragment_unit(TAG_RAW, b"a" * 2000, 300, "a"))
+    b = list(fragment_unit(TAG_RAW, b"b" * 2000, 300, "b"))
+    reassembler = Reassembler()
+    done = {}
+    for pair in zip(a, b):
+        for op in pair:
+            result = reassembler.add(op)
+            if result is not None:
+                done[op["id"]] = bytes(result[1])
+    assert done == {"a": b"a" * 2000, "b": b"b" * 2000}
+
+
+def test_reassembler_rejects_total_change():
+    reassembler = Reassembler()
+    reassembler.add({"op": "fragment", "id": "f", "num": 0, "total": 3,
+                     "data": "aa"})
+    with pytest.raises(BridgeProtocolError):
+        reassembler.add({"op": "fragment", "id": "f", "num": 0, "total": 2,
+                         "data": "aa"})
+
+
+def test_reassembler_rejects_non_fragment():
+    with pytest.raises(BridgeProtocolError):
+        Reassembler().add({"op": "publish", "topic": "/t", "msg": {}})
+
+
+def test_reassembler_bounds_pending_streams():
+    reassembler = Reassembler(max_pending=2)
+    for name in ("a", "b", "c"):
+        reassembler.add({"op": "fragment", "id": name, "num": 0, "total": 2,
+                         "data": "aa"})
+    # "a" was evicted; finishing it now treats the late part as a fresh
+    # stream rather than completing the evicted one.
+    assert reassembler.add(
+        {"op": "fragment", "id": "a", "num": 1, "total": 2, "data": "aa"}
+    ) is None
+
+
+def test_reassembler_rejects_bad_base64():
+    reassembler = Reassembler()
+    with pytest.raises(BridgeProtocolError):
+        reassembler.add({"op": "fragment", "id": "f", "num": 0, "total": 1,
+                         "data": "!!!not base64!!!"})
