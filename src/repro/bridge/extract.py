@@ -303,7 +303,8 @@ class FieldSelector:
 
         Raises :class:`FieldPathError` when a selected field has no
         compact encoding (nested/map/array-of-message terminals) -- the
-        server degrades such subscriptions to JSON delivery.
+        server rejects such ``cbin`` subscriptions with an error status;
+        select packable leaf fields or use the ``json`` codec instead.
         """
         entries = []
         for reader in self._readers:

@@ -48,6 +48,16 @@ MAX_FRAME = tcpros.MAX_FRAME
 #: envelope overhead of a fragment op would not fit.
 MIN_MAX_FRAME = 256
 
+#: Most fragments one unit can legitimately need: a MAX_FRAME unit,
+#: base64-expanded, split at the smallest chunk :func:`fragment_unit`
+#: ever emits.  A client-supplied ``total`` above this is rejected
+#: before any slot list is allocated for it.
+MAX_FRAGMENT_TOTAL = (4 * MAX_FRAME // 3 + 4) // (MIN_MAX_FRAME // 2) + 1
+
+#: Most base64 text one reassembly may buffer (a MAX_FRAME unit,
+#: encoded, plus padding).
+_MAX_ENCODED = 4 * MAX_FRAME // 3 + 8
+
 _LEN = struct.Struct("<I")
 _SID = struct.Struct("<I")
 
@@ -186,8 +196,14 @@ def validate_op(op: dict) -> Optional[str]:
                 return f"op 'subscribe' field {bound!r} must be >= 0"
     if name == "unsubscribe" and "topic" not in op and "sid" not in op:
         return "op 'unsubscribe' needs a 'topic' or a 'sid'"
-    if name == "fragment" and (op["total"] <= 0 or not 0 <= op["num"] < op["total"]):
-        return "op 'fragment' has an inconsistent num/total"
+    if name == "fragment":
+        if op["total"] <= 0 or not 0 <= op["num"] < op["total"]:
+            return "op 'fragment' has an inconsistent num/total"
+        if op["total"] > MAX_FRAGMENT_TOTAL:
+            return (
+                f"op 'fragment' total {op['total']} exceeds the "
+                f"{MAX_FRAGMENT_TOTAL}-fragment bound"
+            )
     return None
 
 
@@ -236,8 +252,15 @@ class Reassembler:
 
     def __init__(self, max_pending: int = 8) -> None:
         self._pending: dict[object, list] = {}
+        self._sizes: dict[object, int] = {}
         self._order: list = []
         self._max_pending = max_pending
+
+    def _discard(self, frag_id) -> None:
+        self._pending.pop(frag_id, None)
+        self._sizes.pop(frag_id, None)
+        if frag_id in self._order:
+            self._order.remove(frag_id)
 
     def add(self, op: dict) -> Optional[tuple[int, bytearray]]:
         """Feed one fragment op; returns ``(tag, body)`` when complete."""
@@ -249,19 +272,30 @@ class Reassembler:
         if slots is None:
             slots = [None] * total
             self._pending[frag_id] = slots
+            self._sizes[frag_id] = 0
             self._order.append(frag_id)
             while len(self._order) > self._max_pending:
                 stale = self._order.pop(0)
                 self._pending.pop(stale, None)
+                self._sizes.pop(stale, None)
         if len(slots) != total:
             raise BridgeProtocolError(
                 f"fragment {frag_id!r}: total changed mid-stream"
             )
+        previous = slots[num]
         slots[num] = op["data"]
+        self._sizes[frag_id] += len(op["data"]) - (
+            len(previous) if previous is not None else 0
+        )
+        if self._sizes[frag_id] > _MAX_ENCODED:
+            self._discard(frag_id)
+            raise BridgeProtocolError(
+                f"fragment {frag_id!r}: reassembled unit would exceed "
+                f"the {MAX_FRAME}-byte frame bound"
+            )
         if any(part is None for part in slots):
             return None
-        del self._pending[frag_id]
-        self._order.remove(frag_id)
+        self._discard(frag_id)
         try:
             unit = base64.b64decode("".join(slots).encode("ascii"))
         except (ValueError, UnicodeEncodeError) as exc:

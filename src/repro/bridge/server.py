@@ -34,6 +34,7 @@ import base64
 import itertools
 import json
 import socket
+import struct
 import threading
 import time
 from collections import deque
@@ -49,6 +50,7 @@ from repro.bridge.protocol import (
     TAG_RAW,
     status_op,
 )
+from repro.msg.fields import ComplexType
 from repro.msg.generator import generate_message_class
 from repro.msg.registry import TypeRegistry, UnknownTypeError, default_registry
 from repro.msg.srv import default_service_registry, service_type
@@ -169,46 +171,66 @@ class _TopicTap:
         now = time.monotonic()
         topic_json = json.dumps(self.topic)
         cache: dict[tuple, object] = {}
-        decoded_dict: Optional[dict] = None
+        decoded: list = [None]
+        failed: list[tuple[_Subscription, Exception]] = []
         for sub in subs:
             if sub.throttle(now):
                 continue
-            if sub.codec == "raw":
-                sub.session.enqueue_delivery(
-                    sub, TAG_RAW, protocol.encode_sid_body(sub.sid, payload)
+            # Nothing may escape into the internal receive thread: an
+            # uncaught error would kill the shared inbound link and
+            # silence every other subscription on this tap.  Report the
+            # failure to the offending client and drop its subscription.
+            try:
+                self._deliver(sub, payload, topic_json, cache, decoded)
+            except Exception as exc:
+                failed.append((sub, exc))
+        for sub, exc in failed:
+            sub.session.enqueue_op(status_op(
+                "error",
+                f"subscription {sub.sid} on {self.topic} dropped: {exc}",
+            ))
+            self.server.drop_subscription(sub)
+
+    def _deliver(self, sub: _Subscription, payload: bytes, topic_json: str,
+                 cache: dict, decoded: list) -> None:
+        """Encode-and-enqueue one subscription's delivery (shared-shape
+        encodings cached across the fan-out)."""
+        if sub.codec == "raw":
+            sub.session.enqueue_delivery(
+                sub, TAG_RAW, protocol.encode_sid_body(sub.sid, payload)
+            )
+            return
+        if sub.codec == "cbin":
+            key = ("cbin", tuple(sub.fields))
+            packed = cache.get(key)
+            if packed is None:
+                packed = sub.selector.pack(payload)
+                cache[key] = packed
+            sub.session.enqueue_delivery(
+                sub, TAG_CBIN, protocol.encode_sid_body(sub.sid, packed)
+            )
+            return
+        # JSON delivery: serialize the msg part once per distinct
+        # fields shape, then compose the tiny envelope per client.
+        key = ("json", tuple(sub.fields) if sub.fields else None)
+        msg_json = cache.get(key)
+        if msg_json is None:
+            if sub.selector is not None:
+                msg_dict = _json_safe(sub.selector.extract_nested(payload))
+            else:
+                if decoded[0] is None:
+                    decoded[0] = msg_to_dict(self._decode(payload))
+                msg_dict = (
+                    _pick_paths(decoded[0], sub.fields)
+                    if sub.fields else decoded[0]
                 )
-                continue
-            if sub.codec == "cbin":
-                key = ("cbin", tuple(sub.fields))
-                packed = cache.get(key)
-                if packed is None:
-                    packed = sub.selector.pack(payload)
-                    cache[key] = packed
-                sub.session.enqueue_delivery(
-                    sub, TAG_CBIN, protocol.encode_sid_body(sub.sid, packed)
-                )
-                continue
-            # JSON delivery: serialize the msg part once per distinct
-            # fields shape, then compose the tiny envelope per client.
-            key = ("json", tuple(sub.fields) if sub.fields else None)
-            msg_json = cache.get(key)
-            if msg_json is None:
-                if sub.selector is not None:
-                    msg_dict = _json_safe(sub.selector.extract_nested(payload))
-                else:
-                    if decoded_dict is None:
-                        decoded_dict = msg_to_dict(self._decode(payload))
-                    msg_dict = (
-                        _pick_paths(decoded_dict, sub.fields)
-                        if sub.fields else decoded_dict
-                    )
-                msg_json = json.dumps(msg_dict, separators=(",", ":"))
-                cache[key] = msg_json
-            body = (
-                '{"op":"publish","sid":%d,"topic":%s,"msg":%s}'
-                % (sub.sid, topic_json, msg_json)
-            ).encode("utf-8")
-            sub.session.enqueue_delivery(sub, TAG_JSON, body)
+            msg_json = json.dumps(msg_dict, separators=(",", ":"))
+            cache[key] = msg_json
+        body = (
+            '{"op":"publish","sid":%d,"topic":%s,"msg":%s}'
+            % (sub.sid, topic_json, msg_json)
+        ).encode("utf-8")
+        sub.session.enqueue_delivery(sub, TAG_JSON, body)
 
     def _decode(self, payload: bytes):
         """Full decode (the expensive path, used only by full-JSON and
@@ -226,6 +248,33 @@ def _json_safe(value):
     if isinstance(value, list):
         return [_json_safe(item) for item in value]
     return value
+
+
+def _validate_plain_paths(msg_class, paths: list[str],
+                          registry: TypeRegistry) -> None:
+    """Resolve dotted field paths against a plain message spec at
+    subscribe time (SFM selections get the same check from
+    :class:`FieldSelector` compilation), so a bad path is a subscribe
+    error instead of a per-message failure inside the tap fan-out."""
+    spec = msg_class._spec
+    for path in paths:
+        current = spec
+        parts = path.split(".")
+        for depth, part in enumerate(parts):
+            try:
+                field = current.field(part)
+            except KeyError:
+                raise FieldPathError(
+                    f"{spec.full_name}: no field {path!r} "
+                    f"({current.full_name} has no {part!r})"
+                ) from None
+            if depth < len(parts) - 1:
+                if not isinstance(field.type, ComplexType):
+                    raise FieldPathError(
+                        f"{spec.full_name}: {path!r} descends through "
+                        f"non-message field {part!r}"
+                    )
+                current = registry.get(field.type.name)
 
 
 def _pick_paths(full: dict, paths: list[str]) -> dict:
@@ -377,7 +426,14 @@ class _ClientSession:
             raise BridgeProtocolError(error)
         self.codec = op.get("codec", "json")
         if op.get("max_frame"):
-            self.max_frame = max(protocol.MIN_MAX_FRAME, int(op["max_frame"]))
+            # Clamp both ways: below MIN_MAX_FRAME fragments cannot carry
+            # their envelope, above MAX_FRAME the peer's read_frame guard
+            # would reject our unfragmented writes.  hello_ok echoes the
+            # clamped value so the client adopts it.
+            self.max_frame = min(
+                protocol.MAX_FRAME,
+                max(protocol.MIN_MAX_FRAME, int(op["max_frame"])),
+            )
         self.enqueue_op({
             "op": "hello_ok",
             "version": protocol.PROTOCOL_VERSION,
@@ -518,6 +574,13 @@ class BridgeServer:
         if tap is not None:
             tap.subscriber.unsubscribe()
 
+    def drop_subscription(self, sub: _Subscription) -> None:
+        """Forcibly remove one subscription (a delivery failure: the
+        session stays, only the offending subscription goes)."""
+        with self._lock:
+            sub.session.subscriptions.pop(sub.sid, None)
+        self._release_subscription(sub)
+
     # ------------------------------------------------------------------
     # Op dispatch
     # ------------------------------------------------------------------
@@ -531,7 +594,11 @@ class BridgeServer:
         try:
             handler(session, op)
         except (ValueError, UnknownTypeError, ConversionError,
-                FieldPathError, KeyError) as exc:
+                FieldPathError, KeyError, OverflowError,
+                struct.error) as exc:
+            # struct.error/OverflowError: a JSON value passed type checks
+            # but not the wire range (2**40 into an int32); the op fails
+            # with a status, the session lives on.
             # KeyError's str() wraps the message in repr quotes.
             text = exc.args[0] if isinstance(exc, KeyError) and exc.args \
                 else str(exc)
@@ -628,7 +695,11 @@ class BridgeServer:
                 raise ValueError(
                     "cbin requires an @sfm type (fixed-offset layout)"
                 )
-            # plain topics keep fields as a decoded-subset filter
+            else:
+                # plain topics keep fields as a decoded-subset filter;
+                # resolve the paths now so a typo is this client's
+                # subscribe error, not a per-message fan-out failure
+                _validate_plain_paths(msg_class, fields, self.registry)
         sid = next(self._sid_source)
         sub = _Subscription(
             sid, session, topic, spelling, codec, fields, selector, schema,

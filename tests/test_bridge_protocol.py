@@ -92,6 +92,8 @@ def test_sid_body_roundtrip():
      "inconsistent num/total"),
     ({"op": "fragment", "id": "f", "num": 0, "total": 0, "data": "x"},
      "inconsistent num/total"),
+    ({"op": "fragment", "id": "f", "num": 0, "total": 10 ** 9, "data": "x"},
+     "fragment' total"),
 ])
 def test_validate_rejects_malformed_ops(op, fragment):
     error = validate_op(op)
@@ -200,3 +202,32 @@ def test_reassembler_rejects_bad_base64():
     with pytest.raises(BridgeProtocolError):
         reassembler.add({"op": "fragment", "id": "f", "num": 0, "total": 1,
                          "data": "!!!not base64!!!"})
+
+
+def test_reassembler_rejects_huge_total_without_allocating():
+    """A crafted total must not allocate a multi-GB slot list."""
+    reassembler = Reassembler()
+    with pytest.raises(BridgeProtocolError, match="total"):
+        reassembler.add({"op": "fragment", "id": "f", "num": 0,
+                         "total": 10 ** 9, "data": "aa"})
+    assert not reassembler._pending  # nothing was buffered
+
+
+def test_reassembler_bounds_buffered_bytes(monkeypatch):
+    """Cumulative fragment text per reassembly is capped at the frame
+    bound; an overflowing stream is discarded, not buffered forever."""
+    monkeypatch.setattr(protocol, "_MAX_ENCODED", 16)
+    reassembler = Reassembler()
+    reassembler.add({"op": "fragment", "id": "f", "num": 0, "total": 3,
+                     "data": "a" * 12})
+    with pytest.raises(BridgeProtocolError, match="exceed"):
+        reassembler.add({"op": "fragment", "id": "f", "num": 1, "total": 3,
+                         "data": "b" * 12})
+    assert "f" not in reassembler._pending  # the stream was discarded
+    # a well-behaved stream still completes afterwards
+    body = b"xy"
+    fragments = list(fragment_unit(TAG_RAW, body, 300, "ok"))
+    result = None
+    for op in fragments:
+        result = reassembler.add(op)
+    assert bytes(result[1]) == body

@@ -306,6 +306,96 @@ def test_subscribe_errors_are_reported_to_requests(server, client):
                          fields=["bogus_field"])
 
 
+def test_plain_topic_field_paths_validated_at_subscribe(server, client):
+    """A bad 'fields' path on a plain (non-SFM) topic is this client's
+    subscribe error, not a later per-message failure in the tap."""
+    with pytest.raises(BridgeError, match="no field"):
+        client.subscribe("/t", "std_msgs/Header", lambda *a: None,
+                         fields=["bogus_field"])
+    with pytest.raises(BridgeError, match="descends through"):
+        client.subscribe("/t", "std_msgs/Header", lambda *a: None,
+                         fields=["frame_id.x"])
+    with pytest.raises(BridgeError, match="no field"):
+        client.subscribe("/t", "geometry_msgs/PoseStamped",
+                         lambda *a: None, fields=["pose.position.w"])
+    # valid nested descent is accepted (and cleaned up)
+    sid = client.subscribe("/plain_paths_ok", "geometry_msgs/PoseStamped",
+                           lambda *a: None, fields=["pose.position.x"])
+    client.unsubscribe(sid=sid)
+
+
+def test_delivery_failure_drops_only_offending_subscription(
+    graph, server, client, topic
+):
+    """A per-subscription delivery failure must not kill the shared
+    inbound link: the offender is dropped with an error status and every
+    other bridge subscription keeps receiving."""
+    pub = _publisher(graph, topic, L.Header)
+    good, done, on_good = _collect(2)
+    with BridgeClient(server.host, server.port) as victim:
+        client.subscribe(topic, "std_msgs/Header", on_good, fields=["seq"])
+        bad_sid = victim.subscribe(topic, "std_msgs/Header",
+                                   lambda *a: None, fields=["seq"])
+        assert pub.wait_for_subscribers(1)
+        # sabotage the victim's subscription past subscribe validation,
+        # simulating any unexpected per-delivery failure
+        session = [s for s in server._sessions
+                   if bad_sid in s.subscriptions][0]
+        session.subscriptions[bad_sid].fields = ["bogus_field"]
+        deadline = time.monotonic() + 10
+        while not done.is_set() and time.monotonic() < deadline:
+            pub.publish(L.Header(seq=7, frame_id="f"))
+            done.wait(0.2)
+        assert done.is_set()  # the healthy subscription kept receiving
+        assert good[-1][0] == {"seq": 7}
+        deadline = time.monotonic() + 5
+        while (bad_sid in session.subscriptions
+               and time.monotonic() < deadline):
+            time.sleep(0.05)
+        assert bad_sid not in session.subscriptions  # offender dropped
+        deadline = time.monotonic() + 5
+        while not victim.statuses and time.monotonic() < deadline:
+            time.sleep(0.05)
+        assert any("dropped" in s["msg"] for s in victim.statuses)
+        tap = server._taps[(topic, "std_msgs/Header")]
+        assert len(tap._subs) == 1  # the healthy one
+
+
+def test_out_of_range_publish_is_an_error_status_not_a_disconnect(
+    graph, server, client, topic
+):
+    """A JSON value that fits the type checks but not the wire range
+    (2**40 into a uint32) fails the op, not the session."""
+    node = graph.node(f"sub{topic.replace('/', '_')}")
+    seen = []
+    got = threading.Event()
+    sub = node.subscribe(topic, L.UInt32, lambda m: (seen.append(m.data),
+                                                     got.set()))
+    client.advertise(topic, "std_msgs/UInt32")
+    assert sub.wait_for_publishers(1)
+    # Re-publish until the error status lands: with no connected link
+    # yet the publisher skips encoding and the bad value is a no-op.
+    deadline = time.monotonic() + 10
+    while not client.statuses and time.monotonic() < deadline:
+        client.publish(topic, {"data": 2 ** 40})
+        time.sleep(0.1)
+    assert client.statuses and client.statuses[0]["level"] == "error"
+    # the session survived: a well-ranged publish still goes through
+    deadline = time.monotonic() + 10
+    while not got.wait(0.25) and time.monotonic() < deadline:
+        client.publish(topic, {"data": 41})
+    assert got.is_set() and seen[0] == 41
+
+
+def test_hello_max_frame_is_clamped_to_protocol_bound(server):
+    from repro.bridge import protocol
+
+    with BridgeClient(server.host, server.port,
+                      max_frame=protocol.MAX_FRAME * 4) as greedy:
+        # hello_ok echoes the clamped value and the client adopts it
+        assert greedy.max_frame == protocol.MAX_FRAME
+
+
 def test_call_service_roundtrip(graph, server, client):
     node = graph.node("srv_provider")
     srv = service_type("rossf_bench/AddTwoInts")
