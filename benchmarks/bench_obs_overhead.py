@@ -1,0 +1,103 @@
+"""Observability overhead: 1 MB SHMROS trips, instrumentation on vs off.
+
+The obs subsystem's budget is <5% added latency on the paper's 1 MB
+SHMROS workload with every counter enabled (the traced wire prefix is
+still *negotiated off* here -- tracing is a windowed debugging tool, the
+always-on cost is the counters plus the per-frame stamp fields the
+SHMROS doorbell carries unconditionally).
+
+Run standalone via ``snapshot.py --experiment obs`` (writes
+``BENCH_obs.json``), or under pytest-benchmark like the other bench
+modules.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+import repro.obs as obs
+from repro.bench.workloads import IMAGE_WORKLOADS
+
+#: The paper's ~1 MB (800x600x24 bit) image.
+ONE_MEGABYTE = IMAGE_WORKLOADS[1]
+
+
+def _latency_rig(msg_class, workload):
+    from bench_fig13_intra_machine import LatencyRig
+
+    return LatencyRig(msg_class, workload, "shmros")
+
+
+def _measure(msg_class, workload, iterations: int, warmup: int) -> dict:
+    """Per-trip wall times (seconds) for a fresh rig in the current
+    obs state; the rig is built *after* the state flip so connection
+    handshakes negotiate accordingly."""
+    rig = _latency_rig(msg_class, workload)
+    try:
+        for _ in range(warmup):
+            rig.once()
+        samples = []
+        for _ in range(iterations):
+            start = time.perf_counter()
+            rig.once()
+            samples.append(time.perf_counter() - start)
+    finally:
+        rig.close()
+    samples.sort()
+    count = len(samples)
+    return {
+        "count": count,
+        "mean_ms": round(sum(samples) / count * 1000, 4),
+        "p50_ms": round(samples[count // 2] * 1000, 4),
+        "p99_ms": round(samples[min(count - 1, int(count * 0.99))] * 1000, 4),
+    }
+
+
+def run_overhead(iterations: int = 60, warmup: int = 10) -> dict:
+    """Both states, one payload: the BENCH_obs.json body."""
+    from repro.rossf import sfm_classes_for
+
+    sfm_image, = sfm_classes_for("sensor_msgs/Image")
+    was_enabled = obs.enabled()
+    profiles = {}
+    try:
+        for key, state in (("disabled", False), ("enabled", True)):
+            obs.set_enabled(state)
+            profiles[key] = _measure(sfm_image, ONE_MEGABYTE,
+                                     iterations, warmup)
+    finally:
+        obs.set_enabled(was_enabled)
+    disabled_p50 = profiles["disabled"]["p50_ms"]
+    enabled_p50 = profiles["enabled"]["p50_ms"]
+    return {
+        "payload_bytes": ONE_MEGABYTE.data_bytes,
+        "transport": "shmros",
+        "profiles": profiles,
+        # Median-based for the same reason as BENCH_fig13: rare
+        # scheduler stalls land in arbitrary cells.
+        "overhead_pct": round(
+            (enabled_p50 - disabled_p50) / disabled_p50 * 100, 2
+        ),
+        "overhead_basis": "p50",
+        "budget_pct": 5.0,
+    }
+
+
+@pytest.fixture(params=["disabled", "enabled"])
+def obs_state(request):
+    was = obs.enabled()
+    obs.set_enabled(request.param == "enabled")
+    yield request.param
+    obs.set_enabled(was)
+
+
+def bench_obs_overhead_1mb_shmros(benchmark, image_classes, obs_state):
+    rig = _latency_rig(image_classes["ROS-SF"], ONE_MEGABYTE)
+    try:
+        for _ in range(10):
+            rig.once()
+        benchmark(rig.once)
+    finally:
+        rig.close()

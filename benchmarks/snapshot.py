@@ -11,10 +11,16 @@ transport comparison without a full paper-scale run.
 full-message vs. selective-field subscriptions) and writes
 ``BENCH_bridge.json``.
 
+``--experiment obs`` runs ``bench_obs_overhead.py`` (1 MB SHMROS trips
+with the repro.obs instrumentation enabled vs disabled) and writes
+``BENCH_obs.json``; the recorded ``overhead_pct`` must stay under
+``budget_pct`` (5%).
+
 Usage::
 
     PYTHONPATH=src python benchmarks/snapshot.py [--iterations N] [--out PATH]
     PYTHONPATH=src python benchmarks/snapshot.py --experiment bridge
+    PYTHONPATH=src python benchmarks/snapshot.py --experiment obs
 """
 
 from __future__ import annotations
@@ -94,17 +100,42 @@ def run_bridge_snapshot(messages: int) -> dict:
     return payload
 
 
+def run_obs_snapshot(iterations: int) -> dict:
+    sys.path.insert(0, str(Path(__file__).resolve().parent))
+    import bench_obs_overhead
+
+    payload: dict = {
+        "experiment": "obs_overhead",
+        "generated": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "python": platform.python_version(),
+        "iterations": iterations,
+    }
+    payload.update(bench_obs_overhead.run_overhead(iterations))
+    return payload
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--experiment", choices=("fig13", "bridge"),
+    parser.add_argument("--experiment", choices=("fig13", "bridge", "obs"),
                         default="fig13")
     parser.add_argument("--iterations", type=int, default=40,
-                        help="fig13 iterations")
+                        help="fig13/obs iterations")
     parser.add_argument("--messages", type=int, default=8,
                         help="bridge messages per fan-out cell")
     parser.add_argument("--out", type=Path, default=None)
     args = parser.parse_args(argv)
     root = Path(__file__).resolve().parent.parent
+    if args.experiment == "obs":
+        out = args.out or root / "BENCH_obs.json"
+        payload = run_obs_snapshot(args.iterations)
+        out.write_text(json.dumps(payload, indent=2) + "\n")
+        print(
+            f"obs overhead on 1MB SHMROS (p50): "
+            f"{payload['overhead_pct']:+.2f}% "
+            f"(budget {payload['budget_pct']:.0f}%)"
+        )
+        print(f"wrote {out}")
+        return 0
     if args.experiment == "bridge":
         out = args.out or root / "BENCH_bridge.json"
         payload = run_bridge_snapshot(args.messages)

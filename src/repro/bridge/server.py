@@ -54,6 +54,7 @@ from repro.msg.fields import ComplexType
 from repro.msg.generator import generate_message_class
 from repro.msg.registry import TypeRegistry, UnknownTypeError, default_registry
 from repro.msg.srv import default_service_registry, service_type
+from repro.obs import instrument as obs_instrument
 from repro.ros.codecs import codec_for_class
 from repro.sfm.generator import generate_sfm_class
 from repro.sfm.message import SFMMessage
@@ -532,6 +533,7 @@ class BridgeServer:
             name=f"bridge-accept:{self.port}",
         )
         self._accept_thread.start()
+        obs_instrument.track_bridge(self)
 
     @property
     def uri(self) -> str:
@@ -776,33 +778,39 @@ class BridgeServer:
             response_op["values"] = {"error": str(exc)}
         session.enqueue_op(response_op)
 
-    def _op_stats(self, session, op) -> None:
+    def stats_snapshot(self) -> dict:
+        """One consistent public view of the gateway: client count,
+        every subscription's counters, advertisements and inbound link
+        errors.  Serves both the ``stats`` wire op and the metrics
+        collectors."""
         with self._lock:
-            subs = [
-                sub.describe()
-                for sess in self._sessions
-                for sub in sess.subscriptions.values()
-            ]
-            advs = [
-                {"topic": adv.topic, "type": adv.spelling, "chan": adv.chan,
-                 "published": adv.published}
-                for adv in self._advertisements.values()
-            ]
-            link_errors = {
-                tap.topic: {
-                    uri: str(error)
-                    for uri, error in tap.subscriber.link_errors.items()
-                }
-                for tap in self._taps.values()
-                if tap.subscriber.link_errors
+            return {
+                "clients": len(self._sessions),
+                "subscriptions": [
+                    sub.describe()
+                    for sess in self._sessions
+                    for sub in sess.subscriptions.values()
+                ],
+                "advertisements": [
+                    {"topic": adv.topic, "type": adv.spelling,
+                     "chan": adv.chan, "published": adv.published}
+                    for adv in self._advertisements.values()
+                ],
+                "link_errors": {
+                    tap.topic: {
+                        uri: str(error)
+                        for uri, error in tap.subscriber.link_errors.items()
+                    }
+                    for tap in self._taps.values()
+                    if tap.subscriber.link_errors
+                },
             }
-        session.enqueue_op({
-            "op": "stats", "id": op.get("id"),
-            "clients": len(self._sessions),
-            "subscriptions": subs,
-            "advertisements": advs,
-            "link_errors": link_errors,
-        })
+
+    def _op_stats(self, session, op) -> None:
+        stats = self.stats_snapshot()
+        stats["op"] = "stats"
+        stats["id"] = op.get("id")
+        session.enqueue_op(stats)
 
     # ------------------------------------------------------------------
     # Shutdown

@@ -1,0 +1,54 @@
+"""repro.obs: runtime observability for the whole middleware.
+
+The paper's argument is a cost model -- where serialization, copy and
+transport time go per message.  This package makes those costs visible on
+a *running* graph instead of only in offline benchmark scripts:
+
+- :mod:`repro.obs.metrics` -- a thread-safe registry of counters, gauges
+  and fixed-bucket histograms with a Prometheus text renderer, designed
+  for negligible hot-path overhead;
+- :mod:`repro.obs.trace` -- per-message trace ids piggybacked on the
+  connection/frame headers, recording publish/send/recv/decode/callback
+  spans and exporting Chrome ``trace_event`` JSON;
+- :mod:`repro.obs.instrument` -- scrape-time collectors that walk the
+  live publishers/subscribers/bridges and the SFM message manager, so
+  the hot paths pay plain attribute increments only;
+- :mod:`repro.obs.export` -- an HTTP ``/metrics`` (+ ``/trace.json``)
+  endpoint;
+- :mod:`repro.obs.statistics` -- a periodic ``/statistics`` topic in the
+  miniros graph;
+- :mod:`repro.obs.top` -- the ``tools top`` live terminal view.
+
+One kill switch governs everything: :func:`set_enabled` (or the
+``REPRO_OBS=0`` environment variable) turns the registry instruments into
+no-ops and stops new connections from negotiating the traced wire
+prefix.
+"""
+
+from __future__ import annotations
+
+from repro.obs import instrument, metrics, trace  # noqa: F401  (collectors register)
+from repro.obs.metrics import global_registry
+from repro.obs.trace import tracer
+
+
+def set_enabled(on: bool) -> None:
+    """Enable/disable all hot-path instrumentation (registry instruments
+    become no-ops; *new* connections skip the traced wire prefix)."""
+    global_registry.enabled = bool(on)
+
+
+def enabled() -> bool:
+    """Whether hot-path instrumentation is currently on."""
+    return global_registry.enabled
+
+
+__all__ = [
+    "enabled",
+    "global_registry",
+    "instrument",
+    "metrics",
+    "set_enabled",
+    "trace",
+    "tracer",
+]

@@ -1,0 +1,96 @@
+"""HTTP surfacing of the metrics registry and the tracer.
+
+A tiny stdlib HTTP server (no new dependencies) exposing:
+
+- ``/metrics``    -- the Prometheus text exposition (collectors run per
+  scrape);
+- ``/trace.json`` -- the tracer's current window as Chrome
+  ``trace_event`` JSON (load at ``chrome://tracing``);
+- ``/healthz``    -- liveness probe.
+
+Usage::
+
+    from repro.obs.export import MetricsServer
+    server = MetricsServer()          # 127.0.0.1, ephemeral port
+    print(server.url)                 # http://127.0.0.1:PORT
+    ...
+    server.close()
+"""
+
+from __future__ import annotations
+
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional
+
+from repro.obs import metrics, trace
+
+CONTENT_TYPE_METRICS = "text/plain; version=0.0.4; charset=utf-8"
+
+
+class MetricsServer:
+    """Serves ``/metrics``, ``/trace.json`` and ``/healthz``."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        registry: Optional[metrics.Registry] = None,
+        tracer: Optional[trace.Tracer] = None,
+    ) -> None:
+        self.registry = registry or metrics.global_registry
+        self.tracer = tracer or trace.tracer
+        owner = self
+
+        class _Handler(BaseHTTPRequestHandler):
+            def do_GET(self) -> None:
+                path = self.path.split("?", 1)[0]
+                if path == "/metrics":
+                    self._reply(200, CONTENT_TYPE_METRICS,
+                                owner.registry.render())
+                elif path == "/trace.json":
+                    self._reply(200, "application/json",
+                                owner.tracer.export_json())
+                elif path == "/healthz":
+                    self._reply(200, "text/plain; charset=utf-8", "ok\n")
+                else:
+                    self._reply(404, "text/plain; charset=utf-8",
+                                "not found\n")
+
+            def _reply(self, status: int, content_type: str,
+                       body: str) -> None:
+                encoded = body.encode("utf-8")
+                self.send_response(status)
+                self.send_header("Content-Type", content_type)
+                self.send_header("Content-Length", str(len(encoded)))
+                self.end_headers()
+                self.wfile.write(encoded)
+
+            def log_message(self, *_args) -> None:
+                pass  # scrapes are not worth a stderr line each
+
+        self._httpd = ThreadingHTTPServer((host, port), _Handler)
+        self._httpd.daemon_threads = True
+        self.host, self.port = self._httpd.server_address[:2]
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            kwargs={"poll_interval": 0.1},
+            daemon=True,
+            name=f"obs-metrics:{self.port}",
+        )
+        self._thread.start()
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def close(self) -> None:
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        self._thread.join(timeout=2.0)
+
+    def __enter__(self) -> "MetricsServer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

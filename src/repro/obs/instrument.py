@@ -1,0 +1,264 @@
+"""Instrument definitions and scrape-time collectors.
+
+Two tiers, matching the hot-path contract of :mod:`repro.obs.metrics`:
+
+- **Hot-path instruments** (the latency histogram, the intra-process
+  delivery counter) are observed per message from cached label children --
+  one flag check + one lock + one add.
+- **Everything else** is *collector-populated*: publishers, subscribers
+  and bridge servers register themselves in weak sets
+  (:func:`track_publisher` & co.) and already maintain plain integer
+  attributes for their own introspection (``published_count``,
+  ``wire_bytes``, ...).  At scrape time the collector walks the live
+  objects, calls their public ``stats()`` / ``stats_snapshot()`` /
+  ``snapshot()`` APIs and rewrites the families.  The hot paths never see
+  the registry at all for these.
+
+Families are cleared and repopulated on each scrape, so cells belonging
+to dead objects vanish from the exposition instead of flat-lining.
+"""
+
+from __future__ import annotations
+
+import threading
+import weakref
+
+from repro.obs.metrics import global_registry
+
+# ----------------------------------------------------------------------
+# Hot-path instruments (updated per message by the topic layer)
+# ----------------------------------------------------------------------
+pubsub_latency = global_registry.histogram(
+    "miniros_pubsub_latency_seconds",
+    "Publish-to-callback latency per topic (needs the traced wire prefix).",
+    labels=("topic",),
+)
+
+intraprocess_deliveries = global_registry.counter(
+    "miniros_intraprocess_deliveries_total",
+    "Messages handed over by reference on the intra-process bus.",
+)
+
+
+def latency_child(topic: str):
+    """The cached per-topic latency cell (resolve once per subscriber,
+    observe per message)."""
+    return pubsub_latency.labels(topic=topic)
+
+
+# ----------------------------------------------------------------------
+# Collector-populated families
+# ----------------------------------------------------------------------
+published_messages = global_registry.counter(
+    "miniros_published_messages_total",
+    "Messages published per topic.", labels=("topic",),
+)
+published_bytes = global_registry.counter(
+    "miniros_published_bytes_total",
+    "Encoded payload bytes published per topic.", labels=("topic",),
+)
+publish_drops = global_registry.counter(
+    "miniros_publish_drops_total",
+    "Deliveries dropped by publisher queue overflow or slot reclaim.",
+    labels=("topic",),
+)
+publisher_links = global_registry.gauge(
+    "miniros_publisher_links",
+    "Connected subscriber links per advertised topic.", labels=("topic",),
+)
+publisher_queue_depth = global_registry.gauge(
+    "miniros_publisher_queue_depth",
+    "Queued outbound deliveries across a topic's links.", labels=("topic",),
+)
+received_messages = global_registry.counter(
+    "miniros_received_messages_total",
+    "Messages delivered to subscriber callbacks per topic.",
+    labels=("topic",),
+)
+subscriber_links = global_registry.gauge(
+    "miniros_subscriber_links",
+    "Connected publisher links per subscribed topic.", labels=("topic",),
+)
+subscriber_stale_drops = global_registry.counter(
+    "miniros_subscriber_stale_drops_total",
+    "SHMROS slot notifications skipped because the slot was reclaimed.",
+    labels=("topic",),
+)
+
+sfm_live_records = global_registry.gauge(
+    "miniros_sfm_live_records",
+    "Live serialization-free message records in the global manager.",
+)
+sfm_live_bytes = global_registry.gauge(
+    "miniros_sfm_live_bytes", "Bytes used by live SFM messages.",
+)
+sfm_pool_buffers = global_registry.gauge(
+    "miniros_sfm_pool_buffers", "Recycled buffers shelved in the pool.",
+)
+sfm_pool_bytes = global_registry.gauge(
+    "miniros_sfm_pool_bytes", "Bytes held by the recycling pool.",
+)
+sfm_events = global_registry.counter(
+    "miniros_sfm_events_total",
+    "Lifetime SFM manager events (allocated, adopted, expansions, "
+    "pool_hits, ...).",
+    labels=("event",),
+)
+
+bridge_clients = global_registry.gauge(
+    "miniros_bridge_clients", "Connected bridge gateway clients.",
+)
+bridge_published = global_registry.counter(
+    "miniros_bridge_published_total",
+    "Messages published into the graph via the bridge, per topic.",
+    labels=("topic",),
+)
+bridge_sub_sent = global_registry.counter(
+    "miniros_bridge_subscription_sent_total",
+    "Bridge deliveries written to external clients.",
+    labels=("topic", "codec"),
+)
+bridge_sub_wire_bytes = global_registry.counter(
+    "miniros_bridge_subscription_wire_bytes_total",
+    "Bytes written to external clients per (topic, codec).",
+    labels=("topic", "codec"),
+)
+bridge_sub_dropped = global_registry.counter(
+    "miniros_bridge_subscription_dropped_total",
+    "Bridge deliveries dropped by per-subscription queue bounds.",
+    labels=("topic", "codec"),
+)
+
+# ----------------------------------------------------------------------
+# Live-object tracking
+# ----------------------------------------------------------------------
+_tracked_lock = threading.Lock()
+_publishers: "weakref.WeakSet" = weakref.WeakSet()
+_subscribers: "weakref.WeakSet" = weakref.WeakSet()
+_bridges: "weakref.WeakSet" = weakref.WeakSet()
+
+
+def track_publisher(publisher) -> None:
+    with _tracked_lock:
+        _publishers.add(publisher)
+
+
+def track_subscriber(subscriber) -> None:
+    with _tracked_lock:
+        _subscribers.add(subscriber)
+
+
+def track_bridge(bridge) -> None:
+    with _tracked_lock:
+        _bridges.add(bridge)
+
+
+def _tracked(pool: "weakref.WeakSet") -> list:
+    with _tracked_lock:
+        return list(pool)
+
+
+# ----------------------------------------------------------------------
+# The collector
+# ----------------------------------------------------------------------
+def _add(totals: dict, key, amount) -> None:
+    totals[key] = totals.get(key, 0) + amount
+
+
+def _collect_pubsub() -> None:
+    for family in (published_messages, published_bytes, publish_drops,
+                   publisher_links, publisher_queue_depth,
+                   received_messages, subscriber_links,
+                   subscriber_stale_drops):
+        family.clear()
+    msgs: dict = {}
+    nbytes: dict = {}
+    drops: dict = {}
+    links: dict = {}
+    depth: dict = {}
+    for publisher in _tracked(_publishers):
+        stats = publisher.stats()
+        topic = stats["topic"]
+        _add(msgs, topic, stats["messages"])
+        _add(nbytes, topic, stats["bytes"])
+        _add(drops, topic, stats["drops"])
+        _add(links, topic, stats["connections"])
+        _add(depth, topic, stats["queue_depth"])
+    for topic, value in msgs.items():
+        published_messages.labels(topic=topic).set_total(value)
+        published_bytes.labels(topic=topic).set_total(nbytes[topic])
+        publish_drops.labels(topic=topic).set_total(drops[topic])
+        publisher_links.labels(topic=topic).set(links[topic])
+        publisher_queue_depth.labels(topic=topic).set(depth[topic])
+    received: dict = {}
+    sub_links: dict = {}
+    stale: dict = {}
+    for subscriber in _tracked(_subscribers):
+        stats = subscriber.stats()
+        topic = stats["topic"]
+        _add(received, topic, stats["messages"])
+        _add(sub_links, topic, stats["connections"])
+        _add(stale, topic, stats["stale_drops"])
+    for topic, value in received.items():
+        received_messages.labels(topic=topic).set_total(value)
+        subscriber_links.labels(topic=topic).set(sub_links[topic])
+        subscriber_stale_drops.labels(topic=topic).set_total(stale[topic])
+
+
+def _collect_sfm() -> None:
+    from repro.sfm.manager import global_message_manager
+
+    snap = global_message_manager.snapshot()
+    sfm_live_records.set(snap["live_records"])
+    sfm_live_bytes.set(snap["live_bytes"])
+    sfm_pool_buffers.set(snap["pool_buffers"])
+    sfm_pool_bytes.set(snap["pool_bytes"])
+    sfm_events.clear()
+    for event, value in snap["counters"].items():
+        sfm_events.labels(event=event).set_total(value)
+
+
+def _collect_bridges() -> None:
+    for family in (bridge_published, bridge_sub_sent,
+                   bridge_sub_wire_bytes, bridge_sub_dropped):
+        family.clear()
+    clients = 0
+    published: dict = {}
+    sent: dict = {}
+    wire: dict = {}
+    dropped: dict = {}
+    for bridge in _tracked(_bridges):
+        snap = bridge.stats_snapshot()
+        clients += snap["clients"]
+        for adv in snap["advertisements"]:
+            _add(published, adv["topic"], adv["published"])
+        for sub in snap["subscriptions"]:
+            key = (sub["topic"], sub["codec"])
+            _add(sent, key, sub["sent"])
+            _add(wire, key, sub["wire_bytes"])
+            _add(dropped, key, sub["dropped"])
+    bridge_clients.set(clients)
+    for topic, value in published.items():
+        bridge_published.labels(topic=topic).set_total(value)
+    for (topic, codec), value in sent.items():
+        bridge_sub_sent.labels(topic=topic, codec=codec).set_total(value)
+        bridge_sub_wire_bytes.labels(
+            topic=topic, codec=codec
+        ).set_total(wire[(topic, codec)])
+        bridge_sub_dropped.labels(
+            topic=topic, codec=codec
+        ).set_total(dropped[(topic, codec)])
+
+
+def collect_all() -> None:
+    """One scrape's worth of collection (registered on the global
+    registry; each part is isolated so one failure cannot hide the
+    others)."""
+    for part in (_collect_pubsub, _collect_sfm, _collect_bridges):
+        try:
+            part()
+        except Exception:
+            pass
+
+
+global_registry.register_collector(collect_all)

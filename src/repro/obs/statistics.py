@@ -1,0 +1,87 @@
+"""The ``/statistics`` topic: periodic in-graph observability.
+
+Publishes a ``std_msgs/String`` carrying a JSON document with the owning
+node's per-topic counters (:meth:`NodeHandle.topic_stats`) and the global
+SFM manager snapshot -- so any graph participant (or ``tools top``) can
+watch a node's health without an HTTP side channel, mirroring ROS's
+``/statistics`` convention.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+
+
+def statistics_document(node) -> dict:
+    """One sample: the node's topic stats plus the SFM manager state."""
+    from repro.sfm.manager import global_message_manager
+
+    doc = node.topic_stats()
+    doc["stamp"] = time.time()
+    snap = global_message_manager.snapshot()
+    doc["sfm"] = {
+        "live_records": snap["live_records"],
+        "live_bytes": snap["live_bytes"],
+        "pool_buffers": snap["pool_buffers"],
+        "pool_bytes": snap["pool_bytes"],
+        "counters": snap["counters"],
+    }
+    return doc
+
+
+class StatisticsPublisher:
+    """Periodically publishes a node's statistics document.
+
+    The publisher thread wakes every ``interval`` seconds; ``close()``
+    stops it and unadvertises.  ``publish_once()`` is exposed for tests
+    and manual sampling.
+    """
+
+    def __init__(self, node, topic: str = "/statistics",
+                 interval: float = 1.0) -> None:
+        from repro.msg.library import String
+
+        self.node = node
+        self.topic = topic
+        self.interval = interval
+        self.publisher = node.advertise(topic, String, queue_size=10)
+        self._msg_class = String
+        self._stop = threading.Event()
+        self._thread = threading.Thread(
+            target=self._run, daemon=True,
+            name=f"obs-stats:{node.name}",
+        )
+        self._thread.start()
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval):
+            try:
+                self.publish_once()
+            except Exception:
+                # A transient publish failure (node shutting down) must
+                # not kill the sampling thread.
+                if self._stop.is_set():
+                    return
+
+    def publish_once(self) -> dict:
+        doc = statistics_document(self.node)
+        msg = self._msg_class()
+        msg.data = json.dumps(doc, separators=(",", ":"))
+        self.publisher.publish(msg)
+        return doc
+
+    def close(self) -> None:
+        self._stop.set()
+        self._thread.join(timeout=2.0)
+        try:
+            self.publisher.unadvertise()
+        except Exception:
+            pass
+
+    def __enter__(self) -> "StatisticsPublisher":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -308,6 +308,24 @@ class NodeHandle:
             raise NodeShutdownError(f"node {self.name} is shut down")
 
     # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def topic_stats(self) -> dict:
+        """Per-topic counters for every publisher and subscriber this
+        node owns (the document behind ``/statistics`` and the metrics
+        collectors)."""
+        with self._lock:
+            publishers = list(self._publishers.values())
+            subscribers = [
+                sub for subs in self._subscribers.values() for sub in subs
+            ]
+        return {
+            "node": self.name,
+            "publishers": [pub.stats() for pub in publishers],
+            "subscribers": [sub.stats() for sub in subscribers],
+        }
+
+    # ------------------------------------------------------------------
     # Shutdown
     # ------------------------------------------------------------------
     def shutdown(self) -> None:

@@ -8,10 +8,14 @@ Usage::
     python -m repro.ros.tools topic echo  --master URI /camera/image TYPE -n 3
     python -m repro.ros.tools param get|set|list --master URI [KEY [VALUE]]
     python -m repro.ros.tools bag info PATH.bag
+    python -m repro.ros.tools bag record /chatter=std_msgs/String \
+        --master URI --out out.bag --duration 5
+    python -m repro.ros.tools bag play out.bag --master URI --rate 1.0
+    python -m repro.ros.tools top --master URI --interval 1.0
     python -m repro.ros.tools check FILE.py [FILE2.py ...]   # ROS-SF Converter
     python -m repro.ros.tools msg show sensor_msgs/Image
     python -m repro.ros.tools sfm stats
-    python -m repro.ros.tools bridge --master URI --port 9090
+    python -m repro.ros.tools bridge --master URI --port 9090 --metrics-port 9091
 
 Message types are given as full names (``sensor_msgs/Image``); append
 ``@sfm`` to subscribe with the serialization-free class
@@ -122,7 +126,7 @@ def cmd_param(args) -> int:
     raise SystemExit(f"unknown param action {args.action!r}")
 
 
-def cmd_bag(args) -> int:
+def cmd_bag_info(args) -> int:
     from repro.ros.bag import BagReader
 
     reader = BagReader(args.path)
@@ -133,6 +137,84 @@ def cmd_bag(args) -> int:
         count = len(reader.messages(topic))
         print(f"  {topic:<30} {count:>6} msgs  {connection.type_name} "
               f"[{connection.format_name}] md5={connection.md5sum[:8]}")
+    return 0
+
+
+def _parse_topic_specs(specs: list) -> list:
+    """``TOPIC=TYPE`` pairs -> ``[(topic, msg_class), ...]``."""
+    out = []
+    for spec in specs:
+        topic, sep, spelling = spec.partition("=")
+        if not sep or not topic or not spelling:
+            raise SystemExit(
+                f"bad topic spec {spec!r} (expected TOPIC=TYPE, e.g. "
+                "/camera/image=sensor_msgs/Image@sfm)"
+            )
+        out.append((topic, _resolve_class(spelling)))
+    return out
+
+
+def cmd_bag_record(args) -> int:
+    import time
+
+    from repro.ros.bag import BagRecorder, BagWriter
+
+    subscriptions = _parse_topic_specs(args.topics)
+    node = _make_node(args.master)
+    writer = BagWriter(args.out)
+    recorder = BagRecorder(node, writer)
+    try:
+        for topic, msg_class in subscriptions:
+            recorder.record(topic, msg_class)
+        print(f"recording {len(subscriptions)} topic(s) to {args.out} "
+              f"for {args.duration:.1f}s", flush=True)
+        time.sleep(args.duration)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        recorder.stop()
+        writer.close()
+        node.shutdown()
+    print(f"recorded {writer.message_count} message(s)")
+    return 0
+
+
+def cmd_bag_play(args) -> int:
+    import time
+
+    from repro.ros.bag import BagReader, play
+
+    reader = BagReader(args.path)
+    node = _make_node(args.master)
+    try:
+        published = play(
+            reader, node, rate=args.rate,
+            wait_for_subscribers=args.wait_subs,
+        )
+        # Let the per-link send queues drain before tearing the node
+        # down, or the tail of a fast (rate=0) replay never hits the
+        # wire.
+        deadline = time.monotonic() + 5.0
+        while time.monotonic() < deadline:
+            depth = sum(
+                stats["queue_depth"]
+                for stats in node.topic_stats()["publishers"]
+            )
+            if depth == 0:
+                break
+            time.sleep(0.02)
+    finally:
+        node.shutdown()
+    print(f"played {published} message(s) from {args.path}")
+    return 0
+
+
+def cmd_top(args) -> int:
+    """Live per-topic rate/bandwidth table plus SFM manager state."""
+    from repro.obs.top import TopMonitor
+
+    with TopMonitor(args.master) as monitor:
+        monitor.run(iterations=args.count, interval=args.interval)
     return 0
 
 
@@ -185,6 +267,12 @@ def cmd_bridge(args) -> int:
     server = BridgeServer(
         args.master, host=args.host, port=args.port, node_name=args.name
     )
+    metrics = None
+    if args.metrics_port is not None:
+        from repro.obs.export import MetricsServer
+
+        metrics = MetricsServer(host=args.host, port=args.metrics_port)
+        print(f"metrics at {metrics.url}/metrics", flush=True)
     print(f"bridge listening on {server.host}:{server.port} "
           f"(graph master {args.master})", flush=True)
     try:
@@ -193,6 +281,8 @@ def cmd_bridge(args) -> int:
     except KeyboardInterrupt:
         return 0
     finally:
+        if metrics is not None:
+            metrics.close()
         server.shutdown()
 
 
@@ -222,10 +312,53 @@ def build_parser() -> argparse.ArgumentParser:
     param.add_argument("--master", required=True)
     param.set_defaults(func=cmd_param)
 
-    bag = sub.add_parser("bag", help="bag file inspection")
-    bag.add_argument("action", choices=["info"])
-    bag.add_argument("path")
-    bag.set_defaults(func=cmd_bag)
+    bag = sub.add_parser("bag", help="bag recording, playback, inspection")
+    bag_sub = bag.add_subparsers(dest="action", required=True)
+
+    bag_info = bag_sub.add_parser("info", help="summarize a bag file")
+    bag_info.add_argument("path")
+    bag_info.set_defaults(func=cmd_bag_info)
+
+    bag_record = bag_sub.add_parser(
+        "record", help="subscribe and record topics to a bag"
+    )
+    bag_record.add_argument(
+        "topics", nargs="+", metavar="TOPIC=TYPE",
+        help="e.g. /camera/image=sensor_msgs/Image@sfm",
+    )
+    bag_record.add_argument("--master", required=True)
+    bag_record.add_argument("--out", "-o", required=True, help="bag path")
+    bag_record.add_argument(
+        "--duration", type=float, default=5.0,
+        help="seconds to record before stopping",
+    )
+    bag_record.set_defaults(func=cmd_bag_record)
+
+    bag_play = bag_sub.add_parser(
+        "play", help="republish a bag into a live graph"
+    )
+    bag_play.add_argument("path")
+    bag_play.add_argument("--master", required=True)
+    bag_play.add_argument(
+        "--rate", type=float, default=1.0,
+        help="time scale (0 = as fast as possible)",
+    )
+    bag_play.add_argument(
+        "--wait-subs", type=float, default=0.0,
+        help="seconds to wait for one subscriber per topic",
+    )
+    bag_play.set_defaults(func=cmd_bag_play)
+
+    top = sub.add_parser(
+        "top", help="live per-topic rate/bandwidth monitor (repro.obs)"
+    )
+    top.add_argument("--master", required=True)
+    top.add_argument(
+        "-n", "--count", type=int, default=0,
+        help="iterations before exiting (0 = run until interrupted)",
+    )
+    top.add_argument("--interval", type=float, default=1.0)
+    top.set_defaults(func=cmd_top)
 
     check = sub.add_parser(
         "check", help="ROS-SF Converter: check sources for the three "
@@ -250,6 +383,10 @@ def build_parser() -> argparse.ArgumentParser:
     bridge.add_argument("--host", default="127.0.0.1")
     bridge.add_argument("--port", type=int, default=9090)
     bridge.add_argument("--name", default="rossf_bridge")
+    bridge.add_argument(
+        "--metrics-port", type=int, default=None,
+        help="also serve Prometheus /metrics on this port",
+    )
     bridge.set_defaults(func=cmd_bridge)
 
     return parser

@@ -23,6 +23,10 @@ import xmlrpc.client
 from collections import deque
 from typing import Callable, Optional
 
+from repro.obs import instrument as obs_instrument
+from repro.obs import trace as obs_trace
+from repro.obs.metrics import global_registry as obs_registry
+from repro.obs.trace import tracer
 from repro.ros.codecs import codec_for_class, type_info_for_class
 from repro.ros.exceptions import TopicTypeMismatch
 from repro.ros.transport import shm, tcpros
@@ -32,12 +36,22 @@ from repro.sfm.manager import MessageState
 
 class _Outgoing:
     """One encoded payload shared by all links; releases the codec's
-    payload hook when every link is done with it."""
+    payload hook when every link is done with it.
 
-    __slots__ = ("payload", "_remaining", "_release", "_lock")
+    ``trace_id``/``pub_ns`` are the message's observability identity:
+    zero when untraced, otherwise carried on the wire by traced links so
+    the subscriber can stamp receive-side spans and the latency
+    histogram against the publish instant.
+    """
 
-    def __init__(self, payload, fanout: int, release) -> None:
+    __slots__ = ("payload", "trace_id", "pub_ns", "_remaining", "_release",
+                 "_lock")
+
+    def __init__(self, payload, fanout: int, release,
+                 trace_id: int = 0, pub_ns: int = 0) -> None:
         self.payload = payload
+        self.trace_id = trace_id
+        self.pub_ns = pub_ns
         self._remaining = fanout
         self._release = release
         self._lock = threading.Lock()
@@ -55,14 +69,22 @@ class _OutboundLink:
 
     is_shm = False
 
-    def __init__(self, publisher: "Publisher", sock, subscriber_id: str) -> None:
+    def __init__(
+        self, publisher: "Publisher", sock, subscriber_id: str,
+        traced: bool = False,
+    ) -> None:
         self.publisher = publisher
         self.sock = sock
         self.subscriber_id = subscriber_id
+        #: Both ends negotiated ``trace=1``: every frame carries the
+        #: 16-byte observability prefix (zeros for untraced messages).
+        self.traced = traced
         self._queue: deque[_Outgoing] = deque()
         self._condition = threading.Condition()
         self._closed = False
         self.dropped = 0
+        self.sent_count = 0
+        self.sent_bytes = 0
         self._thread = threading.Thread(
             target=self._send_loop,
             daemon=True,
@@ -82,8 +104,13 @@ class _OutboundLink:
                 oldest = self._queue.popleft()
                 oldest.done()
                 self.dropped += 1
+                self.publisher.dropped_count += 1
             self._queue.append(outgoing)
             self._condition.notify()
+
+    def queue_depth(self) -> int:
+        with self._condition:
+            return len(self._queue)
 
     def _send_loop(self) -> None:
         while True:
@@ -93,13 +120,30 @@ class _OutboundLink:
                 if self._closed and not self._queue:
                     return
                 outgoing = self._queue.popleft()
+            size = len(outgoing.payload)
+            trace_id = outgoing.trace_id
             try:
-                tcpros.write_frame(self.sock, outgoing.payload)
+                if self.traced:
+                    start_ns = time.monotonic_ns() if trace_id else 0
+                    tcpros.write_traced_frame(
+                        self.sock, outgoing.payload, trace_id,
+                        outgoing.pub_ns,
+                    )
+                    if trace_id:
+                        tracer.record(
+                            "send", trace_id, start_ns, time.monotonic_ns(),
+                            topic=self.publisher.topic, transport="TCPROS",
+                            bytes=size,
+                        )
+                else:
+                    tcpros.write_frame(self.sock, outgoing.payload)
             except OSError:
                 outgoing.done()
                 self._shutdown_from_error()
                 return
             outgoing.done()
+            self.sent_count += 1
+            self.sent_bytes += size
 
     def _shutdown_from_error(self) -> None:
         self.close()
@@ -148,6 +192,8 @@ class _ShmOutboundLink:
         self._condition = threading.Condition()
         self._closed = False
         self.dropped = 0
+        self.sent_count = 0
+        self.sent_bytes = 0
         self._send_thread = threading.Thread(
             target=self._send_loop,
             daemon=True,
@@ -169,8 +215,11 @@ class _ShmOutboundLink:
         the doorbell socket, TCPROS-framed inside a control frame."""
         self._enqueue(("inline", outgoing))
 
-    def enqueue_slot(self, ring, slot: int, seq: int, size: int) -> None:
-        self._enqueue(("slot", ring, slot, seq, size))
+    def enqueue_slot(
+        self, ring, slot: int, seq: int, size: int,
+        trace_id: int = 0, pub_ns: int = 0,
+    ) -> None:
+        self._enqueue(("slot", ring, slot, seq, size, trace_id, pub_ns))
 
     def enqueue_reseg(self, ring) -> None:
         self._enqueue(("reseg", ring))
@@ -194,14 +243,19 @@ class _ShmOutboundLink:
                         del self._queue[index]
                         self._discard(candidate)
                         self.dropped += 1
+                        self.publisher.dropped_count += 1
                         break
             self._queue.append(item)
             self._condition.notify()
 
+    def queue_depth(self) -> int:
+        with self._condition:
+            return len(self._queue)
+
     def _discard(self, item: tuple) -> None:
         """Release whatever the queued entry was holding."""
         if item[0] == "slot":
-            _kind, ring, slot, seq, _size = item
+            ring, slot, seq = item[1], item[2], item[3]
             ring.release(slot, seq, self)
         elif item[0] == "inline":
             item[1].done()
@@ -210,6 +264,7 @@ class _ShmOutboundLink:
         """The ring forcibly reclaimed a slot this subscriber had not yet
         acknowledged (ring full, subscriber too slow)."""
         self.dropped += 1
+        self.publisher.dropped_count += 1
 
     # ------------------------------------------------------------------
     # Doorbell I/O
@@ -224,12 +279,37 @@ class _ShmOutboundLink:
                 item = self._queue.popleft()
             try:
                 if item[0] == "slot":
-                    _kind, _ring, slot, seq, size = item
-                    shm.send_slot_frame(self.sock, slot, seq, size)
+                    _kind, _ring, slot, seq, size, trace_id, pub_ns = item
+                    start_ns = time.monotonic_ns() if trace_id else 0
+                    shm.send_slot_frame(
+                        self.sock, slot, seq, size, trace_id, pub_ns
+                    )
+                    if trace_id:
+                        tracer.record(
+                            "send", trace_id, start_ns, time.monotonic_ns(),
+                            topic=self.publisher.topic, transport="SHMROS",
+                            bytes=size,
+                        )
+                    self.sent_count += 1
+                    self.sent_bytes += size
                 elif item[0] == "inline":
                     outgoing = item[1]
-                    shm.send_inline_frame(self.sock, outgoing.payload)
+                    size = len(outgoing.payload)
+                    trace_id = outgoing.trace_id
+                    start_ns = time.monotonic_ns() if trace_id else 0
+                    shm.send_inline_frame(
+                        self.sock, outgoing.payload, trace_id,
+                        outgoing.pub_ns,
+                    )
+                    if trace_id:
+                        tracer.record(
+                            "send", trace_id, start_ns, time.monotonic_ns(),
+                            topic=self.publisher.topic,
+                            transport="SHMROS-inline", bytes=size,
+                        )
                     outgoing.done()
+                    self.sent_count += 1
+                    self.sent_bytes += size
                 else:  # reseg
                     ring = item[1]
                     shm.send_reseg_frame(
@@ -300,6 +380,11 @@ class Publisher:
         #: receive it on connect (map_server-style semantics).
         self._latched_payload: bytes | None = None
         self.published_count = 0
+        self.bytes_published = 0
+        #: Lifetime deliveries dropped on this topic (queue overflow and
+        #: forced slot reclaims), kept here so the total survives link
+        #: disconnects.
+        self.dropped_count = 0
         # --- SHMROS state -------------------------------------------------
         self._shm_enabled = (
             getattr(node, "shmros", True)
@@ -316,6 +401,7 @@ class Publisher:
         self._shm_seq = itertools.count(1).__next__
         if intraprocess:
             local_bus.register_publisher(self)
+        obs_instrument.track_publisher(self)
 
     # ------------------------------------------------------------------
     # Publishing
@@ -334,7 +420,16 @@ class Publisher:
             links = list(self._links)
         if not links and not self.latch:
             return
+        # Observability identity: a trace id when a trace window is open
+        # (one attribute check otherwise) and the publish instant, read
+        # only when someone will consume it -- traced links forward it
+        # for the publish-to-callback latency histogram.
+        trace_id = tracer.new_trace_id()
+        pub_ns = (
+            time.monotonic_ns() if (trace_id or obs_registry.enabled) else 0
+        )
         payload, release = self.codec.encode(msg)
+        self.bytes_published += len(payload)
         if self.latch:
             # Keep a private copy: the original payload (e.g. an SFM
             # buffer) is released once every link has sent it.  Already-
@@ -355,7 +450,7 @@ class Publisher:
         fanout = len(tcp_links) + (
             1 if ticket is not None else len(shm_links)
         )
-        outgoing = _Outgoing(payload, fanout, release)
+        outgoing = _Outgoing(payload, fanout, release, trace_id, pub_ns)
         if shm_links:
             if ticket is not None:
                 ring, slot, seq, size = ticket
@@ -363,7 +458,7 @@ class Publisher:
                     if link.ring is not ring:
                         link.enqueue_reseg(ring)
                         link.ring = ring
-                    link.enqueue_slot(ring, slot, seq, size)
+                    link.enqueue_slot(ring, slot, seq, size, trace_id, pub_ns)
                 outgoing.done()  # the SHM fan-out's shared reference
             else:
                 # Shared memory unavailable (or the write failed): the
@@ -372,6 +467,11 @@ class Publisher:
                     link.enqueue(outgoing)
         for link in tcp_links:
             link.enqueue(outgoing)
+        if trace_id:
+            tracer.record(
+                "publish", trace_id, pub_ns, time.monotonic_ns(),
+                topic=self.topic, bytes=len(payload), fanout=len(links),
+            )
 
     # ------------------------------------------------------------------
     # Connection management (called by the node's data server)
@@ -398,6 +498,13 @@ class Publisher:
             reply["shm_segment"] = ring.name
             reply["shm_slots"] = str(ring.slot_count)
             reply["shm_slot_bytes"] = str(ring.slot_bytes)
+        # Trace negotiation: the subscriber asks with ``trace=1``; the
+        # confirmation commits this connection to the 16-byte framed
+        # prefix.  SHMROS doorbell frames carry the fields natively, so
+        # only the plain-TCPROS link changes its framing.
+        traced = header.get("trace") == "1" and obs_trace.wire_enabled()
+        if traced:
+            reply["trace"] = "1"
         try:
             tcpros.write_frame(sock, tcpros.encode_header(reply))
         except OSError:
@@ -408,7 +515,9 @@ class Publisher:
                 self, sock, header.get("callerid", "?"), ring=ring
             )
         else:
-            link = _OutboundLink(self, sock, header.get("callerid", "?"))
+            link = _OutboundLink(
+                self, sock, header.get("callerid", "?"), traced=traced
+            )
         with self._links_lock:
             self._links.append(link)
             latched = self._latched_payload
@@ -539,6 +648,23 @@ class Publisher:
         with self._links_lock:
             return len(self._links)
 
+    def stats(self) -> dict:
+        """A point-in-time counter snapshot (the observability layer's
+        public window onto this publisher)."""
+        with self._links_lock:
+            links = list(self._links)
+        return {
+            "topic": self.topic,
+            "type": self.type_name,
+            "format": self.codec.format_name,
+            "messages": self.published_count,
+            "bytes": self.bytes_published,
+            "drops": self.dropped_count,
+            "connections": len(links),
+            "queue_depth": sum(link.queue_depth() for link in links),
+            "latched": self.latch,
+        }
+
     def wait_for_subscribers(self, count: int = 1, timeout: float = 10.0) -> bool:
         """Block until at least ``count`` subscribers are connected."""
         deadline = time.monotonic() + timeout
@@ -586,6 +712,9 @@ class _InboundLink:
         self.error: Optional[Exception] = None
         #: "SHMROS" or "TCPROS" once connected (None before/after).
         self.transport: Optional[str] = None
+        #: The publisher confirmed ``trace=1``: frames carry the
+        #: observability prefix.
+        self.traced = False
         #: Slot notifications skipped because the publisher had already
         #: reclaimed the slot by the time this subscriber got to it.
         self.stale_drops = 0
@@ -652,6 +781,8 @@ class _InboundLink:
         }
         if protocol[0] == "SHMROS":
             header["shmros"] = "1"
+        if obs_trace.wire_enabled():
+            header["trace"] = "1"
         self.sock, reply = tcpros.connect_subscriber(host, port, header)
         their_format = reply.get("format", "ros")
         if their_format != subscriber.codec.format_name:
@@ -659,6 +790,7 @@ class _InboundLink:
                 f"publisher sends {their_format}, expected "
                 f"{subscriber.codec.format_name}"
             )
+        self.traced = reply.get("trace") == "1"
         if reply.get("shm_segment"):
             self._stream_shm(reply)
         else:
@@ -679,12 +811,36 @@ class _InboundLink:
         subscriber = self.subscriber
         self.transport = "TCPROS"
         subscriber._link_connected(self)
-        while not self._closed:
-            frame = tcpros.read_frame(self.sock)
-            if subscriber.raw:
-                subscriber._dispatch(bytes(frame))
-            else:
-                subscriber._dispatch(subscriber.codec.decode(frame))
+        if self.traced:
+            while not self._closed:
+                frame, trace_id, pub_ns = tcpros.read_traced_frame(self.sock)
+                if trace_id:
+                    tracer.record(
+                        "recv", trace_id, pub_ns, time.monotonic_ns(),
+                        topic=subscriber.topic, transport="TCPROS",
+                        bytes=len(frame),
+                    )
+                self._deliver_frame(frame, trace_id, pub_ns)
+        else:
+            while not self._closed:
+                self._deliver_frame(tcpros.read_frame(self.sock), 0, 0)
+
+    def _deliver_frame(self, frame, trace_id: int, pub_ns: int) -> None:
+        """Decode (span-wrapped when traced) and dispatch one frame."""
+        subscriber = self.subscriber
+        if subscriber.raw:
+            subscriber._dispatch(bytes(frame), trace_id, pub_ns)
+            return
+        if trace_id:
+            start_ns = time.monotonic_ns()
+            msg = subscriber.codec.decode(frame)
+            tracer.record(
+                "decode", trace_id, start_ns, time.monotonic_ns(),
+                topic=subscriber.topic,
+            )
+        else:
+            msg = subscriber.codec.decode(frame)
+        subscriber._dispatch(msg, trace_id, pub_ns)
 
     # ------------------------------------------------------------------
     # SHMROS streaming (doorbell frames + shared-memory slots)
@@ -703,19 +859,31 @@ class _InboundLink:
                 frame = shm.read_control_frame(self.sock)
                 kind = frame[0]
                 if kind == "slot":
-                    _kind, slot, seq, size = frame
+                    _kind, slot, seq, size, trace_id, pub_ns = frame
+                    if trace_id:
+                        tracer.record(
+                            "recv", trace_id, pub_ns, time.monotonic_ns(),
+                            topic=subscriber.topic, transport="SHMROS",
+                            bytes=size,
+                        )
                     if reader.slot_seq(slot) != seq:
                         # The publisher reclaimed the slot before we got
                         # here (we were too slow); it already counted the
                         # drop on its side.
                         self.stale_drops += 1
+                        subscriber.stale_drops += 1
                         continue
-                    self._dispatch_slot(reader, slot, seq, size)
+                    self._dispatch_slot(reader, slot, seq, size,
+                                        trace_id, pub_ns)
                 elif kind == "inline":
-                    if subscriber.raw:
-                        subscriber._dispatch(bytes(frame[1]))
-                    else:
-                        subscriber._dispatch(subscriber.codec.decode(frame[1]))
+                    _kind, payload, trace_id, pub_ns = frame
+                    if trace_id:
+                        tracer.record(
+                            "recv", trace_id, pub_ns, time.monotonic_ns(),
+                            topic=subscriber.topic,
+                            transport="SHMROS-inline", bytes=len(payload),
+                        )
+                    self._deliver_frame(payload, trace_id, pub_ns)
                 elif kind == "reseg":
                     _kind, name, slot_count, slot_bytes = frame
                     reader.close()
@@ -723,7 +891,10 @@ class _InboundLink:
         finally:
             reader.close()
 
-    def _dispatch_slot(self, reader, slot: int, seq: int, size: int) -> None:
+    def _dispatch_slot(
+        self, reader, slot: int, seq: int, size: int,
+        trace_id: int = 0, pub_ns: int = 0,
+    ) -> None:
         """One zero-copy delivery: adopt the slot in place, run the
         callback, detach if the user kept the message, acknowledge."""
         subscriber = self.subscriber
@@ -732,17 +903,25 @@ class _InboundLink:
             # Raw delivery must copy out of the slot: the bytes object is
             # the callback's to keep, the slot goes back to the publisher.
             try:
-                subscriber._dispatch(bytes(view))
+                subscriber._dispatch(bytes(view), trace_id, pub_ns)
             finally:
                 del view
                 shm.send_ack(self.sock, slot, seq)
             return
-        msg = subscriber.codec.decode_external(view)
+        if trace_id:
+            start_ns = time.monotonic_ns()
+            msg = subscriber.codec.decode_external(view)
+            tracer.record(
+                "decode", trace_id, start_ns, time.monotonic_ns(),
+                topic=subscriber.topic,
+            )
+        else:
+            msg = subscriber.codec.decode_external(view)
         # SFM messages borrow the slot memory itself; remember the record
         # so we can copy it out *after* the callback if it is still alive.
         record = getattr(msg, "_record", None)
         try:
-            subscriber._dispatch(msg)
+            subscriber._dispatch(msg, trace_id, pub_ns)
         finally:
             del msg, view
             if (
@@ -798,9 +977,14 @@ class Subscriber:
         self._lock = threading.Lock()
         self._connect_event = threading.Event()
         self.received_count = 0
+        #: Messages announced by a SHMROS doorbell whose slot had already
+        #: been reclaimed by the time we looked (we were too slow).
+        self.stale_drops = 0
+        self._latency = obs_instrument.latency_child(topic)
         self._shutdown = False
         if intraprocess:
             local_bus.register_subscriber(self)
+        obs_instrument.track_subscriber(self)
 
     # ------------------------------------------------------------------
     # Publisher discovery
@@ -859,9 +1043,37 @@ class Subscriber:
     # ------------------------------------------------------------------
     # Delivery
     # ------------------------------------------------------------------
-    def _dispatch(self, msg) -> None:
+    def _dispatch(self, msg, trace_id: int = 0, pub_ns: int = 0) -> None:
         self.received_count += 1
-        self.callback(msg)
+        if pub_ns:
+            self._latency.observe((time.monotonic_ns() - pub_ns) / 1e9)
+        if trace_id:
+            start_ns = time.monotonic_ns()
+            try:
+                self.callback(msg)
+            finally:
+                tracer.record(
+                    "callback", trace_id, start_ns, time.monotonic_ns(),
+                    topic=self.topic,
+                )
+        else:
+            self.callback(msg)
+
+    def stats(self) -> dict:
+        """Public snapshot for diagnostics/metrics collectors."""
+        with self._lock:
+            links = list(self._connected)
+        transports: dict[str, int] = {}
+        for link in links:
+            transports[link.transport] = transports.get(link.transport, 0) + 1
+        return {
+            "topic": self.topic,
+            "type": self.type_name,
+            "messages": self.received_count,
+            "connections": self.get_num_connections(),
+            "stale_drops": self.stale_drops,
+            "transports": transports,
+        }
 
     def _deliver_local(self, msg) -> None:
         """Intra-process delivery: the message object itself, by

@@ -16,6 +16,11 @@ from __future__ import annotations
 import threading
 from collections import defaultdict
 
+from repro.obs.instrument import intraprocess_deliveries
+
+#: Cached unlabelled cell: the per-delivery path is one flag check + add.
+_DELIVERIES = intraprocess_deliveries.labels()
+
 
 class LocalBus:
     """Process-wide registry of intra-process publishers/subscribers,
@@ -62,6 +67,8 @@ class LocalBus:
             subscribers = list(self._subscribers[key])
         for subscriber in subscribers:
             subscriber._deliver_local(msg)
+        if subscribers:
+            _DELIVERIES.inc(len(subscribers))
         return len(subscribers)
 
 

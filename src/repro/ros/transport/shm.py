@@ -71,8 +71,12 @@ _SLOT_HEADER = struct.Struct("<QQ")  # seq, size
 _SLOT_HEADER_SPACE = 16
 _PAGE = 4096
 
-#: Doorbell control frames: a fixed header, optionally followed by a body.
-_FRAME = struct.Struct("<BIQQ")  # kind, a, b, c
+#: Doorbell control frames: a fixed header, optionally followed by a
+#: body.  Every frame carries two trailing observability fields -- the
+#: publisher's trace id (0 when untraced) and its publish timestamp in
+#: monotonic nanoseconds -- so per-message tracing and the
+#: publish-to-callback latency histogram need no extra round trip.
+_FRAME = struct.Struct("<BIQQQQ")  # kind, a, b, c, trace_id, stamp_ns
 KIND_SLOT = 1    # a=slot, b=seq, c=size
 KIND_INLINE = 2  # c=size, followed by the payload bytes
 KIND_RESEG = 3   # a=slot_count, b=len(name), c=slot_bytes, followed by name
@@ -362,13 +366,18 @@ class ShmRingReader:
 # ----------------------------------------------------------------------
 # Doorbell control frames
 # ----------------------------------------------------------------------
-def send_slot_frame(sock: socket.socket, slot: int, seq: int, size: int) -> None:
-    sock.sendall(_FRAME.pack(KIND_SLOT, slot, seq, size))
+def send_slot_frame(
+    sock: socket.socket, slot: int, seq: int, size: int,
+    trace_id: int = 0, stamp_ns: int = 0,
+) -> None:
+    sock.sendall(_FRAME.pack(KIND_SLOT, slot, seq, size, trace_id, stamp_ns))
 
 
-def send_inline_frame(sock: socket.socket, payload) -> None:
+def send_inline_frame(
+    sock: socket.socket, payload, trace_id: int = 0, stamp_ns: int = 0
+) -> None:
     """Oversize/no-shm fallback: the payload rides the doorbell socket."""
-    header = _FRAME.pack(KIND_INLINE, 0, 0, len(payload))
+    header = _FRAME.pack(KIND_INLINE, 0, 0, len(payload), trace_id, stamp_ns)
     if hasattr(sock, "sendmsg"):
         _sendmsg_all(sock, header, payload)
     else:  # pragma: no cover - non-POSIX
@@ -381,27 +390,30 @@ def send_reseg_frame(
 ) -> None:
     encoded = name.encode("utf-8")
     sock.sendall(
-        _FRAME.pack(KIND_RESEG, slot_count, len(encoded), slot_bytes) + encoded
+        _FRAME.pack(KIND_RESEG, slot_count, len(encoded), slot_bytes, 0, 0)
+        + encoded
     )
 
 
 def send_ack(sock: socket.socket, slot: int, seq: int) -> None:
-    sock.sendall(_FRAME.pack(KIND_ACK, slot, seq, 0))
+    sock.sendall(_FRAME.pack(KIND_ACK, slot, seq, 0, 0, 0))
 
 
 def read_control_frame(sock: socket.socket) -> tuple:
     """Read one doorbell frame; returns a ``(kind, ...)`` tuple:
 
-    - ``("slot", slot, seq, size)``
-    - ``("inline", payload_bytearray)``
+    - ``("slot", slot, seq, size, trace_id, stamp_ns)``
+    - ``("inline", payload_bytearray, trace_id, stamp_ns)``
     - ``("reseg", segment_name, slot_count, slot_bytes)``
     - ``("ack", slot, seq)``
     """
-    kind, a, b, c = _FRAME.unpack(bytes(read_exact(sock, _FRAME.size)))
+    kind, a, b, c, trace_id, stamp_ns = _FRAME.unpack(
+        bytes(read_exact(sock, _FRAME.size))
+    )
     if kind == KIND_SLOT:
-        return ("slot", a, b, c)
+        return ("slot", a, b, c, trace_id, stamp_ns)
     if kind == KIND_INLINE:
-        return ("inline", read_exact(sock, c))
+        return ("inline", read_exact(sock, c), trace_id, stamp_ns)
     if kind == KIND_RESEG:
         name = bytes(read_exact(sock, b)).decode("utf-8")
         return ("reseg", name, a, c)

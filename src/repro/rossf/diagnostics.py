@@ -8,7 +8,6 @@ pointer or sizing IDL capacities.
 
 from __future__ import annotations
 
-from collections import Counter
 from dataclasses import dataclass, field as dataclass_field
 from typing import Optional
 
@@ -54,24 +53,10 @@ class ManagerReport:
 
 
 def report(manager: Optional[MessageManager] = None) -> ManagerReport:
-    """Snapshot ``manager`` (the global one by default)."""
+    """Snapshot ``manager`` (the global one by default) via its public
+    :meth:`~repro.sfm.manager.MessageManager.snapshot` API."""
     manager = manager or global_message_manager
-    with manager._lock:
-        records = list(manager._records)
-        pool = {cap: len(shelf) for cap, shelf in manager._pool.items()}
-        counters = manager.stats.snapshot()
-    by_type = Counter(record.type_name for record in records)
-    by_state = Counter(record.state.value for record in records)
-    return ManagerReport(
-        live_records=len(records),
-        live_by_type=dict(by_type),
-        live_by_state=dict(by_state),
-        live_bytes=sum(record.size for record in records),
-        live_capacity_bytes=sum(record.capacity for record in records),
-        pool_buffers=sum(pool.values()),
-        pool_bytes=sum(cap * count for cap, count in pool.items()),
-        counters=counters,
-    )
+    return ManagerReport(**manager.snapshot())
 
 
 def find_leaks(manager: Optional[MessageManager] = None,

@@ -49,6 +49,7 @@ class ManagerStats:
     expansions: int = 0
     bytes_expanded: int = 0
     peak_live: int = 0
+    pool_hits: int = 0
 
     def snapshot(self) -> dict:
         """The counters as a plain dict."""
@@ -401,6 +402,7 @@ class MessageManager:
             if not shelf:
                 return None
             buffer = shelf.pop()
+            self.stats.pool_hits += 1
         buffer[:skeleton_size] = bytes(skeleton_size)
         return buffer
 
@@ -416,6 +418,42 @@ class MessageManager:
         """A snapshot of all live records."""
         with self._lock:
             return list(self._records)
+
+    def snapshot(self) -> dict:
+        """One consistent public view of the manager: live-record
+        aggregates, pool occupancy and the lifetime counters, gathered
+        under a single lock acquisition.  Diagnostics and metrics
+        collectors build on this instead of poking at ``_records`` /
+        ``_pool`` directly."""
+        with self._lock:
+            live_by_type: dict[str, int] = {}
+            live_by_state: dict[str, int] = {}
+            live_bytes = 0
+            live_capacity_bytes = 0
+            for record in self._records:
+                live_by_type[record.type_name] = (
+                    live_by_type.get(record.type_name, 0) + 1
+                )
+                live_by_state[record.state.value] = (
+                    live_by_state.get(record.state.value, 0) + 1
+                )
+                live_bytes += record.size
+                live_capacity_bytes += record.capacity
+            pool_buffers = sum(len(shelf) for shelf in self._pool.values())
+            pool_bytes = sum(
+                capacity * len(shelf)
+                for capacity, shelf in self._pool.items()
+            )
+            return {
+                "live_records": len(self._records),
+                "live_by_type": live_by_type,
+                "live_by_state": live_by_state,
+                "live_bytes": live_bytes,
+                "live_capacity_bytes": live_capacity_bytes,
+                "pool_buffers": pool_buffers,
+                "pool_bytes": pool_bytes,
+                "counters": self.stats.snapshot(),
+            }
 
     def reset_stats(self) -> None:
         """Zero the lifetime counters (records stay untouched)."""

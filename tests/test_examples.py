@@ -46,6 +46,12 @@ def test_image_pipeline_failure_case():
     assert "[ROS-SF, fixed] delivered" in out
 
 
+def test_observed_node():
+    out = _run("observed_node.py", "--duration", "2")
+    assert "metrics at http://" in out
+    assert "trace timeline ok" in out
+
+
 def test_bag_record_replay():
     out = _run("bag_record_replay.py")
     assert "recorded 5 messages" in out

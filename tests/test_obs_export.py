@@ -1,0 +1,93 @@
+"""The HTTP exporter and the /statistics publisher."""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.msg.library import String
+from repro.obs.export import MetricsServer
+from repro.obs.metrics import Registry
+from repro.obs.statistics import StatisticsPublisher, statistics_document
+from repro.ros.graph import RosGraph
+
+
+def _get(url: str):
+    with urllib.request.urlopen(url, timeout=5.0) as response:
+        return response.status, response.headers, response.read()
+
+
+class TestMetricsServer:
+    def test_serves_prometheus_text(self):
+        registry = Registry()
+        registry.counter("demo_total", "Demo.").labels().inc(7)
+        with MetricsServer(registry=registry) as server:
+            status, headers, body = _get(server.url + "/metrics")
+        assert status == 200
+        assert headers["Content-Type"].startswith("text/plain")
+        assert b"demo_total 7" in body
+
+    def test_serves_trace_json(self):
+        from repro.obs.trace import Tracer
+
+        t = Tracer()
+        t.start()
+        t.record("publish", t.new_trace_id(), 1000, 2000, topic="/x")
+        with MetricsServer(registry=Registry(), tracer=t) as server:
+            status, _headers, body = _get(server.url + "/trace.json")
+        assert status == 200
+        doc = json.loads(body)
+        assert doc["traceEvents"][0]["name"] == "publish"
+
+    def test_healthz_and_404(self):
+        with MetricsServer(registry=Registry()) as server:
+            status, _headers, body = _get(server.url + "/healthz")
+            assert status == 200 and body == b"ok\n"
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                _get(server.url + "/nope")
+            assert excinfo.value.code == 404
+
+    def test_global_registry_scrape_includes_live_topics(self):
+        with RosGraph() as graph:
+            node = graph.node("talker")
+            pub = node.advertise("/scrape_me", String)
+            msg = String()
+            msg.data = "x"
+            pub.publish(msg)
+            with MetricsServer() as server:
+                _status, _headers, body = _get(server.url + "/metrics")
+            assert b'miniros_published_messages_total{topic="/scrape_me"}' \
+                in body
+
+
+class TestStatisticsPublisher:
+    def test_document_shape(self):
+        with RosGraph() as graph:
+            node = graph.node("talker")
+            node.advertise("/chatter", String)
+            doc = statistics_document(node)
+        assert doc["node"] == "/talker"
+        assert doc["publishers"][0]["topic"] == "/chatter"
+        assert "live_records" in doc["sfm"]
+        assert doc["stamp"] > 0
+
+    def test_periodic_publication_reaches_subscribers(self):
+        with RosGraph() as graph:
+            node = graph.node("talker")
+            listener = graph.node("listener")
+            got = threading.Event()
+            docs = []
+
+            def on_stats(msg):
+                docs.append(json.loads(msg.data))
+                got.set()
+
+            listener.subscribe("/statistics", String, on_stats)
+            with StatisticsPublisher(node, interval=0.1):
+                assert got.wait(10.0), "no /statistics message arrived"
+            assert docs[0]["node"] == "/talker"

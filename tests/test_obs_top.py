@@ -1,0 +1,87 @@
+"""The live graph monitor behind ``tools top``."""
+
+from __future__ import annotations
+
+import io
+import threading
+import time
+
+import pytest
+
+from repro.bridge.server import resolve_msg_class
+from repro.msg.library import String
+from repro.msg.registry import default_registry
+from repro.obs.top import TopMonitor, _human_bytes
+from repro.ros.graph import RosGraph
+
+
+def test_human_bytes_units():
+    assert _human_bytes(512.0) == "512.0 B/s"
+    assert _human_bytes(2048.0) == "2.0 KiB/s"
+    assert _human_bytes(3 * 1024 * 1024.0) == "3.0 MiB/s"
+
+
+class TestTopMonitor:
+    def test_sample_counts_traffic(self):
+        with RosGraph() as graph:
+            pub = graph.node("talker").advertise("/chatter", String)
+            with TopMonitor(graph.master_uri) as monitor:
+                monitor.refresh_topics()
+                pub.wait_for_subscribers(1, 10.0)
+                time.sleep(0.2)
+                msg = String()
+                msg.data = "counted"
+                for _ in range(5):
+                    pub.publish(msg)
+                deadline = time.monotonic() + 10.0
+                while time.monotonic() < deadline:
+                    sample = monitor.sample()
+                    row = next(
+                        (r for r in sample["rows"]
+                         if r["topic"] == "/chatter"), None,
+                    )
+                    if row is not None and row["messages"] >= 5:
+                        break
+                    time.sleep(0.05)
+                assert row is not None
+                assert row["messages"] >= 5
+                assert row["bytes"] > 0
+                rendered = monitor.render(sample)
+                assert "/chatter" in rendered
+                assert "sfm:" in rendered
+
+    def test_flips_to_sfm_flavour_on_format_mismatch(self):
+        sfm_string = resolve_msg_class("std_msgs/String@sfm",
+                                       default_registry)
+        with RosGraph() as graph:
+            pub = graph.node("talker").advertise("/sfm_chatter", sfm_string)
+            with TopMonitor(graph.master_uri) as monitor:
+                monitor.refresh_topics()
+                # The plain-class tap is rejected in the handshake; the
+                # monitor notices the link error on a later refresh and
+                # re-subscribes with the @sfm class.
+                deadline = time.monotonic() + 10.0
+                tap = monitor._taps["/sfm_chatter"]
+                while time.monotonic() < deadline and not tap.flavour:
+                    time.sleep(0.1)
+                    monitor.refresh_topics()
+                assert tap.flavour == "@sfm"
+                pub.wait_for_subscribers(1, 10.0)
+                time.sleep(0.2)
+                msg = sfm_string()
+                msg.data = "zero copy"
+                pub.publish(msg)
+                deadline = time.monotonic() + 10.0
+                while time.monotonic() < deadline and tap.count == 0:
+                    time.sleep(0.05)
+                assert tap.count >= 1
+
+    def test_run_writes_table_to_stream(self):
+        with RosGraph() as graph:
+            graph.node("talker").advertise("/quiet", String)
+            out = io.StringIO()
+            with TopMonitor(graph.master_uri) as monitor:
+                monitor.run(iterations=1, interval=0.2, stream=out)
+            text = out.getvalue()
+            assert "TOPIC" in text
+            assert "/quiet" in text

@@ -115,7 +115,18 @@ class TestDoorbellFrames:
         a, b = self._pair()
         try:
             shm.send_slot_frame(a, 3, 77, 1024)
-            assert shm.read_control_frame(b) == ("slot", 3, 77, 1024)
+            assert shm.read_control_frame(b) == ("slot", 3, 77, 1024, 0, 0)
+        finally:
+            a.close()
+            b.close()
+
+    def test_slot_frame_carries_trace(self):
+        a, b = self._pair()
+        try:
+            shm.send_slot_frame(a, 3, 77, 1024, trace_id=42, stamp_ns=9001)
+            assert shm.read_control_frame(b) == (
+                "slot", 3, 77, 1024, 42, 9001
+            )
         finally:
             a.close()
             b.close()
@@ -124,9 +135,10 @@ class TestDoorbellFrames:
         a, b = self._pair()
         try:
             shm.send_inline_frame(a, b"payload bytes")
-            kind, payload = shm.read_control_frame(b)
+            kind, payload, trace_id, stamp_ns = shm.read_control_frame(b)
             assert kind == "inline"
             assert bytes(payload) == b"payload bytes"
+            assert (trace_id, stamp_ns) == (0, 0)
         finally:
             a.close()
             b.close()

@@ -90,6 +90,87 @@ class TestBagCommand:
         assert "messages: 2" in out
         assert "std_msgs/UInt32" in out
 
+    def test_record_then_play_roundtrip(self, tmp_path, capsys):
+        path = str(tmp_path / "recorded.bag")
+        with RosGraph() as graph:
+            pub = graph.node("bag_feed").advertise("/bagged", L.UInt32)
+            stop = threading.Event()
+
+            def feed():
+                i = 0
+                while not stop.is_set():
+                    pub.publish(L.UInt32(data=i))
+                    i += 1
+                    time.sleep(0.03)
+
+            thread = threading.Thread(target=feed, daemon=True)
+            thread.start()
+            try:
+                assert main([
+                    "bag", "record", "/bagged=std_msgs/UInt32",
+                    "--master", graph.master_uri, "--out", path,
+                    "--duration", "1.0",
+                ]) == 0
+            finally:
+                stop.set()
+                thread.join()
+            out = capsys.readouterr().out
+            assert "recorded" in out
+            assert main(["bag", "info", path]) == 0
+            assert "/bagged" in capsys.readouterr().out
+
+        # Replay into a fresh graph whose only subscriber is ours, so
+        # --wait-subs holds playback until our listener is connected.
+        with RosGraph() as graph:
+            replayed = []
+            listener = graph.node("tools_replay_listener")
+            listener.subscribe("/bagged", L.UInt32, replayed.append)
+            assert main([
+                "bag", "play", path, "--master", graph.master_uri,
+                "--rate", "0", "--wait-subs", "10",
+            ]) == 0
+            assert "played" in capsys.readouterr().out
+            deadline = time.monotonic() + 10.0
+            while time.monotonic() < deadline and not replayed:
+                time.sleep(0.05)
+            assert replayed, "replayed messages never arrived"
+
+    def test_record_rejects_bad_topic_spec(self, graph_with_topic,
+                                           tmp_path):
+        graph, _pub = graph_with_topic
+        with pytest.raises(SystemExit):
+            main([
+                "bag", "record", "no-equals-sign",
+                "--master", graph.master_uri,
+                "--out", str(tmp_path / "x.bag"),
+            ])
+
+
+class TestTopCommand:
+    def test_renders_topic_table(self, graph_with_topic, capsys):
+        graph, pub = graph_with_topic
+        stop = threading.Event()
+
+        def feed():
+            while not stop.is_set():
+                pub.publish(L.UInt32(data=1))
+                time.sleep(0.03)
+
+        thread = threading.Thread(target=feed, daemon=True)
+        thread.start()
+        try:
+            assert main([
+                "top", "--master", graph.master_uri,
+                "-n", "2", "--interval", "0.4",
+            ]) == 0
+        finally:
+            stop.set()
+            thread.join()
+        out = capsys.readouterr().out
+        assert "TOPIC" in out
+        assert "/tools/count" in out
+        assert "sfm:" in out
+
 
 class TestCheckCommand:
     def test_clean_file_exits_zero(self, tmp_path, capsys):
