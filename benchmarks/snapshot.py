@@ -16,6 +16,10 @@ with the repro.obs instrumentation enabled vs disabled) and writes
 ``BENCH_obs.json``; the recorded ``overhead_pct`` must stay under
 ``budget_pct`` (5%).
 
+``--experiment chaos`` runs ``bench_chaos_soak.py`` (repeated link
+severs and amnesiac master bounces under a 100 Hz stream) and writes
+``BENCH_chaos.json`` with recovery-time p50/p99 and total loss.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/snapshot.py [--iterations N] [--out PATH]
@@ -114,17 +118,45 @@ def run_obs_snapshot(iterations: int) -> dict:
     return payload
 
 
+def run_chaos_snapshot(rounds: int, seed: int = 1) -> dict:
+    sys.path.insert(0, str(Path(__file__).resolve().parent))
+    import bench_chaos_soak
+
+    payload: dict = {
+        "experiment": "chaos_soak",
+        "generated": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "python": platform.python_version(),
+    }
+    payload.update(bench_chaos_soak.run_soak(rounds=rounds, seed=seed))
+    return payload
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--experiment", choices=("fig13", "bridge", "obs"),
+    parser.add_argument("--experiment",
+                        choices=("fig13", "bridge", "obs", "chaos"),
                         default="fig13")
     parser.add_argument("--iterations", type=int, default=40,
                         help="fig13/obs iterations")
     parser.add_argument("--messages", type=int, default=8,
                         help="bridge messages per fan-out cell")
+    parser.add_argument("--rounds", type=int, default=10,
+                        help="chaos soak fault/recovery rounds")
     parser.add_argument("--out", type=Path, default=None)
     args = parser.parse_args(argv)
     root = Path(__file__).resolve().parent.parent
+    if args.experiment == "chaos":
+        out = args.out or root / "BENCH_chaos.json"
+        payload = run_chaos_snapshot(args.rounds)
+        out.write_text(json.dumps(payload, indent=2) + "\n")
+        recovery = payload["recovery_ms"]
+        print(
+            f"chaos soak over {payload['rounds']} rounds: recovery "
+            f"p50={recovery['p50']:.0f} ms p99={recovery['p99']:.0f} ms, "
+            f"{payload['lost']} messages lost"
+        )
+        print(f"wrote {out}")
+        return 0
     if args.experiment == "obs":
         out = args.out or root / "BENCH_obs.json"
         payload = run_obs_snapshot(args.iterations)

@@ -56,6 +56,7 @@ from repro.msg.registry import TypeRegistry, UnknownTypeError, default_registry
 from repro.msg.srv import default_service_registry, service_type
 from repro.obs import instrument as obs_instrument
 from repro.ros.codecs import codec_for_class
+from repro.ros.transport import tcpros
 from repro.sfm.generator import generate_sfm_class
 from repro.sfm.message import SFMMessage
 
@@ -549,6 +550,7 @@ class BridgeServer:
             except OSError:
                 break
             sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            sock = tcpros.wrap_socket(sock, "bridge", role="server")
             session = _ClientSession(self, sock, f"{addr[0]}:{addr[1]}")
             with self._lock:
                 if self._closed:

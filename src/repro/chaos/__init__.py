@@ -1,0 +1,41 @@
+"""repro.chaos: deterministic fault injection for the middleware.
+
+Quickstart::
+
+    from repro import chaos
+
+    plan = chaos.FaultPlan(seed=42)
+    plan.corrupt(seam="bridge", op="recv", min_size=8, count=1)
+    with plan:
+        ...  # run the workload; exactly one bridge body is corrupted
+
+    master = chaos.ChaosMaster()
+    master.pause();  ...;  master.resume(fresh_registry=True)
+
+Seams: every TCPROS data socket and bridge client socket flows through
+``tcpros.wrap_socket`` (rules on seam ``tcpros``/``bridge``), every
+SHMROS doorbell frame through the ``shm`` hook, and the master is a
+:class:`ChaosMaster` you bounce directly.  All randomness is seeded; all
+triggering is counter-based -- scenarios replay bit-for-bit.
+"""
+
+from repro.chaos.master import ChaosMaster
+from repro.chaos.plan import FaultPlan, Rule
+from repro.chaos.scenario import (
+    crash_node,
+    flip_bytes,
+    fuzz_bytes,
+    fuzz_corpus,
+    mutations,
+)
+
+__all__ = [
+    "ChaosMaster",
+    "FaultPlan",
+    "Rule",
+    "crash_node",
+    "flip_bytes",
+    "fuzz_bytes",
+    "fuzz_corpus",
+    "mutations",
+]

@@ -1,0 +1,125 @@
+"""Scenario helpers: abrupt process-style failures and seeded fuzzing.
+
+``FaultPlan`` rules act on live connections; the helpers here model the
+failures that happen *around* them -- a node dying mid-publish without a
+goodbye, and deterministic garbage generation for deserializer fuzzing
+(the no-dependency replacement for hypothesis in the chaos suites).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator
+
+
+def crash_node(node) -> None:
+    """Kill a node the way SIGKILL would: no unregistration, no clean
+    link shutdowns -- sockets and servers just stop existing.  Peers must
+    discover the death through their own error paths (send failures, the
+    publisher-side monitor, the subscriber idle timeout) and the master
+    keeps stale registrations until someone re-registers over them."""
+    import socket as _socket
+
+    node._shutdown = True
+    node._watch_stop.set()
+    with node._lock:
+        publishers = list(node._publishers.values())
+        subscribers = [
+            sub for subs in node._subscribers.values() for sub in subs
+        ]
+        services = list(node._services.values())
+        node._publishers.clear()
+        node._subscribers.clear()
+        node._services.clear()
+    # Servers first: no new connections while we cut the existing ones.
+    node._data_server.close()
+    node._slave_server.shutdown()
+    node._slave_server.server_close()
+    for publisher in publishers:
+        with publisher._links_lock:
+            links = list(publisher._links)
+            publisher._links.clear()
+        for link in links:
+            try:
+                link.sock.close()
+            except OSError:
+                pass
+    for service in services:
+        service._shutdown = True
+        with service._active_lock:
+            active = list(service._active_socks)
+            service._active_socks.clear()
+        for sock in active:
+            # shutdown() wakes serve loops blocked mid-read; close alone
+            # would leave in-flight calls hanging instead of erroring.
+            try:
+                sock.shutdown(_socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                sock.close()
+            except OSError:
+                pass
+    for subscriber in subscribers:
+        with subscriber._lock:
+            links = list(subscriber._links.values())
+            subscriber._links.clear()
+            timers = list(subscriber._timers.values())
+            subscriber._timers.clear()
+        for timer in timers:
+            timer.cancel()
+        for link in links:
+            try:
+                if link.sock is not None:
+                    link.sock.close()
+            except OSError:
+                pass
+
+
+# ----------------------------------------------------------------------
+# Seeded fuzzing (deterministic; no hypothesis)
+# ----------------------------------------------------------------------
+def fuzz_bytes(rng: random.Random, max_size: int = 128) -> bytes:
+    """One random buffer, sized 0..max_size."""
+    return rng.randbytes(rng.randint(0, max_size))
+
+
+def fuzz_corpus(seed: int, cases: int = 60,
+                max_size: int = 128) -> Iterator[bytes]:
+    """A reproducible stream of garbage buffers, biased toward the
+    troublemakers: empty input, single bytes, and all-0xFF length words."""
+    rng = random.Random(seed)
+    yield b""
+    yield b"\x00"
+    yield b"\xff" * 4
+    yield b"\xff" * 16
+    for _ in range(cases):
+        yield fuzz_bytes(rng, max_size)
+
+
+def flip_bytes(data: bytes, rng: random.Random, flips: int = 3) -> bytes:
+    """A copy of ``data`` with ``flips`` random single-byte corruptions
+    (never a no-op flip)."""
+    if not data:
+        return data
+    out = bytearray(data)
+    for _ in range(max(1, flips)):
+        index = rng.randrange(len(out))
+        out[index] ^= 1 + rng.randrange(255)
+    return bytes(out)
+
+
+def mutations(data: bytes, seed: int, rounds: int = 20) -> Iterator[bytes]:
+    """Reproducible corrupted variants of a valid buffer: byte flips,
+    truncations, and length-word inflation -- the classic ways a frame
+    arrives damaged."""
+    rng = random.Random(seed)
+    for _ in range(rounds):
+        choice = rng.randrange(3)
+        if choice == 0 or not data:
+            yield flip_bytes(data, rng)
+        elif choice == 1:
+            yield data[: rng.randrange(len(data))]
+        else:
+            index = rng.randrange(max(1, len(data) - 3))
+            yield data[:index] + b"\xff\xff\xff\xff" + data[index + 4:]

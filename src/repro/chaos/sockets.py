@@ -1,0 +1,158 @@
+"""ChaosSocket: a socket proxy that consults a FaultPlan on every I/O.
+
+The transports never see this class by name -- they call
+``tcpros.wrap_socket`` at connection setup and receive either the real
+socket (no plan installed) or this wrapper.  Every overridden method asks
+the plan for an action first; everything else delegates, so the wrapper
+is drop-in for the blocking-socket subset the transports use
+(``sendall``/``sendmsg``/``recv``/``recv_into``/``settimeout``/...).
+
+Action semantics on a *stream* socket:
+
+- ``drop`` applies to sends only: the bytes are swallowed and reported
+  sent.  The transports write one frame per send call, so a swallowed
+  send is a cleanly dropped frame, not a desynced stream.
+- ``delay`` sleeps before the operation (both directions).
+- ``corrupt`` flips bytes -- in a copy on the send path, in place in the
+  caller's buffer on the receive path -- using the rule's seeded RNG.
+- ``truncate`` sends a prefix of the buffer then kills the connection:
+  the peer sees a frame cut mid-payload (fragmentation corruption).
+- ``kill`` closes the underlying socket and raises ``ConnectionError``.
+"""
+
+from __future__ import annotations
+
+import time
+
+
+class ChaosSocket:
+    """Wraps a real socket; fault decisions come from the owning plan."""
+
+    def __init__(self, sock, plan, seam: str, context: dict) -> None:
+        self._sock = sock
+        self._plan = plan
+        self.seam = seam
+        self.context = dict(context)
+        plan._track(self)
+
+    # -- plumbing ------------------------------------------------------
+    def __getattr__(self, name):
+        return getattr(self._sock, name)
+
+    def _decide(self, op: str, size: int):
+        return self._plan._decide(self.seam, self.context, op, size)
+
+    def _kill(self) -> None:
+        import socket as _socket
+
+        # shutdown() wakes any thread blocked reading this socket;
+        # close() alone would leave it stuck until its own timeout.
+        try:
+            self._sock.shutdown(_socket.SHUT_RDWR)
+        except OSError:
+            pass
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+        raise ConnectionResetError("chaos: connection killed by plan")
+
+    @staticmethod
+    def _corrupted_copy(data, rng, flips: int) -> bytes:
+        out = bytearray(data)
+        for _ in range(max(1, flips)):
+            index = rng.randrange(len(out))
+            out[index] ^= 1 + rng.randrange(255)
+        return bytes(out)
+
+    # -- send path -----------------------------------------------------
+    def _apply_send(self, data, action):
+        """Returns (data_to_send, pretend_sent) -- ``None`` data means the
+        caller should report success without touching the wire."""
+        kind = action[0]
+        if kind == "drop":
+            return None, len(data)
+        if kind == "delay":
+            time.sleep(action[1])
+            return data, None
+        if kind == "corrupt":
+            if len(data):
+                return self._corrupted_copy(data, action[1], action[2]), None
+            return data, None
+        if kind == "truncate":
+            prefix = bytes(data)[: max(1, len(data) // 2)]
+            try:
+                self._sock.sendall(prefix)
+            except OSError:
+                pass
+            self._kill()
+        if kind == "kill":
+            self._kill()
+        return data, None
+
+    def send(self, data, *args):
+        action = self._decide("send", len(data))
+        if action is not None:
+            data, pretend = self._apply_send(data, action)
+            if data is None:
+                return pretend
+        return self._sock.send(data, *args)
+
+    def sendall(self, data, *args):
+        action = self._decide("send", len(data))
+        if action is not None:
+            data, _pretend = self._apply_send(data, action)
+            if data is None:
+                return None
+        return self._sock.sendall(data, *args)
+
+    def sendmsg(self, buffers, *args):
+        flat = b"".join(bytes(b) for b in buffers)
+        action = self._decide("send", len(flat))
+        if action is not None:
+            flat, pretend = self._apply_send(flat, action)
+            if flat is None:
+                return pretend
+            return self._sock.sendall(flat) or len(flat)
+        return self._sock.sendmsg(buffers, *args)
+
+    # -- receive path --------------------------------------------------
+    def recv(self, bufsize, *args):
+        action = self._decide("recv", bufsize)
+        if action is not None:
+            kind = action[0]
+            if kind == "delay":
+                time.sleep(action[1])
+            elif kind == "kill":
+                self._kill()
+            elif kind == "corrupt":
+                data = self._sock.recv(bufsize, *args)
+                if data:
+                    return self._corrupted_copy(data, action[1], action[2])
+                return data
+        return self._sock.recv(bufsize, *args)
+
+    def recv_into(self, buffer, nbytes=0, *args):
+        size = nbytes or len(buffer)
+        action = self._decide("recv", size)
+        corrupt = None
+        if action is not None:
+            kind = action[0]
+            if kind == "delay":
+                time.sleep(action[1])
+            elif kind == "kill":
+                self._kill()
+            elif kind == "corrupt":
+                corrupt = action
+        got = self._sock.recv_into(buffer, nbytes, *args)
+        if corrupt is not None and got:
+            _kind, rng, flips = corrupt
+            view = memoryview(buffer)
+            for _ in range(max(1, flips)):
+                index = rng.randrange(got)
+                view[index] ^= 1 + rng.randrange(255)
+        return got
+
+    def close(self):
+        self._plan._untrack(self)
+        return self._sock.close()

@@ -84,6 +84,21 @@ subscriber_stale_drops = global_registry.counter(
     "SHMROS slot notifications skipped because the slot was reclaimed.",
     labels=("topic",),
 )
+link_state = global_registry.gauge(
+    "miniros_link_state",
+    "Worst link health per (topic, role): 0 healthy, 1 degraded, "
+    "2 reconnecting, 3 dead.",
+    labels=("topic", "role"),
+)
+link_retries = global_registry.counter(
+    "miniros_link_retries_total",
+    "Reconnect attempts made by subscriber links per topic.",
+    labels=("topic",),
+)
+
+#: Numeric encoding of ``link_state`` for the gauge (aggregated by max:
+#: one sick subscription marks the whole topic).
+LINK_STATE_CODES = {"healthy": 0, "degraded": 1, "reconnecting": 2, "dead": 3}
 
 sfm_live_records = global_registry.gauge(
     "miniros_sfm_live_records",
@@ -169,13 +184,14 @@ def _collect_pubsub() -> None:
     for family in (published_messages, published_bytes, publish_drops,
                    publisher_links, publisher_queue_depth,
                    received_messages, subscriber_links,
-                   subscriber_stale_drops):
+                   subscriber_stale_drops, link_state, link_retries):
         family.clear()
     msgs: dict = {}
     nbytes: dict = {}
     drops: dict = {}
     links: dict = {}
     depth: dict = {}
+    pub_state: dict = {}
     for publisher in _tracked(_publishers):
         stats = publisher.stats()
         topic = stats["topic"]
@@ -184,25 +200,35 @@ def _collect_pubsub() -> None:
         _add(drops, topic, stats["drops"])
         _add(links, topic, stats["connections"])
         _add(depth, topic, stats["queue_depth"])
+        code = LINK_STATE_CODES.get(stats.get("link_state", "healthy"), 0)
+        pub_state[topic] = max(pub_state.get(topic, 0), code)
     for topic, value in msgs.items():
         published_messages.labels(topic=topic).set_total(value)
         published_bytes.labels(topic=topic).set_total(nbytes[topic])
         publish_drops.labels(topic=topic).set_total(drops[topic])
         publisher_links.labels(topic=topic).set(links[topic])
         publisher_queue_depth.labels(topic=topic).set(depth[topic])
+        link_state.labels(topic=topic, role="publisher").set(pub_state[topic])
     received: dict = {}
     sub_links: dict = {}
     stale: dict = {}
+    sub_state: dict = {}
+    retries: dict = {}
     for subscriber in _tracked(_subscribers):
         stats = subscriber.stats()
         topic = stats["topic"]
         _add(received, topic, stats["messages"])
         _add(sub_links, topic, stats["connections"])
         _add(stale, topic, stats["stale_drops"])
+        _add(retries, topic, stats.get("retries", 0))
+        code = LINK_STATE_CODES.get(stats.get("link_state", "healthy"), 0)
+        sub_state[topic] = max(sub_state.get(topic, 0), code)
     for topic, value in received.items():
         received_messages.labels(topic=topic).set_total(value)
         subscriber_links.labels(topic=topic).set(sub_links[topic])
         subscriber_stale_drops.labels(topic=topic).set_total(stale[topic])
+        link_state.labels(topic=topic, role="subscriber").set(sub_state[topic])
+        link_retries.labels(topic=topic).set_total(retries[topic])
 
 
 def _collect_sfm() -> None:

@@ -173,6 +173,10 @@ class TopMonitor:
                 "bytes": tap.bytes,
                 "rate": rate,
                 "bandwidth": bandwidth,
+                "state": (
+                    tap.subscriber.link_state
+                    if tap.subscriber is not None else "error"
+                ),
             })
         snap = global_message_manager.snapshot()
         return {
@@ -188,13 +192,14 @@ class TopMonitor:
     def render(self, sample: dict) -> str:
         lines = [
             f"{'TOPIC':<32} {'TYPE':<28} {'MSGS':>8} "
-            f"{'RATE':>10} {'BANDWIDTH':>12}"
+            f"{'RATE':>10} {'BANDWIDTH':>12} {'STATE':<12}"
         ]
         for row in sample["rows"]:
             lines.append(
                 f"{row['topic']:<32} {row['type']:<28} "
                 f"{row['messages']:>8} {row['rate']:>8.1f}Hz "
-                f"{_human_bytes(row['bandwidth']):>12}"
+                f"{_human_bytes(row['bandwidth']):>12} "
+                f"{row.get('state', 'healthy'):<12}"
             )
         if not sample["rows"]:
             lines.append("(no topics)")

@@ -19,11 +19,12 @@ from __future__ import annotations
 
 import struct
 import time
+import warnings
 from dataclasses import dataclass
 from typing import Callable, Iterator, Optional
 
 from repro.msg.generator import generate_message_class
-from repro.msg.registry import TypeRegistry, default_registry
+from repro.msg.registry import TypeRegistry, UnknownTypeError, default_registry
 from repro.ros.codecs import codec_for_class, type_info_for_class
 from repro.ros.exceptions import RosError
 from repro.ros.rostime import Time
@@ -285,7 +286,19 @@ def play(reader: BagReader, node, rate: float = 1.0,
     """
     publishers: dict[str, object] = {}
     for topic, connection in reader.topics().items():
-        msg_class = _class_for_connection(connection, reader.registry)
+        try:
+            msg_class = _class_for_connection(connection, reader.registry)
+        except UnknownTypeError:
+            # The bag outlived the type: a recording is replayable years
+            # later, so an unregistered type skips its topic instead of
+            # aborting the whole playback.
+            warnings.warn(
+                f"skipping {topic}: type {connection.type_name!r} is not "
+                "registered",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            continue
         publishers[topic] = node.advertise(topic, msg_class)
     if wait_for_subscribers > 0:
         for publisher in publishers.values():
@@ -297,6 +310,8 @@ def play(reader: BagReader, node, rate: float = 1.0,
     start_stamp = messages[0].stamp_sec()
     published = 0
     for record in messages:
+        if record.topic not in publishers:
+            continue
         if rate > 0:
             target = start_wall + (record.stamp_sec() - start_stamp) / rate
             delay = target - time.monotonic()

@@ -13,6 +13,7 @@ API methods return ROS's ``(code, statusMessage, value)`` triples with
 from __future__ import annotations
 
 import threading
+import uuid
 import xmlrpc.client
 import xmlrpc.server
 from dataclasses import dataclass, field as dataclass_field
@@ -44,6 +45,11 @@ class MasterRegistry:
         self._nodes: dict[str, str] = {}  # caller_id -> slave api uri
         self._services: dict[str, tuple[str, str]] = {}  # name -> (caller, uri)
         self._parameters: dict[str, object] = {}
+        #: Identity of this registry instance.  A node's master watchdog
+        #: compares epochs across probes: a changed epoch means the
+        #: master lost its state (restart) and every registration must be
+        #: replayed from node-local memory.
+        self.epoch = uuid.uuid4().hex
 
     # -- registration --------------------------------------------------
     def register_publisher(
@@ -222,6 +228,11 @@ class _MasterRPCHandlers:
 
         return SUCCESS, "pid", os.getpid()
 
+    def getEpoch(self, caller_id):
+        """Registry instance identity (not part of the ROS1 master API):
+        the probe target of every node's master watchdog."""
+        return SUCCESS, "epoch", self._registry.epoch
+
     # -- services ----------------------------------------------------------
     def registerService(self, caller_id, service, service_uri, caller_api):
         self._registry.register_service(caller_id, service, service_uri,
@@ -330,6 +341,9 @@ class MasterProxy:
 
     def lookup_node(self, caller_id, node_name):
         return self._call("lookupNode", caller_id, node_name)
+
+    def get_epoch(self, caller_id):
+        return self._call("getEpoch", caller_id)
 
     def get_topic_types(self, caller_id):
         return self._call("getTopicTypes", caller_id)

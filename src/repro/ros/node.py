@@ -28,6 +28,11 @@ from typing import Callable
 from repro.ros import names
 from repro.ros.exceptions import NodeShutdownError
 from repro.ros.master import SUCCESS, ERROR, MasterProxy
+from repro.ros.retry import (
+    DEFAULT_LINK_RETRY,
+    DEFAULT_MASTER_RETRY,
+    RetryPolicy,
+)
 from repro.ros.topic import Publisher, Subscriber
 from repro.ros.transport.tcpros import TcpRosServer, reject_connection
 
@@ -92,6 +97,11 @@ class NodeHandle:
         master_uri: str,
         namespace: str = "/",
         shmros: bool = True,
+        master_probe_interval: float = 0.5,
+        master_retry: RetryPolicy = DEFAULT_MASTER_RETRY,
+        link_retry: RetryPolicy = DEFAULT_LINK_RETRY,
+        link_keepalive: float = 2.0,
+        link_idle_timeout: float = 15.0,
     ) -> None:
         self.name = names.resolve(name, namespace)
         self.namespace = namespace
@@ -100,12 +110,30 @@ class NodeHandle:
         #: publishers and subscribers (negotiation still falls back to
         #: TCPROS per connection; REPRO_SHMROS=0 disables globally).
         self.shmros = shmros
+        #: Self-healing knobs.  ``master_probe_interval`` is the watchdog
+        #: period (0 disables the watchdog); ``link_retry`` governs
+        #: per-publisher reconnects; ``link_keepalive`` is how long a
+        #: publisher lets a link sit idle before sending an in-band
+        #: keepalive, and ``link_idle_timeout`` how long a subscriber
+        #: tolerates total silence before declaring the link half-open.
+        self.master_probe_interval = master_probe_interval
+        self.master_retry = master_retry
+        self.link_retry = link_retry
+        self.link_keepalive = link_keepalive
+        self.link_idle_timeout = link_idle_timeout
         self.master = MasterProxy(master_uri)
         self._publishers: dict[str, Publisher] = {}
         self._subscribers: dict[str, list[Subscriber]] = {}
         self._services: dict[str, "ServiceServer"] = {}
         self._lock = threading.RLock()
         self._shutdown = False
+        #: Master-link health as seen by the watchdog: ``healthy`` while
+        #: probes succeed, ``reconnecting`` from the first failed probe
+        #: until the master answers again.
+        self.master_state = "healthy"
+        self.master_retries = 0
+        self._master_epoch: str | None = None
+        self._watch_stop = threading.Event()
 
         self._data_server = TcpRosServer(self._dispatch_data)
         self._slave_server = xmlrpc.server.SimpleXMLRPCServer(
@@ -121,6 +149,22 @@ class NodeHandle:
         self._slave_thread.start()
         host, port = self._slave_server.server_address
         self.uri = f"http://{host}:{port}/"
+
+        self._watch_thread: threading.Thread | None = None
+        if master_probe_interval and master_probe_interval > 0:
+            # Prime the epoch baseline now: a master bounce before the
+            # first probe tick must still read as a *change*, or early
+            # registrations would never be replayed.
+            try:
+                self._master_epoch = self.master.get_epoch(self.name)
+            except Exception:
+                pass
+            self._watch_thread = threading.Thread(
+                target=self._master_watchdog,
+                daemon=True,
+                name=f"master-watchdog:{self.name}",
+            )
+            self._watch_thread.start()
 
     # ------------------------------------------------------------------
     # Topic API
@@ -308,6 +352,90 @@ class NodeHandle:
             raise NodeShutdownError(f"node {self.name} is shut down")
 
     # ------------------------------------------------------------------
+    # Master watchdog (self-healing)
+    # ------------------------------------------------------------------
+    def _master_watchdog(self) -> None:
+        """Probe the master's epoch on a timer.  A failed probe enters a
+        backoff reconnect loop; a *changed* epoch (master restarted and
+        lost its registry) replays every registration this node holds."""
+        while not self._watch_stop.wait(self.master_probe_interval):
+            self._probe_master()
+
+    def _probe_master(self) -> None:
+        try:
+            epoch = self.master.get_epoch(self.name)
+        except Exception:
+            self._master_reconnect_loop()
+            return
+        self._note_master_epoch(epoch)
+
+    def _note_master_epoch(self, epoch: str) -> None:
+        previous = self._master_epoch
+        self._master_epoch = epoch
+        if previous is not None and epoch != previous:
+            self._reregister()
+        self.master_state = "healthy"
+
+    def _master_reconnect_loop(self) -> None:
+        """Jittered exponential backoff until the master answers again.
+        The master policy never gives up: a node without a master can do
+        nothing better than keep trying."""
+        self.master_state = "reconnecting"
+        policy = self.master_retry
+        attempt = 0
+        import time as _time
+
+        started = _time.monotonic()
+        while not self._shutdown:
+            attempt += 1
+            if policy.gives_up(attempt, started):
+                self.master_state = "dead"
+                return
+            if self._watch_stop.wait(policy.delay(attempt)):
+                return
+            self.master_retries += 1
+            try:
+                epoch = self.master.get_epoch(self.name)
+            except Exception:
+                continue
+            self._note_master_epoch(epoch)
+            return
+
+    def _reregister(self) -> None:
+        """Replay every registration from node-local state (the master
+        restarted with an empty registry).  Subscribers additionally
+        refresh their publisher lists -- that is what reconnects the data
+        plane after an amnesiac restart."""
+        with self._lock:
+            publishers = list(self._publishers.values())
+            subscribers = [
+                sub for subs in self._subscribers.values() for sub in subs
+            ]
+            services = list(self._services.values())
+        for publisher in publishers:
+            try:
+                self.master.register_publisher(
+                    self.name, publisher.topic, publisher.type_name, self.uri
+                )
+            except Exception:
+                return
+        for service in services:
+            try:
+                self.master.register_service(
+                    self.name, service.name, service.uri, self.uri
+                )
+            except Exception:
+                return
+        for subscriber in subscribers:
+            try:
+                publishers_now = self.master.register_subscriber(
+                    self.name, subscriber.topic, subscriber.type_name, self.uri
+                )
+            except Exception:
+                return
+            subscriber.update_publishers(publishers_now)
+
+    # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
     def topic_stats(self) -> dict:
@@ -321,6 +449,12 @@ class NodeHandle:
             ]
         return {
             "node": self.name,
+            "master": {
+                "uri": self.master_uri,
+                "state": self.master_state,
+                "epoch": self._master_epoch,
+                "retries": self.master_retries,
+            },
             "publishers": [pub.stats() for pub in publishers],
             "subscribers": [sub.stats() for sub in subscribers],
         }
@@ -338,6 +472,9 @@ class NodeHandle:
                 sub for subs in self._subscribers.values() for sub in subs
             ]
             services = list(self._services.values())
+        self._watch_stop.set()
+        if self._watch_thread is not None:
+            self._watch_thread.join(timeout=2.0)
         for subscriber in subscribers:
             subscriber.unsubscribe()
         for publisher in publishers:

@@ -3,32 +3,60 @@
 The paper's experiments publish "2,000 times at a frequency of 10 Hz";
 :class:`Rate` provides that pacing, compensating for the time consumed by
 the loop body so long-running bodies do not accumulate drift.
+
+The clock and sleep function are injectable so a rostime-style settable
+clock can drive the schedule -- which is also what makes the
+backwards-jump handling testable: when the clock is reset to an earlier
+time (bag replay looping, sim-time restart), the stored deadline lies in
+the far future of the new timeline.  Without detection, ``sleep()``
+would stall for the whole bogus interval (or busy-spin forever under a
+polling sleeper that re-checks the clock).  A jump is recognized by the
+deadline receding more than one period ahead, and the schedule is
+re-anchored to the new timeline.
 """
 
 from __future__ import annotations
 
 import time
+from typing import Callable
 
 
 class Rate:
     """Sleeps to maintain a target loop frequency."""
 
-    def __init__(self, hz: float) -> None:
+    def __init__(
+        self,
+        hz: float,
+        clock: Callable[[], float] = time.monotonic,
+        sleeper: Callable[[float], None] = time.sleep,
+    ) -> None:
         if hz <= 0:
             raise ValueError(f"rate must be positive, got {hz}")
         self.period = 1.0 / hz
-        self._next_deadline = time.monotonic() + self.period
+        self._clock = clock
+        self._sleeper = sleeper
+        self._next_deadline = clock() + self.period
 
     def sleep(self) -> bool:
         """Sleep until the next cycle boundary.
 
         Returns False when the deadline was already missed (no sleep
         happened and the schedule was re-anchored), True otherwise.
+        A backwards clock jump also re-anchors: the loop resumes its
+        cadence on the new timeline after at most one period.
         """
-        now = time.monotonic()
+        now = self._clock()
         remaining = self._next_deadline - now
+        if remaining > self.period:
+            # The clock jumped backwards (the deadline can never be more
+            # than one period ahead of a monotonically advancing clock):
+            # re-anchor to the new timeline and take one normal cycle.
+            self._next_deadline = now + self.period
+            self._sleeper(self.period)
+            self._next_deadline += self.period
+            return True
         if remaining > 0:
-            time.sleep(remaining)
+            self._sleeper(remaining)
             self._next_deadline += self.period
             return True
         # Missed the cycle: re-anchor rather than bursting to catch up.
@@ -36,4 +64,4 @@ class Rate:
         return False
 
     def reset(self) -> None:
-        self._next_deadline = time.monotonic() + self.period
+        self._next_deadline = self._clock() + self.period

@@ -29,6 +29,7 @@ from repro.obs.metrics import global_registry as obs_registry
 from repro.obs.trace import tracer
 from repro.ros.codecs import codec_for_class, type_info_for_class
 from repro.ros.exceptions import TopicTypeMismatch
+from repro.ros.retry import CancellableTimer, DEFAULT_LINK_RETRY, RetryState
 from repro.ros.transport import shm, tcpros
 from repro.ros.transport.intraprocess import local_bus
 from repro.sfm.manager import MessageState
@@ -91,6 +92,16 @@ class _OutboundLink:
             name=f"pub:{publisher.topic}->{subscriber_id}",
         )
         self._thread.start()
+        # The subscriber never speaks on a TCPROS data socket after the
+        # handshake, so a blocking read resolves only when the link dies:
+        # EOF (or reset) here detects a vanished subscriber without
+        # waiting for the next send to fail.
+        self._monitor = threading.Thread(
+            target=self._monitor_loop,
+            daemon=True,
+            name=f"pubmon:{publisher.topic}->{subscriber_id}",
+        )
+        self._monitor.start()
 
     def enqueue(self, outgoing: _Outgoing) -> None:
         with self._condition:
@@ -113,13 +124,27 @@ class _OutboundLink:
             return len(self._queue)
 
     def _send_loop(self) -> None:
+        keepalive = getattr(self.publisher.node, "link_keepalive", 2.0) or None
         while True:
+            idle = False
             with self._condition:
                 while not self._queue and not self._closed:
-                    self._condition.wait()
+                    if not self._condition.wait(timeout=keepalive):
+                        idle = True
+                        break
                 if self._closed and not self._queue:
                     return
-                outgoing = self._queue.popleft()
+                outgoing = self._queue.popleft() if self._queue else None
+            if outgoing is None:
+                if idle:
+                    # Quiet topic: an in-band keepalive keeps the
+                    # subscriber's idle timer from declaring us half-open.
+                    try:
+                        tcpros.write_keepalive(self.sock)
+                    except OSError:
+                        self._shutdown_from_error()
+                        return
+                continue
             size = len(outgoing.payload)
             trace_id = outgoing.trace_id
             try:
@@ -144,6 +169,16 @@ class _OutboundLink:
             outgoing.done()
             self.sent_count += 1
             self.sent_bytes += size
+
+    def _monitor_loop(self) -> None:
+        try:
+            while not self._closed:
+                if not self.sock.recv(4096):
+                    break
+        except OSError:
+            pass
+        if not self._closed:
+            self._shutdown_from_error()
 
     def _shutdown_from_error(self) -> None:
         self.close()
@@ -270,13 +305,25 @@ class _ShmOutboundLink:
     # Doorbell I/O
     # ------------------------------------------------------------------
     def _send_loop(self) -> None:
+        keepalive = getattr(self.publisher.node, "link_keepalive", 2.0) or None
         while True:
+            idle = False
             with self._condition:
                 while not self._queue and not self._closed:
-                    self._condition.wait()
+                    if not self._condition.wait(timeout=keepalive):
+                        idle = True
+                        break
                 if self._closed and not self._queue:
                     return
-                item = self._queue.popleft()
+                item = self._queue.popleft() if self._queue else None
+            if item is None:
+                if idle:
+                    try:
+                        shm.send_keepalive(self.sock)
+                    except OSError:
+                        self._shutdown_from_error()
+                        return
+                continue
             try:
                 if item[0] == "slot":
                     _kind, _ring, slot, seq, size, trace_id, pub_ns = item
@@ -663,6 +710,9 @@ class Publisher:
             "connections": len(links),
             "queue_depth": sum(link.queue_depth() for link in links),
             "latched": self.latch,
+            # A publisher heals passively (subscribers redial it); its
+            # link health therefore mirrors the node's master link.
+            "link_state": getattr(self.node, "master_state", "healthy"),
         }
 
     def wait_for_subscribers(self, count: int = 1, timeout: float = 10.0) -> bool:
@@ -705,13 +755,25 @@ class _InboundLink:
     attach failure reconnects with SHMROS off.
     """
 
-    def __init__(self, subscriber: "Subscriber", publisher_uri: str) -> None:
+    def __init__(
+        self,
+        subscriber: "Subscriber",
+        publisher_uri: str,
+        allow_shm: Optional[bool] = None,
+        downgraded: bool = False,
+    ) -> None:
         self.subscriber = subscriber
         self.publisher_uri = publisher_uri
         self.sock = None
         self.error: Optional[Exception] = None
         #: "SHMROS" or "TCPROS" once connected (None before/after).
         self.transport: Optional[str] = None
+        #: The retry scheduler forced this link off shared memory
+        #: (SHM -> TCPROS downgrade); surfaces as ``link_state=degraded``.
+        self.downgraded = downgraded
+        #: None: decide from node/env.  False: the reconnect path already
+        #: burned its SHM attempts for this publisher.
+        self._allow_shm = allow_shm
         #: The publisher confirmed ``trace=1``: frames carry the
         #: observability prefix.
         self.traced = False
@@ -728,11 +790,13 @@ class _InboundLink:
 
     def _run(self) -> None:
         subscriber = self.subscriber
-        allow_shm = (
-            getattr(subscriber.node, "shmros", True)
-            and shm.shm_available()
-            and not shm.env_disabled()
-        )
+        allow_shm = self._allow_shm
+        if allow_shm is None:
+            allow_shm = (
+                getattr(subscriber.node, "shmros", True)
+                and shm.shm_available()
+                and not shm.env_disabled()
+            )
         try:
             try:
                 self._connect_and_stream(allow_shm)
@@ -804,12 +868,25 @@ class _InboundLink:
                 pass
             self.sock = None
 
+    def _arm_idle_timeout(self) -> None:
+        """Half-open detection: publishers keepalive idle links, so total
+        silence past ``link_idle_timeout`` means the link is dead even
+        though the socket never errored.  The resulting ``timeout``
+        surfaces through the normal error path and triggers a retry."""
+        idle = getattr(self.subscriber.node, "link_idle_timeout", 15.0)
+        if idle:
+            try:
+                self.sock.settimeout(idle)
+            except OSError:
+                pass
+
     # ------------------------------------------------------------------
     # TCPROS streaming (length-framed messages on the data socket)
     # ------------------------------------------------------------------
     def _stream_tcpros(self) -> None:
         subscriber = self.subscriber
         self.transport = "TCPROS"
+        self._arm_idle_timeout()
         subscriber._link_connected(self)
         if self.traced:
             while not self._closed:
@@ -853,11 +930,14 @@ class _InboundLink:
             int(reply["shm_slot_bytes"]),
         )
         self.transport = "SHMROS"
+        self._arm_idle_timeout()
         subscriber._link_connected(self)
         try:
             while not self._closed:
                 frame = shm.read_control_frame(self.sock)
                 kind = frame[0]
+                if kind == "keepalive":
+                    continue
                 if kind == "slot":
                     _kind, slot, seq, size, trace_id, pub_ns = frame
                     if trace_id:
@@ -980,6 +1060,25 @@ class Subscriber:
         #: Messages announced by a SHMROS doorbell whose slot had already
         #: been reclaimed by the time we looked (we were too slow).
         self.stale_drops = 0
+        # --- self-healing state -------------------------------------------
+        #: Publisher URIs the master currently lists for this topic.
+        self._wanted: set[str] = set()
+        #: Connected links the master stopped listing: a freshly
+        #: restarted (amnesiac) master forgets live publishers, so a
+        #: working data link is never closed on the master's say-so alone
+        #: -- it is merely *suspect* until the socket itself dies.
+        self._suspect: set[str] = set()
+        self._retry: dict[str, RetryState] = {}
+        self._timers: dict[str, CancellableTimer] = {}
+        self._retry_policy = getattr(node, "link_retry", DEFAULT_LINK_RETRY)
+        #: Lifetime reconnect attempts (the obs counter behind
+        #: ``miniros_link_retries_total``).
+        self.retries = 0
+        #: Exhausted every transport for an in-process publisher and fell
+        #: back to direct local-bus delivery (the ladder's last rung).
+        self._intraprocess_fallback = False
+        self._state = "healthy"
+        self._state_history: deque[str] = deque(["healthy"], maxlen=64)
         self._latency = obs_instrument.latency_child(topic)
         self._shutdown = False
         if intraprocess:
@@ -990,7 +1089,14 @@ class Subscriber:
     # Publisher discovery
     # ------------------------------------------------------------------
     def update_publishers(self, publisher_uris: list[str]) -> None:
-        """React to the master's current publisher list for the topic."""
+        """React to the master's current publisher list for the topic.
+
+        A URI that disappears from the list is closed only if its link is
+        not (yet) connected; a *connected* link is kept and marked
+        suspect instead, because a master that just restarted with an
+        empty registry reports publishers it merely forgot.  Truly dead
+        links are reaped by socket errors and the idle timeout.
+        """
         local_uris = (
             local_bus.local_publisher_uris(self.node.master_uri, self.topic)
             if self.intraprocess
@@ -1004,32 +1110,158 @@ class Subscriber:
                 uri for uri in publisher_uris
                 if uri != "" and uri not in local_uris
             }
+            self._wanted = wanted
+            self._suspect -= wanted
             for uri in wanted - known:
+                self._retry.pop(uri, None)
+                self._cancel_timer(uri)
                 self._links[uri] = _InboundLink(self, uri)
             for uri in known - wanted:
-                link = self._links.pop(uri)
+                link = self._links[uri]
+                if link in self._connected:
+                    self._suspect.add(uri)
+                    continue
+                del self._links[uri]
                 link.close()
+            for uri in list(self._retry):
+                if uri not in wanted:
+                    self._retry.pop(uri)
+                    self._cancel_timer(uri)
+            self._refresh_state()
 
     def _link_connected(self, link: _InboundLink) -> None:
         with self._lock:
             self._connected.add(link)
+            self._retry.pop(link.publisher_uri, None)
+            self._refresh_state()
         self._connect_event.set()
 
     def _link_closed(self, link: _InboundLink) -> None:
+        uri = link.publisher_uri
         with self._lock:
             self._connected.discard(link)
-            self._links.pop(link.publisher_uri, None)
+            was_current = self._links.get(uri) is link
+            if was_current:
+                del self._links[uri]
+            self._suspect.discard(uri)
             if link.error is not None:
-                self.link_errors[link.publisher_uri] = link.error
+                self.link_errors[uri] = link.error
+            if (
+                not self._shutdown
+                and was_current
+                and uri in self._wanted
+                and uri not in self._timers
+            ):
+                self._schedule_retry(uri, link)
+            self._refresh_state()
+
+    # ------------------------------------------------------------------
+    # Per-link retry (self-healing)
+    # ------------------------------------------------------------------
+    def _schedule_retry(self, uri: str, link: _InboundLink) -> None:
+        """Called under ``self._lock`` when a wanted link died."""
+        state = self._retry.setdefault(uri, RetryState())
+        state.attempts += 1
+        if link.transport == "SHMROS":
+            state.shm_failures += 1
+        permanent = link.transport is None and isinstance(
+            link.error, (tcpros.ConnectionHandshakeError, TopicTypeMismatch)
+        )
+        policy = self._retry_policy
+        if permanent or policy.gives_up(state.attempts + 1, state.started):
+            state.exhausted = True
+            self._exhausted(uri)
+            return
+        self._timers[uri] = CancellableTimer(
+            policy.delay(state.attempts), lambda: self._retry_connect(uri)
+        )
+
+    def _retry_connect(self, uri: str) -> None:
+        with self._lock:
+            self._timers.pop(uri, None)
+            if self._shutdown or uri not in self._wanted or uri in self._links:
+                return
+            state = self._retry.get(uri)
+            downgraded = (
+                state is not None
+                and not state.allow_shm(self._retry_policy)
+            )
+            self.retries += 1
+            self._links[uri] = _InboundLink(
+                self, uri,
+                allow_shm=False if downgraded else None,
+                downgraded=downgraded,
+            )
+            self._refresh_state()
+
+    def _exhausted(self, uri: str) -> None:
+        """Retry budget spent.  Last rung of the failover ladder: if the
+        unreachable publisher lives in this very process, deliver through
+        the local bus instead of a socket."""
+        if self._intraprocess_fallback or self.intraprocess:
+            return
+        if uri in local_bus.local_publisher_uris(
+            self.node.master_uri, self.topic
+        ):
+            self._intraprocess_fallback = True
+            local_bus.register_subscriber(self)
+
+    def _cancel_timer(self, uri: str) -> None:
+        timer = self._timers.pop(uri, None)
+        if timer is not None:
+            timer.cancel()
+
+    # ------------------------------------------------------------------
+    # link_state (healthy / degraded / reconnecting / dead)
+    # ------------------------------------------------------------------
+    def _refresh_state(self) -> None:
+        """Recompute ``link_state`` (caller holds ``self._lock``)."""
+        state = self._compute_state()
+        if state != self._state:
+            self._state = state
+            self._state_history.append(state)
+
+    def _compute_state(self) -> str:
+        pending = [
+            uri for uri, st in self._retry.items()
+            if uri in self._wanted and not st.exhausted
+        ]
+        exhausted = [
+            uri for uri, st in self._retry.items()
+            if uri in self._wanted and st.exhausted
+        ]
+        degraded = any(link.downgraded for link in self._connected)
+        if not self._connected:
+            if exhausted and not pending:
+                return "dead" if not self._intraprocess_fallback else "degraded"
+            if pending:
+                return "reconnecting"
+            return "healthy"
+        if pending or exhausted or degraded:
+            return "degraded"
+        return "healthy"
 
     def get_num_connections(self) -> int:
         with self._lock:
             count = len(self._connected)
-        if self.intraprocess:
+        if self.intraprocess or self._intraprocess_fallback:
             count += len(
                 local_bus.local_publisher_uris(self.node.master_uri, self.topic)
             )
         return count
+
+    @property
+    def link_state(self) -> str:
+        """Aggregate health of this subscription's data links."""
+        with self._lock:
+            return self._state
+
+    def state_history(self) -> list[str]:
+        """The sequence of ``link_state`` values this subscription has
+        been through (bounded; newest last) -- what chaos tests assert
+        recovery against."""
+        with self._lock:
+            return list(self._state_history)
 
     def wait_for_publishers(self, count: int = 1, timeout: float = 10.0) -> bool:
         deadline = time.monotonic() + timeout
@@ -1066,6 +1298,10 @@ class Subscriber:
         transports: dict[str, int] = {}
         for link in links:
             transports[link.transport] = transports.get(link.transport, 0) + 1
+        with self._lock:
+            state = self._state
+            history = list(self._state_history)
+            retries = self.retries
         return {
             "topic": self.topic,
             "type": self.type_name,
@@ -1073,6 +1309,9 @@ class Subscriber:
             "connections": self.get_num_connections(),
             "stale_drops": self.stale_drops,
             "transports": transports,
+            "link_state": state,
+            "state_history": history,
+            "retries": retries,
         }
 
     def _deliver_local(self, msg) -> None:
@@ -1097,7 +1336,13 @@ class Subscriber:
             self._shutdown = True
             links = list(self._links.values())
             self._links.clear()
-        if self.intraprocess:
+            timers = list(self._timers.values())
+            self._timers.clear()
+            self._retry.clear()
+            self._wanted = set()
+        for timer in timers:
+            timer.cancel()
+        if self.intraprocess or self._intraprocess_fallback:
             local_bus.unregister_subscriber(self)
         for link in links:
             link.close()

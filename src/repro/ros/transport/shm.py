@@ -81,6 +81,29 @@ KIND_SLOT = 1    # a=slot, b=seq, c=size
 KIND_INLINE = 2  # c=size, followed by the payload bytes
 KIND_RESEG = 3   # a=slot_count, b=len(name), c=slot_bytes, followed by name
 KIND_ACK = 4     # a=slot, b=seq
+KIND_KEEPALIVE = 5  # no operands; resets the reader's idle timer
+
+
+# ----------------------------------------------------------------------
+# Chaos seam: an installable interceptor for outgoing doorbell frames.
+# ``hook(kind, sock, size) -> bool`` -- False swallows the frame (a
+# stalled doorbell), True lets it through.  The transport never imports
+# repro.chaos.
+# ----------------------------------------------------------------------
+_doorbell_hook = None
+
+
+def install_doorbell_hook(hook) -> None:
+    """Install (or with ``None`` remove) the doorbell send interceptor."""
+    global _doorbell_hook
+    _doorbell_hook = hook
+
+
+def _doorbell_allows(kind: int, sock, size: int) -> bool:
+    hook = _doorbell_hook
+    if hook is None:
+        return True
+    return bool(hook(kind, sock, size))
 
 
 class ShmTransportError(Exception):
@@ -370,6 +393,8 @@ def send_slot_frame(
     sock: socket.socket, slot: int, seq: int, size: int,
     trace_id: int = 0, stamp_ns: int = 0,
 ) -> None:
+    if not _doorbell_allows(KIND_SLOT, sock, size):
+        return
     sock.sendall(_FRAME.pack(KIND_SLOT, slot, seq, size, trace_id, stamp_ns))
 
 
@@ -377,6 +402,8 @@ def send_inline_frame(
     sock: socket.socket, payload, trace_id: int = 0, stamp_ns: int = 0
 ) -> None:
     """Oversize/no-shm fallback: the payload rides the doorbell socket."""
+    if not _doorbell_allows(KIND_INLINE, sock, len(payload)):
+        return
     header = _FRAME.pack(KIND_INLINE, 0, 0, len(payload), trace_id, stamp_ns)
     if hasattr(sock, "sendmsg"):
         _sendmsg_all(sock, header, payload)
@@ -389,6 +416,8 @@ def send_reseg_frame(
     sock: socket.socket, name: str, slot_count: int, slot_bytes: int
 ) -> None:
     encoded = name.encode("utf-8")
+    if not _doorbell_allows(KIND_RESEG, sock, len(encoded)):
+        return
     sock.sendall(
         _FRAME.pack(KIND_RESEG, slot_count, len(encoded), slot_bytes, 0, 0)
         + encoded
@@ -399,6 +428,15 @@ def send_ack(sock: socket.socket, slot: int, seq: int) -> None:
     sock.sendall(_FRAME.pack(KIND_ACK, slot, seq, 0, 0, 0))
 
 
+def send_keepalive(sock: socket.socket) -> None:
+    """Doorbell keepalive: lets an idle SHM link prove it is not
+    half-open (and lets a *stalled* doorbell be detected -- a wedged ring
+    swallows keepalives too, so the reader's idle timer fires)."""
+    if not _doorbell_allows(KIND_KEEPALIVE, sock, 0):
+        return
+    sock.sendall(_FRAME.pack(KIND_KEEPALIVE, 0, 0, 0, 0, 0))
+
+
 def read_control_frame(sock: socket.socket) -> tuple:
     """Read one doorbell frame; returns a ``(kind, ...)`` tuple:
 
@@ -406,6 +444,7 @@ def read_control_frame(sock: socket.socket) -> tuple:
     - ``("inline", payload_bytearray, trace_id, stamp_ns)``
     - ``("reseg", segment_name, slot_count, slot_bytes)``
     - ``("ack", slot, seq)``
+    - ``("keepalive",)``
     """
     kind, a, b, c, trace_id, stamp_ns = _FRAME.unpack(
         bytes(read_exact(sock, _FRAME.size))
@@ -419,6 +458,8 @@ def read_control_frame(sock: socket.socket) -> tuple:
         return ("reseg", name, a, c)
     if kind == KIND_ACK:
         return ("ack", a, b)
+    if kind == KIND_KEEPALIVE:
+        return ("keepalive",)
     raise ShmTransportError(f"unknown doorbell frame kind {kind}")
 
 

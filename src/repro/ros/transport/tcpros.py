@@ -29,6 +29,37 @@ _LEN = struct.Struct("<I")
 #: lengths from a confused peer (64 MiB covers a 6 MB image many times).
 MAX_FRAME = 64 * 1024 * 1024
 
+#: In-band keepalive marker: a length word no real frame can use (far
+#: beyond MAX_FRAME).  A publisher whose send queue idles writes just
+#: this word; readers skip it, resetting their idle timer -- which is how
+#: a half-open link (peer vanished without FIN) is told apart from a
+#: merely quiet topic.
+KEEPALIVE_WORD = 0xFFFFFFFF
+_KEEPALIVE = _LEN.pack(KEEPALIVE_WORD)
+
+
+# ----------------------------------------------------------------------
+# Chaos seam: an installable factory wrapping every data socket.  The
+# transport never imports repro.chaos; a FaultPlan installs its wrapper
+# here and every TCPROS/bridge connection flows through it.
+# ----------------------------------------------------------------------
+_socket_hook = None
+
+
+def install_socket_hook(hook) -> None:
+    """Install (or with ``None`` remove) the global socket-wrapping hook:
+    ``hook(sock, seam, context) -> socket-like``."""
+    global _socket_hook
+    _socket_hook = hook
+
+
+def wrap_socket(sock, seam: str, **context):
+    """Run ``sock`` through the installed hook (identity when absent)."""
+    hook = _socket_hook
+    if hook is None:
+        return sock
+    return hook(sock, seam, context)
+
 #: Traced connections (both sides sent ``trace=1`` in the connection
 #: header) prefix every frame's payload with (trace_id, stamp_ns): the
 #: publisher's per-message trace id (0 when untraced) and its publish
@@ -79,11 +110,21 @@ def read_exact(sock: socket.socket, count: int) -> bytearray:
 
 
 def read_frame(sock: socket.socket) -> bytearray:
-    """Read one length-prefixed frame."""
-    (length,) = _LEN.unpack(bytes(read_exact(sock, 4)))
-    if length > MAX_FRAME:
-        raise ConnectionHandshakeError(f"frame length {length} exceeds limit")
-    return read_exact(sock, length)
+    """Read one length-prefixed frame (silently skipping keepalives)."""
+    while True:
+        (length,) = _LEN.unpack(bytes(read_exact(sock, 4)))
+        if length == KEEPALIVE_WORD:
+            continue
+        if length > MAX_FRAME:
+            raise ConnectionHandshakeError(
+                f"frame length {length} exceeds limit"
+            )
+        return read_exact(sock, length)
+
+
+def write_keepalive(sock: socket.socket) -> None:
+    """Write one in-band keepalive marker (no payload follows)."""
+    sock.sendall(_KEEPALIVE)
 
 
 #: Payloads at or below this ride in one coalesced buffer with their
@@ -161,7 +202,10 @@ def read_traced_frame(sock: socket.socket) -> tuple[bytearray, int, int]:
     The prefix is read separately so the payload lands in an exactly
     sized buffer -- no slicing copy on the hot receive path.
     """
-    (length,) = _LEN.unpack(bytes(read_exact(sock, 4)))
+    while True:
+        (length,) = _LEN.unpack(bytes(read_exact(sock, 4)))
+        if length != KEEPALIVE_WORD:
+            break
     if length > MAX_FRAME:
         raise ConnectionHandshakeError(f"frame length {length} exceeds limit")
     if length < TRACE_PREFIX:
@@ -189,6 +233,9 @@ def connect_subscriber(
     """Open a data connection to a publisher and run the handshake."""
     sock = socket.create_connection((host, port), timeout=timeout)
     sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+    sock.setsockopt(socket.SOL_SOCKET, socket.SO_KEEPALIVE, 1)
+    sock = wrap_socket(sock, "tcpros", role="subscriber",
+                       topic=fields.get("topic", ""))
     try:
         reply = exchange_header_as_client(sock, fields)
     except Exception:
@@ -233,9 +280,12 @@ class TcpRosServer:
     def _handshake(self, sock: socket.socket) -> None:
         try:
             sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            sock.setsockopt(socket.SOL_SOCKET, socket.SO_KEEPALIVE, 1)
             sock.settimeout(10.0)
             header = decode_header(bytes(read_frame(sock)))
             sock.settimeout(None)
+            sock = wrap_socket(sock, "tcpros", role="publisher",
+                               topic=header.get("topic", ""))
             self._dispatcher(sock, header)
         except Exception:
             try:

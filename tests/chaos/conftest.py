@@ -1,0 +1,67 @@
+"""Chaos-suite fixtures: a bounceable master, fast-knob nodes, and
+fault plans that always uninstall.
+
+The node knobs here are the suite's speed/determinism contract: a 50 ms
+master probe so epoch changes are noticed within a test-sized window, a
+200 ms keepalive + 1 s idle timeout so half-open links die quickly, and
+SHMROS off by default (the wedge test opts back in with its own knobs).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import chaos
+from repro.ros.node import NodeHandle
+
+#: Verified-fast self-healing knobs shared by the scenarios.
+FAST_KNOBS = dict(
+    shmros=False,
+    master_probe_interval=0.05,
+    link_keepalive=0.2,
+    link_idle_timeout=1.0,
+)
+
+
+@pytest.fixture
+def chaos_master():
+    with chaos.ChaosMaster() as master:
+        yield master
+
+
+@pytest.fixture
+def plan_factory():
+    """Build (and by default install) FaultPlans; every plan built here
+    is uninstalled at teardown so a failing test cannot leak its hooks
+    into the rest of the session."""
+    plans: list[chaos.FaultPlan] = []
+
+    def make(seed: int = 0, install: bool = True) -> chaos.FaultPlan:
+        plan = chaos.FaultPlan(seed=seed)
+        plans.append(plan)
+        if install:
+            plan.install()
+        return plan
+
+    yield make
+    for plan in plans:
+        plan.uninstall()
+
+
+@pytest.fixture
+def node_factory(chaos_master):
+    nodes: list[NodeHandle] = []
+
+    def make(name: str, **overrides) -> NodeHandle:
+        kwargs = dict(FAST_KNOBS)
+        kwargs.update(overrides)
+        node = NodeHandle(name, chaos_master.uri, **kwargs)
+        nodes.append(node)
+        return node
+
+    yield make
+    for node in nodes:
+        try:
+            node.shutdown()
+        except Exception:
+            pass

@@ -1,0 +1,78 @@
+"""Bridge gateway under frame corruption: a client whose ops arrive
+damaged gets an error status on the wire -- never a hang, never a dead
+session.
+
+The corrupt rule is scoped to the server's receive path with
+``min_size=8`` so the 4-byte length-prefix reads are spared: the framing
+envelope stays intact and only an op *body* is damaged, which is the
+recoverable case the gateway must shrug off (an unreadable length word
+is indistinguishable from a byte-desynced stream and correctly kills the
+connection instead).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bridge.client import BridgeClient, BridgeError
+from repro.bridge.server import BridgeServer
+from repro.msg.library import String
+from repro.ros.retry import wait_until
+
+TYPE = "std_msgs/String"
+
+
+@pytest.fixture
+def bridge(chaos_master, plan_factory):
+    """An installed plan plus a gateway whose accepted sockets run
+    through it (the plan must exist before the first accept)."""
+    plan = plan_factory(seed=11)
+    with BridgeServer(chaos_master.uri) as server:
+        yield plan, server
+
+
+def _error_statuses(client: BridgeClient) -> list[dict]:
+    return [s for s in client.statuses if s.get("level") == "error"]
+
+
+def test_corrupted_op_yields_status_error_and_session_survives(
+        bridge, node_factory):
+    plan, server = bridge
+    sub_node = node_factory("bridge_sub")
+    got: list[str] = []
+    sub_node.subscribe("/chaos_bridge", String,
+                       lambda msg: got.append(msg.data))
+
+    with BridgeClient(server.host, server.port) as client:
+        client.advertise("/chaos_bridge", TYPE)  # clean handshake + setup
+        wait_until(lambda: server.node.topic_stats(), desc="gateway up")
+
+        plan.corrupt(seam="bridge", op="recv", min_size=8, count=1, flips=6)
+        client.publish("/chaos_bridge", {"data": "mangled in flight"})
+
+        # The damage is reported out-of-band, promptly, as a status op.
+        wait_until(lambda: _error_statuses(client), timeout=5.0,
+                   desc="error status for the corrupted op")
+        assert plan.events and plan.events[0][0] == "corrupt"
+
+        # The session shrugged it off: the very next publish flows
+        # end-to-end into the graph.
+        client.publish("/chaos_bridge", {"data": "after the storm"})
+        wait_until(lambda: "after the storm" in got, timeout=5.0,
+                   desc="post-corruption delivery")
+        assert "mangled in flight" not in got
+
+
+def test_corrupted_request_fails_bounded_not_forever(bridge, node_factory):
+    """A *blocking* request whose op is destroyed cannot be acked (the
+    request id burned with the frame) -- the client must fail within its
+    timeout, and the same session must still serve the retry."""
+    plan, server = bridge
+    with BridgeClient(server.host, server.port, timeout=1.0) as client:
+        plan.corrupt(seam="bridge", op="recv", min_size=8, count=1, flips=6)
+        with pytest.raises(BridgeError):
+            client.advertise("/chaos_retry", TYPE)
+        wait_until(lambda: _error_statuses(client), timeout=5.0,
+                   desc="error status for the corrupted advertise")
+        chan = client.advertise("/chaos_retry", TYPE)
+        assert isinstance(chan, int)

@@ -1,0 +1,109 @@
+"""The failover ladder's middle rung: a wedged SHMROS ring downgrades
+the link to plain TCPROS.
+
+``stall_doorbell()`` models the nastiest shared-memory failure -- the
+segment is mapped and the publisher writes slots happily, but the
+doorbell socket goes silent (notifications, inline payloads and
+keepalives all suppressed).  The subscriber's only evidence is silence,
+so the idle timeout is what declares the link dead; the retry layer then
+counts an SHM failure and redials with shared memory off the table.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.msg.library import String
+from repro.ros.retry import wait_until
+from repro.ros.transport import shm
+
+pytestmark = pytest.mark.skipif(
+    not shm.shm_available() or shm.env_disabled(),
+    reason="shared memory unavailable",
+)
+
+#: Tight silence detection: the wedge only manifests through idleness.
+WEDGE_KNOBS = dict(shmros=True, link_keepalive=0.1, link_idle_timeout=0.5)
+
+
+def test_wedged_doorbell_downgrades_to_tcpros(chaos_master, node_factory,
+                                              plan_factory):
+    plan = plan_factory(seed=5)
+    pub_node = node_factory("wedge_pub", **WEDGE_KNOBS)
+    sub_node = node_factory("wedge_sub", **WEDGE_KNOBS)
+
+    got: list[str] = []
+    publisher = pub_node.advertise("/wedge", String)
+    subscriber = sub_node.subscribe("/wedge", String,
+                                    lambda msg: got.append(msg.data))
+
+    def transports() -> dict:
+        return subscriber.stats()["transports"]
+
+    wait_until(lambda: transports().get("SHMROS"),
+               desc="initial SHMROS link")
+
+    stop = threading.Event()
+    sent = [0]
+
+    def pump() -> None:
+        while not stop.wait(0.01):
+            msg = String()
+            msg.data = str(sent[0])
+            try:
+                publisher.publish(msg)
+                sent[0] += 1
+            except Exception:
+                pass
+
+    thread = threading.Thread(target=pump, daemon=True)
+    thread.start()
+    try:
+        wait_until(lambda: len(got) >= 5, desc="shared-memory delivery")
+
+        plan.stall_doorbell()
+
+        # The subscriber must starve, give up on the ring, and come back
+        # over plain TCPROS -- while the doorbell is still wedged.
+        wait_until(lambda: transports().get("TCPROS"), timeout=10.0,
+                   desc="downgrade to TCPROS")
+        mark = len(got)
+        wait_until(lambda: len(got) >= mark + 10, timeout=5.0,
+                   desc="delivery over the downgraded link")
+
+        stats = subscriber.stats()
+        assert not stats["transports"].get("SHMROS")
+        assert stats["retries"] >= 1
+        # A downgraded-but-flowing link reports degraded, and the journey
+        # through reconnecting is on the record.
+        assert stats["link_state"] == "degraded"
+        assert "reconnecting" in stats["state_history"]
+    finally:
+        stop.set()
+        thread.join(timeout=2.0)
+
+
+def test_healthy_shm_is_untouched_by_an_idle_plan(chaos_master,
+                                                  node_factory,
+                                                  plan_factory):
+    """An installed plan with no rules must not perturb SHMROS delivery
+    (the seam is pure passthrough until a rule matches)."""
+    plan_factory(seed=0)
+    pub_node = node_factory("calm_pub", **WEDGE_KNOBS)
+    sub_node = node_factory("calm_sub", **WEDGE_KNOBS)
+    got: list[str] = []
+    publisher = pub_node.advertise("/calm", String)
+    subscriber = sub_node.subscribe("/calm", String,
+                                    lambda msg: got.append(msg.data))
+    wait_until(lambda: subscriber.stats()["transports"].get("SHMROS"),
+               desc="SHMROS link")
+    for index in range(20):
+        msg = String()
+        msg.data = str(index)
+        publisher.publish(msg)
+        time.sleep(0.005)
+    wait_until(lambda: len(got) >= 20, desc="all messages delivered")
+    assert subscriber.link_state == "healthy"

@@ -4,17 +4,23 @@ A middleware earns trust by what happens when things go wrong; these
 tests kill peers mid-stream, feed garbage to every deserializer, and
 verify each failure is contained (typed error or clean link teardown,
 never a hung thread or an unrelated exception type).
+
+Injection runs through :mod:`repro.chaos`: ``crash_node`` for abrupt
+(SIGKILL-style) peer death, ``fuzz_corpus`` for the seeded deserializer
+fuzz (deterministic, dependency-free -- re-run a failing seed and the
+exact byte stream replays).
 """
 
 import threading
 import time
 
 import pytest
-from hypothesis import given, settings, strategies as st
 
+from repro import chaos
 from repro.msg import library as L
 from repro.msg.registry import default_registry
 from repro.ros import RosGraph
+from repro.ros.retry import wait_until
 from repro.rossf import sfm_classes_for
 from repro.serialization.protobuf import ProtoBufDecodeError, ProtoBufFormat
 from repro.serialization.rosser import DeserializationError, ROSSerializer
@@ -29,7 +35,7 @@ class TestPeerDeath:
             sub_node.subscribe("/mortal", L.UInt32, lambda m: None)
             pub = pub_node.advertise("/mortal", L.UInt32)
             assert pub.wait_for_subscribers(1)
-            sub_node.shutdown()
+            chaos.crash_node(sub_node)
             # Publishing into the dead link must not raise; the link is
             # removed once the send fails.
             deadline = time.monotonic() + 5
@@ -57,14 +63,16 @@ class TestPeerDeath:
             first.publish(L.UInt32(data=1))
             assert event.wait(10)
             event.clear()
-            first_pub_node.shutdown()
-
+            chaos.crash_node(first_pub_node)
+            # The crash left a stale registration behind (no goodbye);
+            # the replacement registers over it and delivery resumes.
             second_pub_node = graph.node("second_pub")
             second = second_pub_node.advertise("/comeback", L.UInt32)
             assert second.wait_for_subscribers(1, timeout=10)
             second.publish(L.UInt32(data=2))
             assert event.wait(10)
             assert received[-1] == 2
+            assert sub.link_state in ("healthy", "degraded", "reconnecting")
 
     def test_service_provider_death_breaks_call(self):
         from repro.msg.srv import service_type
@@ -80,40 +88,58 @@ class TestPeerDeath:
             assert client_node.wait_for_service("/mortal_add")
             proxy = client_node.service_proxy("/mortal_add", add)
             assert proxy(a=1, b=1).sum == 2
-            server_node.shutdown()
+            chaos.crash_node(server_node)
             with pytest.raises((ConnectionError, OSError, Exception)):
                 proxy(a=1, b=1)
 
 
 class TestCorruptBuffers:
-    """Every deserializer must answer garbage with its own error type."""
+    """Every deserializer must answer garbage with its own error type.
 
-    @settings(max_examples=60, deadline=None)
-    @given(st.binary(max_size=128))
-    def test_rosser_fuzz(self, data):
+    Each case is a seeded corpus (64 buffers: the classic troublemakers
+    plus random garbage) -- any other exception type escaping is the
+    failure."""
+
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_rosser_fuzz(self, seed):
         serializer = ROSSerializer(default_registry)
-        try:
-            serializer.deserialize("sensor_msgs/Image", data)
-        except DeserializationError:
-            pass
+        for data in chaos.fuzz_corpus(seed, cases=60, max_size=128):
+            try:
+                serializer.deserialize("sensor_msgs/Image", data)
+            except DeserializationError:
+                pass
 
-    @settings(max_examples=60, deadline=None)
-    @given(st.binary(max_size=128))
-    def test_protobuf_fuzz(self, data):
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_protobuf_fuzz(self, seed):
         fmt = ProtoBufFormat(default_registry)
-        try:
-            fmt.deserialize("sensor_msgs/Image", data)
-        except ProtoBufDecodeError:
-            pass
+        for data in chaos.fuzz_corpus(seed, cases=60, max_size=128):
+            try:
+                fmt.deserialize("sensor_msgs/Image", data)
+            except ProtoBufDecodeError:
+                pass
 
-    @settings(max_examples=60, deadline=None)
-    @given(st.binary(max_size=128))
-    def test_xcdr2_fuzz(self, data):
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_xcdr2_fuzz(self, seed):
         fmt = XCDR2Format(default_registry)
-        try:
-            fmt.deserialize("sensor_msgs/Image", data)
-        except XcdrError:
-            pass
+        for data in chaos.fuzz_corpus(seed, cases=60, max_size=128):
+            try:
+                fmt.deserialize("sensor_msgs/Image", data)
+            except XcdrError:
+                pass
+
+    def test_mutated_valid_wire_images_are_contained(self):
+        """Mutations of a *valid* buffer (flips, truncation, length
+        inflation) are closer to real wire damage than pure noise."""
+        serializer = ROSSerializer(default_registry)
+        good = serializer.serialize(
+            L.Image(height=2, width=2, step=6, encoding="rgb8",
+                    data=b"\x00" * 12)
+        )
+        for data in chaos.mutations(bytes(good), seed=13, rounds=40):
+            try:
+                serializer.deserialize("sensor_msgs/Image", data)
+            except DeserializationError:
+                pass
 
     def test_sfm_validate_rejects_corrupt_offsets(self):
         import struct
@@ -167,6 +193,9 @@ class TestBackpressure:
             publish_elapsed = time.monotonic() - start
             # Publishing never blocks on the slow consumer.
             assert publish_elapsed < 2.0
-            time.sleep(0.5)
-            with lock:
-                assert 0 < count < 200  # some delivered, some dropped
+
+            def delivered_some():
+                with lock:
+                    return 0 < count < 200
+            wait_until(delivered_some, timeout=5.0,
+                       desc="some (not all) deliveries landing")

@@ -160,3 +160,30 @@ def _play_when_wired(reader, node, _event):
         publisher.wait_for_subscribers(1)
     for record in reader.messages():
         publishers[record.topic].publish(record.decode(reader.registry))
+
+
+class TestPlaybackUnknownTypes:
+    def test_unregistered_type_warns_and_skips_its_topic(self, bag_path):
+        """A bag can outlive its type definitions: playback warns about
+        the unresolvable topic and replays the rest instead of aborting."""
+        with BagWriter(bag_path) as writer:
+            writer.write("/known", L.UInt32(data=7), stamp=(0, 0))
+            # A connection whose type no registry will ever resolve, plus
+            # one message on it (crafted via the writer's record layer).
+            writer._write_record(
+                {"op": "conn", "conn": "9", "topic": "/mystery",
+                 "type": "mystery_msgs/Gone", "md5sum": "*",
+                 "format": "ros"},
+                b"",
+            )
+            writer._write_record(
+                {"op": "msg", "conn": "9", "secs": "0", "nsecs": "5"},
+                b"\x00\x00\x00\x00",
+            )
+        reader = BagReader(bag_path)
+        assert set(reader.topics()) == {"/known", "/mystery"}
+        with RosGraph() as graph:
+            node = graph.node("bag_skip")
+            with pytest.warns(RuntimeWarning, match="mystery_msgs/Gone"):
+                published = play(reader, node, rate=0)
+        assert published == 1  # /known replayed, /mystery skipped

@@ -93,3 +93,36 @@ class TestRate:
     def test_bad_rate_rejected(self):
         with pytest.raises(ValueError):
             Rate(0)
+
+    def test_backwards_clock_jump_reanchors(self):
+        """A clock that jumps backwards (sim-time restart, looping bag
+        replay) must cost at most one period -- not a stall for the whole
+        phantom interval, and never a busy-spin."""
+        now = [1000.0]
+        slept: list[float] = []
+
+        def clock() -> float:
+            return now[0]
+
+        def sleeper(seconds: float) -> None:
+            slept.append(seconds)
+            now[0] += seconds
+
+        rate = Rate(10.0, clock=clock, sleeper=sleeper)
+        assert rate.sleep() is True  # normal cycle on the old timeline
+        now[0] = 100.0  # the clock falls 900 s into the past
+        assert rate.sleep() is True
+        # One period of sleep, not the 900 s the stale deadline implies.
+        assert slept[-1] == pytest.approx(rate.period)
+        # The schedule is re-anchored: the next cycle is normal again.
+        assert rate.sleep() is True
+        assert slept[-1] <= rate.period + 1e-9
+
+    def test_reset_adopts_the_current_timeline(self):
+        now = [50.0]
+        rate = Rate(10.0, clock=lambda: now[0],
+                    sleeper=lambda s: now.__setitem__(0, now[0] + s))
+        now[0] = 5.0  # backwards jump before reset
+        rate.reset()
+        assert rate._next_deadline == pytest.approx(5.0 + rate.period)
+        assert rate.sleep() is True

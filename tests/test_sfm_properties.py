@@ -148,6 +148,108 @@ def test_pointcloud_nested_vector_property(points, names):
     assert [str(channel.name) for channel in received.channels] == list(names)
 
 
+class TestSeededEdgeCases:
+    """Seeded, hypothesis-free edge cases (the chaos-suite style: any
+    failure replays exactly from the seed in the test body).  These pin
+    the corners random strategies rarely hold onto: empty vectors,
+    maximum-depth nesting, non-ASCII text, and arena resegmentation in
+    the middle of building a message."""
+
+    def test_zero_length_vectors_roundtrip(self):
+        sfm_cls = generate_sfm_class("sensor_msgs/Image")
+        msg = sfm_cls()
+        msg.encoding = ""
+        msg.data = b""
+        received = sfm_cls.from_buffer(
+            bytearray(bytes(msg.to_wire())), validate=True
+        )
+        assert received == msg
+        assert len(received.data) == 0
+        assert str(received.encoding) == ""
+
+    def test_zero_length_nested_vectors_roundtrip(self):
+        pc_cls = generate_sfm_class("sensor_msgs/PointCloud")
+        pc = pc_cls()
+        received = pc_cls.from_buffer(
+            bytearray(bytes(pc.to_wire())), validate=True
+        )
+        assert len(received.points) == 0
+        assert len(received.channels) == 0
+        assert received == pc
+
+    def test_max_depth_nesting_matches_plain(self):
+        """nav_msgs/Path is the deepest library type: Path -> poses[] ->
+        PoseStamped -> Pose -> Point/Quaternion, mutated leaf-by-leaf."""
+        import random
+
+        def fill(msg):
+            rng = random.Random(20250805)
+            msg.header.frame_id = "map"
+            for pose in msg.poses:
+                pose.header.seq = rng.randrange(2**32)
+                pose.header.frame_id = "odom"
+                pose.pose.position.x = rng.randrange(1000)
+                pose.pose.position.y = rng.randrange(1000)
+                pose.pose.position.z = rng.randrange(1000)
+                pose.pose.orientation.w = 1.0
+
+        sfm_cls = generate_sfm_class("nav_msgs/Path")
+        sfm, plain = sfm_cls(), L.Path()
+        sfm.poses.resize(5)
+        plain.poses = [L.PoseStamped() for _ in range(5)]
+        fill(sfm)
+        fill(plain)
+        assert sfm == plain
+        received = sfm_cls.from_buffer(
+            bytearray(bytes(sfm.to_wire())), validate=True
+        )
+        assert received == plain
+        assert received.poses[4].pose.position.x == \
+            plain.poses[4].pose.position.x
+
+    def test_non_ascii_strings_roundtrip(self):
+        texts = ["naïve", "ロボット", "Ωμέγα", "🛰️ satellite", "żółć",
+                 "a b", "\U0001F9ECgene"]
+        sfm_cls = generate_sfm_class("sensor_msgs/PointCloud")
+        pc = sfm_cls()
+        pc.header.frame_id = texts[0]
+        pc.channels.resize(len(texts))
+        for index, text in enumerate(texts):
+            pc.channels[index].name = text
+        received = sfm_cls.from_buffer(
+            bytearray(bytes(pc.to_wire())), validate=True
+        )
+        assert str(received.header.frame_id) == texts[0]
+        assert [str(channel.name) for channel in received.channels] == texts
+
+    def test_arena_resegmentation_mid_write(self):
+        """Fields written *before* a capacity-busting assignment must
+        survive the move to the bigger arena, and the finished buffer
+        must still satisfy every structural invariant."""
+        import random
+
+        rng = random.Random(42)
+        sfm_cls = generate_sfm_class("sensor_msgs/Image")
+        manager = MessageManager()
+        msg = sfm_cls(_manager=manager, _capacity=256, _allow_growth=True)
+        msg.header.frame_id = "before-the-move"
+        msg.height, msg.width = 64, 64
+        msg.encoding = "rgb8"
+        payload = bytes(rng.getrandbits(8) for _ in range(8192))
+        msg.data = payload  # far beyond the 256-byte arena
+        assert msg.record.capacity > 256, "the arena must have grown"
+        msg.step = 192  # writes after the move land in the new arena
+        assert str(msg.header.frame_id) == "before-the-move"
+        assert bytes(msg.data) == payload
+        from repro.sfm.layout import layout_for as _layout_for
+        layout = _layout_for("sensor_msgs/Image")
+        validate_buffer(layout, msg.record.buffer, msg.whole_size)
+        received = sfm_cls.from_buffer(
+            bytearray(bytes(msg.to_wire())), validate=True
+        )
+        assert received == msg
+
+
 @settings(max_examples=40, deadline=None)
 @given(st.lists(st.integers(0, 255), min_size=0, max_size=200))
 def test_expansion_accounting(values):
