@@ -1,0 +1,153 @@
+#!/usr/bin/env python
+"""Guard the committed benchmark headlines against regressions.
+
+Compares freshly-generated ``BENCH_<experiment>.json`` files against the
+committed baselines at the repository root and fails when a headline
+metric regresses by more than the tolerance (default 5%).  The headline
+set deliberately sticks to *ratio* metrics (speedups, overhead budgets)
+rather than absolute latencies: ratios compare a measurement against a
+same-run control, so they survive the machine-to-machine and
+run-to-run variance that makes raw milliseconds meaningless in CI.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/snapshot.py --experiment rawspeed \
+        --out /tmp/bench/BENCH_rawspeed.json
+    python benchmarks/check_regression.py --current-dir /tmp/bench
+
+Experiments without a baseline or a current file are skipped, so the
+checker only ever judges what both sides actually measured.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def _fig13_headlines(doc: dict) -> dict:
+    return {
+        f"workloads.{label}.shmros_speedup_vs_tcpros":
+            entry["shmros_speedup_vs_tcpros"]
+        for label, entry in doc.get("workloads", {}).items()
+    }
+
+
+def _bridge_headlines(doc: dict) -> dict:
+    return {
+        "selective_vs_full_json_wire_ratio":
+            doc["selective_vs_full_json_wire_ratio"],
+    }
+
+
+def _chaos_headlines(doc: dict) -> dict:
+    return {"recovery_ms.p50": doc["recovery_ms"]["p50"]}
+
+
+def _rawspeed_headlines(doc: dict) -> dict:
+    access = doc["field_access"]
+    return {
+        "field_access.speedup_get": access["speedup_get"],
+        "field_access.speedup_set": access["speedup_set"],
+        "field_access.speedup_cycle": access["speedup_cycle"],
+        "doorbell.speedup": doc["doorbell"]["speedup"],
+        "publish.string_64b.messages_per_s":
+            doc["publish"]["string_64b"]["messages_per_s"],
+        "publish.image_1mb.megabytes_per_s":
+            doc["publish"]["image_1mb"]["megabytes_per_s"],
+    }
+
+
+#: experiment -> (headline extractor, direction). ``higher`` means the
+#: metric must not *drop* more than the tolerance; ``lower`` the inverse.
+EXPERIMENTS = {
+    "fig13": (_fig13_headlines, "higher"),
+    "bridge": (_bridge_headlines, "higher"),
+    "chaos": (_chaos_headlines, "lower"),
+    "rawspeed": (_rawspeed_headlines, "higher"),
+}
+
+
+def check_experiment(name: str, baseline: dict, current: dict,
+                     tolerance: float) -> list[str]:
+    extractor, direction = EXPERIMENTS[name]
+    failures: list[str] = []
+    base_metrics = extractor(baseline)
+    new_metrics = extractor(current)
+    for metric, base_value in sorted(base_metrics.items()):
+        new_value = new_metrics.get(metric)
+        if new_value is None or not base_value:
+            continue
+        if direction == "higher":
+            regression = (base_value - new_value) / base_value * 100.0
+        else:
+            regression = (new_value - base_value) / base_value * 100.0
+        verdict = "FAIL" if regression > tolerance else "ok"
+        print(
+            f"  [{verdict}] {name}:{metric}: baseline {base_value:g}, "
+            f"current {new_value:g} ({regression:+.1f}% regression)"
+        )
+        if regression > tolerance:
+            failures.append(f"{name}:{metric}")
+    return failures
+
+
+def check_obs_budget(current: dict) -> list[str]:
+    """The obs experiment carries its own acceptance: measured overhead
+    must stay inside the recorded budget (the committed baseline's value
+    hovers around zero, so a ratio against it would be noise)."""
+    overhead = current["overhead_pct"]
+    budget = current["budget_pct"]
+    verdict = "FAIL" if overhead > budget else "ok"
+    print(f"  [{verdict}] obs:overhead_pct: {overhead:+.2f}% "
+          f"(budget {budget:.0f}%)")
+    return ["obs:overhead_pct"] if overhead > budget else []
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline-dir", type=Path,
+                        default=Path(__file__).resolve().parent.parent,
+                        help="directory with committed BENCH_*.json")
+    parser.add_argument("--current-dir", type=Path, required=True,
+                        help="directory with freshly generated snapshots")
+    parser.add_argument("--tolerance", type=float, default=5.0,
+                        help="max allowed regression, percent")
+    args = parser.parse_args(argv)
+
+    failures: list[str] = []
+    checked = 0
+    for name in (*EXPERIMENTS, "obs"):
+        baseline_path = args.baseline_dir / f"BENCH_{name}.json"
+        current_path = args.current_dir / f"BENCH_{name}.json"
+        if not baseline_path.exists() or not current_path.exists():
+            print(f"skipping {name}: no "
+                  f"{'baseline' if not baseline_path.exists() else 'current'}"
+                  f" snapshot")
+            continue
+        print(f"checking {name}:")
+        current = json.loads(current_path.read_text())
+        checked += 1
+        if name == "obs":
+            failures += check_obs_budget(current)
+        else:
+            baseline = json.loads(baseline_path.read_text())
+            failures += check_experiment(
+                name, baseline, current, args.tolerance
+            )
+    if failures:
+        print(f"{len(failures)} headline metric(s) regressed beyond "
+              f"{args.tolerance:.0f}%: {', '.join(failures)}")
+        return 1
+    if not checked:
+        print("nothing to check")
+        return 1
+    print(f"all headline metrics within {args.tolerance:.0f}% "
+          f"across {checked} experiment(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

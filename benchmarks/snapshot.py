@@ -20,6 +20,11 @@ with the repro.obs instrumentation enabled vs disabled) and writes
 severs and amnesiac master bounces under a 100 Hz stream) and writes
 ``BENCH_chaos.json`` with recovery-time p50/p99 and total loss.
 
+``--experiment rawspeed`` runs ``bench_rawspeed.py`` (compiled accessor
+vs descriptor field access, coalesced vs frame-at-a-time doorbell,
+end-to-end SHMROS delivery at 64 B and 1 MiB) and writes
+``BENCH_rawspeed.json``.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/snapshot.py [--iterations N] [--out PATH]
@@ -118,6 +123,23 @@ def run_obs_snapshot(iterations: int) -> dict:
     return payload
 
 
+def run_rawspeed_snapshot(field_number: int, doorbell_frames: int,
+                          small_count: int, large_count: int) -> dict:
+    sys.path.insert(0, str(Path(__file__).resolve().parent))
+    import bench_rawspeed
+
+    payload: dict = {
+        "experiment": "rawspeed",
+        "generated": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "python": platform.python_version(),
+    }
+    payload.update(bench_rawspeed.run_rawspeed(
+        field_number=field_number, doorbell_frames=doorbell_frames,
+        small_count=small_count, large_count=large_count,
+    ))
+    return payload
+
+
 def run_chaos_snapshot(rounds: int, seed: int = 1) -> dict:
     sys.path.insert(0, str(Path(__file__).resolve().parent))
     import bench_chaos_soak
@@ -134,7 +156,8 @@ def run_chaos_snapshot(rounds: int, seed: int = 1) -> dict:
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--experiment",
-                        choices=("fig13", "bridge", "obs", "chaos"),
+                        choices=("fig13", "bridge", "obs", "chaos",
+                                 "rawspeed"),
                         default="fig13")
     parser.add_argument("--iterations", type=int, default=40,
                         help="fig13/obs iterations")
@@ -145,6 +168,36 @@ def main(argv=None) -> int:
     parser.add_argument("--out", type=Path, default=None)
     args = parser.parse_args(argv)
     root = Path(__file__).resolve().parent.parent
+    if args.experiment == "rawspeed":
+        out = args.out or root / "BENCH_rawspeed.json"
+        payload = run_rawspeed_snapshot(
+            field_number=args.iterations * 5000,
+            doorbell_frames=args.iterations * 1600,
+            small_count=args.iterations * 100,
+            large_count=args.iterations * 5,
+        )
+        out.write_text(json.dumps(payload, indent=2) + "\n")
+        access = payload["field_access"]
+        doorbell = payload["doorbell"]
+        print(
+            f"compiled accessors: get {access['speedup_get']:.2f}x, "
+            f"set {access['speedup_set']:.2f}x, "
+            f"cycle {access['speedup_cycle']:.2f}x over descriptors"
+        )
+        print(
+            f"doorbell batching: {doorbell['speedup']:.2f}x frames/s "
+            f"({doorbell['batched_frames_per_s']:,} vs "
+            f"{doorbell['unbatched_frames_per_s']:,})"
+        )
+        small = payload["publish"]["string_64b"]
+        large = payload["publish"]["image_1mb"]
+        print(
+            f"SHMROS end to end: {small['messages_per_s']:,.0f} msg/s at "
+            f"{small['payload_bytes']} B, {large['megabytes_per_s']:.0f} "
+            f"MB/s at 1 MiB"
+        )
+        print(f"wrote {out}")
+        return 0
     if args.experiment == "chaos":
         out = args.out or root / "BENCH_chaos.json"
         payload = run_chaos_snapshot(args.rounds)

@@ -84,6 +84,17 @@ subscriber_stale_drops = global_registry.counter(
     "SHMROS slot notifications skipped because the slot was reclaimed.",
     labels=("topic",),
 )
+received_bytes = global_registry.counter(
+    "miniros_received_bytes_total",
+    "Payload bytes delivered to subscribers per topic (socket transports).",
+    labels=("topic",),
+)
+subscriber_transport = global_registry.gauge(
+    "miniros_subscriber_transport_links",
+    "Connected subscriber links per (topic, transport) -- the transport "
+    "planner's decisions are visible here as links move between cells.",
+    labels=("topic", "transport"),
+)
 link_state = global_registry.gauge(
     "miniros_link_state",
     "Worst link health per (topic, role): 0 healthy, 1 degraded, "
@@ -183,8 +194,9 @@ def _add(totals: dict, key, amount) -> None:
 def _collect_pubsub() -> None:
     for family in (published_messages, published_bytes, publish_drops,
                    publisher_links, publisher_queue_depth,
-                   received_messages, subscriber_links,
-                   subscriber_stale_drops, link_state, link_retries):
+                   received_messages, received_bytes, subscriber_links,
+                   subscriber_stale_drops, subscriber_transport,
+                   link_state, link_retries):
         family.clear()
     msgs: dict = {}
     nbytes: dict = {}
@@ -210,25 +222,34 @@ def _collect_pubsub() -> None:
         publisher_queue_depth.labels(topic=topic).set(depth[topic])
         link_state.labels(topic=topic, role="publisher").set(pub_state[topic])
     received: dict = {}
+    recv_bytes: dict = {}
     sub_links: dict = {}
     stale: dict = {}
     sub_state: dict = {}
     retries: dict = {}
+    transports: dict = {}
     for subscriber in _tracked(_subscribers):
         stats = subscriber.stats()
         topic = stats["topic"]
         _add(received, topic, stats["messages"])
+        _add(recv_bytes, topic, stats.get("bytes", 0))
         _add(sub_links, topic, stats["connections"])
         _add(stale, topic, stats["stale_drops"])
         _add(retries, topic, stats.get("retries", 0))
+        for transport, count in stats.get("transports", {}).items():
+            if transport:
+                _add(transports, (topic, transport), count)
         code = LINK_STATE_CODES.get(stats.get("link_state", "healthy"), 0)
         sub_state[topic] = max(sub_state.get(topic, 0), code)
     for topic, value in received.items():
         received_messages.labels(topic=topic).set_total(value)
+        received_bytes.labels(topic=topic).set_total(recv_bytes[topic])
         subscriber_links.labels(topic=topic).set(sub_links[topic])
         subscriber_stale_drops.labels(topic=topic).set_total(stale[topic])
         link_state.labels(topic=topic, role="subscriber").set(sub_state[topic])
         link_retries.labels(topic=topic).set_total(retries[topic])
+    for (topic, transport), count in transports.items():
+        subscriber_transport.labels(topic=topic, transport=transport).set(count)
 
 
 def _collect_sfm() -> None:

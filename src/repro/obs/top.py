@@ -162,10 +162,21 @@ class TopMonitor:
         sample)."""
         from repro.sfm.manager import global_message_manager
 
+        from repro.ros.planner import last_decision_for
+
         rows = []
         for topic in sorted(self._taps):
             tap = self._taps[topic]
             rate, bandwidth = tap.rates()
+            transports = (
+                tap.subscriber.transports()
+                if tap.subscriber is not None else {}
+            )
+            transport = "/".join(
+                name if count == 1 else f"{name}x{count}"
+                for name, count in sorted(transports.items())
+            ) or "-"
+            decision = last_decision_for(topic)
             rows.append({
                 "topic": topic,
                 "type": tap.type_name + tap.flavour,
@@ -173,6 +184,13 @@ class TopMonitor:
                 "bytes": tap.bytes,
                 "rate": rate,
                 "bandwidth": bandwidth,
+                "transport": transport,
+                #: The in-process planner's latest verdict for the topic
+                #: ("-" while it has none): ``SHMROS:large-payloads``.
+                "plan": (
+                    f"{decision['to']}:{decision['reason']}"
+                    if decision is not None else "-"
+                ),
                 "state": (
                     tap.subscriber.link_state
                     if tap.subscriber is not None else "error"
@@ -192,13 +210,16 @@ class TopMonitor:
     def render(self, sample: dict) -> str:
         lines = [
             f"{'TOPIC':<32} {'TYPE':<28} {'MSGS':>8} "
-            f"{'RATE':>10} {'BANDWIDTH':>12} {'STATE':<12}"
+            f"{'RATE':>10} {'BANDWIDTH':>12} {'TRANSPORT':<12} "
+            f"{'PLAN':<22} {'STATE':<12}"
         ]
         for row in sample["rows"]:
             lines.append(
                 f"{row['topic']:<32} {row['type']:<28} "
                 f"{row['messages']:>8} {row['rate']:>8.1f}Hz "
                 f"{_human_bytes(row['bandwidth']):>12} "
+                f"{row.get('transport', '-'):<12} "
+                f"{row.get('plan', '-'):<22} "
                 f"{row.get('state', 'healthy'):<12}"
             )
         if not sample["rows"]:

@@ -1,0 +1,278 @@
+"""Adaptive transport planning: metrics-driven SHM/TCPROS selection.
+
+Transport negotiation (PR 1-4) picks a link's transport *once*, at
+connect time, from static facts: same machine, shared memory available,
+retry budget not yet burned.  But the best transport is a property of
+the *traffic*: a 1 MB image stream belongs on shared memory (one copy,
+no socket writes), while a 200 Hz stream of 64-byte poses is better off
+on a batched TCPROS socket than paying a slot copy, a doorbell frame and
+an ack round trip per message -- and a subscriber that keeps missing
+slots (stale drops) is telling us the ring is under pressure.
+
+The :class:`TransportPlanner` closes that loop.  It samples the live
+counters the observability layer already maintains (received messages
+and bytes, stale drops) on a timer, derives each subscription's observed
+message size and rate, and when the numbers say the current transport is
+wrong it re-dials the link through
+:meth:`~repro.ros.topic.Subscriber.set_transport_preference` -- the same
+replace-then-close machinery the self-healing downgrade path uses, so a
+flip is one clean reconnect with no retry storm.  Every decision is
+exported as an obs metric (``miniros_planner_flips_total``) and kept in
+a bounded history that ``tools top`` renders in its PLAN column.
+
+Decision rules (thresholds are constructor knobs):
+
+- ``shm-pressure``: a SHMROS link saw stale drops in the window -- the
+  subscriber cannot keep up with the ring, so move it to TCPROS where
+  backpressure is a socket buffer, not slot reclamation.
+- ``large-payloads``: a TCPROS link is carrying payloads averaging at or
+  above ``large_payload`` bytes -- the copy-twice socket path loses to a
+  shared-memory slot, so request SHMROS.
+- ``small-fast``: a SHMROS link is carrying small (``<= small_payload``)
+  messages at or above ``high_rate`` Hz -- per-message slot bookkeeping
+  and acks dominate, and the batched TCPROS writer amortizes its syscalls.
+
+Flips are rate-limited by a per-link cooldown and a minimum message
+count per window, so noisy traffic cannot make the planner oscillate.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import weakref
+from collections import deque
+from typing import Optional
+
+from repro.obs.metrics import global_registry as obs_registry
+from repro.ros.transport import shm
+
+planner_flips = obs_registry.counter(
+    "miniros_planner_flips_total",
+    "Transport flips made by the adaptive planner.",
+    labels=("topic", "transport", "reason"),
+)
+
+#: Live planners, so ``tools top`` can surface in-process decisions.
+_planners: "weakref.WeakSet" = weakref.WeakSet()
+_planners_lock = threading.Lock()
+
+
+def last_decision_for(topic: str) -> Optional[dict]:
+    """The most recent planner decision touching ``topic`` across every
+    planner in this process (None when no planner has acted on it)."""
+    best: Optional[dict] = None
+    with _planners_lock:
+        planners = list(_planners)
+    for planner in planners:
+        decision = planner.last_decision(topic)
+        if decision is not None and (
+            best is None or decision["when"] > best["when"]
+        ):
+            best = decision
+    return best
+
+
+def decide(
+    transport: str,
+    avg_size: float,
+    rate: float,
+    stale_drops: int,
+    small_payload: int = 1024,
+    large_payload: int = 64 * 1024,
+    high_rate: float = 200.0,
+) -> Optional[tuple[str, str]]:
+    """The pure decision function: ``(target_transport, reason)`` or
+    ``None`` to leave the link alone.  Split out from the sampling loop
+    so the thresholds are testable without sockets."""
+    if transport == "SHMROS":
+        if stale_drops > 0:
+            return ("TCPROS", "shm-pressure")
+        if avg_size <= small_payload and rate >= high_rate:
+            return ("TCPROS", "small-fast")
+    elif transport == "TCPROS":
+        if avg_size >= large_payload:
+            return ("SHMROS", "large-payloads")
+    return None
+
+
+class _Window:
+    """Previous sample of one subscriber's counters."""
+
+    __slots__ = ("when", "messages", "nbytes", "stale")
+
+    def __init__(self, when: float, messages: int, nbytes: int,
+                 stale: int) -> None:
+        self.when = when
+        self.messages = messages
+        self.nbytes = nbytes
+        self.stale = stale
+
+
+class TransportPlanner:
+    """Samples a node's subscriptions and flips transports to match the
+    observed traffic (see the module docstring for the rules)."""
+
+    def __init__(
+        self,
+        node,
+        interval: float = 2.0,
+        small_payload: int = 1024,
+        large_payload: int = 64 * 1024,
+        high_rate: float = 200.0,
+        min_messages: int = 20,
+        cooldown: float = 30.0,
+        start: bool = True,
+    ) -> None:
+        self.node = node
+        self.interval = interval
+        self.small_payload = small_payload
+        self.large_payload = large_payload
+        self.high_rate = high_rate
+        #: A window with fewer messages than this is too quiet to judge.
+        self.min_messages = min_messages
+        #: Minimum seconds between flips of the same link, so a workload
+        #: sitting on a threshold cannot make the planner oscillate.
+        self.cooldown = cooldown
+        self.flips = 0
+        self._lock = threading.Lock()
+        self._windows: "weakref.WeakKeyDictionary" = (
+            weakref.WeakKeyDictionary()
+        )
+        #: (subscriber id, uri) -> monotonic time of the last flip.
+        self._last_flip: dict[tuple[int, str], float] = {}
+        self._decisions: deque[dict] = deque(maxlen=64)
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        with _planners_lock:
+            _planners.add(self)
+        if start:
+            self._thread = threading.Thread(
+                target=self._run,
+                daemon=True,
+                name=f"planner:{getattr(node, 'name', '?')}",
+            )
+            self._thread.start()
+
+    # ------------------------------------------------------------------
+    # Sampling
+    # ------------------------------------------------------------------
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval):
+            try:
+                self.sample_once()
+            except Exception:  # pragma: no cover - planner must not kill
+                pass           # the node on a racing shutdown
+
+    def sample_once(self) -> list[dict]:
+        """One planning pass over the node's subscriptions; returns the
+        decisions made (tests drive this directly, without the timer)."""
+        now = time.monotonic()
+        made: list[dict] = []
+        for subscriber in self._subscriptions():
+            decision = self._plan_subscriber(subscriber, now)
+            if decision is not None:
+                made.append(decision)
+        return made
+
+    def _subscriptions(self) -> list:
+        node = self.node
+        with node._lock:
+            return [
+                sub for subs in node._subscribers.values() for sub in subs
+            ]
+
+    def _plan_subscriber(self, subscriber, now: float) -> Optional[dict]:
+        messages = subscriber.received_count
+        nbytes = subscriber.received_bytes
+        stale = subscriber.stale_drops
+        previous = self._windows.get(subscriber)
+        self._windows[subscriber] = _Window(now, messages, nbytes, stale)
+        if previous is None:
+            return None
+        elapsed = now - previous.when
+        delta_msgs = messages - previous.messages
+        if elapsed <= 0 or delta_msgs < self.min_messages:
+            return None
+        avg_size = (nbytes - previous.nbytes) / delta_msgs
+        rate = delta_msgs / elapsed
+        delta_stale = stale - previous.stale
+        with subscriber._lock:
+            links = [
+                link for link in subscriber._connected
+                if link.transport in ("SHMROS", "TCPROS")
+            ]
+        for link in links:
+            verdict = decide(
+                link.transport, avg_size, rate, delta_stale,
+                self.small_payload, self.large_payload, self.high_rate,
+            )
+            if verdict is None:
+                continue
+            target, reason = verdict
+            if target == "SHMROS" and not self._shm_usable():
+                continue
+            key = (id(subscriber), link.publisher_uri)
+            last = self._last_flip.get(key)
+            if last is not None and now - last < self.cooldown:
+                continue
+            if not subscriber.set_transport_preference(
+                link.publisher_uri, target, reason
+            ):
+                continue
+            self._last_flip[key] = now
+            self.flips += 1
+            decision = {
+                "topic": subscriber.topic,
+                "uri": link.publisher_uri,
+                "from": link.transport,
+                "to": target,
+                "reason": reason,
+                "avg_size": avg_size,
+                "rate": rate,
+                "stale_drops": delta_stale,
+                "when": time.time(),
+            }
+            with self._lock:
+                self._decisions.append(decision)
+            planner_flips.labels(
+                topic=subscriber.topic, transport=target, reason=reason
+            ).inc()
+            return decision
+        return None
+
+    def _shm_usable(self) -> bool:
+        return (
+            getattr(self.node, "shmros", True)
+            and shm.shm_available()
+            and not shm.env_disabled()
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def decisions(self) -> list[dict]:
+        """The bounded decision history, oldest first."""
+        with self._lock:
+            return list(self._decisions)
+
+    def last_decision(self, topic: str) -> Optional[dict]:
+        with self._lock:
+            for decision in reversed(self._decisions):
+                if decision["topic"] == topic:
+                    return decision
+        return None
+
+    def stats(self) -> dict:
+        return {
+            "node": getattr(self.node, "name", "?"),
+            "interval": self.interval,
+            "flips": self.flips,
+            "decisions": self.decisions(),
+        }
+
+    def close(self) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=2.0)
+            self._thread = None

@@ -125,8 +125,16 @@ class _OutboundLink:
 
     def _send_loop(self) -> None:
         keepalive = getattr(self.publisher.node, "link_keepalive", 2.0) or None
+        # Coalescing: flush everything already queued (up to the frame and
+        # byte watermarks) as one vectored write.  A lone publish flushes
+        # immediately -- the batch only grows from messages that were
+        # queued behind it, so latency is never traded for throughput.
+        max_frames = (
+            tcpros.BATCH_MAX_FRAMES if tcpros.batching_enabled() else 1
+        )
         while True:
             idle = False
+            batch: list[_Outgoing] = []
             with self._condition:
                 while not self._queue and not self._closed:
                     if not self._condition.wait(timeout=keepalive):
@@ -134,8 +142,16 @@ class _OutboundLink:
                         break
                 if self._closed and not self._queue:
                     return
-                outgoing = self._queue.popleft() if self._queue else None
-            if outgoing is None:
+                nbytes = 0
+                while (
+                    self._queue
+                    and len(batch) < max_frames
+                    and nbytes <= tcpros.BATCH_MAX_BYTES
+                ):
+                    outgoing = self._queue.popleft()
+                    batch.append(outgoing)
+                    nbytes += len(outgoing.payload)
+            if not batch:
                 if idle:
                     # Quiet topic: an in-band keepalive keeps the
                     # subscriber's idle timer from declaring us half-open.
@@ -145,30 +161,40 @@ class _OutboundLink:
                         self._shutdown_from_error()
                         return
                 continue
-            size = len(outgoing.payload)
-            trace_id = outgoing.trace_id
+            traced = self.traced
+            start_ns = (
+                time.monotonic_ns()
+                if traced and any(out.trace_id for out in batch)
+                else 0
+            )
             try:
-                if self.traced:
-                    start_ns = time.monotonic_ns() if trace_id else 0
-                    tcpros.write_traced_frame(
-                        self.sock, outgoing.payload, trace_id,
-                        outgoing.pub_ns,
+                if traced:
+                    tcpros.write_traced_frames(
+                        self.sock,
+                        [(out.payload, out.trace_id, out.pub_ns)
+                         for out in batch],
                     )
-                    if trace_id:
-                        tracer.record(
-                            "send", trace_id, start_ns, time.monotonic_ns(),
-                            topic=self.publisher.topic, transport="TCPROS",
-                            bytes=size,
-                        )
                 else:
-                    tcpros.write_frame(self.sock, outgoing.payload)
+                    tcpros.write_frames(
+                        self.sock, [out.payload for out in batch]
+                    )
             except OSError:
-                outgoing.done()
+                for out in batch:
+                    out.done()
                 self._shutdown_from_error()
                 return
-            outgoing.done()
-            self.sent_count += 1
-            self.sent_bytes += size
+            end_ns = time.monotonic_ns() if start_ns else 0
+            for out in batch:
+                size = len(out.payload)
+                if traced and out.trace_id:
+                    tracer.record(
+                        "send", out.trace_id, start_ns, end_ns,
+                        topic=self.publisher.topic, transport="TCPROS",
+                        bytes=size,
+                    )
+                out.done()
+                self.sent_count += 1
+                self.sent_bytes += size
 
     def _monitor_loop(self) -> None:
         try:
@@ -224,6 +250,10 @@ class _ShmOutboundLink:
         #: the first slot frame of the new ring (per-link frame order).
         self.ring = ring if ring is not None else publisher._shm_ring
         self._queue: deque[tuple] = deque()
+        #: Non-reseg entries in ``_queue``, maintained incrementally so
+        #: the bound check in ``_enqueue`` is O(1) per publish instead of
+        #: a scan of the (possibly deep) backlog.
+        self._droppable = 0
         self._condition = threading.Condition()
         self._closed = False
         self.dropped = 0
@@ -268,19 +298,21 @@ class _ShmOutboundLink:
             if (
                 queue_size
                 and item[0] != "reseg"
-                and sum(1 for it in self._queue if it[0] != "reseg")
-                >= queue_size
+                and self._droppable >= queue_size
             ):
                 # Drop the oldest droppable entry; reseg notices are
                 # control-plane and must never be dropped.
                 for index, candidate in enumerate(self._queue):
                     if candidate[0] != "reseg":
                         del self._queue[index]
+                        self._droppable -= 1
                         self._discard(candidate)
                         self.dropped += 1
                         self.publisher.dropped_count += 1
                         break
             self._queue.append(item)
+            if item[0] != "reseg":
+                self._droppable += 1
             self._condition.notify()
 
     def queue_depth(self) -> int:
@@ -306,8 +338,17 @@ class _ShmOutboundLink:
     # ------------------------------------------------------------------
     def _send_loop(self) -> None:
         keepalive = getattr(self.publisher.node, "link_keepalive", 2.0) or None
+        # Doorbell coalescing: every slot announcement is a 37-byte
+        # control frame, so a burst of small publishes is syscall-bound on
+        # the doorbell.  Flushing the drained queue as one vectored send
+        # packs N announcements per syscall; a lone publish still flushes
+        # immediately (zero time watermark).
+        max_frames = (
+            tcpros.BATCH_MAX_FRAMES if tcpros.batching_enabled() else 1
+        )
         while True:
             idle = False
+            batch: list[tuple] = []
             with self._condition:
                 while not self._queue and not self._closed:
                     if not self._condition.wait(timeout=keepalive):
@@ -315,8 +356,19 @@ class _ShmOutboundLink:
                         break
                 if self._closed and not self._queue:
                     return
-                item = self._queue.popleft() if self._queue else None
-            if item is None:
+                nbytes = 0
+                while (
+                    self._queue
+                    and len(batch) < max_frames
+                    and nbytes <= tcpros.BATCH_MAX_BYTES
+                ):
+                    item = self._queue.popleft()
+                    if item[0] != "reseg":
+                        self._droppable -= 1
+                    batch.append(item)
+                    if item[0] == "inline":
+                        nbytes += len(item[1].payload)
+            if not batch:
                 if idle:
                     try:
                         shm.send_keepalive(self.sock)
@@ -324,16 +376,40 @@ class _ShmOutboundLink:
                         self._shutdown_from_error()
                         return
                 continue
-            try:
+            frames: list[tuple] = []
+            any_trace = False
+            for item in batch:
                 if item[0] == "slot":
                     _kind, _ring, slot, seq, size, trace_id, pub_ns = item
-                    start_ns = time.monotonic_ns() if trace_id else 0
-                    shm.send_slot_frame(
-                        self.sock, slot, seq, size, trace_id, pub_ns
-                    )
+                    frames.append(("slot", slot, seq, size, trace_id, pub_ns))
+                    any_trace = any_trace or bool(trace_id)
+                elif item[0] == "inline":
+                    outgoing = item[1]
+                    frames.append((
+                        "inline", outgoing.payload, outgoing.trace_id,
+                        outgoing.pub_ns,
+                    ))
+                    any_trace = any_trace or bool(outgoing.trace_id)
+                else:  # reseg
+                    ring = item[1]
+                    frames.append((
+                        "reseg", ring.name, ring.slot_count, ring.slot_bytes
+                    ))
+            start_ns = time.monotonic_ns() if any_trace else 0
+            try:
+                shm.send_frames(self.sock, frames)
+            except OSError:
+                for item in batch:
+                    self._discard(item)
+                self._shutdown_from_error()
+                return
+            end_ns = time.monotonic_ns() if any_trace else 0
+            for item in batch:
+                if item[0] == "slot":
+                    _kind, _ring, slot, seq, size, trace_id, pub_ns = item
                     if trace_id:
                         tracer.record(
-                            "send", trace_id, start_ns, time.monotonic_ns(),
+                            "send", trace_id, start_ns, end_ns,
                             topic=self.publisher.topic, transport="SHMROS",
                             bytes=size,
                         )
@@ -342,30 +418,15 @@ class _ShmOutboundLink:
                 elif item[0] == "inline":
                     outgoing = item[1]
                     size = len(outgoing.payload)
-                    trace_id = outgoing.trace_id
-                    start_ns = time.monotonic_ns() if trace_id else 0
-                    shm.send_inline_frame(
-                        self.sock, outgoing.payload, trace_id,
-                        outgoing.pub_ns,
-                    )
-                    if trace_id:
+                    if outgoing.trace_id:
                         tracer.record(
-                            "send", trace_id, start_ns, time.monotonic_ns(),
+                            "send", outgoing.trace_id, start_ns, end_ns,
                             topic=self.publisher.topic,
                             transport="SHMROS-inline", bytes=size,
                         )
                     outgoing.done()
                     self.sent_count += 1
                     self.sent_bytes += size
-                else:  # reseg
-                    ring = item[1]
-                    shm.send_reseg_frame(
-                        self.sock, ring.name, ring.slot_count, ring.slot_bytes
-                    )
-            except OSError:
-                self._discard(item)
-                self._shutdown_from_error()
-                return
 
     def _ack_loop(self) -> None:
         try:
@@ -388,6 +449,7 @@ class _ShmOutboundLink:
             self._closed = True
             pending = list(self._queue)
             self._queue.clear()
+            self._droppable = 0
             self._condition.notify_all()
         for item in pending:
             self._discard(item)
@@ -761,6 +823,7 @@ class _InboundLink:
         publisher_uri: str,
         allow_shm: Optional[bool] = None,
         downgraded: bool = False,
+        planned_reason: str = "",
     ) -> None:
         self.subscriber = subscriber
         self.publisher_uri = publisher_uri
@@ -771,6 +834,10 @@ class _InboundLink:
         #: The retry scheduler forced this link off shared memory
         #: (SHM -> TCPROS downgrade); surfaces as ``link_state=degraded``.
         self.downgraded = downgraded
+        #: Why the transport planner dialed this link the way it did
+        #: ("" for links the planner did not touch).  A planned flip is a
+        #: *choice*, not a failure, so it never marks the link degraded.
+        self.planned_reason = planned_reason
         #: None: decide from node/env.  False: the reconnect path already
         #: burned its SHM attempts for this publisher.
         self._allow_shm = allow_shm
@@ -905,6 +972,7 @@ class _InboundLink:
     def _deliver_frame(self, frame, trace_id: int, pub_ns: int) -> None:
         """Decode (span-wrapped when traced) and dispatch one frame."""
         subscriber = self.subscriber
+        subscriber.received_bytes += len(frame)
         if subscriber.raw:
             subscriber._dispatch(bytes(frame), trace_id, pub_ns)
             return
@@ -932,9 +1000,12 @@ class _InboundLink:
         self.transport = "SHMROS"
         self._arm_idle_timeout()
         subscriber._link_connected(self)
+        # Buffered reader: one recv pulls a publisher's whole coalesced
+        # doorbell flush; later frames parse without a syscall.
+        doorbell = shm.DoorbellReader(self.sock)
         try:
             while not self._closed:
-                frame = shm.read_control_frame(self.sock)
+                frame = doorbell.read_frame()
                 kind = frame[0]
                 if kind == "keepalive":
                     continue
@@ -978,6 +1049,7 @@ class _InboundLink:
         """One zero-copy delivery: adopt the slot in place, run the
         callback, detach if the user kept the message, acknowledge."""
         subscriber = self.subscriber
+        subscriber.received_bytes += size
         view = reader.payload_view(slot, size)
         if subscriber.raw:
             # Raw delivery must copy out of the slot: the bytes object is
@@ -1057,6 +1129,12 @@ class Subscriber:
         self._lock = threading.Lock()
         self._connect_event = threading.Event()
         self.received_count = 0
+        #: Payload bytes received over socket transports (SHM slots and
+        #: TCPROS/inline frames).  Intra-process deliveries hand over the
+        #: object itself, so they contribute no bytes here.  The transport
+        #: planner divides this by ``received_count`` for the observed
+        #: message size.
+        self.received_bytes = 0
         #: Messages announced by a SHMROS doorbell whose slot had already
         #: been reclaimed by the time we looked (we were too slow).
         self.stale_drops = 0
@@ -1212,6 +1290,48 @@ class Subscriber:
             timer.cancel()
 
     # ------------------------------------------------------------------
+    # Transport planning
+    # ------------------------------------------------------------------
+    def set_transport_preference(
+        self, uri: str, transport: str, reason: str = ""
+    ) -> bool:
+        """Re-dial the link to ``uri`` with the given transport ("SHMROS"
+        or "TCPROS") -- the planner's flip primitive.
+
+        The replacement link is installed *before* the old one is closed:
+        ``_link_closed`` then sees the dying link is no longer current and
+        schedules no retry, so a flip is one reconnect, not a reconnect
+        plus a spurious self-heal.  Returns True when a flip was started.
+        """
+        if transport not in ("SHMROS", "TCPROS"):
+            raise ValueError(f"unknown transport {transport!r}")
+        with self._lock:
+            if self._shutdown or uri not in self._links:
+                return False
+            old = self._links[uri]
+            if old.transport is None or old.transport == transport:
+                # Still connecting, or already where the planner wants it.
+                return False
+            self._links[uri] = _InboundLink(
+                self, uri,
+                allow_shm=(transport == "SHMROS"),
+                planned_reason=reason,
+            )
+            self._refresh_state()
+        old.close()
+        return True
+
+    def transports(self) -> dict[str, int]:
+        """Connected link count per transport name."""
+        with self._lock:
+            links = list(self._connected)
+        counts: dict[str, int] = {}
+        for link in links:
+            if link.transport:
+                counts[link.transport] = counts.get(link.transport, 0) + 1
+        return counts
+
+    # ------------------------------------------------------------------
     # link_state (healthy / degraded / reconnecting / dead)
     # ------------------------------------------------------------------
     def _refresh_state(self) -> None:
@@ -1306,6 +1426,7 @@ class Subscriber:
             "topic": self.topic,
             "type": self.type_name,
             "messages": self.received_count,
+            "bytes": self.received_bytes,
             "connections": self.get_num_connections(),
             "stale_drops": self.stale_drops,
             "transports": transports,

@@ -50,7 +50,11 @@ import uuid
 from collections import deque
 from typing import Callable, Iterable, Optional
 
-from repro.ros.transport.tcpros import read_exact
+from repro.ros.transport.tcpros import (
+    batching_enabled,
+    read_exact,
+    send_parts,
+)
 
 try:  # pragma: no cover - exercised only where shm is unavailable
     from multiprocessing import shared_memory as _shared_memory
@@ -437,6 +441,66 @@ def send_keepalive(sock: socket.socket) -> None:
     sock.sendall(_FRAME.pack(KIND_KEEPALIVE, 0, 0, 0, 0, 0))
 
 
+def send_frames(sock: socket.socket, frames: list) -> None:
+    """Coalesce several doorbell frames into one vectored send.
+
+    ``frames`` are the same tuples :func:`read_control_frame` returns
+    (``("slot", slot, seq, size, trace_id, stamp_ns)``,
+    ``("inline", payload, trace_id, stamp_ns)``,
+    ``("reseg", name, slot_count, slot_bytes)``, ``("ack", slot, seq)``,
+    ``("keepalive",)``).  Each frame passes the chaos doorbell gate
+    individually -- a fault plan that swallows slot announcements drops
+    exactly the frames it would have dropped unbatched -- and the ones
+    that pass travel in one syscall, in order.
+    """
+    parts: list = []
+    pending = bytearray()
+    for frame in frames:
+        kind = frame[0]
+        if kind == "slot":
+            _k, slot, seq, size, trace_id, stamp_ns = frame
+            if not _doorbell_allows(KIND_SLOT, sock, size):
+                continue
+            pending += _FRAME.pack(
+                KIND_SLOT, slot, seq, size, trace_id, stamp_ns
+            )
+        elif kind == "inline":
+            _k, payload, trace_id, stamp_ns = frame
+            if not _doorbell_allows(KIND_INLINE, sock, len(payload)):
+                continue
+            pending += _FRAME.pack(
+                KIND_INLINE, 0, 0, len(payload), trace_id, stamp_ns
+            )
+            if len(payload) <= 8192:
+                pending += payload
+            else:
+                parts.append(bytes(pending))
+                pending = bytearray()
+                parts.append(memoryview(payload))
+        elif kind == "reseg":
+            _k, name, slot_count, slot_bytes = frame
+            encoded = name.encode("utf-8")
+            if not _doorbell_allows(KIND_RESEG, sock, len(encoded)):
+                continue
+            pending += _FRAME.pack(
+                KIND_RESEG, slot_count, len(encoded), slot_bytes, 0, 0
+            )
+            pending += encoded
+        elif kind == "ack":
+            _k, slot, seq = frame
+            pending += _FRAME.pack(KIND_ACK, slot, seq, 0, 0, 0)
+        elif kind == "keepalive":
+            if not _doorbell_allows(KIND_KEEPALIVE, sock, 0):
+                continue
+            pending += _FRAME.pack(KIND_KEEPALIVE, 0, 0, 0, 0, 0)
+        else:  # pragma: no cover - caller bug
+            raise ShmTransportError(f"cannot send frame kind {kind!r}")
+    if pending:
+        parts.append(bytes(pending))
+    if parts:
+        send_parts(sock, parts)
+
+
 def read_control_frame(sock: socket.socket) -> tuple:
     """Read one doorbell frame; returns a ``(kind, ...)`` tuple:
 
@@ -446,21 +510,66 @@ def read_control_frame(sock: socket.socket) -> tuple:
     - ``("ack", slot, seq)``
     - ``("keepalive",)``
     """
-    kind, a, b, c, trace_id, stamp_ns = _FRAME.unpack(
-        bytes(read_exact(sock, _FRAME.size))
+    return _decode_frame(
+        bytes(read_exact(sock, _FRAME.size)),
+        lambda count: read_exact(sock, count),
     )
+
+
+def _decode_frame(header: bytes, read_body) -> tuple:
+    kind, a, b, c, trace_id, stamp_ns = _FRAME.unpack(header)
     if kind == KIND_SLOT:
         return ("slot", a, b, c, trace_id, stamp_ns)
     if kind == KIND_INLINE:
-        return ("inline", read_exact(sock, c), trace_id, stamp_ns)
+        return ("inline", read_body(c), trace_id, stamp_ns)
     if kind == KIND_RESEG:
-        name = bytes(read_exact(sock, b)).decode("utf-8")
+        name = bytes(read_body(b)).decode("utf-8")
         return ("reseg", name, a, c)
     if kind == KIND_ACK:
         return ("ack", a, b)
     if kind == KIND_KEEPALIVE:
         return ("keepalive",)
     raise ShmTransportError(f"unknown doorbell frame kind {kind}")
+
+
+class DoorbellReader:
+    """Buffered doorbell-frame reader (the receive half of batching).
+
+    A publisher flushing a backlog packs many 37-byte control frames into
+    one segment; reading them with one ``recv`` syscall each would throw
+    the batching win away on the other side of the wire.  One ``recv``
+    here pulls whatever arrived -- often a whole batch -- and subsequent
+    frames parse straight out of the buffer.
+    """
+
+    __slots__ = ("_sock", "_buf", "_start")
+
+    def __init__(self, sock: socket.socket) -> None:
+        self._sock = sock
+        self._buf = bytearray()
+        self._start = 0
+
+    def _read(self, count: int) -> bytearray:
+        buf = self._buf
+        while len(buf) - self._start < count:
+            if self._start:
+                del buf[: self._start]
+                self._start = 0
+            chunk = self._sock.recv(65536)
+            if not chunk:
+                raise ConnectionError("peer closed the connection")
+            buf += chunk
+        start = self._start
+        self._start = start + count
+        out = buf[start : start + count]
+        if self._start >= len(buf):
+            del buf[:]
+            self._start = 0
+        return out
+
+    def read_frame(self) -> tuple:
+        """One frame, as :func:`read_control_frame` tuples."""
+        return _decode_frame(bytes(self._read(_FRAME.size)), self._read)
 
 
 def _sendmsg_all(sock: socket.socket, header: bytes, payload) -> None:

@@ -16,6 +16,7 @@ the SFM path sends the message buffer without an intermediate copy.
 
 from __future__ import annotations
 
+import os
 import socket
 import struct
 import threading
@@ -134,6 +135,40 @@ SMALL_FRAME = 8192
 
 _HAS_SENDMSG = hasattr(socket.socket, "sendmsg")
 
+#: Sender-side coalescing watermarks: a drained send queue is flushed as
+#: one vectored write of up to this many frames / this many payload
+#: bytes.  The *time* watermark is zero -- a lone publish never waits for
+#: company; only messages that were already queued behind it share the
+#: flush -- so single-message latency is untouched while a backlog
+#: collapses N syscalls into one.
+BATCH_MAX_FRAMES = 16
+BATCH_MAX_BYTES = 64 * 1024
+
+
+def batching_enabled() -> bool:
+    """Send-side frame coalescing kill switch: ``REPRO_DOORBELL_BATCH=0``
+    restores one syscall per frame (TCPROS data frames and SHMROS
+    doorbell frames alike)."""
+    return os.environ.get("REPRO_DOORBELL_BATCH", "1") != "0"
+
+
+def send_parts(sock: socket.socket, parts: list) -> None:
+    """One vectored send of ``parts`` (bytes-like), finishing any partial
+    write.  Falls back to a joined ``sendall`` without ``sendmsg``."""
+    if len(parts) == 1:
+        sock.sendall(parts[0])
+        return
+    if not hasattr(sock, "sendmsg"):  # pragma: no cover - non-POSIX
+        sock.sendall(b"".join(bytes(part) for part in parts))
+        return
+    total = sum(len(part) for part in parts)
+    sent = sock.sendmsg(parts)
+    if sent >= total:
+        return
+    # Partial write under backpressure (rare): flatten the remainder.
+    rest = b"".join(bytes(part) for part in parts)
+    sock.sendall(memoryview(rest)[sent:])
+
 
 def write_frame(sock: socket.socket, payload) -> None:
     """Write one length-prefixed frame (payload may be a memoryview).
@@ -194,6 +229,68 @@ def write_traced_frame(
             sent = len(head)
             continue
         sent += sock.send(view[sent - len(head) :])
+
+
+def write_frames(sock: socket.socket, payloads: list) -> None:
+    """Write several length-prefixed frames in one vectored send.
+
+    The flush of a drained publisher queue: each payload keeps its own
+    length prefix (the receiver's framing is unchanged -- batching is
+    invisible on the wire), but N small messages cost one syscall instead
+    of N.  Small payloads are coalesced with their prefix; large ones ride
+    as separate iovecs so they are never copied.
+    """
+    parts: list = []
+    pending = bytearray()
+    for payload in payloads:
+        if isinstance(payload, memoryview) and payload.itemsize != 1:
+            payload = payload.cast("B")
+        size = len(payload)
+        if size <= SMALL_FRAME:
+            pending += _LEN.pack(size)
+            pending += payload
+        else:
+            if pending:
+                parts.append(bytes(pending))
+                pending = bytearray()
+            parts.append(_LEN.pack(size))
+            parts.append(
+                payload if isinstance(payload, memoryview)
+                else memoryview(payload)
+            )
+    if pending:
+        parts.append(bytes(pending))
+    if parts:
+        send_parts(sock, parts)
+
+
+def write_traced_frames(sock: socket.socket, entries: list) -> None:
+    """``write_frames`` for a traced connection: ``entries`` are
+    ``(payload, trace_id, stamp_ns)`` triples and every frame carries the
+    16-byte observability prefix."""
+    parts: list = []
+    pending = bytearray()
+    for payload, trace_id, stamp_ns in entries:
+        if isinstance(payload, memoryview) and payload.itemsize != 1:
+            payload = payload.cast("B")
+        size = len(payload)
+        head = _LEN.pack(size + TRACE_PREFIX) + _TRACE.pack(trace_id, stamp_ns)
+        if size <= SMALL_FRAME:
+            pending += head
+            pending += payload
+        else:
+            if pending:
+                parts.append(bytes(pending))
+                pending = bytearray()
+            parts.append(head)
+            parts.append(
+                payload if isinstance(payload, memoryview)
+                else memoryview(payload)
+            )
+    if pending:
+        parts.append(bytes(pending))
+    if parts:
+        send_parts(sock, parts)
 
 
 def read_traced_frame(sock: socket.socket) -> tuple[bytearray, int, int]:

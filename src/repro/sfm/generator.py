@@ -21,12 +21,12 @@ the slot's fixed offset -- the C++-struct-like access of Section 4.1.
 
 from __future__ import annotations
 
-import struct
 import threading
 from typing import Optional
 
 from repro.msg.registry import TypeRegistry, default_registry
-from repro.sfm.layout import Slot, layout_for
+from repro.sfm import codegen as _codegen
+from repro.sfm.layout import Slot, cached_struct, layout_for
 from repro.sfm.message import SFMMessage
 from repro.sfm.string import SfmString
 from repro.sfm.vector import SfmFixedArray, SfmMap, SfmVector
@@ -39,7 +39,7 @@ class _PrimitiveField:
 
     def __init__(self, slot: Slot) -> None:
         self.offset = slot.offset
-        self.packer = struct.Struct("<" + slot.prim.type.struct_fmt)
+        self.packer = cached_struct("<" + slot.prim.type.struct_fmt)
         self.name = slot.name
 
     def __get__(self, obj, objtype=None):
@@ -60,7 +60,7 @@ class _TimeField:
 
     def __init__(self, slot: Slot) -> None:
         self.offset = slot.offset
-        self.packer = struct.Struct("<" + slot.prim.type.struct_fmt)
+        self.packer = cached_struct("<" + slot.prim.type.struct_fmt)
         self.name = slot.name
 
     def __get__(self, obj, objtype=None):
@@ -190,18 +190,23 @@ class _FixedArrayField:
 class _NestedField:
     """Descriptor for nested message fields."""
 
-    __slots__ = ("offset", "type_name", "registry", "name", "_cls")
+    __slots__ = ("offset", "type_name", "registry", "name", "codegen", "_cls")
 
-    def __init__(self, slot: Slot, registry: TypeRegistry) -> None:
+    def __init__(
+        self, slot: Slot, registry: TypeRegistry, codegen: bool = False
+    ) -> None:
         self.offset = slot.offset
         self.type_name = slot.nested.type_name
         self.registry = registry
         self.name = slot.name
+        self.codegen = codegen
         self._cls = None
 
     def _nested_class(self):
         if self._cls is None:
-            self._cls = generate_sfm_class(self.type_name, self.registry)
+            self._cls = generate_sfm_class(
+                self.type_name, self.registry, codegen=self.codegen
+            )
         return self._cls
 
     def __get__(self, obj, objtype=None):
@@ -215,7 +220,7 @@ class _NestedField:
         self.__get__(obj)._copy_fields_from(value)
 
 
-def _descriptor_for(slot: Slot, registry: TypeRegistry):
+def _descriptor_for(slot: Slot, registry: TypeRegistry, codegen: bool = False):
     if slot.kind == "primitive":
         if slot.prim.is_time or slot.prim.type.struct_fmt in ("II", "ii"):
             return _TimeField(slot)
@@ -229,21 +234,47 @@ def _descriptor_for(slot: Slot, registry: TypeRegistry):
     if slot.kind == "fixed_array":
         return _FixedArrayField(slot)
     if slot.kind == "nested":
-        return _NestedField(slot, registry)
+        return _NestedField(slot, registry, codegen)
     raise AssertionError(slot.kind)  # pragma: no cover - exhaustive
 
 
 _cache_lock = threading.Lock()
-_class_cache: dict[tuple[int, str], type] = {}
+_class_cache: dict[tuple[int, str, bool], type] = {}
+
+
+def _routed_view(cls, record, base: int, path: str):
+    """``_view`` override for codegen root classes: a view at a non-zero
+    base cannot use accessors with literal indices, so it is built from
+    the sibling view class (descriptor accessors)."""
+    if base:
+        cls = cls._ViewCls
+    self = cls.__new__(cls)
+    object.__setattr__(self, "_record", record)
+    object.__setattr__(self, "_base", base)
+    object.__setattr__(self, "_path", path)
+    object.__setattr__(self, "_owns", False)
+    return self
 
 
 def generate_sfm_class(
-    full_name: str, registry: Optional[TypeRegistry] = None
+    full_name: str,
+    registry: Optional[TypeRegistry] = None,
+    codegen: Optional[bool] = None,
 ) -> type:
     """Return (generating and caching on first use) the SFM message class
-    for ``full_name``."""
+    for ``full_name``.
+
+    ``codegen`` selects the accessor strategy: compiled per-type accessors
+    (:mod:`repro.sfm.codegen`) or the generic descriptors.  ``None`` (the
+    default) follows the ``REPRO_SFM_CODEGEN`` environment switch.  Both
+    flavors are cached independently so the parity suite can hold classes
+    of each in one process.
+    """
     registry = registry or default_registry
-    key = (id(registry), full_name)
+    if codegen is None:
+        codegen = _codegen.codegen_enabled()
+    codegen = bool(codegen)
+    key = (id(registry), full_name, codegen)
     with _cache_lock:
         cls = _class_cache.get(key)
     if cls is not None:
@@ -266,8 +297,26 @@ def generate_sfm_class(
     for const in spec.constants:
         namespace[const.name] = const.value
     for slot in layout.slots:
-        namespace[slot.name] = _descriptor_for(slot, registry)
-    cls = type(spec.short_name, (SFMMessage,), namespace)
+        namespace[slot.name] = _descriptor_for(slot, registry, codegen)
+    if codegen:
+        compiled = _codegen.build_scalar_accessors(layout)
+        namespace.update(compiled)
+        namespace["_set_kwargs"] = _codegen.make_set_kwargs(layout)
+        namespace["_view"] = classmethod(_routed_view)
+        cls = type(spec.short_name, (SFMMessage,), namespace)
+        # Sibling view class for nested (non-zero base) instances: the
+        # generic descriptors handle per-instance base offsets.
+        view_namespace: dict[str, object] = {"__slots__": ()}
+        for slot in layout.slots:
+            if slot.name in compiled:
+                view_namespace[slot.name] = _descriptor_for(
+                    slot, registry, codegen
+                )
+        view_cls = type(spec.short_name, (cls,), view_namespace)
+        cls._ViewCls = view_cls
+        view_cls._ViewCls = view_cls
+    else:
+        cls = type(spec.short_name, (SFMMessage,), namespace)
     with _cache_lock:
         cls = _class_cache.setdefault(key, cls)
     return cls

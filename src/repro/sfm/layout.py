@@ -46,9 +46,23 @@ CONTENT_ALIGNMENT = 4
 #: Default whole-message capacity when the IDL declares none.
 DEFAULT_CAPACITY = 1 << 20
 
+#: Shared table of compiled :class:`struct.Struct` objects keyed by format
+#: string.  Identical formats used to be re-compiled once per descriptor
+#: instance; every accessor path (descriptors, codegen slow paths, vector
+#: elements) now shares one compiled packer per format.
+_struct_cache: dict[str, struct.Struct] = {}
+
+
+def cached_struct(fmt: str) -> struct.Struct:
+    """The compiled :class:`struct.Struct` for ``fmt`` (module-level cache)."""
+    packer = _struct_cache.get(fmt)
+    if packer is None:
+        packer = _struct_cache[fmt] = struct.Struct(fmt)
+    return packer
+
 
 def _u32(order: str) -> struct.Struct:
-    return struct.Struct(order + "I")
+    return cached_struct(order + "I")
 
 
 # ----------------------------------------------------------------------
@@ -142,6 +156,14 @@ class SkeletonLayout:
         self.skeleton_size = skeleton_size
         self.capacity = capacity
         self.slot_by_name = {slot.name: slot for slot in slots}
+        # Precomputed so construction can skip the optional-defaults walk
+        # (and skip recursing into nested subtrees that carry no defaults)
+        # instead of allocating a throwaway view per nested slot.
+        self.has_optional_defaults = any(
+            (slot.field.optional and slot.field.default is not None)
+            or (slot.kind == "nested" and slot.nested.has_optional_defaults)
+            for slot in slots
+        )
 
     @property
     def type_name(self) -> str:

@@ -80,6 +80,23 @@ class MessageRecord:
     #: expansion without any global lookup.
     manager: "MessageManager" = None  # type: ignore[assignment]
     _extra: dict = dataclass_field(default_factory=dict)
+    # Lazily-built typed memoryviews over ``buffer`` (one per cast code),
+    # populated by the compiled accessors of :mod:`repro.sfm.codegen`.
+    # They alias the buffer, so plain content writes keep them coherent;
+    # they MUST be dropped before anything rebinds or resizes the backing
+    # buffer (``drop_casts``), both for coherence and because a bytearray
+    # with exported views cannot be resized.
+    cast_b: object = dataclass_field(default=None, repr=False, compare=False)
+    cast_B: object = dataclass_field(default=None, repr=False, compare=False)
+    cast_h: object = dataclass_field(default=None, repr=False, compare=False)
+    cast_H: object = dataclass_field(default=None, repr=False, compare=False)
+    cast_i: object = dataclass_field(default=None, repr=False, compare=False)
+    cast_I: object = dataclass_field(default=None, repr=False, compare=False)
+    cast_q: object = dataclass_field(default=None, repr=False, compare=False)
+    cast_Q: object = dataclass_field(default=None, repr=False, compare=False)
+    cast_f: object = dataclass_field(default=None, repr=False, compare=False)
+    cast_d: object = dataclass_field(default=None, repr=False, compare=False)
+    cast_bool: object = dataclass_field(default=None, repr=False, compare=False)
 
     @property
     def end(self) -> int:
@@ -87,6 +104,15 @@ class MessageRecord:
 
     def contains(self, address: int) -> bool:
         return self.base <= address < self.end
+
+    def drop_casts(self) -> None:
+        """Release the lazily-built typed views.  Called before any event
+        that rebinds or resizes the backing buffer: an in-place growth
+        would fail with ``BufferError`` while views are exported, and a
+        rebound buffer must not keep serving stale views."""
+        self.cast_b = self.cast_B = self.cast_h = self.cast_H = None
+        self.cast_i = self.cast_I = self.cast_q = self.cast_Q = None
+        self.cast_f = self.cast_d = self.cast_bool = None
 
     def writable(self) -> bytearray:
         """The buffer, guaranteed mutable: every write path goes through
@@ -103,6 +129,7 @@ class MessageRecord:
             return
         self.buffer = bytearray(self.buffer)
         self.external = False
+        self.drop_casts()
         manager = self.manager
         if manager is not None:
             with manager._lock:
@@ -329,6 +356,9 @@ class MessageManager:
                 # Growth mode: extend the backing bytearray in place.  A
                 # Python bytearray may relocate internally but every view
                 # holds the same object, so this is safe (unlike C++).
+                # Typed views must be dropped first: a bytearray with
+                # exported memoryviews cannot be resized.
+                record.drop_casts()
                 record.writable().extend(bytes(needed - record.capacity))
                 record.capacity = needed
             record.size = needed
@@ -384,6 +414,10 @@ class MessageManager:
             del self._bases[index]
             del self._records[index]
         self.stats.destructed += 1
+        # Drop typed views before the buffer heads to the pool: a pooled
+        # buffer may be grown by its next record, which requires that no
+        # memoryview exports remain.
+        record.drop_casts()
         # External (borrowed) buffers belong to the transport and must
         # never enter the recycling pool.
         if self.recycle and isinstance(record.buffer, bytearray):

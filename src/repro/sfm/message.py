@@ -58,8 +58,16 @@ class SFMMessage:
         object.__setattr__(self, "_path", self._layout.type_name)
         object.__setattr__(self, "_owns", True)
         self._apply_optional_defaults()
+        if kwargs:
+            self._set_kwargs(kwargs)
+
+    def _set_kwargs(self, kwargs: dict) -> None:
+        """Apply constructor keyword arguments.  The codegen fast path
+        (:mod:`repro.sfm.codegen`) overrides this with a compiled bulk
+        setter; this generic version assigns one field at a time."""
+        slot_by_name = self._layout.slot_by_name
         for name, value in kwargs.items():
-            if name not in self._layout.slot_by_name:
+            if name not in slot_by_name:
                 raise TypeError(
                     f"{self._layout.type_name} has no field {name!r}"
                 )
@@ -68,11 +76,16 @@ class SFMMessage:
     def _apply_optional_defaults(self) -> None:
         """Optional fixed-size fields carry a user-defined default
         (Section 4.4.2); everything else defaults to zero, which the
-        zero-filled buffer already provides."""
+        zero-filled buffer already provides.  Layouts precompute whether
+        any default exists (recursively), so the common case is a single
+        flag check instead of a walk that allocates a view per nested
+        slot."""
+        if not self._layout.has_optional_defaults:
+            return
         for slot in self._layout.slots:
             if slot.field.optional and slot.field.default is not None:
                 setattr(self, slot.name, slot.field.default)
-            elif slot.kind == "nested":
+            elif slot.kind == "nested" and slot.nested.has_optional_defaults:
                 getattr(self, slot.name)._apply_optional_defaults()
 
     @classmethod

@@ -22,11 +22,18 @@ from __future__ import annotations
 import struct
 
 from repro.sfm.errors import NoModifierError, OneShotVectorError
-from repro.sfm.layout import NestedDesc, PairDesc, PrimDesc, StrDesc
+from repro.sfm.layout import NestedDesc, PairDesc, PrimDesc, StrDesc, cached_struct
 from repro.sfm.manager import MessageManager, MessageRecord
 from repro.sfm.string import SfmString
 
 _PAIR = struct.Struct("<II")
+
+# numpy is optional: the zero-copy array views and ndarray bulk
+# assignment use it when present, and everything else works without it.
+try:  # pragma: no cover - exercised by whichever env runs the suite
+    import numpy as _numpy
+except Exception:  # pragma: no cover - numpy-less environments
+    _numpy = None
 
 _MODIFIER_METHODS = (
     "push_back",
@@ -94,8 +101,12 @@ class _SfmSequenceBase:
         if isinstance(element, PrimDesc):
             prim = element.type
             if prim.is_time or prim.struct_fmt in ("II", "ii"):
-                return struct.unpack_from("<" + prim.struct_fmt, buffer, offset)
-            return struct.unpack_from("<" + prim.struct_fmt, buffer, offset)[0]
+                return cached_struct("<" + prim.struct_fmt).unpack_from(
+                    buffer, offset
+                )
+            return cached_struct("<" + prim.struct_fmt).unpack_from(
+                buffer, offset
+            )[0]
         if isinstance(element, StrDesc):
             return SfmString(
                 self._manager, self._record, offset, f"{self._path}[{index}]"
@@ -115,9 +126,13 @@ class _SfmSequenceBase:
             prim = element.type
             if prim.is_time or prim.struct_fmt in ("II", "ii"):
                 secs, nsecs = value
-                struct.pack_into("<" + prim.struct_fmt, buffer, offset, secs, nsecs)
+                cached_struct("<" + prim.struct_fmt).pack_into(
+                    buffer, offset, secs, nsecs
+                )
             else:
-                struct.pack_into("<" + prim.struct_fmt, buffer, offset, value)
+                cached_struct("<" + prim.struct_fmt).pack_into(
+                    buffer, offset, value
+                )
         elif isinstance(element, StrDesc):
             SfmString(
                 self._manager, self._record, offset, f"{self._path}[{index}]"
@@ -221,19 +236,41 @@ class _SfmSequenceBase:
         start = self._content_start()
         return memoryview(self._record.buffer)[start : start + self._count()]
 
-    def asarray(self):
-        """Zero-copy numpy view of a primitive vector's contents."""
-        import numpy
+    def typed(self) -> memoryview:
+        """Zero-copy *typed* memoryview of a primitive vector's contents
+        (``memoryview.cast``): element reads and writes go straight to the
+        buffer with no struct call and no numpy dependency.  Little-endian
+        contents are read in native order, hence little-endian hosts only
+        (SFM buffers are little-endian; big-endian buffers are converted
+        once on adoption)."""
+        if not isinstance(self._element, PrimDesc):
+            raise TypeError(f"{self._path} elements are not primitive")
+        prim = self._element.type
+        if prim.is_time or prim.struct_fmt in ("II", "ii"):
+            raise TypeError(f"{self._path}: time vectors have no item format")
+        start = self._content_start()
+        end = start + self._count() * self._element.size
+        view = memoryview(self._record.buffer)[start:end]
+        code = prim.struct_fmt if prim.struct_fmt != "?" else "B"
+        return view.cast(code)
 
+    def asarray(self):
+        """Zero-copy numpy view of a primitive vector's contents
+        (requires numpy; see :meth:`typed` for the stdlib equivalent)."""
+        if _numpy is None:
+            raise RuntimeError(
+                f"{self._path}.asarray() requires numpy, which is not "
+                "installed; use .typed() for a stdlib typed view"
+            )
         if not isinstance(self._element, PrimDesc):
             raise TypeError(f"{self._path} elements are not primitive")
         prim = self._element.type
         if prim.is_time or prim.struct_fmt in ("II", "ii"):
             raise TypeError(f"{self._path}: time vectors have no dtype")
-        dtype = numpy.dtype("<" + _NUMPY_CODES[prim.struct_fmt])
+        dtype = _numpy.dtype("<" + _NUMPY_CODES[prim.struct_fmt])
         start = self._content_start()
         end = start + self._count() * self._element.size
-        return numpy.frombuffer(
+        return _numpy.frombuffer(
             memoryview(self._record.buffer)[start:end], dtype=dtype
         )
 
@@ -302,9 +339,7 @@ class SfmVector(_SfmSequenceBase):
         ):
             self._assign_bytes_fast(value)
             return
-        import numpy
-
-        if isinstance(value, numpy.ndarray):
+        if _numpy is not None and isinstance(value, _numpy.ndarray):
             self._assign_ndarray(value)
             return
         values = list(value)
@@ -354,7 +389,7 @@ class SfmVector(_SfmSequenceBase):
         """Bulk ndarray assignment: a single no-zero grant plus one numpy
         copy into the buffer (the grant is fully overwritten, padding
         excepted)."""
-        import numpy
+        numpy = _numpy
 
         from repro.sfm.errors import OneShotVectorError
         from repro.sfm.layout import align_content
@@ -541,7 +576,9 @@ class SfmMap:
 def _scalar_view(vector: SfmVector, desc, offset: int, index: int, role: str):
     buffer = vector._record.buffer
     if isinstance(desc, PrimDesc):
-        return struct.unpack_from("<" + desc.type.struct_fmt, buffer, offset)[0]
+        return cached_struct("<" + desc.type.struct_fmt).unpack_from(
+            buffer, offset
+        )[0]
     if isinstance(desc, StrDesc):
         return SfmString(
             vector._manager,
@@ -562,7 +599,9 @@ def _scalar_view(vector: SfmVector, desc, offset: int, index: int, role: str):
 def _write_scalar(vector: SfmVector, desc, offset: int, value) -> None:
     buffer = vector._record.writable()
     if isinstance(desc, PrimDesc):
-        struct.pack_into("<" + desc.type.struct_fmt, buffer, offset, value)
+        cached_struct("<" + desc.type.struct_fmt).pack_into(
+            buffer, offset, value
+        )
     elif isinstance(desc, StrDesc):
         SfmString(
             vector._manager, vector._record, offset, f"{vector._path}.<map>"
