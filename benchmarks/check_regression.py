@@ -1,10 +1,11 @@
 #!/usr/bin/env python
 """Guard the committed benchmark headlines against regressions.
 
-Compares freshly-generated ``BENCH_<experiment>.json`` files against the
-committed baselines at the repository root and fails when a headline
-metric regresses by more than the tolerance (default 5%).  The headline
-set deliberately sticks to *ratio* metrics (speedups, overhead budgets)
+Discovers every ``BENCH_*.json`` present in the current directory,
+pairs each with the committed baseline of the same name at the
+repository root, and fails when a headline metric regresses by more
+than the tolerance (default 5%).  The headline set deliberately sticks
+to *ratio* metrics (speedups, delivery ratios, overhead budgets)
 rather than absolute latencies: ratios compare a measurement against a
 same-run control, so they survive the machine-to-machine and
 run-to-run variance that makes raw milliseconds meaningless in CI.
@@ -15,8 +16,10 @@ Usage::
         --out /tmp/bench/BENCH_rawspeed.json
     python benchmarks/check_regression.py --current-dir /tmp/bench
 
-Experiments without a baseline or a current file are skipped, so the
-checker only ever judges what both sides actually measured.
+Snapshots without a baseline (and baselines without a fresh snapshot)
+are reported and skipped, so the checker only ever judges what both
+sides actually measured.  A ``BENCH_*.json`` with no registered
+extractor is an error: every committed experiment must be gated.
 """
 
 from __future__ import annotations
@@ -26,11 +29,15 @@ import json
 import sys
 from pathlib import Path
 
+#: Directions: ``higher`` means the metric must not *drop* more than
+#: the tolerance; ``lower`` the inverse.  Extractors return
+#: ``{metric: (value, direction)}`` so one experiment can mix both.
+
 
 def _fig13_headlines(doc: dict) -> dict:
     return {
         f"workloads.{label}.shmros_speedup_vs_tcpros":
-            entry["shmros_speedup_vs_tcpros"]
+            (entry["shmros_speedup_vs_tcpros"], "higher")
         for label, entry in doc.get("workloads", {}).items()
     }
 
@@ -38,48 +45,68 @@ def _fig13_headlines(doc: dict) -> dict:
 def _bridge_headlines(doc: dict) -> dict:
     return {
         "selective_vs_full_json_wire_ratio":
-            doc["selective_vs_full_json_wire_ratio"],
+            (doc["selective_vs_full_json_wire_ratio"], "higher"),
     }
 
 
 def _chaos_headlines(doc: dict) -> dict:
-    return {"recovery_ms.p50": doc["recovery_ms"]["p50"]}
+    return {"recovery_ms.p50": (doc["recovery_ms"]["p50"], "lower")}
 
 
 def _rawspeed_headlines(doc: dict) -> dict:
     access = doc["field_access"]
     return {
-        "field_access.speedup_get": access["speedup_get"],
-        "field_access.speedup_set": access["speedup_set"],
-        "field_access.speedup_cycle": access["speedup_cycle"],
-        "doorbell.speedup": doc["doorbell"]["speedup"],
+        "field_access.speedup_get": (access["speedup_get"], "higher"),
+        "field_access.speedup_set": (access["speedup_set"], "higher"),
+        "field_access.speedup_cycle": (access["speedup_cycle"], "higher"),
+        "doorbell.speedup": (doc["doorbell"]["speedup"], "higher"),
         "publish.string_64b.messages_per_s":
-            doc["publish"]["string_64b"]["messages_per_s"],
+            (doc["publish"]["string_64b"]["messages_per_s"], "higher"),
         "publish.image_1mb.megabytes_per_s":
-            doc["publish"]["image_1mb"]["megabytes_per_s"],
+            (doc["publish"]["image_1mb"]["megabytes_per_s"], "higher"),
     }
 
 
-#: experiment -> (headline extractor, direction). ``higher`` means the
-#: metric must not *drop* more than the tolerance; ``lower`` the inverse.
-EXPERIMENTS = {
-    "fig13": (_fig13_headlines, "higher"),
-    "bridge": (_bridge_headlines, "higher"),
-    "chaos": (_chaos_headlines, "lower"),
-    "rawspeed": (_rawspeed_headlines, "higher"),
+def _fleet_headlines(doc: dict) -> dict:
+    metrics = {
+        f"sweep.{dashboards}.delivery_ratio":
+            (cell["delivery_ratio"], "higher")
+        for dashboards, cell in doc.get("sweep", {}).items()
+    }
+    slow = doc.get("slow_client")
+    if slow:
+        # Healthy-client latency degradation caused by stalled clients;
+        # eviction keeps it bounded, so growth here is a regression.
+        # Median-based (see bench_fleet.run_slow_client): a gated p99
+        # at millisecond latencies would flake on scheduler stalls.
+        metrics["slow_client.p50_ratio"] = (slow["p50_ratio"], "lower")
+        # The policy itself must keep firing: both stalled clients
+        # evicted, every run.
+        metrics["slow_client.evictions"] = (slow["evictions"], "higher")
+    return metrics
+
+
+EXTRACTORS = {
+    "fig13": _fig13_headlines,
+    "bridge": _bridge_headlines,
+    "chaos": _chaos_headlines,
+    "rawspeed": _rawspeed_headlines,
+    "fleet": _fleet_headlines,
+    "obs": None,  # self-gating: see check_obs_budget
 }
 
 
 def check_experiment(name: str, baseline: dict, current: dict,
                      tolerance: float) -> list[str]:
-    extractor, direction = EXPERIMENTS[name]
+    extractor = EXTRACTORS[name]
     failures: list[str] = []
     base_metrics = extractor(baseline)
     new_metrics = extractor(current)
-    for metric, base_value in sorted(base_metrics.items()):
-        new_value = new_metrics.get(metric)
-        if new_value is None or not base_value:
+    for metric, (base_value, direction) in sorted(base_metrics.items()):
+        entry = new_metrics.get(metric)
+        if entry is None or not base_value:
             continue
+        new_value = entry[0]
         if direction == "higher":
             regression = (base_value - new_value) / base_value * 100.0
         else:
@@ -106,6 +133,14 @@ def check_obs_budget(current: dict) -> list[str]:
     return ["obs:overhead_pct"] if overhead > budget else []
 
 
+def _experiment_names(*dirs: Path) -> list[str]:
+    names: set[str] = set()
+    for directory in dirs:
+        for path in directory.glob("BENCH_*.json"):
+            names.add(path.stem[len("BENCH_"):])
+    return sorted(names)
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--baseline-dir", type=Path,
@@ -119,7 +154,12 @@ def main(argv=None) -> int:
 
     failures: list[str] = []
     checked = 0
-    for name in (*EXPERIMENTS, "obs"):
+    for name in _experiment_names(args.baseline_dir, args.current_dir):
+        if name not in EXTRACTORS:
+            print(f"BENCH_{name}.json has no registered headline "
+                  f"extractor; add one to benchmarks/check_regression.py")
+            failures.append(f"{name}:unregistered")
+            continue
         baseline_path = args.baseline_dir / f"BENCH_{name}.json"
         current_path = args.current_dir / f"BENCH_{name}.json"
         if not baseline_path.exists() or not current_path.exists():

@@ -25,6 +25,11 @@ vs descriptor field access, coalesced vs frame-at-a-time doorbell,
 end-to-end SHMROS delivery at 64 B and 1 MiB) and writes
 ``BENCH_rawspeed.json``.
 
+``--experiment fleet`` runs ``bench_fleet.py`` (N robots x M dashboard
+clients through the WebSocket front door: saturation sweep up to 256
+concurrent ws subscribers plus the slow-client eviction witness) and
+writes ``BENCH_fleet.json``.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/snapshot.py [--iterations N] [--out PATH]
@@ -140,6 +145,24 @@ def run_rawspeed_snapshot(field_number: int, doorbell_frames: int,
     return payload
 
 
+def run_fleet_snapshot(sweep, robots: int, duration: float,
+                       slow: bool = True) -> dict:
+    sys.path.insert(0, str(Path(__file__).resolve().parent))
+    import bench_fleet
+
+    payload: dict = {
+        "experiment": "fleet",
+        "generated": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "python": platform.python_version(),
+        "robots": robots,
+        "duration_s": duration,
+    }
+    payload.update(bench_fleet.run_fleet_bench(
+        sweep=sweep, robots=robots, duration=duration, slow=slow,
+    ))
+    return payload
+
+
 def run_chaos_snapshot(rounds: int, seed: int = 1) -> dict:
     sys.path.insert(0, str(Path(__file__).resolve().parent))
     import bench_chaos_soak
@@ -157,7 +180,7 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--experiment",
                         choices=("fig13", "bridge", "obs", "chaos",
-                                 "rawspeed"),
+                                 "rawspeed", "fleet"),
                         default="fig13")
     parser.add_argument("--iterations", type=int, default=40,
                         help="fig13/obs iterations")
@@ -165,9 +188,47 @@ def main(argv=None) -> int:
                         help="bridge messages per fan-out cell")
     parser.add_argument("--rounds", type=int, default=10,
                         help="chaos soak fault/recovery rounds")
+    parser.add_argument("--robots", type=int, default=2,
+                        help="fleet robot count")
+    parser.add_argument("--sweep", default="8,64,256",
+                        help="fleet dashboard counts, comma separated")
+    parser.add_argument("--duration", type=float, default=4.0,
+                        help="fleet measurement window per cell, seconds")
+    parser.add_argument("--no-slow", action="store_true",
+                        help="fleet: skip the slow-client witness")
     parser.add_argument("--out", type=Path, default=None)
     args = parser.parse_args(argv)
     root = Path(__file__).resolve().parent.parent
+    if args.experiment == "fleet":
+        out = args.out or root / "BENCH_fleet.json"
+        sweep = tuple(
+            int(part) for part in args.sweep.split(",") if part
+        )
+        payload = run_fleet_snapshot(
+            sweep=sweep, robots=args.robots, duration=args.duration,
+            slow=not args.no_slow,
+        )
+        out.write_text(json.dumps(payload, indent=2) + "\n")
+        for dashboards, cell in payload["sweep"].items():
+            latency = cell["latency_ms"]
+            print(
+                f"fleet {payload['robots']}x{dashboards}: "
+                f"{cell['delivered_per_s']:,.0f} msg/s delivered "
+                f"(ratio {cell['delivery_ratio']:.3f}), "
+                f"p50 {latency['p50']:.2f} ms, p99 {latency['p99']:.2f} ms, "
+                f"{cell['evictions']} eviction(s)"
+            )
+        slow = payload.get("slow_client")
+        if slow:
+            print(
+                f"slow-client witness: {slow['evictions']} eviction(s), "
+                f"healthy p99 {slow['contended_p99_ms']:.2f} ms vs "
+                f"baseline {slow['baseline_p99_ms']:.2f} ms "
+                f"({slow['p99_ratio']:.2f}x; gated on p50 "
+                f"{slow['p50_ratio']:.2f}x)"
+            )
+        print(f"wrote {out}")
+        return 0
     if args.experiment == "rawspeed":
         out = args.out or root / "BENCH_rawspeed.json"
         payload = run_rawspeed_snapshot(

@@ -1,0 +1,126 @@
+#!/usr/bin/env python3
+"""A fleet dashboard over the WebSocket front door.
+
+One process plays every role, end to end:
+
+1. a graph + bridge with ``enable_ws()`` -- the front door browsers and
+   remote dashboards dial;
+2. a "robot": a :class:`~repro.bridge.ws.WsBridgeClient` publishing
+   ``PoseStamped@sfm`` telemetry with ``publish_raw`` (the buffer goes
+   onto the graph without a single per-field touch);
+3. a "dashboard": a second ws client holding a *selective-field* cbin
+   subscription -- only ``pose.position.{x,y}`` cross the last hop;
+4. an SSE tail: the same deliveries as ``text/event-stream`` for
+   clients that cannot upgrade (curl works: the URL is printed).
+
+Run:  python examples/ws_dashboard.py [--duration 3]
+"""
+
+import argparse
+import socket
+import threading
+import time
+
+from repro.bridge.server import BridgeServer
+from repro.bridge.ws import WsBridgeClient, sse_url
+from repro.ros import RosGraph
+from repro.rossf import sfm_classes_for
+
+POSE_TYPE = "geometry_msgs/PoseStamped@sfm"
+TOPIC = "/fleet/robot0/pose"
+
+
+def robot(client: WsBridgeClient, duration: float) -> int:
+    """Publish a circling pose at 20 Hz (serialization-free ingest)."""
+    PoseStamped, = sfm_classes_for("geometry_msgs/PoseStamped")
+    pose = PoseStamped()
+    published = 0
+    deadline = time.monotonic() + duration
+    while time.monotonic() < deadline:
+        pose.pose.position.x = float(published % 10)
+        pose.pose.position.y = float(published % 7)
+        client.publish_raw(TOPIC, bytes(pose.to_wire()))
+        published += 1
+        time.sleep(0.05)
+    return published
+
+
+def sse_tail(host: str, port: int, events: list, stop) -> None:
+    """Read ``data:`` lines from the /sse fallback endpoint."""
+    url = sse_url(host, port, TOPIC, POSE_TYPE,
+                  fields=["pose.position.x"])
+    path = url.split(str(port), 1)[1]
+    sock = socket.create_connection((host, port), timeout=10.0)
+    sock.sendall(f"GET {path} HTTP/1.1\r\nHost: x\r\n\r\n".encode())
+    buffered = b""
+    sock.settimeout(0.25)
+    while not stop.is_set():
+        try:
+            chunk = sock.recv(4096)
+        except socket.timeout:
+            continue
+        except OSError:
+            break
+        if not chunk:
+            break
+        buffered += chunk
+        while b"\r\n\r\n" in buffered:
+            event, _, buffered = buffered.partition(b"\r\n\r\n")
+            if event.startswith(b"data: ") and b'"publish"' in event:
+                events.append(event)
+    sock.close()
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--duration", type=float, default=3.0)
+    args = parser.parse_args()
+
+    with RosGraph() as graph:
+        with BridgeServer(graph.master_uri) as server:
+            frontend = server.enable_ws()
+            print(f"front door at {frontend.url}")
+            print("sse fallback:",
+                  sse_url(server.host, frontend.port, TOPIC, POSE_TYPE,
+                          fields=["pose.position.x"]))
+
+            robot_client = WsBridgeClient(server.host, frontend.port)
+            robot_client.advertise(TOPIC, POSE_TYPE)
+
+            dashboard = WsBridgeClient(server.host, frontend.port)
+            received = []
+            dashboard.subscribe(
+                TOPIC, POSE_TYPE,
+                lambda msg, meta: received.append(msg),
+                codec="cbin", fields=["pose.position.x", "pose.position.y"],
+            )
+
+            sse_events: list = []
+            stop = threading.Event()
+            tail = threading.Thread(
+                target=sse_tail,
+                args=(server.host, frontend.port, sse_events, stop),
+                daemon=True,
+            )
+            tail.start()
+
+            published = robot(robot_client, args.duration)
+            deadline = time.monotonic() + 5.0
+            while not received and time.monotonic() < deadline:
+                time.sleep(0.05)
+            stop.set()
+            tail.join(timeout=2.0)
+
+            snap = server.stats_snapshot()
+            print(f"robot published {published} poses (raw, zero-touch)")
+            print(f"ws dashboard received {len(received)} selective "
+                  f"deliveries; latest fields: {received[-1]}")
+            print(f"sse tail captured {len(sse_events)} event(s)")
+            print(f"clients by transport: {snap['clients_by_transport']}")
+
+            robot_client.close()
+            dashboard.close()
+
+
+if __name__ == "__main__":
+    main()

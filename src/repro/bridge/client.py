@@ -94,8 +94,7 @@ class BridgeClient:
         self._frag_bytes: dict[object, int] = {}
         self.max_frame = protocol.MAX_FRAME  # until hello_ok negotiates it
 
-        self.sock = socket.create_connection((host, port), timeout=timeout)
-        self.sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self.sock = self._connect(host, port, timeout)
         hello = {"op": "hello", "codec": codec, "id": self._next_id()}
         if max_frame is not None:
             hello["max_frame"] = max_frame
@@ -114,6 +113,13 @@ class BridgeClient:
             name=f"bridge-client:{host}:{port}",
         )
         self._reader.start()
+
+    def _connect(self, host: str, port: int, timeout: float) -> socket.socket:
+        """Open the transport (hook: the ws client adds an HTTP upgrade
+        here and swaps the frame codec)."""
+        sock = socket.create_connection((host, port), timeout=timeout)
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        return sock
 
     # ------------------------------------------------------------------
     # Public ops
@@ -334,7 +340,10 @@ class BridgeClient:
 
     def _on_status(self, op: dict) -> None:
         entry = self._pop_pending(op.get("id"))
-        if entry is not None and op.get("level") == "error":
+        if entry is not None and op.get("level") in ("error", "warning"):
+            # A status addressed to a pending request is its answer: the
+            # op was refused (e.g. rate limited).  Fail the caller fast
+            # instead of letting it time out.
             entry.error = op.get("msg", "bridge error")
             entry.event.set()
             return

@@ -248,13 +248,22 @@ class Reassembler:
 
     Keeps at most ``max_pending`` in-progress messages; older ones are
     discarded (a slow or broken peer must not grow memory unboundedly).
+
+    ``sequential=True`` additionally rejects *interleaved* fragment
+    streams: a fragment starting a new unit while another unit is still
+    incomplete raises instead of allocating a second slot list.  The
+    WebSocket front door runs in this mode -- ws framing is
+    message-ordered per connection, so interleaving there is always a
+    hostile or broken peer, and one client must not hold ``max_pending``
+    reassembly buffers at once.
     """
 
-    def __init__(self, max_pending: int = 8) -> None:
+    def __init__(self, max_pending: int = 8, sequential: bool = False) -> None:
         self._pending: dict[object, list] = {}
         self._sizes: dict[object, int] = {}
         self._order: list = []
         self._max_pending = max_pending
+        self._sequential = sequential
 
     def _discard(self, frag_id) -> None:
         self._pending.pop(frag_id, None)
@@ -270,6 +279,12 @@ class Reassembler:
         frag_id, num, total = op["id"], op["num"], op["total"]
         slots = self._pending.get(frag_id)
         if slots is None:
+            if self._sequential and self._pending:
+                pending = next(iter(self._pending))
+                raise BridgeProtocolError(
+                    f"fragment {frag_id!r} interleaves with the unfinished "
+                    f"fragment stream {pending!r}"
+                )
             slots = [None] * total
             self._pending[frag_id] = slots
             self._sizes[frag_id] = 0

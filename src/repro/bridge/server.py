@@ -86,7 +86,7 @@ class _Subscription:
     __slots__ = (
         "sid", "session", "topic", "spelling", "codec", "fields", "selector",
         "schema", "throttle_rate", "queue_length", "sent", "wire_bytes",
-        "dropped", "throttled", "_last_send",
+        "dropped", "throttled", "queued", "_last_send",
     )
 
     def __init__(self, sid, session, topic, spelling, codec, fields,
@@ -105,6 +105,9 @@ class _Subscription:
         self.wire_bytes = 0
         self.dropped = 0
         self.throttled = 0
+        #: Deliveries currently sitting in the session queue (guarded by
+        #: the session condition) -- keeps the bound check O(1).
+        self.queued = 0
         self._last_send = 0.0
 
     def throttle(self, now: float) -> bool:
@@ -310,7 +313,25 @@ class _Advertisement:
 
 class _ClientSession:
     """One connected bridge client: reader + writer thread pair around a
-    shared bounded fan-out queue."""
+    shared bounded fan-out queue.
+
+    The class is also the transport seam of the gateway: the queue,
+    dispatch and close machinery are framing-agnostic, and subclasses
+    (the WebSocket and SSE sessions of :mod:`repro.bridge.ws`) override
+    the ``_handshake`` / ``_recv_unit`` / ``_write_unit`` hooks to speak
+    a different wire while reusing every op handler unchanged.
+    """
+
+    #: Transport label surfaced through describe()/stats_snapshot().
+    transport = "tcp"
+    #: Reassembler mode (ws sessions reject interleaved fragment streams).
+    reassembler_sequential = False
+    #: Slow-client policy knobs, all 0 = disabled (the raw-TCP bridge
+    #: keeps the PR-2 behaviour: only client-requested queue_length
+    #: bounds apply).  Front-door sessions overwrite these per policy.
+    default_queue_length = 0
+    high_watermark = 0
+    evict_strikes = 0
 
     def __init__(self, server: "BridgeServer", sock: socket.socket,
                  peer: str) -> None:
@@ -321,10 +342,23 @@ class _ClientSession:
         self.max_frame = protocol.MAX_FRAME
         self.subscriptions: dict[int, _Subscription] = {}
         self.closed = False
+        self.evicted = False
+        self.evict_reason: Optional[str] = None
+        #: Deliveries shed by the session watermark (any subscription).
+        self.shed = 0
+        #: Consecutive sheds/drops with no write progress in between --
+        #: the eviction trigger.  Reset whenever the writer thread gets
+        #: a unit onto the socket, so a bursty-but-draining client is
+        #: forgiven while a wedged one (writer blocked in sendall)
+        #: accumulates strikes until eviction.
+        self._strikes = 0
+        self._delivery_depth = 0
         self._queue: deque = deque()
         self._condition = threading.Condition()
         self._frag_ids = itertools.count(1)
-        self._reassembler = protocol.Reassembler()
+        self._reassembler = protocol.Reassembler(
+            sequential=self.reassembler_sequential
+        )
         self._reader = threading.Thread(
             target=self._read_loop, daemon=True, name=f"bridge-read:{peer}"
         )
@@ -345,21 +379,64 @@ class _ClientSession:
         self._enqueue(sub, tag, body)
 
     def _enqueue(self, sub: Optional[_Subscription], tag: int, body: bytes) -> None:
+        evict_reason = None
         with self._condition:
             if self.closed:
                 return
-            if sub is not None and sub.queue_length:
-                backlog = sum(1 for s, _t, _b in self._queue if s is sub)
-                if backlog >= sub.queue_length:
+            if sub is not None:
+                shed = False
+                limit = sub.queue_length or self.default_queue_length
+                if limit and sub.queued >= limit:
                     # Drop the oldest queued delivery of this subscription
                     # (slow external client; same policy as _OutboundLink).
-                    for index, (queued, _t, _b) in enumerate(self._queue):
-                        if queued is sub:
-                            del self._queue[index]
-                            sub.dropped += 1
-                            break
+                    self._drop_oldest_of(sub)
+                    shed = True
+                if self.high_watermark and \
+                        self._delivery_depth >= self.high_watermark:
+                    # The whole session is saturated across subscriptions:
+                    # shed the oldest delivery of *any* subscription.
+                    self._shed_oldest()
+                    shed = True
+                if shed and self.evict_strikes:
+                    # A shed with no write progress since the last one is
+                    # a strike; enough consecutive strikes and the client
+                    # is evicted -- one stalled browser must not pin
+                    # queue memory and fan-out time forever.
+                    self._strikes += 1
+                    if self._strikes >= self.evict_strikes:
+                        evict_reason = (
+                            f"{self._strikes} consecutive deliveries shed "
+                            f"with no write progress (stalled consumer)"
+                        )
+                sub.queued += 1
+                self._delivery_depth += 1
             self._queue.append((sub, tag, body))
             self._condition.notify()
+        if evict_reason is not None:
+            self.server.evict_session(self, evict_reason)
+
+    def _drop_oldest_of(self, sub: _Subscription) -> None:
+        """Shed the oldest queued delivery of one subscription (caller
+        holds the condition)."""
+        for index, (queued, _t, _b) in enumerate(self._queue):
+            if queued is sub:
+                del self._queue[index]
+                sub.dropped += 1
+                sub.queued -= 1
+                self._delivery_depth -= 1
+                break
+
+    def _shed_oldest(self) -> None:
+        """Shed the oldest queued delivery of any subscription (caller
+        holds the condition)."""
+        for index, (queued, _t, _b) in enumerate(self._queue):
+            if queued is not None:
+                del self._queue[index]
+                queued.dropped += 1
+                queued.queued -= 1
+                self._delivery_depth -= 1
+                self.shed += 1
+                break
 
     def _write_loop(self) -> None:
         while True:
@@ -369,11 +446,19 @@ class _ClientSession:
                 if self.closed and not self._queue:
                     return
                 sub, tag, body = self._queue.popleft()
+                if sub is not None:
+                    sub.queued -= 1
+                    self._delivery_depth -= 1
             try:
                 wire = self._write_unit(tag, body)
             except OSError:
                 self.server._drop_session(self)
                 return
+            if self._strikes:
+                # The socket accepted bytes: the client is draining, so
+                # its accumulated shed strikes are forgiven.
+                with self._condition:
+                    self._strikes = 0
             if sub is not None:
                 sub.sent += 1
                 sub.wire_bytes += wire
@@ -390,14 +475,44 @@ class _ClientSession:
             )
         return wire
 
+    def describe(self) -> dict:
+        """Per-client counters for stats_snapshot()/``tools top``."""
+        with self._condition:
+            depth = self._delivery_depth
+            shed = self.shed
+        subs = list(self.subscriptions.values())
+        return {
+            "peer": self.peer,
+            "transport": self.transport,
+            "codec": self.codec,
+            "subscriptions": len(subs),
+            "queue_depth": depth,
+            "dropped": sum(sub.dropped for sub in subs) + shed,
+            "shed": shed,
+            "evicted": self.evicted,
+        }
+
     # ------------------------------------------------------------------
     # Incoming frames
     # ------------------------------------------------------------------
+    def _recv_unit(self) -> tuple:
+        """Read one ``(tag, body)`` unit off the wire (transport hook)."""
+        return protocol.read_bridge_frame(self.sock)
+
+    def _admit(self, kind: str) -> bool:
+        """Rate-limit hook: may an op of this kind be processed?  The
+        base session admits everything; ws sessions meter by op class."""
+        return True
+
+    def _notify_eviction(self, reason: str) -> None:
+        """Best-effort goodbye before an eviction close (transport hook;
+        must never block -- the send queue is saturated by definition)."""
+
     def _read_loop(self) -> None:
         try:
             self._handshake()
             while not self.closed:
-                tag, body = protocol.read_bridge_frame(self.sock)
+                tag, body = self._recv_unit()
                 self._dispatch_unit(tag, body)
         except (ConnectionError, OSError, BridgeProtocolError):
             pass
@@ -426,6 +541,12 @@ class _ClientSession:
             except OSError:
                 pass
             raise BridgeProtocolError(error)
+        self.apply_hello(op)
+
+    def apply_hello(self, op: dict) -> None:
+        """Adopt a (validated) hello op's negotiation and ack it.  Also
+        reachable as a regular op, so transports whose handshake lives in
+        HTTP (WebSocket, SSE) can negotiate after the upgrade."""
         self.codec = op.get("codec", "json")
         if op.get("max_frame"):
             # Clamp both ways: below MIN_MAX_FRAME fragments cannot carry
@@ -446,6 +567,8 @@ class _ClientSession:
 
     def _dispatch_unit(self, tag: int, body) -> None:
         if tag == TAG_RAW:
+            if not self._admit("publish"):
+                return
             chan, payload = protocol.decode_sid_body(body)
             self.server.publish_raw(self, chan, payload)
             return
@@ -465,6 +588,12 @@ class _ClientSession:
         error = protocol.validate_op(op)
         if error:
             self.enqueue_op(status_op("error", error, op.get("id")))
+            return
+        if not self._admit(op["op"]):
+            self.enqueue_op(status_op(
+                "warning",
+                f"op {op['op']!r} rate limited; retry later", op.get("id"),
+            ))
             return
         if op["op"] == "fragment":
             try:
@@ -523,6 +652,9 @@ class BridgeServer:
         self._sid_source = itertools.count(1)
         self._chan_source = itertools.count(1)
         self._closed = False
+        self._ws_frontend = None
+        #: Sessions removed by the slow-client policy (all transports).
+        self.evictions = 0
 
         self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
@@ -552,11 +684,29 @@ class BridgeServer:
             sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
             sock = tcpros.wrap_socket(sock, "bridge", role="server")
             session = _ClientSession(self, sock, f"{addr[0]}:{addr[1]}")
-            with self._lock:
-                if self._closed:
-                    session.close()
-                    return
-                self._sessions.append(session)
+            if not self.register_session(session):
+                return
+
+    def register_session(self, session: _ClientSession) -> bool:
+        """Track a live session (any transport); False once shut down."""
+        with self._lock:
+            if self._closed:
+                session.close()
+                return False
+            self._sessions.append(session)
+            return True
+
+    def evict_session(self, session: _ClientSession, reason: str) -> None:
+        """Remove a session under the slow-client policy: best-effort
+        transport goodbye, then the normal teardown path."""
+        with self._lock:
+            if session.evicted or session.closed:
+                return
+            session.evicted = True
+            session.evict_reason = reason
+            self.evictions += 1
+        session._notify_eviction(reason)
+        self._drop_session(session)
 
     def _drop_session(self, session: _ClientSession) -> None:
         with self._lock:
@@ -610,6 +760,11 @@ class BridgeServer:
 
     def _op_status(self, session, op) -> None:
         pass  # client-side diagnostics are informational
+
+    def _op_hello(self, session, op) -> None:
+        # TCP sessions negotiate inline during _handshake; ws/SSE clients
+        # send hello as their first in-band op after the HTTP upgrade.
+        session.apply_hello(op)
 
     def _op_advertise(self, session, op) -> None:
         topic, spelling = op["topic"], op["type"]
@@ -786,8 +941,17 @@ class BridgeServer:
         errors.  Serves both the ``stats`` wire op and the metrics
         collectors."""
         with self._lock:
-            return {
+            sessions = [sess.describe() for sess in self._sessions]
+            by_transport: dict[str, int] = {}
+            for entry in sessions:
+                by_transport[entry["transport"]] = (
+                    by_transport.get(entry["transport"], 0) + 1
+                )
+            snap = {
                 "clients": len(self._sessions),
+                "clients_by_transport": by_transport,
+                "evictions": self.evictions,
+                "sessions": sessions,
                 "subscriptions": [
                     sub.describe()
                     for sess in self._sessions
@@ -807,12 +971,38 @@ class BridgeServer:
                     if tap.subscriber.link_errors
                 },
             }
+            frontend = self._ws_frontend
+        if frontend is not None:
+            snap["ws"] = frontend.stats()
+        return snap
 
     def _op_stats(self, session, op) -> None:
         stats = self.stats_snapshot()
         stats["op"] = "stats"
         stats["id"] = op.get("id")
         session.enqueue_op(stats)
+
+    # ------------------------------------------------------------------
+    # WebSocket front door
+    # ------------------------------------------------------------------
+    def enable_ws(self, host: str = "127.0.0.1", port: int = 0, **kwargs):
+        """Open the WebSocket/SSE front door on a second listener.
+
+        Keyword arguments are forwarded to
+        :class:`repro.bridge.ws.WsFrontend` (auth tokens, rate limits,
+        queue policy).  Idempotent: a second call returns the running
+        frontend."""
+        from repro.bridge.ws import WsFrontend
+
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("bridge is shut down")
+            if self._ws_frontend is not None:
+                return self._ws_frontend
+        frontend = WsFrontend(self, host=host, port=port, **kwargs)
+        with self._lock:
+            self._ws_frontend = frontend
+        return frontend
 
     # ------------------------------------------------------------------
     # Shutdown
@@ -824,6 +1014,9 @@ class BridgeServer:
             self._closed = True
             sessions = list(self._sessions)
             self._sessions.clear()
+            frontend = self._ws_frontend
+        if frontend is not None:
+            frontend.close()
         try:
             self._listener.close()
         except OSError:

@@ -1,0 +1,17 @@
+"""``repro.fleet``: the fleet-scale traffic harness.
+
+Simulates N robots publishing mixed SLAM + telemetry workloads through
+the WebSocket front door while M dashboard clients watch them, and
+measures what the gateway sustains: delivered msg/s, delivery latency
+percentiles, drop and eviction counts.  See
+:mod:`repro.fleet.harness`.
+"""
+
+from repro.fleet.harness import (
+    FleetConfig,
+    FleetResult,
+    SlowDashboard,
+    run_fleet,
+)
+
+__all__ = ["FleetConfig", "FleetResult", "SlowDashboard", "run_fleet"]

@@ -1,0 +1,450 @@
+"""Robots x dashboards over the WebSocket front door.
+
+The first "production traffic" story for the repo: a single
+:class:`~repro.bridge.server.BridgeServer` with its ws frontend serving
+
+- **N robots**, each a :class:`~repro.bridge.ws.WsBridgeClient`
+  publishing a mixed SLAM + telemetry workload with ``publish_raw``
+  (serialization-free ingest): ``geometry_msgs/PoseStamped@sfm``
+  telemetry at ``pose_hz`` and ``sensor_msgs/Image@sfm`` camera frames
+  (synthesized by :mod:`repro.slam.dataset`) at ``image_hz``;
+- **M dashboards**, each a ``WsBridgeClient`` holding cbin
+  selective-field subscriptions on every robot's pose topic (the
+  bandwidth-constrained last hop of Selective Field Transmission) plus
+  one robot's image topic (height/width only -- metadata watching, not
+  frame streaming);
+- optional **slow dashboards**: raw ws sockets that subscribe to the
+  bulk image topic and then never read, exercising the drop/evict
+  backpressure policy while the healthy dashboards keep flowing;
+- an optional :class:`~repro.chaos.plan.FaultPlan`, installed for the
+  run so severed connections and corrupted frames hit the same seams
+  production failures would.
+
+Latency is measured end to end -- robot stamps ``time.monotonic()``
+into ``pose.position.z`` before ``publish_raw``; the dashboard callback
+reads it straight out of the cbin-selected field -- so the number spans
+ws ingest, graph fan-out, selective extraction and ws delivery.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.bridge.server import BridgeServer
+from repro.bridge.ws import WsBridgeClient
+
+
+def pose_topic(robot: int) -> str:
+    return f"/fleet/robot{robot}/pose"
+
+
+def image_topic(robot: int) -> str:
+    return f"/fleet/robot{robot}/image"
+
+
+POSE_TYPE = "geometry_msgs/PoseStamped@sfm"
+IMAGE_TYPE = "sensor_msgs/Image@sfm"
+POSE_FIELDS = ["pose.position.x", "pose.position.y", "pose.position.z"]
+
+
+@dataclass
+class FleetConfig:
+    """One fleet scenario."""
+
+    robots: int = 4
+    dashboards: int = 8
+    duration: float = 5.0
+    #: Telemetry rate per robot (PoseStamped@sfm, stamped for latency).
+    pose_hz: float = 20.0
+    #: Camera frame rate per robot (0 disables the SLAM workload).
+    image_hz: float = 2.0
+    image_width: int = 160
+    image_height: int = 120
+    #: Settle time after wiring before measurement starts (subscriptions
+    #: connect, first deliveries flow).
+    warmup: float = 1.0
+    #: Raw ws clients that subscribe to bulk imagery and never read.
+    slow_dashboards: int = 0
+    #: Front-door policy, passed straight to ``enable_ws``.
+    auth_token: Optional[str] = None
+    rate_limits: Optional[dict] = None
+    queue_length: int = 64
+    high_watermark: int = 1024
+    evict_strikes: int = 64
+    #: A ``repro.chaos.FaultPlan``, installed for the measurement window.
+    chaos_plan: Optional[object] = None
+
+
+@dataclass
+class FleetResult:
+    """What the run sustained (the saturation-curve sample)."""
+
+    config: dict
+    duration: float
+    poses_published: int
+    images_published: int
+    pose_deliveries: int
+    image_deliveries: int
+    expected_pose_deliveries: int
+    delivery_ratio: float
+    delivered_per_s: float
+    latency_ms: dict
+    evictions: int
+    dropped: int
+    ws: dict = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        return {
+            "config": self.config,
+            "duration_s": self.duration,
+            "poses_published": self.poses_published,
+            "images_published": self.images_published,
+            "pose_deliveries": self.pose_deliveries,
+            "image_deliveries": self.image_deliveries,
+            "expected_pose_deliveries": self.expected_pose_deliveries,
+            "delivery_ratio": self.delivery_ratio,
+            "delivered_per_s": self.delivered_per_s,
+            "latency_ms": self.latency_ms,
+            "evictions": self.evictions,
+            "dropped": self.dropped,
+            "ws": self.ws,
+        }
+
+
+class _Robot:
+    """One publisher client: telemetry poses + synthesized camera frames."""
+
+    def __init__(self, index: int, host: str, port: int,
+                 config: FleetConfig, frames: list,
+                 token: Optional[str]) -> None:
+        from repro.sfm.generator import generate_sfm_class
+
+        self.index = index
+        self.config = config
+        self.frames = frames
+        self.client = WsBridgeClient(host, port, token=token)
+        self.client.advertise(pose_topic(index), POSE_TYPE)
+        if config.image_hz > 0 and frames:
+            self.client.advertise(image_topic(index), IMAGE_TYPE)
+        self.poses_published = 0
+        self.images_published = 0
+        self._pose = generate_sfm_class("geometry_msgs/PoseStamped")()
+        self._pose.pose.position.x = float(index)
+        self._stop = threading.Event()
+        self._thread = threading.Thread(
+            target=self._run, daemon=True, name=f"fleet-robot{index}"
+        )
+
+    def start(self) -> None:
+        self._thread.start()
+
+    def _run(self) -> None:
+        pose_period = 1.0 / self.config.pose_hz if self.config.pose_hz else 0
+        image_period = (
+            1.0 / self.config.image_hz if self.config.image_hz else 0
+        )
+        next_pose = time.monotonic()
+        next_image = next_pose + (image_period or 0) * 0.5
+        frame_index = self.index
+        while not self._stop.is_set():
+            now = time.monotonic()
+            try:
+                if pose_period and now >= next_pose:
+                    self._publish_pose(now)
+                    next_pose += pose_period
+                    if next_pose < now:  # fell behind; re-anchor
+                        next_pose = now + pose_period
+                if image_period and self.frames and now >= next_image:
+                    self.client.publish_raw(
+                        image_topic(self.index),
+                        self.frames[frame_index % len(self.frames)],
+                    )
+                    self.images_published += 1
+                    frame_index += 1
+                    next_image += image_period
+                    if next_image < now:
+                        next_image = now + image_period
+            except Exception:
+                return  # severed by chaos or shutdown: the robot dies
+            wake = min(
+                next_pose if pose_period else now + 0.05,
+                next_image if image_period and self.frames else now + 0.05,
+            )
+            delay = wake - time.monotonic()
+            if delay > 0:
+                self._stop.wait(delay)
+
+    def _publish_pose(self, now: float) -> None:
+        self._pose.pose.position.y = float(self.poses_published)
+        self._pose.pose.position.z = now
+        self.client.publish_raw(
+            pose_topic(self.index), bytes(self._pose.to_wire())
+        )
+        self.poses_published += 1
+
+    def stop(self) -> None:
+        self._stop.set()
+        self._thread.join(timeout=2.0)
+        self.client.close()
+
+
+class _Dashboard:
+    """One consumer client: pose telemetry from every robot (cbin
+    selective fields, latency-stamped) + one robot's image metadata."""
+
+    def __init__(self, index: int, host: str, port: int,
+                 config: FleetConfig, token: Optional[str]) -> None:
+        self.index = index
+        self.client = WsBridgeClient(host, port, token=token)
+        self.pose_deliveries = 0
+        self.image_deliveries = 0
+        self.latencies: list[float] = []
+        self._lock = threading.Lock()
+        for robot in range(config.robots):
+            self.client.subscribe(
+                pose_topic(robot), POSE_TYPE, self._on_pose,
+                codec="cbin", fields=POSE_FIELDS,
+            )
+        if config.image_hz > 0:
+            self.client.subscribe(
+                image_topic(index % config.robots), IMAGE_TYPE,
+                self._on_image, codec="cbin", fields=["height", "width"],
+            )
+
+    def _on_pose(self, msg, meta) -> None:
+        latency = time.monotonic() - msg["pose.position.z"]
+        with self._lock:
+            self.pose_deliveries += 1
+            self.latencies.append(latency)
+
+    def _on_image(self, msg, meta) -> None:
+        with self._lock:
+            self.image_deliveries += 1
+
+    def snapshot(self) -> tuple[int, int, list[float]]:
+        with self._lock:
+            return (
+                self.pose_deliveries,
+                self.image_deliveries,
+                list(self.latencies),
+            )
+
+    def reset(self) -> None:
+        with self._lock:
+            self.pose_deliveries = 0
+            self.image_deliveries = 0
+            self.latencies.clear()
+
+    def close(self) -> None:
+        self.client.close()
+
+
+class SlowDashboard:
+    """A ws client that subscribes to bulk imagery and never reads --
+    the stalled browser the eviction policy exists for."""
+
+    def __init__(self, host: str, port: int, robot: int,
+                 token: Optional[str]) -> None:
+        import base64
+        import os
+        import socket
+
+        from repro.bridge.ws import OP_TEXT, encode_frame
+
+        self.sock = socket.create_connection((host, port), timeout=10.0)
+        key = base64.b64encode(os.urandom(16)).decode("ascii")
+        auth = f"Authorization: Bearer {token}\r\n" if token else ""
+        self.sock.sendall(
+            (
+                f"GET /ws HTTP/1.1\r\nHost: {host}:{port}\r\n"
+                "Upgrade: websocket\r\nConnection: Upgrade\r\n"
+                f"Sec-WebSocket-Key: {key}\r\n"
+                f"Sec-WebSocket-Version: 13\r\n{auth}\r\n"
+            ).encode("latin-1")
+        )
+        response = b""
+        while b"\r\n\r\n" not in response:
+            chunk = self.sock.recv(4096)
+            if not chunk:
+                raise ConnectionError("slow dashboard handshake failed")
+            response += chunk
+        if b" 101 " not in response.split(b"\r\n", 1)[0]:
+            raise ConnectionError(f"upgrade refused: {response[:80]!r}")
+        subscribe = (
+            '{"op":"subscribe","topic":"%s","type":"%s","codec":"raw"}'
+            % (image_topic(robot), IMAGE_TYPE)
+        ).encode("utf-8")
+        self.sock.sendall(encode_frame(OP_TEXT, subscribe, mask=True))
+        # ... and from here on: silence.  No reads, ever.
+
+    def close(self) -> None:
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+
+
+def _image_frames(config: FleetConfig, count: int = 4) -> list[bytes]:
+    """Pre-encode a few Image@sfm wire buffers from the synthetic SLAM
+    dataset (shared by every robot; encoding happens once, publish_raw
+    forwards the bytes untouched)."""
+    if config.image_hz <= 0:
+        return []
+    from repro.sfm.generator import generate_sfm_class
+    from repro.slam.dataset import SyntheticRgbdDataset
+
+    dataset = SyntheticRgbdDataset(
+        width=config.image_width, height=config.image_height,
+        length=count,
+    )
+    image_class = generate_sfm_class("sensor_msgs/Image")
+    frames = []
+    for frame in dataset:
+        msg = image_class()
+        msg.height = config.image_height
+        msg.width = config.image_width
+        msg.encoding = "rgb8"
+        msg.step = config.image_width * 3
+        msg.data = frame.rgb.tobytes()
+        frames.append(bytes(msg.to_wire()))
+    return frames
+
+
+def _percentile(values: list[float], fraction: float) -> float:
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    index = min(len(ordered) - 1, int(round(fraction * (len(ordered) - 1))))
+    return ordered[index]
+
+
+def run_fleet(config: FleetConfig, master_uri: Optional[str] = None,
+              log=None) -> FleetResult:
+    """Run one fleet scenario and return its measurements.
+
+    Owns the whole stack when ``master_uri`` is None (graph master,
+    bridge, frontend); otherwise attaches a bridge to the given graph.
+    """
+    from repro.ros.graph import RosGraph
+
+    say = log or (lambda *_: None)
+    graph_cm = RosGraph() if master_uri is None else None
+    graph = graph_cm.__enter__() if graph_cm is not None else None
+    uri = master_uri or graph.master_uri
+    server = BridgeServer(uri, node_name="fleet_bridge")
+    robots: list[_Robot] = []
+    dashboards: list[_Dashboard] = []
+    slow: list[SlowDashboard] = []
+    plan = config.chaos_plan
+    try:
+        frontend = server.enable_ws(
+            auth_tokens=[config.auth_token] if config.auth_token else None,
+            rate_limits=config.rate_limits,
+            queue_length=config.queue_length,
+            high_watermark=config.high_watermark,
+            evict_strikes=config.evict_strikes,
+        )
+        frames = _image_frames(config)
+        say(f"front door up at {frontend.url}; wiring {config.robots} "
+            f"robot(s) x {config.dashboards} dashboard(s)")
+        for index in range(config.robots):
+            robots.append(_Robot(
+                index, server.host, frontend.port, config, frames,
+                config.auth_token,
+            ))
+        for index in range(config.dashboards):
+            dashboards.append(_Dashboard(
+                index, server.host, frontend.port, config,
+                config.auth_token,
+            ))
+        for index in range(config.slow_dashboards):
+            slow.append(SlowDashboard(
+                server.host, frontend.port, index % config.robots,
+                config.auth_token,
+            ))
+        for robot in robots:
+            robot.start()
+        time.sleep(config.warmup)
+        # Measurement window: counters restart so warmup connects and
+        # first-delivery stragglers don't skew the ratios.
+        for dashboard in dashboards:
+            dashboard.reset()
+        pose_mark = sum(robot.poses_published for robot in robots)
+        image_mark = sum(robot.images_published for robot in robots)
+        if plan is not None:
+            plan.install()
+        started = time.monotonic()
+        time.sleep(config.duration)
+        elapsed = time.monotonic() - started
+        if plan is not None:
+            plan.uninstall()
+
+        poses = sum(robot.poses_published for robot in robots) - pose_mark
+        images = sum(robot.images_published for robot in robots) - image_mark
+        pose_deliveries = 0
+        image_deliveries = 0
+        latencies: list[float] = []
+        for dashboard in dashboards:
+            delivered, image_count, sample = dashboard.snapshot()
+            pose_deliveries += delivered
+            image_deliveries += image_count
+            latencies.extend(sample)
+        snap = server.stats_snapshot()
+        dropped = sum(
+            sub["dropped"] for sub in snap["subscriptions"]
+        ) + sum(sess["shed"] for sess in snap["sessions"])
+        expected = poses * config.dashboards
+        result = FleetResult(
+            config={
+                "robots": config.robots,
+                "dashboards": config.dashboards,
+                "slow_dashboards": config.slow_dashboards,
+                "pose_hz": config.pose_hz,
+                "image_hz": config.image_hz,
+                "image_size": [config.image_width, config.image_height],
+                "queue_length": config.queue_length,
+                "high_watermark": config.high_watermark,
+                "evict_strikes": config.evict_strikes,
+                "chaos": plan is not None,
+            },
+            duration=elapsed,
+            poses_published=poses,
+            images_published=images,
+            pose_deliveries=pose_deliveries,
+            image_deliveries=image_deliveries,
+            expected_pose_deliveries=expected,
+            delivery_ratio=(pose_deliveries / expected) if expected else 0.0,
+            delivered_per_s=(
+                (pose_deliveries + image_deliveries) / elapsed
+                if elapsed > 0 else 0.0
+            ),
+            latency_ms={
+                "count": len(latencies),
+                "p50": _percentile(latencies, 0.50) * 1000.0,
+                "p99": _percentile(latencies, 0.99) * 1000.0,
+            },
+            evictions=server.evictions,
+            dropped=dropped,
+            ws=frontend.stats(),
+        )
+        say(f"sustained {result.delivered_per_s:,.0f} deliveries/s, "
+            f"p50 {result.latency_ms['p50']:.1f}ms "
+            f"p99 {result.latency_ms['p99']:.1f}ms, "
+            f"ratio {result.delivery_ratio:.3f}, "
+            f"{result.evictions} eviction(s)")
+        return result
+    finally:
+        if plan is not None:
+            plan.uninstall()
+        for robot in robots:
+            robot.stop()
+        for dashboard in dashboards:
+            dashboard.close()
+        for client in slow:
+            client.close()
+        server.shutdown()
+        if graph_cm is not None:
+            graph_cm.__exit__(None, None, None)

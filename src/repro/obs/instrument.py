@@ -154,6 +154,33 @@ bridge_sub_dropped = global_registry.counter(
     "Bridge deliveries dropped by per-subscription queue bounds.",
     labels=("topic", "codec"),
 )
+bridge_transport_clients = global_registry.gauge(
+    "miniros_bridge_transport_clients",
+    "Connected bridge clients per transport (tcp, ws, sse).",
+    labels=("transport",),
+)
+bridge_queue_depth = global_registry.gauge(
+    "miniros_bridge_queue_depth",
+    "Deliveries queued toward external clients, summed per transport.",
+    labels=("transport",),
+)
+bridge_evictions = global_registry.counter(
+    "miniros_bridge_evictions_total",
+    "Sessions evicted by the slow-client policy.",
+)
+bridge_ws_auth_failures = global_registry.counter(
+    "miniros_bridge_ws_auth_failures_total",
+    "WebSocket/SSE requests rejected by token auth.",
+)
+bridge_ws_rate_limited = global_registry.counter(
+    "miniros_bridge_ws_rate_limited_total",
+    "Ops refused by the front-door token buckets, per op class.",
+    labels=("op_class",),
+)
+bridge_ws_handshakes = global_registry.counter(
+    "miniros_bridge_ws_handshakes_total",
+    "Completed WebSocket upgrades and SSE stream starts.",
+)
 
 # ----------------------------------------------------------------------
 # Live-object tracking
@@ -267,9 +294,17 @@ def _collect_sfm() -> None:
 
 def _collect_bridges() -> None:
     for family in (bridge_published, bridge_sub_sent,
-                   bridge_sub_wire_bytes, bridge_sub_dropped):
+                   bridge_sub_wire_bytes, bridge_sub_dropped,
+                   bridge_transport_clients, bridge_queue_depth,
+                   bridge_ws_rate_limited):
         family.clear()
     clients = 0
+    evictions = 0
+    auth_failures = 0
+    handshakes = 0
+    by_transport: dict = {}
+    depth: dict = {}
+    limited: dict = {}
     published: dict = {}
     sent: dict = {}
     wire: dict = {}
@@ -277,6 +312,17 @@ def _collect_bridges() -> None:
     for bridge in _tracked(_bridges):
         snap = bridge.stats_snapshot()
         clients += snap["clients"]
+        evictions += snap.get("evictions", 0)
+        for transport, count in snap.get("clients_by_transport", {}).items():
+            _add(by_transport, transport, count)
+        for sess in snap.get("sessions", ()):
+            _add(depth, sess["transport"], sess["queue_depth"])
+        ws = snap.get("ws")
+        if ws:
+            auth_failures += ws["auth_failures"]
+            handshakes += ws["handshakes"]
+            for op_class, count in ws["rate_limited"].items():
+                _add(limited, op_class, count)
         for adv in snap["advertisements"]:
             _add(published, adv["topic"], adv["published"])
         for sub in snap["subscriptions"]:
@@ -285,6 +331,16 @@ def _collect_bridges() -> None:
             _add(wire, key, sub["wire_bytes"])
             _add(dropped, key, sub["dropped"])
     bridge_clients.set(clients)
+    bridge_evictions.set_total(evictions)
+    bridge_ws_auth_failures.set_total(auth_failures)
+    bridge_ws_handshakes.set_total(handshakes)
+    for transport, count in by_transport.items():
+        bridge_transport_clients.labels(transport=transport).set(count)
+        bridge_queue_depth.labels(transport=transport).set(
+            depth.get(transport, 0)
+        )
+    for op_class, count in limited.items():
+        bridge_ws_rate_limited.labels(op_class=op_class).set_total(count)
     for topic, value in published.items():
         bridge_published.labels(topic=topic).set_total(value)
     for (topic, codec), value in sent.items():

@@ -209,6 +209,9 @@ class Counter(_Family):
     def inc(self, amount: int = 1) -> None:
         self._default_child().inc(amount)
 
+    def set_total(self, value) -> None:
+        self._default_child().set_total(value)
+
     @property
     def value(self):
         return self._default_child().value

@@ -102,12 +102,50 @@ def _human_bytes(rate: float) -> str:
     return f"{rate:.1f} GiB/s"  # pragma: no cover - unreachable
 
 
+def render_bridge_clients(snapshot: dict) -> str:
+    """The per-client gateway table (shared by ``tools top --bridge``
+    and ``tools bridge --stats-interval``)."""
+    lines = [
+        f"{'CLIENT':<24} {'TRANSPORT':<10} {'CODEC':<6} {'SUBS':>5} "
+        f"{'QDEPTH':>7} {'DROPS':>7} {'SHED':>6}"
+    ]
+    for sess in snapshot.get("sessions", ()):
+        lines.append(
+            f"{sess['peer']:<24} {sess['transport']:<10} "
+            f"{sess['codec']:<6} {sess['subscriptions']:>5} "
+            f"{sess['queue_depth']:>7} {sess['dropped']:>7} "
+            f"{sess['shed']:>6}"
+        )
+    if not snapshot.get("sessions"):
+        lines.append("(no bridge clients)")
+    summary = (
+        f"bridge: {snapshot.get('clients', 0)} client(s) "
+        + " ".join(
+            f"{transport}={count}"
+            for transport, count in sorted(
+                snapshot.get("clients_by_transport", {}).items()
+            )
+        )
+        + f"  evictions={snapshot.get('evictions', 0)}"
+    )
+    ws = snapshot.get("ws")
+    if ws:
+        limited = sum(ws["rate_limited"].values())
+        summary += (
+            f"  ws[handshakes={ws['handshakes']} "
+            f"auth_failures={ws['auth_failures']} "
+            f"rate_limited={limited}]"
+        )
+    lines.append(summary)
+    return "\n".join(lines)
+
+
 class TopMonitor:
     """The engine behind ``tools top`` (separated from the CLI so tests
     can drive ``sample()``/``render()`` without a terminal)."""
 
     def __init__(self, master_uri: str, node_name: Optional[str] = None,
-                 registry=None) -> None:
+                 registry=None, bridge: Optional[str] = None) -> None:
         from repro.msg.registry import default_registry
         from repro.ros.node import NodeHandle
 
@@ -120,6 +158,10 @@ class TopMonitor:
         #: Latest parsed /statistics document per reporting node.
         self.node_reports: dict[str, dict] = {}
         self._stats_sub = None
+        #: Optional "host:port" of a gateway whose per-client counters
+        #: are appended to every sample (via the ``stats`` wire op).
+        self._bridge_addr = bridge
+        self._bridge_client = None
 
     # ------------------------------------------------------------------
     # Discovery
@@ -205,7 +247,30 @@ class TopMonitor:
                 "pool_buffers": snap["pool_buffers"],
             },
             "nodes": dict(self.node_reports),
+            "bridge": self._bridge_stats(),
         }
+
+    def _bridge_stats(self) -> Optional[dict]:
+        """The attached gateway's stats snapshot (None when no --bridge
+        was given or the gateway is unreachable)."""
+        if self._bridge_addr is None:
+            return None
+        from repro.bridge.client import BridgeClient, BridgeError
+
+        if self._bridge_client is None:
+            host, _, port = self._bridge_addr.rpartition(":")
+            try:
+                self._bridge_client = BridgeClient(
+                    host or "127.0.0.1", int(port), timeout=3.0
+                )
+            except (OSError, ValueError, BridgeError) as exc:
+                return {"error": f"bridge {self._bridge_addr}: {exc}"}
+        try:
+            return self._bridge_client.stats()
+        except (OSError, BridgeError) as exc:
+            self._bridge_client.close()
+            self._bridge_client = None
+            return {"error": f"bridge {self._bridge_addr}: {exc}"}
 
     def render(self, sample: dict) -> str:
         lines = [
@@ -236,6 +301,13 @@ class TopMonitor:
                 f"node {name}: {remote.get('live_records', '?')} live "
                 f"records (reported)"
             )
+        bridge = sample.get("bridge")
+        if bridge is not None:
+            lines.append("")
+            if "error" in bridge:
+                lines.append(bridge["error"])
+            else:
+                lines.append(render_bridge_clients(bridge))
         return "\n".join(lines)
 
     def run(self, iterations: int = 0, interval: float = 1.0,
@@ -267,6 +339,9 @@ class TopMonitor:
         if self._stats_sub is not None:
             self._stats_sub.unsubscribe()
             self._stats_sub = None
+        if self._bridge_client is not None:
+            self._bridge_client.close()
+            self._bridge_client = None
         self.node.shutdown()
 
     def __enter__(self) -> "TopMonitor":

@@ -213,7 +213,7 @@ def cmd_top(args) -> int:
     """Live per-topic rate/bandwidth table plus SFM manager state."""
     from repro.obs.top import TopMonitor
 
-    with TopMonitor(args.master) as monitor:
+    with TopMonitor(args.master, bridge=args.bridge) as monitor:
         monitor.run(iterations=args.count, interval=args.interval)
     return 0
 
@@ -267,6 +267,15 @@ def cmd_bridge(args) -> int:
     server = BridgeServer(
         args.master, host=args.host, port=args.port, node_name=args.name
     )
+    if args.ws_port is not None:
+        frontend = server.enable_ws(
+            host=args.host, port=args.ws_port,
+            auth_tokens=args.auth_token,
+        )
+        print(f"websocket front door at {frontend.url} "
+              f"(SSE fallback on /sse"
+              f"{', token auth on' if args.auth_token else ''})",
+              flush=True)
     metrics = None
     if args.metrics_port is not None:
         from repro.obs.export import MetricsServer
@@ -277,7 +286,14 @@ def cmd_bridge(args) -> int:
           f"(graph master {args.master})", flush=True)
     try:
         while True:
-            time.sleep(0.5)
+            if args.stats_interval:
+                from repro.obs.top import render_bridge_clients
+
+                time.sleep(args.stats_interval)
+                print(render_bridge_clients(server.stats_snapshot()),
+                      flush=True)
+            else:
+                time.sleep(0.5)
     except KeyboardInterrupt:
         return 0
     finally:
@@ -358,6 +374,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="iterations before exiting (0 = run until interrupted)",
     )
     top.add_argument("--interval", type=float, default=1.0)
+    top.add_argument(
+        "--bridge", default=None, metavar="HOST:PORT",
+        help="also show the per-client table of this bridge gateway",
+    )
     top.set_defaults(func=cmd_top)
 
     check = sub.add_parser(
@@ -386,6 +406,19 @@ def build_parser() -> argparse.ArgumentParser:
     bridge.add_argument(
         "--metrics-port", type=int, default=None,
         help="also serve Prometheus /metrics on this port",
+    )
+    bridge.add_argument(
+        "--ws-port", type=int, default=None,
+        help="open the WebSocket/SSE front door on this port",
+    )
+    bridge.add_argument(
+        "--auth-token", action="append", default=None, metavar="TOKEN",
+        help="require one of these tokens on ws/SSE connections "
+        "(repeatable)",
+    )
+    bridge.add_argument(
+        "--stats-interval", type=float, default=0.0,
+        help="print the per-client table every N seconds",
     )
     bridge.set_defaults(func=cmd_bridge)
 

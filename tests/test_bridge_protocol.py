@@ -171,6 +171,28 @@ def test_fragment_interleaved_streams():
     assert done == {"a": b"a" * 2000, "b": b"b" * 2000}
 
 
+def test_sequential_reassembler_rejects_interleaved_streams():
+    """ws framing is message-ordered per connection, so a second
+    fragment stream starting before the first finishes can only be a
+    hostile or broken peer -- sequential mode rejects it."""
+    a = list(fragment_unit(TAG_RAW, b"a" * 2000, 300, "a"))
+    b = list(fragment_unit(TAG_RAW, b"b" * 2000, 300, "b"))
+    reassembler = Reassembler(sequential=True)
+    reassembler.add(a[0])
+    with pytest.raises(BridgeProtocolError, match="interleaves"):
+        reassembler.add(b[0])
+
+
+def test_sequential_reassembler_accepts_back_to_back_streams():
+    reassembler = Reassembler(sequential=True)
+    for name, payload in (("a", b"a" * 2000), ("b", b"b" * 2000)):
+        result = None
+        for op in fragment_unit(TAG_RAW, payload, 300, name):
+            assert result is None
+            result = reassembler.add(op)
+        assert bytes(result[1]) == payload
+
+
 def test_reassembler_rejects_total_change():
     reassembler = Reassembler()
     reassembler.add({"op": "fragment", "id": "f", "num": 0, "total": 3,

@@ -1,0 +1,284 @@
+"""RFC 6455 plumbing in isolation: handshake math, frame codec,
+HTTP parsing -- no bridge server involved."""
+
+from __future__ import annotations
+
+import socket
+import struct
+import threading
+
+import pytest
+
+from repro.bridge import ws
+from repro.bridge.ws import (
+    CLOSE_NORMAL,
+    CLOSE_TOO_BIG,
+    MAX_REQUEST_HEAD,
+    OP_BINARY,
+    OP_CLOSE,
+    OP_CONT,
+    OP_PING,
+    OP_TEXT,
+    TokenBucket,
+    WsConnection,
+    WsProtocolError,
+    accept_key,
+    encode_frame,
+    mask_payload,
+)
+
+
+# ----------------------------------------------------------------------
+# Handshake math
+# ----------------------------------------------------------------------
+def test_accept_key_rfc_example():
+    # The worked example from RFC 6455 section 1.3.
+    assert accept_key("dGhlIHNhbXBsZSBub25jZQ==") == \
+        "s3pPLMBiTxaQ9kYGzzhZRbK+xOo="
+
+
+def test_mask_payload_is_involution():
+    payload = bytes(range(256)) * 37 + b"tail"
+    key = b"\x12\x34\x56\x78"
+    masked = mask_payload(payload, key)
+    assert masked != payload
+    assert mask_payload(masked, key) == payload
+
+
+def test_mask_payload_matches_bytewise_xor():
+    payload = b"hello websocket frame"
+    key = b"\xaa\x01\xff\x10"
+    stream = (key * 6)[: len(payload)]
+    assert mask_payload(payload, key) == \
+        bytes(a ^ b for a, b in zip(payload, stream))
+
+
+def test_mask_payload_empty():
+    assert mask_payload(b"", b"abcd") == b""
+
+
+# ----------------------------------------------------------------------
+# Frame codec over a socketpair
+# ----------------------------------------------------------------------
+def _pair(**server_kwargs):
+    client_sock, server_sock = socket.socketpair()
+    server = WsConnection(server_sock, **server_kwargs)
+    return client_sock, server_sock, server
+
+
+def test_frame_roundtrip_masked_text():
+    client_sock, server_sock, server = _pair()
+    try:
+        client_sock.sendall(encode_frame(OP_TEXT, b'{"op":"x"}', mask=True))
+        opcode, payload, wire = server.recv_message()
+        assert opcode == OP_TEXT
+        assert bytes(payload) == b'{"op":"x"}'
+        assert wire >= len(payload)
+    finally:
+        client_sock.close()
+        server_sock.close()
+
+
+@pytest.mark.parametrize("size", [0, 1, 125, 126, 127, 65535, 65536, 80000])
+def test_frame_length_encodings(size):
+    """7-bit, 16-bit and 64-bit payload length forms all round-trip."""
+    payload = bytes(size % 251 for _ in range(size)) if size else b""
+    frame = encode_frame(OP_BINARY, payload, mask=True)
+    # The header length form must match the RFC thresholds.
+    second = frame[1] & 0x7F
+    if size < 126:
+        assert second == size
+    elif size < 1 << 16:
+        assert second == 126
+        assert struct.unpack(">H", frame[2:4])[0] == size
+    else:
+        assert second == 127
+        assert struct.unpack(">Q", frame[2:10])[0] == size
+    client_sock, server_sock, server = _pair()
+    try:
+        client_sock.sendall(frame)
+        opcode, received, _wire = server.recv_message()
+        assert opcode == OP_BINARY
+        assert bytes(received) == payload
+    finally:
+        client_sock.close()
+        server_sock.close()
+
+
+def test_64bit_length_form_parses():
+    """A frame that *uses* the 64-bit form for a small payload still
+    parses (encoders may not minimal-encode)."""
+    payload = b"not actually huge"
+    key = b"\x01\x02\x03\x04"
+    frame = (
+        bytes([0x80 | OP_BINARY, 0x80 | 127])
+        + struct.pack(">Q", len(payload))
+        + key
+        + mask_payload(payload, key)
+    )
+    client_sock, server_sock, server = _pair()
+    try:
+        client_sock.sendall(frame)
+        opcode, received, _wire = server.recv_message()
+        assert (opcode, bytes(received)) == (OP_BINARY, payload)
+    finally:
+        client_sock.close()
+        server_sock.close()
+
+
+def test_unmasked_client_frame_rejected():
+    client_sock, server_sock, server = _pair(require_mask=True)
+    try:
+        client_sock.sendall(encode_frame(OP_TEXT, b"nope", mask=False))
+        with pytest.raises(WsProtocolError, match="masked"):
+            server.recv_message()
+    finally:
+        client_sock.close()
+        server_sock.close()
+
+
+def test_fragmented_message_reassembles():
+    client_sock, server_sock, server = _pair()
+    try:
+        client_sock.sendall(
+            encode_frame(OP_TEXT, b"one ", fin=False, mask=True)
+            + encode_frame(OP_CONT, b"two ", fin=False, mask=True)
+            + encode_frame(OP_CONT, b"three", fin=True, mask=True)
+        )
+        opcode, payload, _wire = server.recv_message()
+        assert (opcode, bytes(payload)) == (OP_TEXT, b"one two three")
+    finally:
+        client_sock.close()
+        server_sock.close()
+
+
+def test_control_frame_interleaves_with_fragments():
+    """PING arriving mid-fragmentation is answered without disturbing
+    the reassembly."""
+    client_sock, server_sock, server = _pair()
+    try:
+        client_sock.sendall(
+            encode_frame(OP_TEXT, b"half", fin=False, mask=True)
+            + encode_frame(OP_PING, b"hb", mask=True)
+            + encode_frame(OP_CONT, b"+half", fin=True, mask=True)
+        )
+        opcode, payload, _wire = server.recv_message()
+        assert (opcode, bytes(payload)) == (OP_TEXT, b"half+half")
+        # The PONG went out while we reassembled.
+        client = WsConnection(client_sock, require_mask=False)
+        frame_op, fin, pong = client._read_frame()
+        assert (frame_op, fin, pong) == (ws.OP_PONG, True, b"hb")
+    finally:
+        client_sock.close()
+        server_sock.close()
+
+
+def test_data_frame_inside_fragmented_message_rejected():
+    client_sock, server_sock, server = _pair()
+    try:
+        client_sock.sendall(
+            encode_frame(OP_TEXT, b"start", fin=False, mask=True)
+            + encode_frame(OP_BINARY, b"intruder", fin=True, mask=True)
+        )
+        with pytest.raises(WsProtocolError, match="interleaved"):
+            server.recv_message()
+    finally:
+        client_sock.close()
+        server_sock.close()
+
+
+def test_oversized_frame_rejected_with_too_big():
+    client_sock, server_sock, server = _pair(max_payload=64)
+    try:
+        client_sock.sendall(encode_frame(OP_BINARY, b"x" * 65, mask=True))
+        with pytest.raises(WsProtocolError) as info:
+            server.recv_message()
+        assert info.value.code == CLOSE_TOO_BIG
+    finally:
+        client_sock.close()
+        server_sock.close()
+
+
+def test_reserved_bits_rejected():
+    client_sock, server_sock, server = _pair()
+    try:
+        client_sock.sendall(bytes([0x80 | 0x40 | OP_TEXT, 0x80]) + b"\0\0\0\0")
+        with pytest.raises(WsProtocolError, match="reserved"):
+            server.recv_message()
+    finally:
+        client_sock.close()
+        server_sock.close()
+
+
+def test_close_is_echoed_and_raises():
+    client_sock, server_sock, server = _pair()
+    try:
+        payload = struct.pack(">H", CLOSE_NORMAL) + b"bye"
+        client_sock.sendall(encode_frame(OP_CLOSE, payload, mask=True))
+        with pytest.raises(ConnectionError):
+            server.recv_message()
+        assert server.closed_by_peer == CLOSE_NORMAL
+        client = WsConnection(client_sock, require_mask=False)
+        frame_op, _fin, echoed = client._read_frame()
+        assert frame_op == OP_CLOSE
+        assert echoed == struct.pack(">H", CLOSE_NORMAL)
+    finally:
+        client_sock.close()
+        server_sock.close()
+
+
+# ----------------------------------------------------------------------
+# HTTP request plumbing
+# ----------------------------------------------------------------------
+def test_parse_request_headers_lowercased():
+    method, target, headers, leftover = ws._parse_request(
+        b"GET /ws?token=t HTTP/1.1\r\n"
+        b"Host: example\r\n"
+        b"Sec-WebSocket-Key: abc\r\n"
+        b"\r\nleftover-bytes"
+    )
+    assert (method, target) == ("GET", "/ws?token=t")
+    assert headers["sec-websocket-key"] == "abc"
+    assert leftover == b"leftover-bytes"
+
+
+def test_parse_request_malformed():
+    with pytest.raises(WsProtocolError):
+        ws._parse_request(b"NOT-HTTP\r\n\r\n")
+
+
+def test_request_head_cap():
+    client_sock, server_sock = socket.socketpair()
+    try:
+        bomb = b"GET / HTTP/1.1\r\n" + b"X-Pad: " + b"a" * (
+            MAX_REQUEST_HEAD + 1024
+        )
+        writer = threading.Thread(
+            target=lambda: client_sock.sendall(bomb), daemon=True
+        )
+        writer.start()
+        with pytest.raises(WsProtocolError) as info:
+            ws._read_request_head(server_sock)
+        assert info.value.code == CLOSE_TOO_BIG
+        writer.join(timeout=2.0)
+    finally:
+        client_sock.close()
+        server_sock.close()
+
+
+# ----------------------------------------------------------------------
+# Token bucket
+# ----------------------------------------------------------------------
+def test_token_bucket_burst_then_refusal():
+    bucket = TokenBucket(rate=0.0001, burst=3)
+    assert [bucket.allow() for _ in range(4)] == [True, True, True, False]
+
+
+def test_token_bucket_refills():
+    bucket = TokenBucket(rate=1000.0, burst=1)
+    assert bucket.allow()
+    assert not bucket.allow()
+    import time
+
+    time.sleep(0.01)
+    assert bucket.allow()

@@ -59,6 +59,14 @@ def test_bag_record_replay():
     assert "[0, 1, 2, 3, 4]" in out
 
 
+def test_ws_dashboard():
+    out = _run("ws_dashboard.py", "--duration", "2")
+    assert "front door at ws://" in out
+    assert "selective deliveries" in out
+    assert "sse tail captured" in out
+    assert "'ws': 2" in out
+
+
 @pytest.mark.slow
 def test_quickstart():
     out = _run("quickstart.py")

@@ -1,0 +1,95 @@
+"""The fleet harness end to end (small and fast: CI-sized fleets)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fleet import FleetConfig, run_fleet
+
+
+def test_small_fleet_delivers_with_latency_measured():
+    result = run_fleet(FleetConfig(
+        robots=2, dashboards=3, duration=1.5, pose_hz=20.0,
+        image_hz=2.0, image_width=32, image_height=24, warmup=0.8,
+    ))
+    assert result.poses_published > 0
+    assert result.images_published > 0
+    # Every healthy dashboard holds a pose subscription on every robot.
+    assert result.delivery_ratio > 0.9
+    assert result.latency_ms["count"] == result.pose_deliveries
+    assert 0.0 < result.latency_ms["p50"] <= result.latency_ms["p99"]
+    assert result.evictions == 0
+    assert result.ws["handshakes"] == 5  # 2 robots + 3 dashboards
+
+    doc = result.as_dict()
+    assert doc["config"]["robots"] == 2
+    assert doc["delivery_ratio"] == result.delivery_ratio
+    assert set(doc["latency_ms"]) == {"count", "p50", "p99"}
+
+
+def test_fleet_with_auth_token():
+    result = run_fleet(FleetConfig(
+        robots=1, dashboards=2, duration=1.0, pose_hz=10.0,
+        image_hz=0.0, warmup=0.6, auth_token="fleet-secret",
+    ))
+    assert result.delivery_ratio > 0.9
+    assert result.ws["auth_failures"] == 0
+    assert result.ws["policy"]["auth"] is True
+
+
+def test_slow_dashboards_get_evicted_healthy_keep_flowing():
+    result = run_fleet(FleetConfig(
+        robots=1, dashboards=2, duration=6.0, pose_hz=20.0,
+        image_hz=4.0, image_width=640, image_height=480, warmup=1.0,
+        slow_dashboards=2, queue_length=2, evict_strikes=3,
+    ))
+    assert result.evictions == 2, "stalled dashboards were not evicted"
+    # The healthy dashboards never stopped: the pose stream kept its
+    # delivery ratio despite two wedged image subscribers.
+    assert result.delivery_ratio > 0.9
+    assert result.latency_ms["p50"] > 0.0
+
+
+def test_fleet_under_chaos_plan_severs_robots():
+    from repro.chaos import FaultPlan
+
+    plan = FaultPlan(seed=3)
+    result = run_fleet(FleetConfig(
+        robots=2, dashboards=2, duration=1.5, pose_hz=20.0,
+        image_hz=0.0, warmup=0.8, chaos_plan=plan,
+    ))
+    # The plan had no rules, so traffic flowed -- the point is that the
+    # harness installs/uninstalls it around the measurement window.
+    assert result.config["chaos"] is True
+    assert result.delivery_ratio > 0.9
+
+
+def test_bench_fleet_module_shapes():
+    """The benchmark driver's payload carries the gated headline keys."""
+    import sys
+    from pathlib import Path
+
+    sys.path.insert(
+        0, str(Path(__file__).resolve().parent.parent / "benchmarks")
+    )
+    import bench_fleet
+    import check_regression
+
+    doc = {
+        "sweep": {"8": {"delivery_ratio": 1.0}},
+        "slow_client": {"p50_ratio": 1.1, "p99_ratio": 1.5,
+                        "evictions": 2},
+    }
+    metrics = check_regression.EXTRACTORS["fleet"](doc)
+    assert metrics["sweep.8.delivery_ratio"] == (1.0, "higher")
+    assert metrics["slow_client.p50_ratio"] == (1.1, "lower")
+    assert metrics["slow_client.evictions"] == (2, "higher")
+    assert hasattr(bench_fleet, "run_fleet_bench")
+
+
+def test_fleet_config_rejects_bad_rate_class():
+    with pytest.raises(ValueError, match="rate-limit class"):
+        run_fleet(FleetConfig(
+            robots=1, dashboards=1, duration=0.2, warmup=0.1,
+            image_hz=0.0, rate_limits={"bogus": (1, 1)},
+        ))
