@@ -86,10 +86,39 @@ def _fleet_headlines(doc: dict) -> dict:
     return metrics
 
 
+def _graphplane_headlines(doc: dict) -> dict:
+    failover = doc["failover"]
+    routed = doc["routed"]
+    return {
+        # Absolute, like the chaos gate it must stay comparable to.
+        "failover.recovery_ms.p50":
+            (failover["recovery_ms"]["p50"], "lower"),
+        # Zero-loss is part of the contract: any loss at all regresses
+        # past any tolerance against a baseline of 0... which the ratio
+        # math skips (division by zero), so gate its inverse: the
+        # number of rounds with zero loss must not drop.
+        "failover.clean_rounds":
+            (failover["rounds"] - min(failover["rounds"],
+                                      failover["registrations_lost"]),
+             "higher"),
+        # Mux overhead self-gates against its recorded budget (like the
+        # obs overhead): the raw routed/direct p50 ratio is a few tens
+        # of microseconds of thread-hop cost and swings 1.0x-1.5x run
+        # to run, so gate the budget verdict, not the ratio.
+        "routed.overhead_within_budget":
+            (routed["overhead_within_budget"], "higher"),
+        # M topic links between one host pair must stay on exactly one
+        # connection; 2 against a baseline of 1 is +100%.
+        "routed.connections_per_pair":
+            (routed["connections_per_pair"], "lower"),
+    }
+
+
 EXTRACTORS = {
     "fig13": _fig13_headlines,
     "bridge": _bridge_headlines,
     "chaos": _chaos_headlines,
+    "graphplane": _graphplane_headlines,
     "rawspeed": _rawspeed_headlines,
     "fleet": _fleet_headlines,
     "obs": None,  # self-gating: see check_obs_budget

@@ -30,6 +30,11 @@ clients through the WebSocket front door: saturation sweep up to 256
 concurrent ws subscribers plus the slow-client eviction witness) and
 writes ``BENCH_fleet.json``.
 
+``--experiment graphplane`` runs ``bench_graphplane.py`` (shard-leader
+kill/promote rounds with recovery stats and zero-loss accounting, plus
+the RouteD mux latency-ratio and connection-count check) and writes
+``BENCH_graphplane.json``.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/snapshot.py [--iterations N] [--out PATH]
@@ -176,11 +181,27 @@ def run_chaos_snapshot(rounds: int, seed: int = 1) -> dict:
     return payload
 
 
+def run_graphplane_snapshot(rounds: int, messages: int,
+                            seed: int = 1) -> dict:
+    sys.path.insert(0, str(Path(__file__).resolve().parent))
+    import bench_graphplane
+
+    payload: dict = {
+        "experiment": "graphplane",
+        "generated": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "python": platform.python_version(),
+    }
+    payload.update(bench_graphplane.run_graphplane_bench(
+        rounds=rounds, messages=messages, seed=seed,
+    ))
+    return payload
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--experiment",
                         choices=("fig13", "bridge", "obs", "chaos",
-                                 "rawspeed", "fleet"),
+                                 "rawspeed", "fleet", "graphplane"),
                         default="fig13")
     parser.add_argument("--iterations", type=int, default=40,
                         help="fig13/obs iterations")
@@ -256,6 +277,29 @@ def main(argv=None) -> int:
             f"SHMROS end to end: {small['messages_per_s']:,.0f} msg/s at "
             f"{small['payload_bytes']} B, {large['megabytes_per_s']:.0f} "
             f"MB/s at 1 MiB"
+        )
+        print(f"wrote {out}")
+        return 0
+    if args.experiment == "graphplane":
+        out = args.out or root / "BENCH_graphplane.json"
+        payload = run_graphplane_snapshot(args.rounds, args.messages * 50)
+        out.write_text(json.dumps(payload, indent=2) + "\n")
+        failover = payload["failover"]
+        routed = payload["routed"]
+        print(
+            f"shard failover over {failover['rounds']} rounds: recovery "
+            f"p50={failover['recovery_ms']['p50']:.0f} ms "
+            f"p99={failover['recovery_ms']['p99']:.0f} ms, "
+            f"re-register p50={failover['reregister_ms']['p50']:.0f} ms, "
+            f"{failover['registrations_lost']} registration(s) lost, "
+            f"epoch preserved: {failover['epoch_preserved']}"
+        )
+        print(
+            f"routed mux: {routed['connections_per_pair']} connection(s) "
+            f"for {routed['channels']} topic link(s), p50 "
+            f"{routed['routed_ms']['p50']:.3f} ms vs direct "
+            f"{routed['direct_ms']['p50']:.3f} ms "
+            f"({routed['routed_vs_direct_p50_ratio']:.2f}x)"
         )
         print(f"wrote {out}")
         return 0

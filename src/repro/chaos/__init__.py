@@ -12,6 +12,9 @@ Quickstart::
     master = chaos.ChaosMaster()
     master.pause();  ...;  master.resume(fresh_registry=True)
 
+    plane = chaos.ChaosGraphPlane(shards=2)   # sharded graph plane
+    plane.pause(plane.shard_for("/chatter"))  # down just one shard
+
 Seams: every TCPROS data socket and bridge client socket flows through
 ``tcpros.wrap_socket`` (rules on seam ``tcpros``/``bridge``), every
 SHMROS doorbell frame through the ``shm`` hook, and the master is a
@@ -19,7 +22,7 @@ SHMROS doorbell frame through the ``shm`` hook, and the master is a
 triggering is counter-based -- scenarios replay bit-for-bit.
 """
 
-from repro.chaos.master import ChaosMaster
+from repro.chaos.master import ChaosGraphPlane, ChaosMaster
 from repro.chaos.plan import FaultPlan, Rule
 from repro.chaos.scenario import (
     crash_node,
@@ -30,6 +33,7 @@ from repro.chaos.scenario import (
 )
 
 __all__ = [
+    "ChaosGraphPlane",
     "ChaosMaster",
     "FaultPlan",
     "Rule",

@@ -91,3 +91,82 @@ class ChaosMaster:
 
     def __exit__(self, *exc_info) -> None:
         self.shutdown()
+
+
+class ChaosGraphPlane:
+    """A bounceable *sharded* graph plane: ChaosMaster semantics, but
+    each fault targets one shard.
+
+    Wraps :class:`repro.graphplane.launch.GraphPlane` and exposes the
+    same verbs as :class:`ChaosMaster` with a ``shard`` argument --
+    ``pause(0)`` downs only shard 0's leader, ``resume(0,
+    fresh_registry=True)`` brings it back amnesiac.  Replicas keep their
+    probe/promote behaviour, so pausing a leader long enough is the
+    "kill the leader mid-traffic" scenario.  All timing knobs are plain
+    numbers and every decision is deterministic given the scenario's
+    seed, so a failure replays exactly.
+    """
+
+    def __init__(
+        self,
+        shards: int = 2,
+        replicas: bool = True,
+        host: str = "127.0.0.1",
+        probe_interval: float = 0.05,
+        probe_failures: int = 3,
+    ) -> None:
+        from repro.graphplane.launch import GraphPlane
+
+        self.plane = GraphPlane(
+            shards=shards,
+            replicas=replicas,
+            host=host,
+            probe_interval=probe_interval,
+            probe_failures=probe_failures,
+        )
+        self.spec = self.plane.spec
+
+    # -- lookup ----------------------------------------------------------
+    @property
+    def shard_count(self) -> int:
+        return self.plane.shard_count
+
+    def shard_for(self, name: str) -> int:
+        """Which shard a fault must target to affect ``name``."""
+        return self.plane.shard_for(name)
+
+    def leader(self, shard: int):
+        return self.plane.leaders[shard]
+
+    def replica(self, shard: int):
+        return self.plane.replicas[shard]
+
+    def epoch(self, shard: int) -> str:
+        return self.plane.leaders[shard].epoch
+
+    # -- per-shard scenario actions --------------------------------------
+    def pause(self, shard: int) -> None:
+        """Down one shard's leader (connection refused), state kept."""
+        self.plane.leaders[shard].pause()
+
+    def resume(self, shard: int, fresh_registry: bool = False) -> None:
+        self.plane.leaders[shard].resume(fresh_registry=fresh_registry)
+
+    def restart(self, shard: int) -> None:
+        """Amnesiac bounce of one shard's leader (new epoch)."""
+        self.plane.leaders[shard].restart()
+
+    def kill_leader(self, shard: int) -> None:
+        """Permanently down a leader: the shard's replica must promote.
+        (Alias of :meth:`pause` -- the difference is the scenario's
+        intent never to resume.)"""
+        self.pause(shard)
+
+    def shutdown(self) -> None:
+        self.plane.shutdown()
+
+    def __enter__(self) -> "ChaosGraphPlane":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()

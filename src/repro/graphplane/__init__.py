@@ -1,0 +1,61 @@
+"""repro.graphplane: a sharded, replicated graph plane for the mini-ROS.
+
+The seed's single master is a single point of failure and a fleet-wide
+serialization point.  This package splits it three ways:
+
+* **Sharding** (:mod:`~repro.graphplane.shardmap`,
+  :class:`~repro.graphplane.proxy.ShardedMasterProxy`): the registry is
+  partitioned across N master shards by a stable namespace hash; a
+  routing proxy with the plain MasterProxy surface keeps node code
+  unchanged.
+* **Replication** (:mod:`~repro.graphplane.log`,
+  :mod:`~repro.graphplane.shard`): each shard leader journals mutations
+  to an append-only log streamed synchronously to a follower; on leader
+  death the follower promotes and serves the existing graph state under
+  the leader's epoch -- no amnesiac-restart replay storm.
+* **Routing** (:mod:`~repro.graphplane.routed`): a per-host RouteD
+  daemon multiplexes all inter-host TCPROS links between a host pair
+  over one framed connection, one channel id per topic link.
+
+A node opts in by using a *graph-plane spec* as its master URI --
+``"http://h:1/|http://h:2/,http://h:3/"`` -- which
+:func:`~repro.graphplane.proxy.make_master_proxy` turns into the right
+proxy; a plain URI still yields the plain, zero-overhead MasterProxy.
+"""
+
+from repro.graphplane.launch import GraphPlane
+from repro.graphplane.log import LogRecord, RegistrationLog, apply_record
+from repro.graphplane.proxy import (
+    FailoverMasterProxy,
+    ShardedMasterProxy,
+    make_master_proxy,
+)
+from repro.graphplane.routed import RouteD
+from repro.graphplane.shard import ShardLeader, ShardReplica
+from repro.graphplane.shardmap import (
+    format_spec,
+    is_plain_uri,
+    parse_spec,
+    partition_key,
+    shard_for,
+    stable_hash,
+)
+
+__all__ = [
+    "FailoverMasterProxy",
+    "GraphPlane",
+    "LogRecord",
+    "RegistrationLog",
+    "RouteD",
+    "ShardLeader",
+    "ShardReplica",
+    "ShardedMasterProxy",
+    "apply_record",
+    "format_spec",
+    "is_plain_uri",
+    "make_master_proxy",
+    "parse_spec",
+    "partition_key",
+    "shard_for",
+    "stable_hash",
+]

@@ -1,0 +1,70 @@
+"""Convenience launcher: a whole graph plane in one object.
+
+``GraphPlane(shards=2, replicas=True)`` starts N shard leaders, one
+replica per leader (wired for synchronous replication and auto-promote),
+and exposes ``.spec`` -- the string a node passes as its master URI.
+Used by tests, benchmarks and ``tools graph launch``.
+"""
+
+from __future__ import annotations
+
+from repro.graphplane import shardmap
+from repro.graphplane.shard import ShardLeader, ShardReplica
+
+
+class GraphPlane:
+    """N replicated master shards, started together."""
+
+    def __init__(
+        self,
+        shards: int = 2,
+        replicas: bool = True,
+        host: str = "127.0.0.1",
+        probe_interval: float = 0.25,
+        probe_failures: int = 3,
+        auto_promote: bool = True,
+    ) -> None:
+        if shards < 1:
+            raise ValueError("a graph plane needs at least one shard")
+        self.leaders: list[ShardLeader] = []
+        self.replicas: list[ShardReplica | None] = []
+        for index in range(shards):
+            leader = ShardLeader(shard_index=index, host=host)
+            self.leaders.append(leader)
+            if replicas:
+                replica = ShardReplica(
+                    leader_uri=leader.uri,
+                    shard_index=index,
+                    host=host,
+                    probe_interval=probe_interval,
+                    probe_failures=probe_failures,
+                    auto_promote=auto_promote,
+                )
+                leader.attach_replica(replica.uri)
+                self.replicas.append(replica)
+            else:
+                self.replicas.append(None)
+        self.spec = shardmap.format_spec([
+            [leader.uri] + ([replica.uri] if replica else [])
+            for leader, replica in zip(self.leaders, self.replicas)
+        ])
+
+    @property
+    def shard_count(self) -> int:
+        return len(self.leaders)
+
+    def shard_for(self, name: str) -> int:
+        return shardmap.shard_for(name, self.shard_count)
+
+    def shutdown(self) -> None:
+        for replica in self.replicas:
+            if replica is not None:
+                replica.shutdown()
+        for leader in self.leaders:
+            leader.shutdown()
+
+    def __enter__(self) -> "GraphPlane":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()

@@ -1,0 +1,100 @@
+"""The append-only registration log behind shard replication.
+
+Every mutating master operation a shard leader applies is recorded as a
+:class:`LogRecord` -- ``(epoch, seq, method, args)`` -- and streamed to
+the shard's follower, which replays the records against its own
+registry.  The pair ``(epoch, seq)`` totally orders a shard's history:
+``epoch`` is the registry instance identity (it changes only when a
+leader restarts amnesiac), ``seq`` is a dense counter within the epoch.
+A follower that has applied ``(e, n)`` holds exactly the state of the
+leader after its first ``n`` mutations of epoch ``e`` -- which is what
+makes promotion safe: the promoted follower *is* the graph, not a blank
+registry waiting for the PR-4 replay path to repopulate it.
+
+Records serialize to plain lists so they travel over XML-RPC unchanged.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class LogRecord:
+    """One replicated registry mutation."""
+
+    epoch: str
+    seq: int
+    method: str
+    args: tuple
+
+    def to_wire(self) -> list:
+        return [self.epoch, self.seq, self.method, list(self.args)]
+
+    @classmethod
+    def from_wire(cls, doc: list) -> "LogRecord":
+        epoch, seq, method, args = doc
+        return cls(epoch=epoch, seq=int(seq), method=method,
+                   args=tuple(args))
+
+
+class RegistrationLog:
+    """A shard leader's mutation history for one registry epoch.
+
+    Append-only and fully retained: a master registry is small (names
+    and URIs, not data), so the log of a shard's lifetime is at worst a
+    few thousand records and a follower that fell arbitrarily far behind
+    can always catch up from ``since()`` without a snapshot transfer.
+    """
+
+    def __init__(self, epoch: str) -> None:
+        self.epoch = epoch
+        self._lock = threading.Lock()
+        self._records: list[LogRecord] = []
+
+    @property
+    def last_seq(self) -> int:
+        with self._lock:
+            return self._records[-1].seq if self._records else 0
+
+    def append(self, method: str, args: tuple) -> LogRecord:
+        with self._lock:
+            seq = (self._records[-1].seq + 1) if self._records else 1
+            record = LogRecord(self.epoch, seq, method, args)
+            self._records.append(record)
+            return record
+
+    def since(self, seq: int) -> list[LogRecord]:
+        """Records with ``record.seq > seq`` (the follower's catch-up
+        read; ``seq`` is dense so a slice by offset is exact)."""
+        with self._lock:
+            if seq >= len(self._records):
+                return []
+            return self._records[seq:]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._records)
+
+
+#: Registry methods that mutate state and therefore replicate.  The
+#: value is the positional arity the replica applies with (XML-RPC hands
+#: back lists; the replay call site unpacks exactly these).
+REPLICATED_METHODS = {
+    "register_publisher",
+    "unregister_publisher",
+    "register_subscriber",
+    "unregister_subscriber",
+    "register_service",
+    "unregister_service",
+    "set_param",
+    "delete_param",
+}
+
+
+def apply_record(registry, record: LogRecord) -> None:
+    """Replay one log record against a plain MasterRegistry."""
+    if record.method not in REPLICATED_METHODS:
+        raise ValueError(f"unreplicated method {record.method!r} in log")
+    getattr(registry, record.method)(*record.args)

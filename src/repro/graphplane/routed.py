@@ -1,0 +1,403 @@
+"""RouteD: one multiplexed connection per host pair.
+
+A fleet of M publishers and N subscribers split across two hosts opens
+M*N TCPROS connections between them; every link pays its own handshake,
+keepalive and kernel buffers.  RouteD collapses that: each host runs one
+daemon, all inter-host TCPROS dials are spliced through a single framed
+connection between the two daemons, with a channel id per topic link.
+
+Wire protocol (between two RouteD peers), after the TCP connect::
+
+    frame   := u32le length | u8 type | u32le channel | payload
+    HELLO   (chan 0)  payload = sender's daemon name  (once, first frame)
+    OPEN    payload = "host:port" the remote daemon should dial locally
+    ACCEPT  payload = ""          (the OPEN's dial succeeded)
+    REFUSE  payload = error text  (the OPEN's dial failed)
+    DATA    payload = raw bytes of the inner TCPROS stream
+    CLOSE   payload = ""          (one side of the channel ended)
+
+The inner TCPROS byte stream -- handshake, length-framed messages,
+keepalive words, trace prefixes -- passes through *opaque*: retry,
+link-state and tracing machinery compose with RouteD unchanged, they
+simply run over a socketpair whose far end is pumped through the mux.
+
+Channel ids are split odd/even by dial direction so the two peers can
+allocate without coordination.
+
+``install()`` hooks :func:`repro.ros.transport.tcpros.open_connection`;
+only dials whose target is in this daemon's route table are spliced
+(everything else -- same-host links, the master -- dials direct).
+"""
+
+from __future__ import annotations
+
+import socket
+import struct
+import threading
+
+from repro.graphplane.shard import _ThreadedXMLRPCServer
+from repro.obs import instrument as obs_instrument
+from repro.ros.transport import tcpros
+
+_HEADER = struct.Struct("<IBI")  # length | type | channel
+
+T_HELLO = 0
+T_OPEN = 1
+T_ACCEPT = 2
+T_REFUSE = 3
+T_DATA = 4
+T_CLOSE = 5
+
+#: DATA chunk size when pumping a channel into the mux.
+CHUNK = 64 * 1024
+MAX_FRAME = tcpros.MAX_FRAME
+
+
+class RouteError(ConnectionError):
+    """The remote daemon could not complete an OPEN."""
+
+
+def _read_frame(sock) -> tuple[int, int, bytes]:
+    header = tcpros.read_exact(sock, _HEADER.size)
+    length, frame_type, channel = _HEADER.unpack(bytes(header))
+    if length > MAX_FRAME:
+        raise ConnectionError(f"mux frame too large ({length} bytes)")
+    payload = bytes(tcpros.read_exact(sock, length)) if length else b""
+    return frame_type, channel, payload
+
+
+class _MuxLink:
+    """One framed connection to a peer daemon, carrying many channels."""
+
+    def __init__(self, routed: "RouteD", sock: socket.socket,
+                 dialed: bool) -> None:
+        self._routed = routed
+        self._sock = sock
+        self._send_lock = threading.Lock()
+        self._lock = threading.Lock()
+        self._channels: dict[int, socket.socket] = {}
+        self._opens: dict[int, dict] = {}
+        # The dialing side allocates odd channel ids, the accepting side
+        # even ones: no id collisions without a negotiation round-trip.
+        self._next_channel = 1 if dialed else 2
+        self.peer_name = ""
+        self.closed = threading.Event()
+        self._reader = threading.Thread(
+            target=self._read_loop, daemon=True,
+            name=f"routed-mux:{routed.name}",
+        )
+
+    def start(self) -> None:
+        self._reader.start()
+
+    # -- sending ---------------------------------------------------------
+    def send(self, frame_type: int, channel: int, payload: bytes = b"") -> None:
+        frame = _HEADER.pack(len(payload), frame_type, channel) + payload
+        with self._send_lock:
+            self._sock.sendall(frame)
+        self._routed._frames.inc()
+        self._routed._bytes.inc(len(frame))
+
+    # -- opening a channel (local dial spliced to the peer) --------------
+    def open_channel(self, target: tuple[str, int],
+                     timeout: float) -> socket.socket:
+        with self._lock:
+            channel = self._next_channel
+            self._next_channel += 2
+            waiter = {"event": threading.Event(), "error": None}
+            self._opens[channel] = waiter
+        self.send(T_OPEN, channel, f"{target[0]}:{target[1]}".encode())
+        if not waiter["event"].wait(timeout):
+            with self._lock:
+                self._opens.pop(channel, None)
+            raise RouteError(f"routed open of {target} timed out")
+        if waiter["error"] is not None:
+            raise RouteError(waiter["error"])
+        near, far = socket.socketpair()
+        self._attach(channel, far)
+        return near
+
+    def _attach(self, channel: int, endpoint: socket.socket) -> None:
+        with self._lock:
+            self._channels[channel] = endpoint
+        self._routed._channels_gauge.set(self._routed.channel_count())
+        threading.Thread(
+            target=self._pump_out, args=(channel, endpoint), daemon=True,
+            name=f"routed-pump:{channel}",
+        ).start()
+
+    def _pump_out(self, channel: int, endpoint: socket.socket) -> None:
+        """Local endpoint -> DATA frames, until either side closes."""
+        try:
+            while True:
+                chunk = endpoint.recv(CHUNK)
+                if not chunk:
+                    break
+                self.send(T_DATA, channel, chunk)
+        except OSError:
+            pass
+        self._close_channel(channel, notify_peer=True)
+
+    def _close_channel(self, channel: int, notify_peer: bool) -> None:
+        with self._lock:
+            endpoint = self._channels.pop(channel, None)
+        if endpoint is not None:
+            try:
+                endpoint.close()
+            except OSError:
+                pass
+            if notify_peer:
+                try:
+                    self.send(T_CLOSE, channel)
+                except OSError:
+                    pass
+        self._routed._channels_gauge.set(self._routed.channel_count())
+
+    # -- receiving -------------------------------------------------------
+    def _read_loop(self) -> None:
+        try:
+            while True:
+                frame_type, channel, payload = _read_frame(self._sock)
+                if frame_type == T_HELLO:
+                    self.peer_name = payload.decode("utf-8", "replace")
+                elif frame_type == T_OPEN:
+                    self._handle_open(channel, payload)
+                elif frame_type in (T_ACCEPT, T_REFUSE):
+                    with self._lock:
+                        waiter = self._opens.pop(channel, None)
+                    if waiter is not None:
+                        if frame_type == T_REFUSE:
+                            waiter["error"] = payload.decode(
+                                "utf-8", "replace")
+                        waiter["event"].set()
+                elif frame_type == T_DATA:
+                    with self._lock:
+                        endpoint = self._channels.get(channel)
+                    if endpoint is not None:
+                        try:
+                            endpoint.sendall(payload)
+                        except OSError:
+                            self._close_channel(channel, notify_peer=True)
+                elif frame_type == T_CLOSE:
+                    self._close_channel(channel, notify_peer=False)
+        except (ConnectionError, OSError):
+            pass
+        self.close()
+
+    def _handle_open(self, channel: int, payload: bytes) -> None:
+        host, _, port = payload.decode("utf-8", "replace").rpartition(":")
+        try:
+            local = socket.create_connection((host, int(port)), timeout=5.0)
+            local.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        except OSError as exc:
+            self.send(T_REFUSE, channel, str(exc).encode())
+            return
+        self._attach(channel, local)
+        self.send(T_ACCEPT, channel)
+
+    def close(self) -> None:
+        if self.closed.is_set():
+            return
+        self.closed.set()
+        with self._lock:
+            channels = list(self._channels)
+            opens = list(self._opens.values())
+            self._opens.clear()
+        for waiter in opens:
+            waiter["error"] = "mux link closed"
+            waiter["event"].set()
+        for channel in channels:
+            self._close_channel(channel, notify_peer=False)
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+        self._routed._drop_link(self)
+
+    def channel_ids(self) -> list[int]:
+        with self._lock:
+            return sorted(self._channels)
+
+
+class RouteD:
+    """The per-host routing daemon.
+
+    * ``listen_addr`` accepts mux connections from peer daemons.
+    * ``add_route(target, peer)`` declares that TCPROS dials to
+      ``target`` (a ``(host, port)``) must be spliced via the daemon at
+      ``peer`` instead of dialed directly.
+    * ``install()`` plugs :meth:`dial` into the transport's connect
+      seam; ``uninstall()`` removes it.
+
+    A small XML-RPC admin endpoint (``getStatus``) backs
+    ``tools graph routes``.
+    """
+
+    def __init__(self, name: str = "routed", host: str = "127.0.0.1",
+                 port: int = 0, admin: bool = True) -> None:
+        self.name = name
+        self._lock = threading.Lock()
+        self._routes: dict[tuple[str, int], tuple[str, int]] = {}
+        self._links: dict[tuple[str, int], _MuxLink] = {}
+        self._mux_gauge = obs_instrument.routed_mux_links.labels(routed=name)
+        self._channels_gauge = obs_instrument.routed_channels.labels(
+            routed=name)
+        self._frames = obs_instrument.routed_frames.labels(routed=name)
+        self._bytes = obs_instrument.routed_bytes.labels(routed=name)
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind((host, port))
+        self._listener.listen(16)
+        self.listen_addr = self._listener.getsockname()
+        self._closed = threading.Event()
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, daemon=True, name=f"routed:{name}",
+        )
+        self._accept_thread.start()
+        self._installed = False
+        self._admin = None
+        if admin:
+            self._admin = _ThreadedXMLRPCServer(
+                (host, 0), logRequests=False, allow_none=True
+            )
+            self._admin.register_function(self.status, "getStatus")
+            threading.Thread(
+                target=self._admin.serve_forever,
+                kwargs={"poll_interval": 0.05},
+                daemon=True, name=f"routed-admin:{name}",
+            ).start()
+            admin_host, admin_port = self._admin.server_address
+            self.admin_uri = f"http://{admin_host}:{admin_port}/"
+        else:
+            self.admin_uri = ""
+
+    # -- peer mux management ---------------------------------------------
+    def _accept_loop(self) -> None:
+        while not self._closed.is_set():
+            try:
+                sock, _addr = self._listener.accept()
+            except OSError:
+                return
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            link = _MuxLink(self, sock, dialed=False)
+            # Accepted links are keyed once HELLO names the peer; until
+            # then they live unkeyed (the reader thread keeps them
+            # alive) -- an accepted mux never originates OPENs here.
+            link.start()
+            try:
+                link.send(T_HELLO, 0, self.name.encode())
+            except OSError:
+                link.close()
+                continue
+            with self._lock:
+                self._links[("accepted", id(link))] = link
+            self._mux_gauge.set(len(self._links))
+
+    def _link_to(self, peer: tuple[str, int]) -> _MuxLink:
+        with self._lock:
+            link = self._links.get(peer)
+        if link is not None and not link.closed.is_set():
+            return link
+        sock = socket.create_connection(peer, timeout=5.0)
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        link = _MuxLink(self, sock, dialed=True)
+        with self._lock:
+            current = self._links.get(peer)
+            if current is not None and not current.closed.is_set():
+                # Lost the dial race; use the winner.
+                sock.close()
+                return current
+            self._links[peer] = link
+        link.start()
+        link.send(T_HELLO, 0, self.name.encode())
+        self._mux_gauge.set(len(self._links))
+        return link
+
+    def _drop_link(self, link: _MuxLink) -> None:
+        with self._lock:
+            for key, value in list(self._links.items()):
+                if value is link:
+                    del self._links[key]
+        self._mux_gauge.set(len(self._links))
+
+    # -- routing ---------------------------------------------------------
+    def add_route(self, target: tuple[str, int],
+                  peer: tuple[str, int]) -> None:
+        """Splice dials to ``target`` through the daemon at ``peer``."""
+        with self._lock:
+            self._routes[(target[0], int(target[1]))] = (
+                peer[0], int(peer[1]))
+
+    def remove_route(self, target: tuple[str, int]) -> None:
+        with self._lock:
+            self._routes.pop((target[0], int(target[1])), None)
+
+    def dial(self, host: str, port: int, timeout: float):
+        """The transport connect hook: splice routed targets, pass on
+        everything else (return None -> direct dial)."""
+        with self._lock:
+            peer = self._routes.get((host, int(port)))
+        if peer is None:
+            return None
+        link = self._link_to(peer)
+        return link.open_channel((host, int(port)), timeout)
+
+    def install(self) -> None:
+        tcpros.install_connect_hook(self.dial)
+        self._installed = True
+
+    def uninstall(self) -> None:
+        if self._installed:
+            tcpros.install_connect_hook(None)
+            self._installed = False
+
+    # -- introspection / shutdown ----------------------------------------
+    def mux_link_count(self) -> int:
+        with self._lock:
+            return len(self._links)
+
+    def channel_count(self) -> int:
+        with self._lock:
+            links = list(self._links.values())
+        return sum(len(link.channel_ids()) for link in links)
+
+    def status(self) -> dict:
+        with self._lock:
+            routes = {
+                f"{t[0]}:{t[1]}": f"{p[0]}:{p[1]}"
+                for t, p in self._routes.items()
+            }
+            links = list(self._links.items())
+        return {
+            "name": self.name,
+            "listen": f"{self.listen_addr[0]}:{self.listen_addr[1]}",
+            "routes": routes,
+            "mux_links": [
+                {
+                    "peer": link.peer_name or str(key),
+                    "channels": link.channel_ids(),
+                }
+                for key, link in links
+            ],
+        }
+
+    def shutdown(self) -> None:
+        self._closed.set()
+        self.uninstall()
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        with self._lock:
+            links = list(self._links.values())
+        for link in links:
+            link.close()
+        if self._admin is not None:
+            self._admin.shutdown()
+            self._admin.server_close()
+
+    def __enter__(self) -> "RouteD":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()

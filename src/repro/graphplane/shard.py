@@ -1,0 +1,531 @@
+"""Replicated master shards: leader, follower, and the log between them.
+
+A :class:`ShardLeader` is a master (the same registry and RPC surface as
+:class:`repro.ros.master.Master`) that additionally journals every
+mutation to a :class:`~repro.graphplane.log.RegistrationLog` and pushes
+the tail to its follower *before answering the caller* -- so any
+registration the leader has acknowledged is already on the replica when
+the leader dies.  If the follower is unreachable the leader degrades to
+async (the catch-up thread keeps retrying) rather than refusing writes:
+availability over durability for a registry whose ground truth is also
+held node-side.
+
+A :class:`ShardReplica` tails the log into its own registry and answers
+``standby`` to master API calls until promoted.  Its probe thread dials
+the leader's ``getEpoch``; after ``probe_failures`` consecutive misses
+it promotes itself and starts serving *the replicated graph state under
+the leader's epoch*.  Keeping the epoch is the point: node watchdogs
+compare epochs, so a failover is invisible to them -- no re-registration
+replay, no publisherUpdate storm, unlike the amnesiac-restart path.
+
+Both servers are threaded (unlike the seed master) so a shard can serve
+a registration while its peer probes it -- with synchronous replication
+in the call path, a single-threaded server pair can deadlock.
+"""
+
+from __future__ import annotations
+
+import socketserver
+import threading
+import xmlrpc.client
+import xmlrpc.server
+
+from repro.graphplane.log import (
+    LogRecord,
+    REPLICATED_METHODS,
+    RegistrationLog,
+    apply_record,
+)
+from repro.obs import instrument as obs_instrument
+from repro.ros.master import (
+    ERROR,
+    FAILURE,
+    SUCCESS,
+    MasterRegistry,
+    _MasterRPCHandlers,
+)
+
+#: Master API methods whose handler mutates the registry (RPC-surface
+#: names; the log records the snake_case registry methods).
+MUTATING_RPC_METHODS = {
+    "registerPublisher",
+    "unregisterPublisher",
+    "registerSubscriber",
+    "unregisterSubscriber",
+    "registerService",
+    "unregisterService",
+    "setParam",
+    "deleteParam",
+}
+
+#: Status string a replica answers with before promotion; failover
+#: proxies treat it as "not the master (yet)", not as an API error.
+STANDBY = "standby"
+
+
+class _ThreadedXMLRPCServer(socketserver.ThreadingMixIn,
+                            xmlrpc.server.SimpleXMLRPCServer):
+    daemon_threads = True
+
+
+def timeout_proxy(uri: str, timeout: float) -> xmlrpc.client.ServerProxy:
+    """A ServerProxy whose underlying connections time out -- probes and
+    replication pushes must fail fast, not hang on a half-dead peer."""
+
+    class _Transport(xmlrpc.client.Transport):
+        def make_connection(self, host):
+            connection = super().make_connection(host)
+            connection.timeout = timeout
+            return connection
+
+    return xmlrpc.client.ServerProxy(
+        uri, allow_none=True, transport=_Transport()
+    )
+
+
+class LoggedRegistry(MasterRegistry):
+    """A MasterRegistry that journals every mutation.
+
+    Apply and append happen under the registry's own (reentrant) lock,
+    so the log order is exactly the apply order -- a follower replaying
+    the log reaches bit-identical state.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.log = RegistrationLog(self.epoch)
+
+
+def _logged(method_name: str):
+    def wrapper(self, *args):
+        with self._lock:
+            result = getattr(MasterRegistry, method_name)(self, *args)
+            self.log.append(method_name, args)
+        return result
+    wrapper.__name__ = method_name
+    return wrapper
+
+
+for _name in sorted(REPLICATED_METHODS):
+    setattr(LoggedRegistry, _name, _logged(_name))
+del _name
+
+
+class ShardLeader:
+    """One master shard: registry + log + synchronous follower push.
+
+    ``pause()``/``resume()`` mirror the chaos master's bounce semantics
+    (stable port, optionally amnesiac) so fault scenarios can target a
+    single shard.
+    """
+
+    def __init__(
+        self,
+        shard_index: int = 0,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        replica_uri: str | None = None,
+        replication_timeout: float = 1.0,
+        catchup_interval: float = 0.1,
+    ) -> None:
+        self.shard_index = shard_index
+        self._host = host
+        self._port = port
+        self.registry = LoggedRegistry()
+        self._replication_timeout = replication_timeout
+        self._repl_lock = threading.Lock()
+        self._replica_uri = None
+        self._replica_proxy = None
+        self._acked_seq = 0
+        self._lag_gauge = obs_instrument.graphplane_replication_lag.labels(
+            shard=str(shard_index)
+        )
+        self._records_counter = obs_instrument.graphplane_log_records.labels(
+            shard=str(shard_index)
+        )
+        self._server = None
+        self._thread = None
+        self._lock = threading.Lock()
+        self._closed = threading.Event()
+        self._start()
+        self.uri = f"http://{self._host}:{self._port}/"
+        if replica_uri is not None:
+            self.attach_replica(replica_uri)
+        self._catchup_thread = threading.Thread(
+            target=self._catchup_loop, args=(catchup_interval,),
+            daemon=True, name=f"shard-catchup:{shard_index}",
+        )
+        self._catchup_thread.start()
+
+    # ------------------------------------------------------------------
+    # Serving
+    # ------------------------------------------------------------------
+    def _start(self) -> None:
+        server = _ThreadedXMLRPCServer(
+            (self._host, self._port), logRequests=False, allow_none=True
+        )
+        server.register_instance(_LeaderDispatch(self))
+        thread = threading.Thread(
+            target=server.serve_forever, kwargs={"poll_interval": 0.05},
+            daemon=True, name=f"shard-leader:{self.shard_index}",
+        )
+        thread.start()
+        self._host, self._port = server.server_address
+        self._server, self._thread = server, thread
+
+    @property
+    def running(self) -> bool:
+        return self._server is not None
+
+    @property
+    def epoch(self) -> str:
+        return self.registry.epoch
+
+    @property
+    def log(self) -> RegistrationLog:
+        return self.registry.log
+
+    def pause(self) -> None:
+        """Stop answering (connection refused), keeping registry and log
+        -- the shard is *down*, not *reset*."""
+        with self._lock:
+            server, thread = self._server, self._thread
+            self._server = self._thread = None
+        if server is not None:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=2.0)
+
+    def resume(self, fresh_registry: bool = False) -> None:
+        """Come back on the same port; ``fresh_registry=True`` models an
+        amnesiac crash-restart (new epoch, empty registry, empty log)."""
+        with self._lock:
+            if self._server is not None:
+                return
+            if fresh_registry:
+                self.registry = LoggedRegistry()
+                with self._repl_lock:
+                    self._acked_seq = 0
+            self._start()
+
+    def restart(self) -> None:
+        self.pause()
+        self.resume(fresh_registry=True)
+
+    # ------------------------------------------------------------------
+    # Replication
+    # ------------------------------------------------------------------
+    def attach_replica(self, replica_uri: str) -> None:
+        with self._repl_lock:
+            self._replica_uri = replica_uri
+            self._replica_proxy = timeout_proxy(
+                replica_uri, self._replication_timeout
+            )
+            self._acked_seq = 0
+
+    def replication_lag(self) -> int:
+        with self._repl_lock:
+            if self._replica_uri is None:
+                return 0
+            return max(0, self.log.last_seq - self._acked_seq)
+
+    def _replicate(self) -> bool:
+        """Push the unacknowledged log tail to the follower (called in
+        the RPC handler after each mutation, and by the catch-up loop).
+        Returns True when the follower is caught up."""
+        with self._repl_lock:
+            proxy = self._replica_proxy
+            if proxy is None:
+                return True
+            log = self.registry.log
+            records = log.since(self._acked_seq)
+            if not records:
+                self._lag_gauge.set(0)
+                return True
+            try:
+                code, _status, acked = proxy.applyRecords(
+                    f"/shard{self.shard_index}",
+                    log.epoch,
+                    [record.to_wire() for record in records],
+                )
+            except Exception:
+                self._lag_gauge.set(log.last_seq - self._acked_seq)
+                return False
+            if code == SUCCESS:
+                self._acked_seq = max(self._acked_seq, int(acked))
+            lag = max(0, log.last_seq - self._acked_seq)
+            self._lag_gauge.set(lag)
+            return lag == 0
+
+    def _catchup_loop(self, interval: float) -> None:
+        """Retry the push while the follower is behind (its only job is
+        the window where a synchronous push failed)."""
+        while not self._closed.wait(interval):
+            if self.replication_lag() > 0:
+                self._replicate()
+
+    # ------------------------------------------------------------------
+    # Introspection / shutdown
+    # ------------------------------------------------------------------
+    def shard_info(self) -> dict:
+        log = self.registry.log
+        with self._repl_lock:
+            acked = self._acked_seq
+            replica = self._replica_uri
+        state = self.registry.system_state()
+        return {
+            "role": "leader",
+            "shard": self.shard_index,
+            "uri": self.uri,
+            "epoch": self.registry.epoch,
+            "log_seq": log.last_seq,
+            "replica_uri": replica or "",
+            "replica_acked": acked,
+            "replication_lag": (
+                max(0, log.last_seq - acked) if replica else 0
+            ),
+            "topics": len(state[0]) + len(state[1]),
+        }
+
+    def shutdown(self) -> None:
+        self._closed.set()
+        self.pause()
+
+    def __enter__(self) -> "ShardLeader":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+
+class _LeaderDispatch:
+    """RPC dispatch for a shard leader: the plain master surface plus
+    shard introspection, with a synchronous replication push after every
+    mutating call."""
+
+    def __init__(self, leader: ShardLeader) -> None:
+        self._leader = leader
+
+    def _dispatch(self, method: str, params):
+        leader = self._leader
+        if method == "getShardInfo":
+            return SUCCESS, "shard info", leader.shard_info()
+        if method == "getLogSince":
+            _caller_id, seq = params
+            return SUCCESS, "log tail", [
+                record.to_wire()
+                for record in leader.registry.log.since(int(seq))
+            ]
+        handlers = _MasterRPCHandlers(leader.registry)
+        handler = getattr(handlers, method, None)
+        if handler is None or method.startswith("_"):
+            raise Exception(f"method {method!r} is not supported")
+        result = handler(*params)
+        if method in MUTATING_RPC_METHODS:
+            leader._records_counter.inc()
+            # Synchronous push: the caller's registration is on the
+            # replica before the caller hears "registered".
+            leader._replicate()
+        return result
+
+
+class ShardReplica:
+    """A shard follower: replays the leader's log, promotes on silence.
+
+    The replica answers ``standby`` to the master API until
+    :meth:`promote` runs; ``applyRecords``/``getShardInfo`` work in both
+    roles.  Promotion keeps the replicated epoch, so clients that fail
+    over see the same master identity with its state intact.
+    """
+
+    def __init__(
+        self,
+        leader_uri: str | None = None,
+        shard_index: int = 0,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        probe_interval: float = 0.25,
+        probe_failures: int = 3,
+        probe_timeout: float = 0.5,
+        auto_promote: bool = True,
+    ) -> None:
+        self.shard_index = shard_index
+        self.leader_uri = leader_uri
+        self.registry = MasterRegistry()
+        self.promoted = False
+        self.applied_seq = 0
+        self._applied_epoch: str | None = None
+        self._apply_lock = threading.Lock()
+        self._probe_interval = probe_interval
+        self._probe_failures = probe_failures
+        self._probe_timeout = probe_timeout
+        self._auto_promote = auto_promote
+        self._failures = 0
+        self._closed = threading.Event()
+        self._server = _ThreadedXMLRPCServer(
+            (host, port), logRequests=False, allow_none=True
+        )
+        self._server.register_instance(_ReplicaDispatch(self))
+        self._thread = threading.Thread(
+            target=self._server.serve_forever, kwargs={"poll_interval": 0.05},
+            daemon=True, name=f"shard-replica:{shard_index}",
+        )
+        self._thread.start()
+        host, port = self._server.server_address
+        self.uri = f"http://{host}:{port}/"
+        self._probe_thread = None
+        if leader_uri is not None:
+            self._bootstrap()
+            self._probe_thread = threading.Thread(
+                target=self._probe_loop, daemon=True,
+                name=f"shard-probe:{shard_index}",
+            )
+            self._probe_thread.start()
+
+    # ------------------------------------------------------------------
+    # Log application
+    # ------------------------------------------------------------------
+    def apply_records(self, epoch: str, wire_records: list) -> int:
+        """Apply pushed/pulled log records; returns the applied seq.
+
+        Dense sequence numbers make this idempotent and gap-safe: stale
+        records (seq <= applied) are skipped, a gap stops application
+        and the returned seq tells the leader where to resend from.  An
+        epoch change means the leader restarted amnesiac -- the replica
+        mirrors it by starting from an empty registry under the new
+        epoch.
+        """
+        with self._apply_lock:
+            if self._applied_epoch != epoch:
+                fresh = MasterRegistry()
+                fresh.epoch = epoch
+                self.registry = fresh
+                self._applied_epoch = epoch
+                self.applied_seq = 0
+            for doc in wire_records:
+                record = LogRecord.from_wire(doc)
+                if record.seq <= self.applied_seq:
+                    continue
+                if record.seq != self.applied_seq + 1:
+                    break
+                apply_record(self.registry, record)
+                self.applied_seq = record.seq
+            return self.applied_seq
+
+    def _bootstrap(self) -> None:
+        """Adopt the leader's epoch and replay its log from the start
+        (registries are small; the full log is the snapshot)."""
+        try:
+            proxy = timeout_proxy(self.leader_uri, self._probe_timeout)
+            code, _status, epoch = proxy.getEpoch(self._caller_id())
+            if code != SUCCESS:
+                return
+            code, _status, records = proxy.getLogSince(self._caller_id(), 0)
+            if code == SUCCESS:
+                self.apply_records(epoch, records)
+            else:
+                self.apply_records(epoch, [])
+        except Exception:
+            # Leader unreachable at construction: the probe loop will
+            # catch up (or promote) once it starts.
+            pass
+
+    def _caller_id(self) -> str:
+        return f"/shard{self.shard_index}_replica"
+
+    # ------------------------------------------------------------------
+    # Probe / promotion
+    # ------------------------------------------------------------------
+    def _probe_loop(self) -> None:
+        while not self._closed.wait(self._probe_interval):
+            if self.promoted:
+                return
+            self._probe_once()
+
+    def _probe_once(self) -> None:
+        try:
+            proxy = timeout_proxy(self.leader_uri, self._probe_timeout)
+            code, _status, epoch = proxy.getEpoch(self._caller_id())
+            if code != SUCCESS:
+                raise ConnectionError("leader unhealthy")
+            # Pull-based catch-up alongside the leader's push: covers
+            # the window where a synchronous push failed.
+            code, _status, records = proxy.getLogSince(
+                self._caller_id(), self.applied_seq
+                if self._applied_epoch == epoch else 0
+            )
+            if code == SUCCESS and records:
+                self.apply_records(epoch, records)
+            self._failures = 0
+        except Exception:
+            self._failures += 1
+            if self._auto_promote and self._failures >= self._probe_failures:
+                self.promote()
+
+    def promote(self) -> None:
+        """Take over the shard: serve the replicated graph state under
+        the replicated epoch.  Idempotent."""
+        if self.promoted:
+            return
+        self.promoted = True
+        obs_instrument.graphplane_failovers.labels(
+            shard=str(self.shard_index)
+        ).inc()
+
+    # ------------------------------------------------------------------
+    # Introspection / shutdown
+    # ------------------------------------------------------------------
+    def shard_info(self) -> dict:
+        state = self.registry.system_state()
+        return {
+            "role": "leader (promoted)" if self.promoted else "replica",
+            "shard": self.shard_index,
+            "uri": self.uri,
+            "epoch": self.registry.epoch,
+            "applied_seq": self.applied_seq,
+            "leader_uri": self.leader_uri or "",
+            "probe_failures": self._failures,
+            "topics": len(state[0]) + len(state[1]),
+        }
+
+    def shutdown(self) -> None:
+        self._closed.set()
+        self._server.shutdown()
+        self._server.server_close()
+        self._thread.join(timeout=2.0)
+        if self._probe_thread is not None:
+            self._probe_thread.join(timeout=2.0)
+
+    def __enter__(self) -> "ShardReplica":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+
+class _ReplicaDispatch:
+    """RPC dispatch for a replica: replication + introspection always,
+    the master surface only once promoted."""
+
+    def __init__(self, replica: ShardReplica) -> None:
+        self._replica = replica
+
+    def _dispatch(self, method: str, params):
+        replica = self._replica
+        if method == "applyRecords":
+            if replica.promoted:
+                return ERROR, "promoted", replica.applied_seq
+            _caller_id, epoch, records = params
+            return (
+                SUCCESS, "applied",
+                replica.apply_records(epoch, records),
+            )
+        if method == "getShardInfo":
+            return SUCCESS, "shard info", replica.shard_info()
+        if not replica.promoted:
+            return FAILURE, STANDBY, 0
+        handlers = _MasterRPCHandlers(replica.registry)
+        handler = getattr(handlers, method, None)
+        if handler is None or method.startswith("_"):
+            raise Exception(f"method {method!r} is not supported")
+        return handler(*params)

@@ -1,0 +1,85 @@
+"""Shard assignment: which master shard owns a graph resource name.
+
+The graph plane partitions the master's registry across N shards.  The
+partition key is the resource's *top-level namespace* segment (``/camera
+/image`` and ``/camera/info`` co-locate; a bare ``/chatter`` is its own
+key), hashed with CRC-32 so the mapping is stable across processes,
+Python versions and ``PYTHONHASHSEED`` -- every proxy in the fleet must
+agree on ownership without coordination.
+
+A *graph-plane spec* is the string a node is given instead of a single
+master URI::
+
+    http://h:1/                       one master (plain MasterProxy)
+    http://h:1/|http://h:2/           leader|replica (failover)
+    http://h:1/|http://h:2/,http://h:3/   two shards, first replicated
+
+Commas separate shards; ``|`` separates failover candidates within one
+shard.  Shard order is load-bearing: every participant must hold the
+same ordered spec or names route to different shards.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+
+def partition_key(name: str) -> str:
+    """The shard-assignment key for a graph resource name.
+
+    >>> partition_key("/camera/image")
+    'camera'
+    >>> partition_key("/camera/info")
+    'camera'
+    >>> partition_key("/chatter")
+    'chatter'
+    """
+    parts = [part for part in name.split("/") if part]
+    return parts[0] if parts else ""
+
+
+def stable_hash(key: str) -> int:
+    """A process-independent hash (CRC-32 of the UTF-8 bytes)."""
+    return zlib.crc32(key.encode("utf-8")) & 0xFFFFFFFF
+
+
+def shard_for(name: str, shard_count: int) -> int:
+    """The index of the shard owning ``name``.
+
+    >>> shard_for("/camera/image", 1)
+    0
+    >>> shard_for("/camera/image", 4) == shard_for("/camera/info", 4)
+    True
+    """
+    if shard_count <= 1:
+        return 0
+    return stable_hash(partition_key(name)) % shard_count
+
+
+def parse_spec(spec: str) -> list[list[str]]:
+    """Parse a graph-plane spec into per-shard candidate URI lists.
+
+    >>> parse_spec("http://h:1/")
+    [['http://h:1/']]
+    >>> parse_spec("http://h:1/|http://h:2/,http://h:3/")
+    [['http://h:1/', 'http://h:2/'], ['http://h:3/']]
+    """
+    shards: list[list[str]] = []
+    for part in spec.split(","):
+        candidates = [uri.strip() for uri in part.split("|") if uri.strip()]
+        if candidates:
+            shards.append(candidates)
+    if not shards:
+        raise ValueError(f"empty graph-plane spec {spec!r}")
+    return shards
+
+
+def format_spec(shards: list[list[str]]) -> str:
+    """The inverse of :func:`parse_spec`."""
+    return ",".join("|".join(candidates) for candidates in shards)
+
+
+def is_plain_uri(spec: str) -> bool:
+    """True when ``spec`` is a single master URI (no shards, no
+    failover candidates) -- the fast path that needs no graph plane."""
+    return "," not in spec and "|" not in spec

@@ -111,6 +111,47 @@ link_retries = global_registry.counter(
 #: one sick subscription marks the whole topic).
 LINK_STATE_CODES = {"healthy": 0, "degraded": 1, "reconnecting": 2, "dead": 3}
 
+# ----------------------------------------------------------------------
+# Graph plane (repro.graphplane): shards, replication, routing daemon
+# ----------------------------------------------------------------------
+graphplane_log_records = global_registry.counter(
+    "miniros_graphplane_log_records_total",
+    "Registration-log records appended per shard leader.",
+    labels=("shard",),
+)
+graphplane_replication_lag = global_registry.gauge(
+    "miniros_graphplane_replication_lag",
+    "Log records the shard's follower has not yet applied.",
+    labels=("shard",),
+)
+graphplane_failovers = global_registry.counter(
+    "miniros_graphplane_failovers_total",
+    "Replica promotions (a shard leader was declared dead).",
+    labels=("shard",),
+)
+graphplane_proxy_failovers = global_registry.counter(
+    "miniros_graphplane_proxy_failovers_total",
+    "Client-side candidate switches inside a failover master proxy.",
+)
+routed_mux_links = global_registry.gauge(
+    "miniros_routed_mux_links",
+    "Live multiplexed host-pair connections per RouteD (both roles).",
+    labels=("routed",),
+)
+routed_channels = global_registry.gauge(
+    "miniros_routed_channels",
+    "Open tunneled topic-link channels per RouteD (both roles).",
+    labels=("routed",),
+)
+routed_frames = global_registry.counter(
+    "miniros_routed_frames_total",
+    "Mux frames forwarded per RouteD.", labels=("routed",),
+)
+routed_bytes = global_registry.counter(
+    "miniros_routed_bytes_total",
+    "Tunneled payload bytes forwarded per RouteD.", labels=("routed",),
+)
+
 sfm_live_records = global_registry.gauge(
     "miniros_sfm_live_records",
     "Live serialization-free message records in the global manager.",

@@ -14,9 +14,19 @@ from dataclasses import dataclass, field as dataclass_field
 from repro.ros.master import MasterProxy
 
 
+def _proxy_for(master_uri: str):
+    """A master proxy for either a plain URI or a graph-plane spec, so
+    every introspection helper works against a sharded graph."""
+    if "," in master_uri or "|" in master_uri:
+        from repro.graphplane.proxy import make_master_proxy
+
+        return make_master_proxy(master_uri)
+    return MasterProxy(master_uri)
+
+
 def list_topics(master_uri: str) -> list[tuple[str, str]]:
     """``rostopic list``: [(topic, type), ...] known to the master."""
-    proxy = MasterProxy(master_uri)
+    proxy = _proxy_for(master_uri)
     return [tuple(entry) for entry in proxy.get_topic_types("/introspect")]
 
 
@@ -37,7 +47,7 @@ def topic_info(master_uri: str, topic: str, subscriber=None) -> TopicInfo:
     """``rostopic info``; pass a live :class:`~repro.ros.topic.Subscriber`
     to also surface its per-publisher handshake failures (type/md5/format
     mismatches that otherwise require a debugger to see)."""
-    proxy = MasterProxy(master_uri)
+    proxy = _proxy_for(master_uri)
     info = TopicInfo(topic=topic)
     for name, type_name in proxy.get_topic_types("/introspect"):
         if name == topic:

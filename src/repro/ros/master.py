@@ -55,15 +55,23 @@ class MasterRegistry:
     def register_publisher(
         self, caller_id: str, topic: str, type_name: str, caller_api: str
     ) -> tuple[list[str], list[str]]:
-        """Returns (subscriber_apis, subscriber_apis_to_notify)."""
+        """Returns (subscriber_apis, subscriber_apis_to_notify).
+
+        A re-registration that changes nothing (same caller, same api --
+        the watchdog replaying against a master that already holds it)
+        notifies nobody: the publisher set is unchanged, so pushing
+        ``publisherUpdate`` would only churn every subscriber's link
+        bookkeeping for no information.
+        """
         with self._lock:
             entry = self._topics.setdefault(topic, _TopicEntry(type_name))
             if not entry.type_name:
                 entry.type_name = type_name
+            changed = entry.publishers.get(caller_id) != caller_api
             entry.publishers[caller_id] = caller_api
             self._nodes[caller_id] = caller_api
             subscribers = list(entry.subscribers.values())
-            return subscribers, subscribers
+            return subscribers, (subscribers if changed else [])
 
     def unregister_publisher(self, caller_id: str, topic: str) -> int:
         with self._lock:
@@ -160,6 +168,50 @@ class MasterRegistry:
                 for topic, entry in sorted(self._topics.items())
                 if entry.type_name
             ]
+
+    # -- replication snapshots ---------------------------------------------
+    def dump(self) -> dict:
+        """A plain-data snapshot of the whole registry (the bootstrap a
+        shard replica loads before tailing the registration log)."""
+        with self._lock:
+            return {
+                "epoch": self.epoch,
+                "topics": {
+                    topic: {
+                        "type": entry.type_name,
+                        "publishers": dict(entry.publishers),
+                        "subscribers": dict(entry.subscribers),
+                    }
+                    for topic, entry in self._topics.items()
+                },
+                "nodes": dict(self._nodes),
+                "services": {
+                    name: list(entry)
+                    for name, entry in self._services.items()
+                },
+                "parameters": dict(self._parameters),
+            }
+
+    def load(self, doc: dict) -> None:
+        """Replace this registry's state (and epoch) with a snapshot
+        produced by :meth:`dump` -- the replica adopts the leader's
+        identity, so a later promotion is invisible to epoch watchdogs."""
+        with self._lock:
+            self._topics = {
+                topic: _TopicEntry(
+                    entry["type"],
+                    dict(entry["publishers"]),
+                    dict(entry["subscribers"]),
+                )
+                for topic, entry in doc.get("topics", {}).items()
+            }
+            self._nodes = dict(doc.get("nodes", {}))
+            self._services = {
+                name: tuple(entry)
+                for name, entry in doc.get("services", {}).items()
+            }
+            self._parameters = dict(doc.get("parameters", {}))
+            self.epoch = doc["epoch"]
 
     def system_state(self):
         with self._lock:

@@ -123,7 +123,15 @@ class NodeHandle:
         self.link_retry = link_retry
         self.link_keepalive = link_keepalive
         self.link_idle_timeout = link_idle_timeout
-        self.master = MasterProxy(master_uri)
+        if "," in master_uri or "|" in master_uri:
+            # A graph-plane spec (shards and/or failover candidates)
+            # rather than a single master URI.  Late import: plain
+            # single-master nodes never load the graph plane.
+            from repro.graphplane.proxy import make_master_proxy
+
+            self.master = make_master_proxy(master_uri)
+        else:
+            self.master = MasterProxy(master_uri)
         self._publishers: dict[str, Publisher] = {}
         self._subscribers: dict[str, list[Subscriber]] = {}
         self._services: dict[str, "ServiceServer"] = {}

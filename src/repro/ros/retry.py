@@ -81,6 +81,12 @@ class RetryPolicy:
 DEFAULT_LINK_RETRY = RetryPolicy()
 DEFAULT_MASTER_RETRY = RetryPolicy(max_retries=None, deadline=None,
                                    base_delay=0.1, max_delay=2.0)
+#: Candidate-sweep backoff for graph-plane failover proxies: short and
+#: shallow, because the window it must ride out (replica promotion) is a
+#: few probe intervals, and every sweep already tried every candidate.
+DEFAULT_FAILOVER_RETRY = RetryPolicy(base_delay=0.025, max_delay=0.2,
+                                     factor=1.5, jitter=0.25,
+                                     max_retries=None, deadline=2.0)
 
 
 @dataclass

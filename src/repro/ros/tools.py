@@ -16,6 +16,10 @@ Usage::
     python -m repro.ros.tools msg show sensor_msgs/Image
     python -m repro.ros.tools sfm stats
     python -m repro.ros.tools bridge --master URI --port 9090 --metrics-port 9091
+    python -m repro.ros.tools graph launch --shards 2
+    python -m repro.ros.tools graph dump --master SPEC [/name]
+    python -m repro.ros.tools graph lag --master SPEC
+    python -m repro.ros.tools graph routes --routed ADMIN_URI
 
 Message types are given as full names (``sensor_msgs/Image``); append
 ``@sfm`` to subscribe with the serialization-free class
@@ -258,6 +262,99 @@ def cmd_sfm(args) -> int:
     return 0
 
 
+def cmd_graph(args) -> int:
+    """Graph-plane operations: launch, per-shard dump, replication lag,
+    RouteD route tables."""
+    import xmlrpc.client
+
+    from repro.graphplane import parse_spec, shard_for
+
+    if args.action == "launch":
+        import time
+
+        from repro.graphplane import GraphPlane
+
+        plane = GraphPlane(shards=args.shards, replicas=not args.no_replicas)
+        print(f"graph plane up: {plane.shard_count} shard(s)"
+              f"{'' if args.no_replicas else ' + replicas'}", flush=True)
+        print(f"spec: {plane.spec}", flush=True)
+        routed = None
+        if args.routed:
+            from repro.graphplane import RouteD
+
+            routed = RouteD(name=args.routed_name)
+            print(f"routed '{routed.name}' listening on "
+                  f"{routed.listen_addr[0]}:{routed.listen_addr[1]} "
+                  f"(admin {routed.admin_uri})", flush=True)
+        try:
+            while True:
+                time.sleep(0.5)
+        except KeyboardInterrupt:
+            return 0
+        finally:
+            if routed is not None:
+                routed.shutdown()
+            plane.shutdown()
+    if args.action in ("dump", "lag") and not args.master:
+        raise SystemExit(f"graph {args.action} requires --master SPEC")
+    if args.action == "routes" and not args.routed:
+        raise SystemExit("graph routes requires --routed ADMIN_URI")
+    if args.action == "dump":
+        shards = parse_spec(args.master)
+        for index, candidates in enumerate(shards):
+            info = None
+            for uri in candidates:
+                try:
+                    proxy = xmlrpc.client.ServerProxy(uri, allow_none=True)
+                    code, _status, info = proxy.getShardInfo("/rossf_tools")
+                    if code == 1:
+                        break
+                except OSError:
+                    info = None
+            if info is None:
+                print(f"shard {index}: unreachable ({'|'.join(candidates)})")
+                continue
+            print(f"shard {index}: {info.get('role')} at {info.get('uri')}")
+            for key in ("epoch", "log_seq", "applied_seq", "replica_uri",
+                        "replica_acked", "replication_lag", "topics"):
+                if key in info:
+                    print(f"  {key}: {info[key]}")
+        if args.name:
+            owner = shard_for(args.name, len(shards))
+            print(f"{args.name} -> shard {owner}")
+        return 0
+    if args.action == "lag":
+        shards = parse_spec(args.master)
+        worst = 0
+        for index, candidates in enumerate(shards):
+            lag = "?"
+            try:
+                proxy = xmlrpc.client.ServerProxy(
+                    candidates[0], allow_none=True)
+                code, _status, info = proxy.getShardInfo("/rossf_tools")
+                if code == 1:
+                    lag = info.get("replication_lag", 0)
+                    worst = max(worst, int(lag))
+            except OSError:
+                pass
+            print(f"shard {index}: replication lag {lag} record(s)")
+        return 0 if worst == 0 else 1
+    if args.action == "routes":
+        proxy = xmlrpc.client.ServerProxy(args.routed, allow_none=True)
+        status = proxy.getStatus()
+        print(f"routed '{status['name']}' listening on {status['listen']}")
+        print("routes:")
+        for target, peer in sorted(status.get("routes", {}).items()):
+            print(f"  {target} via {peer}")
+        print("mux links:")
+        for link in status.get("mux_links", []):
+            channels = link.get("channels", [])
+            print(f"  peer {link.get('peer')}: {len(channels)} channel(s) "
+                  f"{channels}")
+        return 0
+    raise SystemExit(f"unknown graph action {args.action!r}")
+
+
 def cmd_bridge(args) -> int:
     """Run the external-client gateway until interrupted."""
     import time
@@ -395,6 +492,32 @@ def build_parser() -> argparse.ArgumentParser:
     sfm = sub.add_parser("sfm", help="ROS-SF runtime diagnostics")
     sfm.add_argument("action", choices=["stats"])
     sfm.set_defaults(func=cmd_sfm)
+
+    graph = sub.add_parser(
+        "graph", help="graph-plane operations (repro.graphplane)"
+    )
+    graph.add_argument("action",
+                       choices=["launch", "dump", "lag", "routes"])
+    graph.add_argument(
+        "name", nargs="?",
+        help="for dump: also print which shard owns this graph name",
+    )
+    graph.add_argument(
+        "--master", default=None,
+        help="graph-plane spec (shards separated by ',', failover "
+        "candidates by '|')",
+    )
+    graph.add_argument("--shards", type=int, default=2,
+                       help="for launch: shard count")
+    graph.add_argument("--no-replicas", action="store_true",
+                       help="for launch: leaders only, no failover")
+    graph.add_argument("--routed", nargs="?", const="start", default=None,
+                       help="for launch: also start a RouteD daemon "
+                       "(no value needed); for routes: the daemon's "
+                       "admin URI")
+    graph.add_argument("--routed-name", default="routed",
+                       help="for launch: the RouteD daemon's name")
+    graph.set_defaults(func=cmd_graph)
 
     bridge = sub.add_parser(
         "bridge", help="run the external-client gateway (repro.bridge)"

@@ -19,6 +19,7 @@ from __future__ import annotations
 import itertools
 import threading
 import time
+import uuid
 import xmlrpc.client
 from collections import deque
 from typing import Callable, Optional
@@ -627,9 +628,30 @@ class Publisher:
             link = _OutboundLink(
                 self, sock, header.get("callerid", "?"), traced=traced
             )
+        # Reconnect dedupe: a handshake carrying the same (callerid,
+        # link_instance) as a live link is the *same subscription*
+        # re-dialing -- typically a watchdog replay against a master that
+        # never lost this registration.  The fresh socket replaces the
+        # old one instead of double-streaming every message.  Clients
+        # that omit ``link_instance`` (bridges, old peers) keep the old
+        # accept-everything behaviour.
+        instance = header.get("link_instance", "")
+        link.link_key = (
+            (header.get("callerid", "?"), instance) if instance else None
+        )
+        stale: list = []
         with self._links_lock:
+            if link.link_key is not None:
+                stale = [
+                    existing for existing in self._links
+                    if getattr(existing, "link_key", None) == link.link_key
+                ]
+                for existing in stale:
+                    self._links.remove(existing)
             self._links.append(link)
             latched = self._latched_payload
+        for existing in stale:
+            existing.close()
         if latched is not None:
             link.enqueue(_Outgoing(latched, 1, None))
         self._link_event.set()
@@ -909,6 +931,7 @@ class _InboundLink:
             "md5sum": subscriber.md5sum,
             "format": subscriber.codec.format_name,
             "tcp_nodelay": "1",
+            "link_instance": subscriber.instance_id,
         }
         if protocol[0] == "SHMROS":
             header["shmros"] = "1"
@@ -1121,6 +1144,15 @@ class Subscriber:
         self.raw = raw
         self.codec = codec_for_class(msg_class)
         self.type_name, self.md5sum = type_info_for_class(msg_class)
+        #: Unique identity of this Subscriber object, sent in the
+        #: connection header as ``link_instance``.  The publisher uses
+        #: (callerid, link_instance) to recognise a *reconnect of the
+        #: same subscription* -- a watchdog replay against a master that
+        #: never lost state re-dials existing links, and without this
+        #: the publisher would stream every message twice.  Two distinct
+        #: Subscriber objects on one topic in one node get different
+        #: instances, so legitimate duplicates still work.
+        self.instance_id = uuid.uuid4().hex[:16]
         self._links: dict[str, _InboundLink] = {}
         self._connected: set[_InboundLink] = set()
         #: Last connection failure per publisher URI (type/md5/format

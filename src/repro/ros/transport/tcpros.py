@@ -61,6 +61,33 @@ def wrap_socket(sock, seam: str, **context):
         return sock
     return hook(sock, seam, context)
 
+
+# ----------------------------------------------------------------------
+# Routing seam: an installable factory that *creates* outbound data
+# connections.  Where the socket hook wraps a connection after dialing,
+# the connect hook replaces the dial itself -- repro.graphplane.routed
+# installs one to splice subscriber links through a per-host-pair
+# multiplexed tunnel.  Returning None falls back to a direct dial.
+# ----------------------------------------------------------------------
+_connect_hook = None
+
+
+def install_connect_hook(hook) -> None:
+    """Install (or with ``None`` remove) the outbound-dial hook:
+    ``hook(host, port, timeout) -> socket-like | None``."""
+    global _connect_hook
+    _connect_hook = hook
+
+
+def open_connection(host: str, port: int, timeout: float) -> socket.socket:
+    """Dial an outbound data connection through the routing seam."""
+    hook = _connect_hook
+    if hook is not None:
+        sock = hook(host, port, timeout)
+        if sock is not None:
+            return sock
+    return socket.create_connection((host, port), timeout=timeout)
+
 #: Traced connections (both sides sent ``trace=1`` in the connection
 #: header) prefix every frame's payload with (trace_id, stamp_ns): the
 #: publisher's per-message trace id (0 when untraced) and its publish
@@ -328,9 +355,14 @@ def connect_subscriber(
     host: str, port: int, fields: dict[str, str], timeout: float = 10.0
 ) -> tuple[socket.socket, dict[str, str]]:
     """Open a data connection to a publisher and run the handshake."""
-    sock = socket.create_connection((host, port), timeout=timeout)
-    sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-    sock.setsockopt(socket.SOL_SOCKET, socket.SO_KEEPALIVE, 1)
+    sock = open_connection(host, port, timeout)
+    try:
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_KEEPALIVE, 1)
+    except OSError:
+        # A routed (multiplexed) connection hands back a socketpair
+        # endpoint; TCP options don't apply to it.
+        pass
     sock = wrap_socket(sock, "tcpros", role="subscriber",
                        topic=fields.get("topic", ""))
     try:

@@ -1,0 +1,191 @@
+"""The graph-plane headline scenario: a shard leader dies mid-traffic,
+the replica promotes, and nothing is lost.
+
+Mirrors ``test_master_bounce.py`` but with the sharded, replicated graph
+plane -- and a stronger acceptance bar.  The amnesiac bounce *loses* the
+registry and leans on every node replaying; here the replica already
+holds the registrations (synchronous log replication), promotes itself
+under the leader's epoch, and serves the graph as if nothing happened:
+
+* zero lost registrations (system state identical across the failover);
+* the combined epoch is unchanged, so no node replays at all;
+* delivery continues (a data link never depended on the master) and new
+  registrations issued mid-failover land on the promoted replica;
+* the surviving shard never notices.
+
+Parametrized over two seeds to witness determinism of the seeded
+machinery.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro import chaos
+from repro.msg.library import String
+from repro.ros.node import NodeHandle
+from repro.ros.retry import wait_until
+
+from tests.chaos.conftest import FAST_KNOBS
+
+TOPIC = "/failover"
+PERIOD = 0.01  # 100 Hz
+
+
+class _Pump:
+    """A 100 Hz publisher thread tolerating mid-publish failures."""
+
+    def __init__(self, publisher) -> None:
+        self.publisher = publisher
+        self.sent = 0
+        self._stop = threading.Event()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+        self._thread.start()
+
+    def _run(self) -> None:
+        while not self._stop.wait(PERIOD):
+            msg = String()
+            msg.data = str(self.sent)
+            try:
+                self.publisher.publish(msg)
+                self.sent += 1
+            except Exception:
+                pass
+
+    def stop(self) -> None:
+        self._stop.set()
+        self._thread.join(timeout=2.0)
+
+
+@pytest.fixture
+def plane():
+    with chaos.ChaosGraphPlane(shards=2, probe_interval=0.05,
+                               probe_failures=3) as plane:
+        yield plane
+
+
+@pytest.fixture
+def node_factory(plane):
+    nodes: list[NodeHandle] = []
+
+    def make(name: str, **overrides) -> NodeHandle:
+        kwargs = dict(FAST_KNOBS)
+        kwargs.update(overrides)
+        node = NodeHandle(name, plane.spec, **kwargs)
+        nodes.append(node)
+        return node
+
+    yield make
+    for node in nodes:
+        node.shutdown()
+
+
+@pytest.mark.parametrize("seed", [1, 99])
+def test_leader_death_promotes_replica_with_zero_loss(seed, plane,
+                                                      node_factory,
+                                                      plan_factory):
+    plan = plan_factory(seed=seed)
+    pub_node = node_factory(f"failover_pub_{seed}")
+    sub_node = node_factory(f"failover_sub_{seed}")
+
+    got: list[str] = []
+    publisher = pub_node.advertise(TOPIC, String)
+    subscriber = sub_node.subscribe(TOPIC, String,
+                                    lambda msg: got.append(msg.data))
+    wait_until(lambda: subscriber.get_num_connections() > 0
+               and publisher.get_num_connections() > 0,
+               desc="initial link")
+
+    shard = plane.shard_for(TOPIC)
+    epoch_before = pub_node.master.get_epoch(pub_node.name)
+    state_before = pub_node.master.get_system_state(pub_node.name)
+
+    pump = _Pump(publisher)
+    try:
+        wait_until(lambda: len(got) >= 10, desc="steady-state delivery")
+
+        # -- inject: kill the owning shard's leader, cut data links ----
+        plane.kill_leader(shard)
+        assert plan.sever(seam="tcpros") >= 1
+        killed_at = time.monotonic()
+
+        # -- recovery: a registration issued mid-failover must land ----
+        late_node = node_factory(f"failover_late_{seed}")
+        late: list[str] = []
+        late_node.subscribe(TOPIC, String, lambda msg: late.append(msg.data))
+        wait_until(lambda: plane.replica(shard).promoted, timeout=5.0,
+                   desc="replica promoting")
+        wait_until(lambda: len(late) >= 5, timeout=5.0,
+                   desc="late joiner receiving via the promoted replica")
+        assert time.monotonic() - killed_at < 1.0 + 5.0, \
+            "promotion + relink must be prompt"
+
+        # The severed link healed and the original stream resumed.
+        mark = len(got)
+        wait_until(lambda: len(got) >= mark + 20, timeout=5.0,
+                   desc="original stream resuming")
+        loss = pump.sent - len(got)
+        assert loss < 100, f"failover cost {loss} messages"
+
+        # -- zero lost registrations ------------------------------------
+        state_after = pub_node.master.get_system_state(pub_node.name)
+        pubs_before = {tuple(entry[0:1]) + tuple(entry[1])
+                       for entry in state_before[0]}
+        pubs_after = {tuple(entry[0:1]) + tuple(entry[1])
+                      for entry in state_after[0]}
+        assert pubs_before <= pubs_after, \
+            f"registrations lost in failover: {pubs_before - pubs_after}"
+
+        # -- the failover is invisible to epoch watchdogs ---------------
+        epoch_after = pub_node.master.get_epoch(pub_node.name)
+        assert epoch_after == epoch_before, \
+            "promotion must keep the leader's epoch (no replay storm)"
+        assert pub_node.master_state == "healthy"
+
+        # -- the surviving shard never noticed --------------------------
+        other = 1 - shard
+        assert plane.leader(other).running
+        assert not plane.replica(other).promoted
+    finally:
+        pump.stop()
+
+
+def test_amnesiac_shard_restart_triggers_idempotent_replay(plane,
+                                                           node_factory):
+    """The composition case: one shard bounces amnesiac (its replica is
+    NOT promoted -- the leader came back, empty).  The combined epoch
+    changes, every node replays everything, and the shard that kept its
+    state absorbs the replay without duplicate links."""
+    pub_node = node_factory("amnesia_pub")
+    sub_node = node_factory("amnesia_sub")
+    got: list[str] = []
+    publisher = pub_node.advertise(TOPIC, String)
+    subscriber = sub_node.subscribe(TOPIC, String,
+                                    lambda msg: got.append(msg.data))
+    wait_until(lambda: subscriber.get_num_connections() > 0,
+               desc="initial link")
+
+    # Bounce the shard that does NOT own the topic: the owning shard
+    # keeps its registrations, yet the combined epoch change makes every
+    # node replay against it.
+    other = 1 - plane.shard_for(TOPIC)
+    plane.restart(other)
+    wait_until(lambda: pub_node.master_state == "healthy"
+               and sub_node.master_state == "healthy",
+               timeout=5.0, desc="watchdogs settling after the bounce")
+    wait_until(lambda: pub_node.master.get_epoch(pub_node.name)
+               and subscriber.get_num_connections() == 1, timeout=5.0,
+               desc="replay settling")
+
+    msg = String()
+    msg.data = "exactly-once"
+    publisher.publish(msg)
+    wait_until(lambda: "exactly-once" in got, desc="delivery after replay")
+    assert got.count("exactly-once") == 1, \
+        f"duplicate delivery after idempotent replay: {got}"
+    assert subscriber.get_num_connections() == 1
+    wait_until(lambda: publisher.get_num_connections() == 1,
+               desc="no duplicate outbound links")

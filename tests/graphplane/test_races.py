@@ -1,0 +1,84 @@
+"""Concurrent register/unregister races against one shard.
+
+The shard's registry lock plus the in-lock log append must keep three
+things consistent under contention: the final registry state, the log's
+dense numbering, and the replica's replayed copy of both.
+"""
+
+from __future__ import annotations
+
+import threading
+import xmlrpc.client
+
+import pytest
+
+from repro.graphplane.shard import ShardLeader, ShardReplica
+from repro.ros.retry import wait_until
+
+WORKERS = 8
+ROUNDS = 25
+
+
+@pytest.fixture
+def pair():
+    leader = ShardLeader(shard_index=0)
+    replica = ShardReplica(leader_uri=leader.uri, shard_index=0,
+                           probe_interval=0.05, auto_promote=False)
+    leader.attach_replica(replica.uri)
+    yield leader, replica
+    replica.shutdown()
+    leader.shutdown()
+
+
+def test_concurrent_register_unregister_single_shard(pair):
+    leader, replica = pair
+    errors: list[Exception] = []
+    barrier = threading.Barrier(WORKERS)
+
+    def worker(index: int) -> None:
+        proxy = xmlrpc.client.ServerProxy(leader.uri, allow_none=True)
+        caller = f"/worker{index}"
+        try:
+            barrier.wait(timeout=10.0)
+            for round_number in range(ROUNDS):
+                code, _s, _v = proxy.registerPublisher(
+                    caller, "/contested", "std_msgs/String",
+                    f"http://w{index}:1/")
+                assert code == 1
+                # Odd workers churn: they unregister again every round,
+                # racing the even workers' steady registrations.
+                if index % 2 == 1:
+                    code, _s, _v = proxy.unregisterPublisher(
+                        caller, "/contested", f"http://w{index}:1/")
+                    assert code == 1
+        except Exception as exc:  # surfaced after the join
+            errors.append(exc)
+
+    threads = [threading.Thread(target=worker, args=(i,))
+               for i in range(WORKERS)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=30.0)
+    assert not errors, errors
+
+    # Final state: every even worker registered, every odd one gone.
+    expected = sorted(
+        f"http://w{i}:1/" for i in range(WORKERS) if i % 2 == 0
+    )
+    assert sorted(leader.registry.publishers_of("/contested")) == expected
+
+    # The log is dense (no lost or double-counted mutations): evens did
+    # ROUNDS registers each, odds ROUNDS register+unregister pairs.
+    evens = (WORKERS + 1) // 2
+    odds = WORKERS - evens
+    assert leader.log.last_seq == evens * ROUNDS + odds * ROUNDS * 2
+    assert [r.seq for r in leader.log.since(0)] == \
+        list(range(1, leader.log.last_seq + 1))
+
+    # And the replica replayed to the identical end state.
+    wait_until(lambda: replica.applied_seq == leader.log.last_seq,
+               desc="replica fully caught up")
+    assert sorted(replica.registry.publishers_of("/contested")) == expected
+    assert replica.registry.system_state() == \
+        leader.registry.system_state()

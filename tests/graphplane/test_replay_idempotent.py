@@ -1,0 +1,143 @@
+"""Re-registration replay against a master that never lost state.
+
+The PR-4 watchdog replays every registration when the combined epoch
+changes.  With a sharded graph plane a *single* shard going amnesiac
+changes the combined epoch, so nodes replay against N-1 shards (and a
+promoted replica) that still hold their registrations.  That replay must
+be a no-op:
+
+* master side -- a repeated identical ``registerPublisher`` must not
+  re-notify subscribers (no publisherUpdate storm);
+* data plane -- a re-dialed connection carrying the same (callerid,
+  link_instance) replaces the old link instead of double-streaming.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.msg.library import String
+from repro.ros.master import Master, MasterRegistry
+from repro.ros.node import NodeHandle
+from repro.ros.retry import wait_until
+
+
+@pytest.fixture
+def master():
+    with Master() as master:
+        yield master
+
+
+@pytest.fixture
+def nodes(master):
+    built = []
+
+    def make(name: str) -> NodeHandle:
+        node = NodeHandle(name, master.uri, shmros=False,
+                          master_probe_interval=0.05)
+        built.append(node)
+        return node
+
+    yield make
+    for node in built:
+        node.shutdown()
+
+
+def test_identical_reregistration_does_not_renotify():
+    registry = MasterRegistry()
+    registry.register_subscriber("/sub", "/t", "std_msgs/String",
+                                 "http://sub:1/")
+    subs, to_notify = registry.register_publisher(
+        "/pub", "/t", "std_msgs/String", "http://pub:1/")
+    assert subs == to_notify == ["http://sub:1/"]
+    # The replay: same caller, same API.  State is unchanged, so nobody
+    # is notified -- this is what keeps an idempotent replay from
+    # triggering a publisherUpdate (and reconnect) storm.
+    subs, to_notify = registry.register_publisher(
+        "/pub", "/t", "std_msgs/String", "http://pub:1/")
+    assert subs == ["http://sub:1/"]
+    assert to_notify == []
+    # A *moved* publisher (new API for the same caller) does notify.
+    subs, to_notify = registry.register_publisher(
+        "/pub", "/t", "std_msgs/String", "http://pub:2/")
+    assert to_notify == ["http://sub:1/"]
+
+
+def test_replay_against_state_holding_master_adds_no_links(nodes):
+    """node._reregister() against a master that kept every registration:
+    link counts stay at one and no message is delivered twice."""
+    pub_node = nodes("replay_pub")
+    sub_node = nodes("replay_sub")
+    got: list[str] = []
+    publisher = pub_node.advertise("/replay", String)
+    subscriber = sub_node.subscribe("/replay", String,
+                                    lambda msg: got.append(msg.data))
+    wait_until(lambda: subscriber.get_num_connections() == 1
+               and publisher.get_num_connections() == 1,
+               desc="initial link")
+
+    # The replay both nodes run when the combined epoch changes under
+    # them -- here the master lost nothing (the promoted-replica and
+    # surviving-shard case).
+    for _ in range(3):
+        pub_node._reregister()
+        sub_node._reregister()
+
+    msg = String()
+    msg.data = "once"
+    publisher.publish(msg)
+    wait_until(lambda: len(got) >= 1, desc="delivery after replay")
+    assert got == ["once"], f"duplicate delivery after replay: {got}"
+    assert subscriber.get_num_connections() == 1
+    wait_until(lambda: publisher.get_num_connections() == 1,
+               desc="stale publisher links reaped")
+
+
+def test_duplicate_handshake_same_instance_replaces_the_link(nodes):
+    """Publisher-side dedupe, at the wire level: a second handshake with
+    the same (callerid, link_instance) supersedes the first socket."""
+    pub_node = nodes("dedupe_pub")
+    sub_node = nodes("dedupe_sub")
+    publisher = pub_node.advertise("/dedupe", String)
+    got: list[str] = []
+    subscriber = sub_node.subscribe("/dedupe", String,
+                                    lambda msg: got.append(msg.data))
+    wait_until(lambda: publisher.get_num_connections() == 1,
+               desc="initial link")
+
+    # Force the same Subscriber object to re-dial (what a retry or a
+    # replay-triggered publisherUpdate does): same instance id.
+    from repro.ros.topic import _InboundLink
+
+    _InboundLink(subscriber, pub_node.uri)
+    wait_until(lambda: publisher.get_num_connections() == 1, timeout=5.0,
+               desc="duplicate link replaced, not added")
+    msg = String()
+    msg.data = "solo"
+    publisher.publish(msg)
+    wait_until(lambda: len(got) >= 1, desc="delivery after re-dial")
+    assert got == ["solo"]
+
+
+def test_distinct_subscribers_in_one_node_keep_both_links(nodes):
+    """The dedupe key includes the per-Subscriber instance id: two
+    Subscriber objects on one topic in one node (same callerid!) are a
+    legitimate pair of links, not a duplicate."""
+    pub_node = nodes("pair_pub")
+    sub_node = nodes("pair_sub")
+    publisher = pub_node.advertise("/pair", String)
+    got_a: list[str] = []
+    got_b: list[str] = []
+    sub_a = sub_node.subscribe("/pair", String,
+                               lambda msg: got_a.append(msg.data))
+    sub_b = sub_node.subscribe("/pair", String,
+                               lambda msg: got_b.append(msg.data))
+    assert sub_a.instance_id != sub_b.instance_id
+    wait_until(lambda: publisher.get_num_connections() == 2,
+               desc="both subscriber objects linked")
+    msg = String()
+    msg.data = "fanout"
+    publisher.publish(msg)
+    wait_until(lambda: got_a == ["fanout"] and got_b == ["fanout"],
+               desc="both callbacks fired once")
+    assert publisher.get_num_connections() == 2

@@ -1,0 +1,163 @@
+"""RouteD: many topic links between a host pair, one mux connection.
+
+The headline assertion from the issue: with RouteD installed, M topic
+links between two hosts use exactly one multiplexed connection (M
+channel ids), and the inner TCPROS streams -- handshake, framing,
+keepalives -- pass through unchanged, so delivery and the self-healing
+machinery behave as if the links were direct.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+
+import pytest
+
+from repro.graphplane.routed import RouteD, RouteError
+from repro.msg.library import String
+from repro.ros.master import Master
+from repro.ros.node import NodeHandle
+from repro.ros.retry import wait_until
+from repro.ros.transport import tcpros
+
+TOPICS = ["/routed/a", "/routed/b", "/routed/c", "/routed/d", "/routed/e"]
+
+
+@pytest.fixture
+def routed_pair():
+    """Two daemons, A's dials spliced through B, hook installed."""
+    a = RouteD("hostA", admin=False)
+    b = RouteD("hostB", admin=False)
+    a.install()
+    yield a, b
+    a.uninstall()
+    a.shutdown()
+    b.shutdown()
+
+
+@pytest.fixture
+def echo_server():
+    """A plain echo listener standing in for a remote TCP endpoint."""
+    listener = socket.socket()
+    listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+    listener.bind(("127.0.0.1", 0))
+    listener.listen(8)
+
+    def serve() -> None:
+        while True:
+            try:
+                conn, _addr = listener.accept()
+            except OSError:
+                return
+
+            def pump(conn=conn) -> None:
+                try:
+                    while True:
+                        data = conn.recv(4096)
+                        if not data:
+                            break
+                        conn.sendall(data)
+                except OSError:
+                    pass
+
+            threading.Thread(target=pump, daemon=True).start()
+
+    threading.Thread(target=serve, daemon=True).start()
+    yield listener.getsockname()
+    listener.close()
+
+
+def test_m_links_share_one_mux_connection(routed_pair, echo_server):
+    a, b = routed_pair
+    a.add_route(echo_server, b.listen_addr)
+    socks = []
+    try:
+        for i in range(5):
+            sock = tcpros.open_connection(*echo_server, timeout=2.0)
+            sock.sendall(f"ping{i}".encode())
+            assert sock.recv(64) == f"ping{i}".encode()
+            socks.append(sock)
+        assert a.mux_link_count() == 1
+        assert b.mux_link_count() == 1
+        assert a.channel_count() == 5
+        assert b.channel_count() == 5
+    finally:
+        for sock in socks:
+            sock.close()
+
+
+def test_unrouted_targets_dial_direct(routed_pair, echo_server):
+    a, _b = routed_pair
+    # No route for the target: the hook declines and the dial is direct.
+    sock = tcpros.open_connection(*echo_server, timeout=2.0)
+    try:
+        sock.sendall(b"direct")
+        assert sock.recv(64) == b"direct"
+        assert a.mux_link_count() == 0
+    finally:
+        sock.close()
+
+
+def test_channel_close_propagates(routed_pair, echo_server):
+    a, b = routed_pair
+    a.add_route(echo_server, b.listen_addr)
+    sock = tcpros.open_connection(*echo_server, timeout=2.0)
+    sock.sendall(b"x")
+    assert sock.recv(16) == b"x"
+    sock.close()
+    wait_until(lambda: a.channel_count() == 0 and b.channel_count() == 0,
+               desc="channel teardown propagating")
+
+
+def test_open_to_a_dead_target_is_refused(routed_pair):
+    a, b = routed_pair
+    dead = ("127.0.0.1", 9)
+    a.add_route(dead, b.listen_addr)
+    with pytest.raises((RouteError, OSError)):
+        tcpros.open_connection(*dead, timeout=2.0)
+
+
+def test_pubsub_streams_through_the_mux(routed_pair):
+    """Real nodes, M topics, one host pair: delivery works end-to-end
+    through the mux and all M data links share one connection."""
+    a, b = routed_pair
+    with Master() as master:
+        pub_node = NodeHandle("routed_pub", master.uri, shmros=False)
+        sub_node = NodeHandle("routed_sub", master.uri, shmros=False)
+        try:
+            publishers = [pub_node.advertise(t, String) for t in TOPICS]
+            # All of pub_node's topics share its one data server; route
+            # that target through the peer daemon, as a per-host RouteD
+            # deployment would.
+            target = (pub_node._data_server.host,
+                      pub_node._data_server.port)
+            a.add_route(target, b.listen_addr)
+
+            received: dict[str, list[str]] = {t: [] for t in TOPICS}
+            for topic in TOPICS:
+                sub_node.subscribe(
+                    topic, String,
+                    lambda msg, t=topic: received[t].append(msg.data),
+                )
+            wait_until(
+                lambda: all(p.get_num_connections() == 1
+                            for p in publishers),
+                desc="all links up through the mux",
+            )
+            # The M data links collapsed onto one mux connection.
+            assert a.mux_link_count() == 1
+            assert a.channel_count() == len(TOPICS)
+
+            for publisher, topic in zip(publishers, TOPICS):
+                msg = String()
+                msg.data = f"via-mux:{topic}"
+                publisher.publish(msg)
+            wait_until(
+                lambda: all(received[t] == [f"via-mux:{t}"]
+                            for t in TOPICS),
+                desc="every topic delivering through the mux",
+            )
+        finally:
+            sub_node.shutdown()
+            pub_node.shutdown()

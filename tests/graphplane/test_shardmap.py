@@ -1,0 +1,57 @@
+"""Shard assignment must be stable, total and spec-roundtrippable --
+every proxy in a fleet derives ownership independently, so any
+disagreement silently splits the graph."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphplane import shardmap
+
+
+def test_partition_key_is_the_top_level_namespace():
+    assert shardmap.partition_key("/camera/image") == "camera"
+    assert shardmap.partition_key("/camera/depth/points") == "camera"
+    assert shardmap.partition_key("/chatter") == "chatter"
+    assert shardmap.partition_key("chatter") == "chatter"
+    assert shardmap.partition_key("/") == ""
+
+
+def test_namespace_colocation():
+    """Names under one namespace land on one shard, whatever the count."""
+    for count in (1, 2, 3, 5, 16):
+        assert shardmap.shard_for("/camera/image", count) == \
+            shardmap.shard_for("/camera/depth/points", count)
+
+
+def test_stable_hash_is_process_independent():
+    # CRC-32 reference values: any change here re-partitions every
+    # deployed graph, so the constants are pinned.
+    assert shardmap.stable_hash("camera") == 0x3B1CEE05
+    assert shardmap.stable_hash("") == 0
+
+
+def test_shard_for_bounds():
+    for count in (1, 2, 7):
+        for name in ("/a", "/b/c", "/chatter", "/tf"):
+            assert 0 <= shardmap.shard_for(name, count) < count
+
+
+def test_spec_roundtrip():
+    spec = "http://h:1/|http://h:2/,http://h:3/"
+    shards = shardmap.parse_spec(spec)
+    assert shards == [["http://h:1/", "http://h:2/"], ["http://h:3/"]]
+    assert shardmap.format_spec(shards) == spec
+
+
+def test_parse_spec_rejects_empty():
+    with pytest.raises(ValueError):
+        shardmap.parse_spec("")
+    with pytest.raises(ValueError):
+        shardmap.parse_spec(",|")
+
+
+def test_is_plain_uri():
+    assert shardmap.is_plain_uri("http://h:1/")
+    assert not shardmap.is_plain_uri("http://h:1/|http://h:2/")
+    assert not shardmap.is_plain_uri("http://h:1/,http://h:2/")

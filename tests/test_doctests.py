@@ -5,6 +5,7 @@ import doctest
 import pytest
 
 import repro.converter.rewriter
+import repro.graphplane.shardmap
 import repro.msg.fields
 import repro.msg.idl
 import repro.msg.srv
@@ -20,6 +21,7 @@ MODULES = [
     repro.serialization.endian,
     repro.net.link,
     repro.converter.rewriter,
+    repro.graphplane.shardmap,
 ]
 
 
