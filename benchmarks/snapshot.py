@@ -102,6 +102,13 @@ def run_snapshot(iterations: int) -> dict:
         )
         entry["speedup_basis"] = "p50"
         payload["workloads"][workload.label] = entry
+    # The unsized zero-copy satellites ride in the same snapshot: the
+    # grown-vector delta republish and the TZC remote split.
+    sys.path.insert(0, str(Path(__file__).resolve().parent))
+    import bench_unsized_tzc
+
+    payload["unsized"] = bench_unsized_tzc.run_unsized(iterations)
+    payload["tzc_remote"] = bench_unsized_tzc.run_tzc_remote(iterations)
     return payload
 
 
@@ -345,6 +352,19 @@ def main(argv=None) -> int:
             f"{label:<24} SHMROS speedup over TCPROS (ROS-SF): "
             f"{entry['shmros_speedup_vs_tcpros']:.2f}x"
         )
+    unsized = payload["unsized"]
+    if "skipped" in unsized:
+        print(f"shmros-unsized: skipped ({unsized['skipped']})")
+    else:
+        print(
+            f"shmros-unsized: delta republish {unsized['speedup']:.2f}x "
+            f"over full copy at {unsized['payload_bytes']} B"
+        )
+    remote = payload["tzc_remote"]
+    print(
+        f"tzc-remote: {remote['speedup']:.2f}x over classic TCPROS "
+        f"at {remote['payload_bytes']} B"
+    )
     print(f"wrote {out}")
     return 0
 

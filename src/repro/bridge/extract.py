@@ -38,9 +38,9 @@ from repro.sfm.layout import (
     SkeletonLayout,
     Slot,
     StrDesc,
+    decode_pair,
 )
 
-_PAIR = struct.Struct("<II")
 _U32 = struct.Struct("<I")
 
 
@@ -55,10 +55,9 @@ def _is_time(prim) -> bool:
 def _string_at(buffer, offset: int) -> str:
     """Read an SFM string field/element at ``offset`` (length includes
     terminator + padding; content ends at the first NUL)."""
-    length, rel = _PAIR.unpack_from(buffer, offset)
+    length, start = decode_pair(buffer, offset)
     if length == 0:
         return ""
-    start = offset + 4 + rel
     raw = bytes(buffer[start : start + length])
     nul = raw.find(b"\x00")
     return (raw[:nul] if nul >= 0 else raw).decode("utf-8")
@@ -90,40 +89,34 @@ class _Reader:
         if kind == "string":
             return _string_at(buffer, offset)
         if kind == "bytes":
-            count, rel = _PAIR.unpack_from(buffer, offset)
-            start = offset + 4 + rel
+            count, start = decode_pair(buffer, offset)
             return bytes(buffer[start : start + count])
         if kind == "prim_vector":
-            count, rel = _PAIR.unpack_from(buffer, offset)
+            count, start = decode_pair(buffer, offset)
             if count == 0:
                 return []
-            start = offset + 4 + rel
             return list(
                 struct.unpack_from(f"<{count}{self.element.type.struct_fmt}",
                                    buffer, start)
             )
         if kind == "time_vector":
-            count, rel = _PAIR.unpack_from(buffer, offset)
-            start = offset + 4 + rel
+            count, start = decode_pair(buffer, offset)
             return [
                 list(self.packer.unpack_from(buffer, start + i * 8))
                 for i in range(count)
             ]
         if kind == "str_vector":
-            count, rel = _PAIR.unpack_from(buffer, offset)
-            start = offset + 4 + rel
+            count, start = decode_pair(buffer, offset)
             return [_string_at(buffer, start + i * 8) for i in range(count)]
         if kind == "nested_vector":
-            count, rel = _PAIR.unpack_from(buffer, offset)
-            start = offset + 4 + rel
+            count, start = decode_pair(buffer, offset)
             size = self.element.size
             return [
                 _read_all(self.sub, buffer, start + i * size)
                 for i in range(count)
             ]
         if kind == "map":
-            count, rel = _PAIR.unpack_from(buffer, offset)
-            start = offset + 4 + rel
+            count, start = decode_pair(buffer, offset)
             pair: PairDesc = self.element
             out = []
             for i in range(count):
@@ -341,13 +334,11 @@ class FieldSelector:
                 text = _string_at(buffer, offset).encode("utf-8")
                 out += _U32.pack(len(text)) + text
             elif kind == "bytes":
-                count, rel = _PAIR.unpack_from(buffer, offset)
-                start = offset + 4 + rel
+                count, start = decode_pair(buffer, offset)
                 out += _U32.pack(count)
                 out += bytes(buffer[start : start + count])
             elif kind == "prim_vector":
-                count, rel = _PAIR.unpack_from(buffer, offset)
-                start = offset + 4 + rel
+                count, start = decode_pair(buffer, offset)
                 size = reader.element.size
                 out += _U32.pack(count)
                 out += bytes(buffer[start : start + count * size])

@@ -92,11 +92,13 @@ class _MuxLink:
 
     # -- sending ---------------------------------------------------------
     def send(self, frame_type: int, channel: int, payload: bytes = b"") -> None:
-        frame = _HEADER.pack(len(payload), frame_type, channel) + payload
+        header = _HEADER.pack(len(payload), frame_type, channel)
         with self._send_lock:
-            self._sock.sendall(frame)
+            # Vectored write: a TZC bulk frame pumped through a channel
+            # never gets re-staged into one contiguous mux frame.
+            tcpros.send_parts(self._sock, [header, payload])
         self._routed._frames.inc()
-        self._routed._bytes.inc(len(frame))
+        self._routed._bytes.inc(len(header) + len(payload))
 
     # -- opening a channel (local dial spliced to the peer) --------------
     def open_channel(self, target: tuple[str, int],

@@ -31,7 +31,7 @@ from repro.obs.trace import tracer
 from repro.ros.codecs import codec_for_class, type_info_for_class
 from repro.ros.exceptions import TopicTypeMismatch
 from repro.ros.retry import CancellableTimer, DEFAULT_LINK_RETRY, RetryState
-from repro.ros.transport import shm, tcpros
+from repro.ros.transport import shm, tcpros, tzc
 from repro.ros.transport.intraprocess import local_bus
 from repro.sfm.manager import MessageState
 
@@ -46,14 +46,18 @@ class _Outgoing:
     histogram against the publish instant.
     """
 
-    __slots__ = ("payload", "trace_id", "pub_ns", "_remaining", "_release",
-                 "_lock")
+    __slots__ = ("payload", "trace_id", "pub_ns", "tzc_parts", "_remaining",
+                 "_release", "_lock")
 
     def __init__(self, payload, fanout: int, release,
                  trace_id: int = 0, pub_ns: int = 0) -> None:
         self.payload = payload
         self.trace_id = trace_id
         self.pub_ns = pub_ns
+        #: Precomputed TZC split (control + bulk iovecs), set once per
+        #: publish when any link negotiated TZC framing, so the split --
+        #: like the encode -- happens once regardless of fan-out.
+        self.tzc_parts = None
         self._remaining = fanout
         self._release = release
         self._lock = threading.Lock()
@@ -73,7 +77,7 @@ class _OutboundLink:
 
     def __init__(
         self, publisher: "Publisher", sock, subscriber_id: str,
-        traced: bool = False,
+        traced: bool = False, tzc_mode: bool = False,
     ) -> None:
         self.publisher = publisher
         self.sock = sock
@@ -81,6 +85,10 @@ class _OutboundLink:
         #: Both ends negotiated ``trace=1``: every frame carries the
         #: 16-byte observability prefix (zeros for untraced messages).
         self.traced = traced
+        #: Both ends negotiated ``tzc=1``: messages travel as a compact
+        #: control frame plus a bulk frame of arena-sliced iovecs instead
+        #: of one monolithic payload frame (partial serialization).
+        self.tzc = tzc_mode
         self._queue: deque[_Outgoing] = deque()
         self._condition = threading.Condition()
         self._closed = False
@@ -169,7 +177,16 @@ class _OutboundLink:
                 else 0
             )
             try:
-                if traced:
+                if self.tzc:
+                    tzc.send_split_batch(
+                        self.sock,
+                        [(out.tzc_parts or self.publisher._tzc_split(
+                            out.payload),
+                          out.trace_id, out.pub_ns)
+                         for out in batch],
+                        traced=traced,
+                    )
+                elif traced:
                     tcpros.write_traced_frames(
                         self.sock,
                         [(out.payload, out.trace_id, out.pub_ns)
@@ -185,13 +202,14 @@ class _OutboundLink:
                 self._shutdown_from_error()
                 return
             end_ns = time.monotonic_ns() if start_ns else 0
+            transport_label = "TZC" if self.tzc else "TCPROS"
             for out in batch:
                 size = len(out.payload)
                 if traced and out.trace_id:
                     tracer.record(
                         "send", out.trace_id, start_ns, end_ns,
-                        topic=self.publisher.topic, transport="TCPROS",
-                        bytes=size,
+                        topic=self.publisher.topic,
+                        transport=transport_label, bytes=size,
                     )
                 out.done()
                 self.sent_count += 1
@@ -553,7 +571,18 @@ class Publisher:
             return
         shm_links = [link for link in links if link.is_shm]
         tcp_links = [link for link in links if not link.is_shm]
-        ticket = self._shm_write(payload, shm_links) if shm_links else None
+        # Slab-backed SFM records carry delta bookkeeping (dirty floor /
+        # clean owner): the ring write can then skip re-copying the
+        # byte-stable prefix of a republished grown message.
+        record = (
+            getattr(msg, "_record", None)
+            if self.codec.format_name == "sfm"
+            else None
+        )
+        ticket = (
+            self._shm_write(payload, shm_links, record)
+            if shm_links else None
+        )
         # The payload is referenced once per TCP link plus once for the
         # whole shared-memory fan-out: the ring write above already copied
         # the bytes into the slot shared by every SHM subscriber.
@@ -561,6 +590,10 @@ class Publisher:
             1 if ticket is not None else len(shm_links)
         )
         outgoing = _Outgoing(payload, fanout, release, trace_id, pub_ns)
+        if any(getattr(link, "tzc", False) for link in tcp_links):
+            # Split once here (like the encode) so every TZC link in the
+            # fan-out shares the same control segment and bulk iovecs.
+            outgoing.tzc_parts = self._tzc_split(payload)
         if shm_links:
             if ticket is not None:
                 ring, slot, seq, size = ticket
@@ -615,6 +648,19 @@ class Publisher:
         traced = header.get("trace") == "1" and obs_trace.wire_enabled()
         if traced:
             reply["trace"] = "1"
+        # TZC negotiation: only meaningful for remote (non-SHM) SFM links
+        # -- a subscriber that got a ring never sees payload frames, and a
+        # non-SFM codec has no skeleton to split on.  The ``format``
+        # header field is untouched, so either side lacking the code
+        # falls back to classic framing automatically.
+        grant_tzc = (
+            ring is None
+            and header.get("tzc") == "1"
+            and self.codec.format_name == "sfm"
+            and tzc.tzc_enabled()
+        )
+        if grant_tzc:
+            reply["tzc"] = "1"
         try:
             tcpros.write_frame(sock, tcpros.encode_header(reply))
         except OSError:
@@ -626,7 +672,8 @@ class Publisher:
             )
         else:
             link = _OutboundLink(
-                self, sock, header.get("callerid", "?"), traced=traced
+                self, sock, header.get("callerid", "?"), traced=traced,
+                tzc_mode=grant_tzc,
             )
         # Reconnect dedupe: a handshake carrying the same (callerid,
         # link_instance) as a live link is the *same subscription*
@@ -708,10 +755,26 @@ class Publisher:
                     return None
             return self._shm_ring
 
-    def _shm_write(self, payload, readers) -> Optional[tuple]:
+    def _tzc_split(self, payload) -> "tzc.TzcParts":
+        """Split an encoded SFM payload into control + bulk iovecs."""
+        return tzc.split_message(
+            self.codec.msg_class._layout, payload, len(payload)
+        )
+
+    def _shm_write(self, payload, readers, record=None) -> Optional[tuple]:
         """Copy ``payload`` once into a ring slot shared by all SHM
         subscribers; returns ``(ring, slot, seq, size)`` or None when the
-        payload must travel inline instead."""
+        payload must travel inline instead.
+
+        ``record`` (a slab-backed SFM record, when the publisher knows
+        it) unlocks the sticky-slot delta path: a republish of the same
+        record reuses its previous slot and copies only the skeleton plus
+        the bytes written since the last publish.  The delta is sound
+        because the record's size is monotonic under growth, in-class
+        slab growth never moves bytes, and a promotion copies the prefix
+        byte-identically -- so ``[skeleton_size, dirty_floor)`` is
+        byte-stable since ``mark_clean`` unless an untracked write
+        capability escaped (``record.delta_unsafe``)."""
         with self._shm_lock:
             ring = self._shm_ring
             if ring is None:
@@ -731,7 +794,24 @@ class Publisher:
                 self._shm_retired.append(ring)
                 self._shm_ring = ring = grown
             try:
-                written = ring.write(payload, readers)
+                if record is not None and record.slab is not None:
+                    key = record._extra.get("sticky")
+                    if key is None:
+                        key = record._extra["sticky"] = object()
+                    prefix = record.skeleton_size
+                    stable = (
+                        prefix
+                        if (record.delta_unsafe
+                            or record.clean_owner is not self)
+                        else record.dirty_floor
+                    )
+                    written = ring.write_update(
+                        payload, readers, key, prefix, stable
+                    )
+                    if written is not None:
+                        record.mark_clean(self)
+                else:
+                    written = ring.write(payload, readers)
             except shm.ShmTransportError:
                 return None
             # A full ring (every slot awaiting acks) degrades to inline
@@ -866,6 +946,11 @@ class _InboundLink:
         #: The publisher confirmed ``trace=1``: frames carry the
         #: observability prefix.
         self.traced = False
+        #: The publisher confirmed ``tzc=1``: messages arrive as a
+        #: control + bulk frame pair (partial serialization).  Reported
+        #: as transport "TCPROS" -- the planner's ladder reasons about
+        #: SHMROS vs TCPROS, and TZC is a framing of the latter.
+        self.tzc = False
         #: Slot notifications skipped because the publisher had already
         #: reclaimed the slot by the time this subscriber got to it.
         self.stale_drops = 0
@@ -937,6 +1022,10 @@ class _InboundLink:
             header["shmros"] = "1"
         if obs_trace.wire_enabled():
             header["trace"] = "1"
+        if subscriber.codec.format_name == "sfm" and tzc.tzc_enabled():
+            # Capability, not a demand: the publisher only grants TZC
+            # framing when this link ends up on plain TCP.
+            header["tzc"] = "1"
         self.sock, reply = tcpros.connect_subscriber(host, port, header)
         their_format = reply.get("format", "ros")
         if their_format != subscriber.codec.format_name:
@@ -947,6 +1036,8 @@ class _InboundLink:
         self.traced = reply.get("trace") == "1"
         if reply.get("shm_segment"):
             self._stream_shm(reply)
+        elif reply.get("tzc") == "1":
+            self._stream_tzc()
         else:
             self._stream_tcpros()
 
@@ -1009,6 +1100,41 @@ class _InboundLink:
         else:
             msg = subscriber.codec.decode(frame)
         subscriber._dispatch(msg, trace_id, pub_ns)
+
+    # ------------------------------------------------------------------
+    # TZC streaming (control + bulk frame pairs, reassembled in place)
+    # ------------------------------------------------------------------
+    def _stream_tzc(self) -> None:
+        subscriber = self.subscriber
+        self.transport = "TCPROS"
+        self.tzc = True
+        self._arm_idle_timeout()
+        subscriber._link_connected(self)
+        budget = tzc.BulkBudget()
+        while not self._closed:
+            buffer, order, trace_id, pub_ns = tzc.read_split(
+                self.sock, budget, traced=self.traced
+            )
+            if trace_id:
+                tracer.record(
+                    "recv", trace_id, pub_ns, time.monotonic_ns(),
+                    topic=subscriber.topic, transport="TZC",
+                    bytes=len(buffer),
+                )
+            subscriber.received_bytes += len(buffer)
+            if subscriber.raw:
+                subscriber._dispatch(bytes(buffer), trace_id, pub_ns)
+                continue
+            if trace_id:
+                start_ns = time.monotonic_ns()
+                msg = subscriber.codec.decode_adopted(buffer, order)
+                tracer.record(
+                    "decode", trace_id, start_ns, time.monotonic_ns(),
+                    topic=subscriber.topic,
+                )
+            else:
+                msg = subscriber.codec.decode_adopted(buffer, order)
+            subscriber._dispatch(msg, trace_id, pub_ns)
 
     # ------------------------------------------------------------------
     # SHMROS streaming (doorbell frames + shared-memory slots)

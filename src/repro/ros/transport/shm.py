@@ -182,6 +182,23 @@ class _BusySlot:
         self.readers = readers
 
 
+class _Sticky:
+    """Bookkeeping for one sticky (delta-updatable) slot.
+
+    A slab-backed growth message republishes mostly-unchanged bytes; a
+    sticky slot keeps the previous payload resident so the next publish
+    of the same message copies only the skeleton prefix and the dirty
+    tail (the stable middle is already in shared memory).  ``written``
+    is the byte length the slot currently holds."""
+
+    __slots__ = ("slot", "seq", "written")
+
+    def __init__(self, slot: int, seq: int, written: int) -> None:
+        self.slot = slot
+        self.seq = seq
+        self.written = written
+
+
 class ShmRingWriter:
     """The publisher side of one shared-memory ring."""
 
@@ -217,6 +234,14 @@ class ShmRingWriter:
         ).__next__
         self._on_reclaim = on_reclaim
         self.forced_reclaims = 0
+        #: key -> sticky record; insertion order doubles as LRU order.
+        self._sticky: dict[object, _Sticky] = {}
+        self._sticky_slots: set[int] = set()
+        #: Sticky slots are excluded from the free list, so cap them to a
+        #: quarter of the ring -- ordinary traffic keeps its slots.
+        self._max_sticky = max(1, slot_count // 4)
+        self.delta_writes = 0
+        self.delta_bytes = 0
         self._closed = False
 
     def _slot_header_at(self, slot: int) -> int:
@@ -254,7 +279,17 @@ class ShmRingWriter:
             if not self._free:
                 if not force:
                     return None
-                victim = min(self._busy, key=lambda s: self._busy[s].seq)
+                # Prefer non-sticky victims: a sticky slot's resident
+                # bytes are what make the next delta write possible.
+                candidates = [
+                    s for s in self._busy if s not in self._sticky_slots
+                ] or list(self._busy)
+                victim = min(candidates, key=lambda s: self._busy[s].seq)
+                if victim in self._sticky_slots:
+                    for k, st in list(self._sticky.items()):
+                        if st.slot == victim:
+                            del self._sticky[k]
+                    self._sticky_slots.discard(victim)
                 reclaimed = list(self._busy.pop(victim).readers)
                 self._free.append(victim)
                 self.forced_reclaims += 1
@@ -282,7 +317,7 @@ class ShmRingWriter:
             busy.readers.discard(reader)
             if not busy.readers:
                 del self._busy[slot]
-                if not self._closed:
+                if not self._closed and slot not in self._sticky_slots:
                     self._free.append(slot)
             return True
 
@@ -294,8 +329,110 @@ class ShmRingWriter:
                 busy.readers.discard(reader)
                 if not busy.readers:
                     del self._busy[slot]
-                    if not self._closed:
+                    if not self._closed and slot not in self._sticky_slots:
                         self._free.append(slot)
+
+    # ------------------------------------------------------------------
+    # Sticky (delta) writes
+    # ------------------------------------------------------------------
+    def write_update(
+        self,
+        payload,
+        readers: Iterable[object],
+        key: object,
+        prefix: int,
+        stable: int,
+    ) -> Optional[tuple[int, int, int]]:
+        """Republish ``key``'s message, copying only what changed.
+
+        ``prefix`` bytes at the head (the SFM skeleton) are always
+        rewritten; bytes in ``[prefix, stable)`` are guaranteed by the
+        caller to be byte-identical to the previous publish of ``key``
+        (the record's dirty floor), so when the key's sticky slot is
+        fully acknowledged the write touches only the skeleton and the
+        dirty tail in place.  A sticky slot still held by an unacked
+        reader is never mutated: the payload goes to a fresh slot
+        (copy-on-write) and stickiness moves there.  Returns
+        ``(slot, seq, size)``, or ``None`` when the ring is full (same
+        inline fallback contract as :meth:`write`).
+        """
+        size = len(payload)
+        if size > self.slot_bytes:
+            raise SlotTooLarge(
+                f"payload of {size} bytes exceeds {self.slot_bytes}-byte slots"
+            )
+        with self._lock:
+            if self._closed:
+                raise ShmTransportError("ring is closed")
+            st = self._sticky.get(key)
+            if st is not None and st.slot not in self._busy:
+                # In-place rewrite of the acknowledged sticky slot.  The
+                # stable range the slot can actually supply is capped by
+                # what it holds from the previous write.
+                effective = max(prefix, min(stable, st.written, size))
+                slot = st.slot
+                seq = self._seq()
+                header_at = self._slot_header_at(slot)
+                data_at = self._slot_data_at(slot)
+                _SLOT_HEADER.pack_into(self._buf, header_at, 0, 0)
+                view = memoryview(payload)
+                if effective > prefix:
+                    self._buf[data_at : data_at + prefix] = view[:prefix]
+                    if effective < size:
+                        self._buf[data_at + effective : data_at + size] = view[
+                            effective:size
+                        ]
+                    self.delta_writes += 1
+                    self.delta_bytes += prefix + (size - effective)
+                else:
+                    self._buf[data_at : data_at + size] = view
+                _SLOT_HEADER.pack_into(self._buf, header_at, seq, size)
+                self._busy[slot] = _BusySlot(seq, set(readers))
+                st.seq = seq
+                st.written = size
+                self._sticky.pop(key)
+                self._sticky[key] = st  # refresh LRU position
+                return slot, seq, size
+        # COW / first publish: full write to a fresh slot, then stick it.
+        result = self.write(payload, readers)
+        if result is None:
+            return None
+        slot, seq, size = result
+        with self._lock:
+            if self._closed:
+                return result
+            old = self._sticky.pop(key, None)
+            if old is not None:
+                self._unstick_slot(old.slot)
+            self._sticky[key] = _Sticky(slot, seq, size)
+            self._sticky_slots.add(slot)
+            while len(self._sticky) > self._max_sticky:
+                lru_key = next(iter(self._sticky))
+                lru = self._sticky.pop(lru_key)
+                self._unstick_slot(lru.slot)
+        return result
+
+    def unstick(self, key: object) -> None:
+        """Drop ``key``'s sticky reservation (link teardown, reseg)."""
+        with self._lock:
+            st = self._sticky.pop(key, None)
+            if st is not None:
+                self._unstick_slot(st.slot)
+
+    def _unstick_slot(self, slot: int) -> None:
+        # Lock held.  A sticky slot bypassed the free list on its last
+        # release; return it now unless a reader still holds it.
+        self._sticky_slots.discard(slot)
+        if (
+            not self._closed
+            and slot not in self._busy
+            and slot not in self._free
+        ):
+            self._free.append(slot)
+
+    def sticky_count(self) -> int:
+        with self._lock:
+            return len(self._sticky)
 
     def idle(self) -> bool:
         with self._lock:
@@ -312,6 +449,8 @@ class ShmRingWriter:
             self._closed = True
             self._busy.clear()
             self._free.clear()
+            self._sticky.clear()
+            self._sticky_slots.clear()
         self._buf = None
         try:
             self._shm.close()

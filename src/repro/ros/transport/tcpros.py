@@ -137,6 +137,21 @@ def read_exact(sock: socket.socket, count: int) -> bytearray:
     return buffer
 
 
+def read_exact_into(sock: socket.socket, view: memoryview) -> None:
+    """Fill ``view`` completely from the socket (EOF raises).
+
+    The receive half of zero-copy reassembly: a TZC bulk range lands
+    directly in its final position inside the adopted message buffer,
+    never staged through an intermediate bytearray."""
+    count = len(view)
+    got = 0
+    while got < count:
+        read = sock.recv_into(view[got:], count - got)
+        if read == 0:
+            raise ConnectionError("peer closed the connection")
+        got += read
+
+
 def read_frame(sock: socket.socket) -> bytearray:
     """Read one length-prefixed frame (silently skipping keepalives)."""
     while True:

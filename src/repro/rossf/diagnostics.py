@@ -26,6 +26,7 @@ class ManagerReport:
     pool_buffers: int = 0
     pool_bytes: int = 0
     counters: dict = dataclass_field(default_factory=dict)
+    slabs: dict = dataclass_field(default_factory=dict)
 
     def render(self) -> str:
         lines = [
@@ -45,6 +46,13 @@ class ManagerReport:
             f"pool: {self.pool_buffers} recycled buffers "
             f"({self.pool_bytes} bytes)"
         )
+        if self.slabs:
+            lines.append(
+                "slabs: "
+                + ", ".join(
+                    f"{k}={v}" for k, v in sorted(self.slabs.items())
+                )
+            )
         lines.append(
             "lifetime: "
             + ", ".join(f"{k}={v}" for k, v in sorted(self.counters.items()))

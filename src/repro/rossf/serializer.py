@@ -40,6 +40,13 @@ class SfmCodec(MessageCodec):
     def decode(self, buffer: bytearray):
         return self.msg_class.from_buffer(buffer)
 
+    def decode_adopted(self, buffer: bytearray, byte_order: str = "<"):
+        """Adopt a TZC-reassembled buffer.  The reassembly allocated the
+        bytearray fresh (gap bytes replayed, bulk ranges received in
+        place), so the message takes ownership without a copy; a foreign
+        publisher's byte order converts in place once (Section 4.4.1)."""
+        return self.msg_class.from_buffer(buffer, byte_order=byte_order)
+
     def decode_external(self, view: memoryview):
         """Adopt a shared-memory slot view zero-copy: field access in the
         subscriber callback reads the publisher's bytes in place; the

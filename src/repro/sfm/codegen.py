@@ -77,7 +77,13 @@ def codegen_enabled() -> bool:
 # Slow paths (first access per cast kind, external records, fallbacks)
 # ----------------------------------------------------------------------
 def _ensure_cast(record, code: str):
-    """Build (and attach to the record) the typed view for ``code``."""
+    """Build (and attach to the record) the typed view for ``code``.
+
+    Slab-backed records (:mod:`repro.sfm.slab`) get the view over the
+    slab's full size class, so it stays valid across every in-class
+    growth -- only a class promotion (which rebinds the buffer and drops
+    casts) rebuilds it.  The slab generation is recorded alongside so
+    audits can prove no cast ever outlives a recycled slab."""
     attr, size, _shift = _CAST_INFO[code]
     view = memoryview(record.buffer)
     if size > 1:
@@ -85,6 +91,9 @@ def _ensure_cast(record, code: str):
         view = view[:usable]
     view = view.cast(code)
     setattr(record, attr, view)
+    slab = record.slab
+    if slab is not None:
+        record.cast_slab_gen = slab.generation
     return view
 
 

@@ -263,6 +263,25 @@ def _element_desc(
     raise TypeError(f"unknown element type {ftype!r}")
 
 
+#: The little-endian fast path for skeleton pairs (the wire default).
+_PAIR_LE = cached_struct("<II")
+
+
+def decode_pair(buffer, offset: int, order: str = "<") -> tuple[int, int]:
+    """Decode one skeleton ``(length, offset)`` pair.
+
+    Returns ``(length, content_start)`` with the relative offset already
+    resolved against the pair's own address -- the one place the
+    ``offset + 4 + rel`` convention lives, shared by the bridge's field
+    extraction and the TZC partial serializer.
+    """
+    if order == "<":
+        length, rel = _PAIR_LE.unpack_from(buffer, offset)
+    else:
+        length, rel = _read_pair(buffer, offset, order)
+    return length, offset + 4 + rel
+
+
 def align_content(nbytes: int) -> int:
     """Round a content-region size up to :data:`CONTENT_ALIGNMENT`."""
     return -(-nbytes // CONTENT_ALIGNMENT) * CONTENT_ALIGNMENT
@@ -482,3 +501,92 @@ def _validate_element(buffer, offset, element, whole_size, order, regions):
         _validate_element(buffer, offset, element.key, whole_size, order, regions)
         _validate_element(buffer, offset + element.key.size, element.value,
                           whole_size, order, regions)
+
+
+# ----------------------------------------------------------------------
+# Bulk-range discovery (TZC partial serialization)
+# ----------------------------------------------------------------------
+def bulk_regions(
+    layout: SkeletonLayout,
+    buffer,
+    whole_size: int,
+    order: str = "<",
+    base: int = 0,
+    min_bytes: int = 0,
+) -> list[tuple[int, int]]:
+    """The *top-level* content ranges worth shipping out-of-band.
+
+    Walks the same offset machinery as :func:`validate_buffer`, but only
+    to the first content indirection: string contents, primitive-vector
+    contents, the element block of a non-primitive vector, and large
+    fixed primitive arrays.  Per-element contents (a string inside a
+    vector of messages) are *not* chased -- whatever no range covers
+    travels as control-segment gap bytes, so the split is byte-complete
+    by construction.  Ranges smaller than ``min_bytes`` are skipped (a
+    tiny range costs more in table entries and scatter reads than it
+    saves), and the returned list is sorted and non-overlapping.
+    """
+    regions: list[tuple[int, int]] = []
+    _bulk_message(layout, buffer, base, whole_size, order, min_bytes, regions)
+    regions.sort()
+    last_end = 0
+    for start, end in regions:
+        if start < last_end:
+            raise ValueError(
+                f"overlapping content regions at {start} (previous region "
+                f"ends at {last_end})"
+            )
+        last_end = end
+    return regions
+
+
+def _bulk_message(layout, buffer, base, whole_size, order, min_bytes, regions):
+    if base + layout.skeleton_size > whole_size:
+        raise ValueError(
+            f"skeleton of {layout.type_name} at {base} overruns whole size"
+        )
+    for slot in layout.slots:
+        abs_offset = base + slot.offset
+        if slot.kind == "string":
+            _bulk_pair(buffer, abs_offset, 1, whole_size, order, min_bytes,
+                       regions)
+        elif slot.kind == "vector":
+            # Primitive vectors: count * element size of raw content.
+            # Non-primitive vectors: the element block itself (the pairs
+            # inside it resolve into gap bytes, wherever they point).
+            _bulk_pair(buffer, abs_offset, slot.element.size, whole_size,
+                       order, min_bytes, regions)
+        elif slot.kind == "nested":
+            _bulk_message(slot.nested, buffer, abs_offset, whole_size, order,
+                          min_bytes, regions)
+        elif slot.kind == "fixed_array":
+            element = slot.element
+            if isinstance(element, PrimDesc):
+                if slot.size >= min_bytes:
+                    regions.append((abs_offset, abs_offset + slot.size))
+            elif isinstance(element, StrDesc):
+                for index in range(slot.fixed_length):
+                    _bulk_pair(
+                        buffer, abs_offset + index * element.size, 1,
+                        whole_size, order, min_bytes, regions,
+                    )
+            elif isinstance(element, NestedDesc):
+                for index in range(slot.fixed_length):
+                    _bulk_message(
+                        element.layout, buffer,
+                        abs_offset + index * element.size, whole_size, order,
+                        min_bytes, regions,
+                    )
+
+
+def _bulk_pair(buffer, offset, item_size, whole_size, order, min_bytes, regions):
+    count, start = decode_pair(buffer, offset, order)
+    if count == 0:
+        return
+    end = start + count * item_size
+    if end > whole_size:
+        raise ValueError(
+            f"content region [{start}, {end}) overruns whole size {whole_size}"
+        )
+    if end - start >= min_bytes:
+        regions.append((start, end))

@@ -23,6 +23,7 @@ import threading
 from dataclasses import dataclass, field as dataclass_field
 from enum import Enum
 
+from repro.sfm import slab as slab_mod
 from repro.sfm.arena import Arena, global_arena
 from repro.sfm.errors import CapacityError, StaleMessageError, UnknownRecordError
 from repro.sfm.layout import SkeletonLayout, align_content
@@ -50,6 +51,8 @@ class ManagerStats:
     bytes_expanded: int = 0
     peak_live: int = 0
     pool_hits: int = 0
+    slab_allocations: int = 0
+    slab_promotions: int = 0
 
     def snapshot(self) -> dict:
         """The counters as a plain dict."""
@@ -79,6 +82,22 @@ class MessageRecord:
     #: The owning manager (set on registration); views use it to request
     #: expansion without any global lookup.
     manager: "MessageManager" = None  # type: ignore[assignment]
+    #: The size-classed slab backing this record (growth records only,
+    #: :mod:`repro.sfm.slab`); None for pooled/adopted/external buffers.
+    slab: object = dataclass_field(default=None, repr=False, compare=False)
+    #: Lowest *content* offset written since the last delta-publish mark
+    #: (0 = everything dirty).  Together with ``clean_owner`` this lets a
+    #: publisher re-ship only the skeleton plus the grown tail of a
+    #: republished message (see ``Publisher._shm_write``).
+    dirty_floor: int = 0
+    clean_owner: object = dataclass_field(
+        default=None, repr=False, compare=False
+    )
+    #: An untracked write capability escaped (a raw memoryview, a numpy
+    #: view, or a nested-element view whose compiled setters bypass
+    #: ``note_write``).  Once set, delta publishes of this record ship
+    #: the full content forever -- correctness beats the optimisation.
+    delta_unsafe: bool = False
     _extra: dict = dataclass_field(default_factory=dict)
     # Lazily-built typed memoryviews over ``buffer`` (one per cast code),
     # populated by the compiled accessors of :mod:`repro.sfm.codegen`.
@@ -97,6 +116,9 @@ class MessageRecord:
     cast_f: object = dataclass_field(default=None, repr=False, compare=False)
     cast_d: object = dataclass_field(default=None, repr=False, compare=False)
     cast_bool: object = dataclass_field(default=None, repr=False, compare=False)
+    #: Slab generation the casts were built against (slab-backed records
+    #: only): lets audits prove no cast outlives a recycled slab.
+    cast_slab_gen: object = dataclass_field(default=None, repr=False, compare=False)
 
     @property
     def end(self) -> int:
@@ -113,6 +135,7 @@ class MessageRecord:
         self.cast_b = self.cast_B = self.cast_h = self.cast_H = None
         self.cast_i = self.cast_I = self.cast_q = self.cast_Q = None
         self.cast_f = self.cast_d = self.cast_bool = None
+        self.cast_slab_gen = None
 
     def writable(self) -> bytearray:
         """The buffer, guaranteed mutable: every write path goes through
@@ -121,6 +144,20 @@ class MessageRecord:
         if self.external:
             self.materialize()
         return self.buffer
+
+    def note_write(self, offset: int) -> None:
+        """Record a content write at ``offset`` for delta tracking.
+        Skeleton writes are ignored: the skeleton is always re-shipped
+        by a delta publish, only content dirt forces a wider copy."""
+        if self.skeleton_size <= offset < self.dirty_floor:
+            self.dirty_floor = offset
+
+    def mark_clean(self, owner: object) -> None:
+        """Called by ``owner`` after it shipped ``buffer[:size]``: bytes
+        below ``size`` are now clean *for that owner* (another publisher
+        must not trust a mark it did not make)."""
+        self.dirty_floor = self.size
+        self.clean_owner = owner
 
     def materialize(self) -> None:
         """Detach from borrowed memory: copy the external view into a
@@ -145,12 +182,17 @@ class BufferPointer:
     transport cannot leak records.
     """
 
-    __slots__ = ("_manager", "_record", "_released")
+    __slots__ = ("_manager", "_record", "_released", "_pin")
 
     def __init__(self, manager: "MessageManager", record: MessageRecord) -> None:
         self._manager = manager
         self._record = record
         self._released = False
+        # Slab-backed records: pin the slab's current generation so the
+        # allocator cannot recycle these bytes while this reference (a
+        # transport queue entry, a held reader view) is outstanding.
+        slab = record.slab
+        self._pin = (slab, slab.pin()) if slab is not None else None
 
     @property
     def record(self) -> MessageRecord:
@@ -171,6 +213,10 @@ class BufferPointer:
     def release(self) -> None:
         if not self._released:
             self._released = True
+            pin = self._pin
+            if pin is not None:
+                self._pin = None
+                pin[0].unpin(pin[1])
             self._manager.release_ref(self._record)
 
     def __enter__(self) -> "BufferPointer":
@@ -192,7 +238,12 @@ class MessageManager:
     #: Cap on recycled buffers kept per capacity class.
     POOL_DEPTH = 8
 
-    def __init__(self, arena: Arena | None = None, recycle: bool = True) -> None:
+    def __init__(
+        self,
+        arena: Arena | None = None,
+        recycle: bool = True,
+        slabs: "slab_mod.SlabAllocator | bool | None" = None,
+    ) -> None:
         self._arena = arena or global_arena
         self._lock = threading.RLock()
         self._bases: list[int] = []
@@ -203,6 +254,15 @@ class MessageManager:
         #: region is re-zeroed (expand() zeroes content grants).
         self._pool: dict[int, list[bytearray]] = {}
         self.recycle = recycle
+        # ``slabs``: None follows the REPRO_SFM_SLAB switch (global
+        # allocator), False forces the seed's pooled-bytearray path (the
+        # differential harness's "old copy path"), or pass an allocator.
+        if slabs is None:
+            self._slabs = slab_mod.default_allocator()
+        elif slabs is False:
+            self._slabs = None
+        else:
+            self._slabs = slabs
         self.stats = ManagerStats()
 
     # ------------------------------------------------------------------
@@ -220,9 +280,21 @@ class MessageManager:
         capacity = capacity or layout.capacity
         if capacity < layout.skeleton_size:
             raise CapacityError(layout.type_name, layout.skeleton_size, capacity)
-        buffer = self._take_from_pool(capacity, layout.skeleton_size)
-        if buffer is None:
-            buffer = bytearray(capacity)
+        slab = None
+        if allow_growth and self._slabs is not None:
+            # Growth records come from the size-classed slab arena: the
+            # buffer is the full class, so in-class growth never moves
+            # (and never invalidates typed casts).  Reused slabs carry
+            # stale bytes; only the skeleton needs re-zeroing here
+            # (content grants zero themselves in expand()).
+            slab = self._slabs.allocate(capacity)
+            buffer = slab.buffer
+            buffer[: layout.skeleton_size] = bytes(layout.skeleton_size)
+            capacity = len(buffer)
+        else:
+            buffer = self._take_from_pool(capacity, layout.skeleton_size)
+            if buffer is None:
+                buffer = bytearray(capacity)
         record = MessageRecord(
             record_id=self._arena.next_allocation_id(),
             type_name=layout.type_name,
@@ -233,8 +305,12 @@ class MessageManager:
             capacity=capacity,
             state=MessageState.ALLOCATED,
             allow_growth=allow_growth,
+            slab=slab,
         )
         self._insert(record)
+        if slab is not None:
+            with self._lock:
+                self.stats.slab_allocations += 1
         return record
 
     def adopt(
@@ -353,14 +429,33 @@ class MessageManager:
             if needed > record.capacity:
                 if not record.allow_growth:
                     raise CapacityError(record.type_name, needed, record.capacity)
-                # Growth mode: extend the backing bytearray in place.  A
-                # Python bytearray may relocate internally but every view
-                # holds the same object, so this is safe (unlike C++).
-                # Typed views must be dropped first: a bytearray with
-                # exported memoryviews cannot be resized.
-                record.drop_casts()
-                record.writable().extend(bytes(needed - record.capacity))
-                record.capacity = needed
+                old_slab = record.slab
+                if old_slab is not None and self._slabs is not None:
+                    # Class promotion: the message outgrew its size
+                    # class.  Copy into the next class and *release* the
+                    # old slab -- outstanding readers pinned its
+                    # generation, so it zombifies instead of recycling
+                    # and their views stay byte-stable (copy-on-write).
+                    new_slab = self._slabs.allocate(needed)
+                    new_slab.buffer[:content_offset] = record.buffer[
+                        :content_offset
+                    ]
+                    record.drop_casts()
+                    record.slab = new_slab
+                    record.buffer = new_slab.buffer
+                    record.capacity = len(new_slab.buffer)
+                    self._slabs.release(old_slab)
+                    self.stats.slab_promotions += 1
+                else:
+                    # Growth mode: extend the backing bytearray in
+                    # place.  A Python bytearray may relocate internally
+                    # but every view holds the same object, so this is
+                    # safe (unlike C++).  Typed views must be dropped
+                    # first: a bytearray with exported memoryviews
+                    # cannot be resized.
+                    record.drop_casts()
+                    record.writable().extend(bytes(needed - record.capacity))
+                    record.capacity = needed
             record.size = needed
             if zero_grant:
                 # Guarantee the grant is zeroed: recycled buffers carry
@@ -418,9 +513,15 @@ class MessageManager:
         # buffer may be grown by its next record, which requires that no
         # memoryview exports remain.
         record.drop_casts()
-        # External (borrowed) buffers belong to the transport and must
-        # never enter the recycling pool.
-        if self.recycle and isinstance(record.buffer, bytearray):
+        slab = record.slab
+        if slab is not None:
+            # Slab-backed buffers return to the slab arena, which defers
+            # the recycle while any reader generation is still pinned.
+            record.slab = None
+            self._slabs.release(slab)
+        elif self.recycle and isinstance(record.buffer, bytearray):
+            # External (borrowed) buffers belong to the transport and
+            # must never enter the recycling pool.
             shelf = self._pool.setdefault(record.capacity, [])
             if len(shelf) < self.POOL_DEPTH:
                 shelf.append(record.buffer)
@@ -478,7 +579,7 @@ class MessageManager:
                 capacity * len(shelf)
                 for capacity, shelf in self._pool.items()
             )
-            return {
+            doc = {
                 "live_records": len(self._records),
                 "live_by_type": live_by_type,
                 "live_by_state": live_by_state,
@@ -488,6 +589,9 @@ class MessageManager:
                 "pool_bytes": pool_bytes,
                 "counters": self.stats.snapshot(),
             }
+        if self._slabs is not None:
+            doc["slabs"] = self._slabs.snapshot()
+        return doc
 
     def reset_stats(self) -> None:
         """Zero the lifetime counters (records stay untouched)."""

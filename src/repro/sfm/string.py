@@ -10,7 +10,10 @@ anywhere a ``str`` is expected -- comparison, formatting, slicing and all
 
 Assignment is *one-shot* (Section 4.3.3): the first assignment expands the
 whole message through the manager; a second assignment to a non-empty
-string raises :class:`~repro.sfm.errors.OneShotStringError`.
+string raises :class:`~repro.sfm.errors.OneShotStringError`.  Growth-mode
+records (``_allow_growth=True``) relax this: re-assignment grants a fresh
+region at the end of the message and leaks the old one, so bytes under a
+held reader view stay immutable (see :mod:`repro.sfm.slab`).
 """
 
 from __future__ import annotations
@@ -94,8 +97,16 @@ class SfmString:
             )
         stored_length, _ = self._stored()
         if stored_length != 0:
-            raise OneShotStringError(self._path)
-        if not content:
+            if not self._record.allow_growth:
+                raise OneShotStringError(self._path)
+            if not content:
+                # Growth-mode "": keep the leaked region, store empty.
+                _PAIR.pack_into(self._record.writable(), self._offset, 0, 0)
+                self._record.note_write(self._offset)
+                return
+            # Growth-mode re-assignment: fall through to a fresh grant
+            # (the old region is leaked, never re-exposed).
+        elif not content:
             return  # assigning "" to an unassigned string is a no-op
         padded = padded_string_length(content)
         # zero=False: the content, terminator and padding bytes below
@@ -110,6 +121,7 @@ class SfmString:
         )
         rel = content_offset - (self._offset + 4)
         _PAIR.pack_into(buffer, self._offset, padded, rel)
+        record.note_write(self._offset)
 
     # ------------------------------------------------------------------
     # str-compatible behaviour

@@ -15,6 +15,16 @@ The views enforce the paper's assumptions (Section 4.3.3):
   ``extend``/``remove``/``clear`` raise
   :class:`~repro.sfm.errors.NoModifierError` -- the run-time analogue of
   the C++ compile error.
+
+*Growth-mode records* (``_allow_growth=True``, slab-backed via
+:mod:`repro.sfm.slab`) relax one-shot resizing into Agnocast-style
+unsized semantics: ``resize`` may shrink (bookkeeping only) and grow.  A
+grow of a never-shrunk tail region grants only the delta, so the stable
+prefix is not copied and -- within the slab's size class -- the buffer
+does not even move; any other grow re-grants a fresh region at the end
+of the message and leaks the old one, which is exactly what keeps the
+bytes under a held reader view immutable (the shrink-then-grow aliasing
+witness in ``tests/test_sfm_slab_differential.py``).
 """
 
 from __future__ import annotations
@@ -115,6 +125,11 @@ class _SfmSequenceBase:
             from repro.sfm.generator import sfm_class_for
 
             cls = sfm_class_for(element.layout.type_name)
+            # The view can write anywhere in this element's skeleton
+            # through its own compiled accessors, which do not report
+            # back here: disqualify this record from delta publishes.
+            self._record.note_write(offset)
+            self._record.delta_unsafe = True
             return cls._view(self._record, offset, f"{self._path}[{index}]")
         raise TypeError(f"unsupported element descriptor {element!r}")
 
@@ -124,6 +139,7 @@ class _SfmSequenceBase:
         buffer = self._record.writable()
         if isinstance(element, PrimDesc):
             prim = element.type
+            self._record.note_write(offset)
             if prim.is_time or prim.struct_fmt in ("II", "ii"):
                 secs, nsecs = value
                 cached_struct("<" + prim.struct_fmt).pack_into(
@@ -234,6 +250,10 @@ class _SfmSequenceBase:
         if not self._is_byte_vector():
             raise TypeError(f"{self._path} is not a byte vector")
         start = self._content_start()
+        # The view is writable, escapes dirty tracking, and may be held
+        # across publishes: disqualify the record from delta publishes.
+        self._record.note_write(start)
+        self._record.delta_unsafe = True
         return memoryview(self._record.buffer)[start : start + self._count()]
 
     def typed(self) -> memoryview:
@@ -250,6 +270,10 @@ class _SfmSequenceBase:
             raise TypeError(f"{self._path}: time vectors have no item format")
         start = self._content_start()
         end = start + self._count() * self._element.size
+        # Writable view escaping dirty tracking, possibly held across
+        # publishes: no more delta publishes for this record.
+        self._record.note_write(start)
+        self._record.delta_unsafe = True
         view = memoryview(self._record.buffer)[start:end]
         code = prim.struct_fmt if prim.struct_fmt != "?" else "B"
         return view.cast(code)
@@ -270,6 +294,10 @@ class _SfmSequenceBase:
         dtype = _numpy.dtype("<" + _NUMPY_CODES[prim.struct_fmt])
         start = self._content_start()
         end = start + self._count() * self._element.size
+        # Writable view escaping dirty tracking, possibly held across
+        # publishes: no more delta publishes for this record.
+        self._record.note_write(start)
+        self._record.delta_unsafe = True
         return _numpy.frombuffer(
             memoryview(self._record.buffer)[start:end], dtype=dtype
         )
@@ -300,20 +328,48 @@ class SfmVector(_SfmSequenceBase):
         return self._offset + 4 + rel
 
     # ------------------------------------------------------------------
-    # Resizing (one-shot) and bulk assignment
+    # Resizing (one-shot; unsized for growth records) and bulk assignment
     # ------------------------------------------------------------------
+    def _growth_meta(self, current: int) -> dict:
+        """This vector's growth bookkeeping on the record: the granted
+        extent (bytes) of its current content region, and whether it was
+        ever shrunk (a shrunk region must never be re-exposed -- see
+        :meth:`_regrow`).  Regions granted before tracking started (an
+        adopted buffer, a ``copy()``) get a conservative entry."""
+        from repro.sfm.layout import align_content
+
+        key = ("vec", self._offset)
+        meta = self._record._extra.get(key)
+        if meta is None:
+            meta = self._record._extra[key] = {
+                "extent": align_content(current * self._element.size),
+                "shrunk": True,  # unknown provenance: never re-expose
+            }
+        return meta
+
     def resize(self, count: int) -> None:
-        """Size the vector; allowed once for a non-zero size."""
+        """Size the vector: one-shot for ordinary records, unsized
+        (grow/shrink at will) for growth-mode records."""
         if count < 0:
             raise ValueError(f"{self._path}: negative resize {count}")
+        record = self._record
         current, _ = self._stored()
         if current != 0:
+            if count == current and record.allow_growth:
+                return
             if count == 0:
                 # Shrinking to zero is always allowed; the content region
                 # is leaked inside the whole message, as in the paper.
-                _PAIR.pack_into(self._record.writable(), self._offset, 0, 0)
+                _PAIR.pack_into(record.writable(), self._offset, 0, 0)
+                record.note_write(self._offset)
+                meta = record._extra.get(("vec", self._offset))
+                if meta is not None:
+                    meta["shrunk"] = True
                 return
-            raise OneShotVectorError(self._path)
+            if not record.allow_growth:
+                raise OneShotVectorError(self._path)
+            self._regrow(current, count)
+            return
         if count == 0:
             return
         nbytes = count * self._element.size
@@ -326,6 +382,68 @@ class SfmVector(_SfmSequenceBase):
             record.writable(), self._offset, count,
             content_offset - (self._offset + 4),
         )
+        record.note_write(self._offset)
+        self._note_grant(nbytes)
+
+    def _note_grant(self, nbytes: int) -> None:
+        from repro.sfm.layout import align_content
+
+        self._record._extra[("vec", self._offset)] = {
+            "extent": align_content(nbytes),
+            "shrunk": False,
+        }
+
+    def _regrow(self, current: int, count: int) -> None:
+        """Grow or shrink a non-empty growth-mode vector.
+
+        Shrink is pure bookkeeping (the tail stays granted and byte-
+        stable under held readers).  Grow takes the zero-copy path --
+        grant only the delta -- when the region is the message tail and
+        was never shrunk; otherwise it re-grants a fresh region, copies
+        the kept prefix, and leaks the old region so its bytes stay
+        immutable under any reader still holding a view of them."""
+        from repro.sfm.layout import align_content
+
+        record = self._record
+        esize = self._element.size
+        meta = self._growth_meta(current)
+        stored_rel = self._stored()[1]
+        if count < current:
+            _PAIR.pack_into(record.writable(), self._offset, count, stored_rel)
+            record.note_write(self._offset)
+            meta["shrunk"] = True
+            return
+        content_start = self._content_start()
+        new_extent = align_content(count * esize)
+        if not meta["shrunk"] and content_start + meta["extent"] == record.size:
+            # Tail growth: grant the delta (zeroed) and bump the count.
+            # Bytes between the old element end and the old extent are
+            # alignment padding, zeroed by the original grant.
+            delta = new_extent - meta["extent"]
+            if delta:
+                self._manager.expand(record.base + self._offset, delta)
+            _PAIR.pack_into(
+                record.writable(), self._offset, count, stored_rel
+            )
+            record.note_write(self._offset)
+            meta["extent"] = new_extent
+            return
+        # Fresh-region re-grant: copy the kept prefix, leak the old
+        # region.  The grant is zeroed, so the new elements read as
+        # defaults just like the tail path.
+        record2, content_offset = self._manager.expand(
+            record.base + self._offset, count * esize
+        )
+        buffer = record2.writable()
+        keep = current * esize
+        buffer[content_offset : content_offset + keep] = bytes(
+            buffer[content_start : content_start + keep]
+        )
+        _PAIR.pack_into(
+            buffer, self._offset, count, content_offset - (self._offset + 4)
+        )
+        record.note_write(self._offset)
+        self._note_grant(count * esize)
 
     def _assign(self, value) -> None:
         """Whole-vector assignment: one-shot resize + element writes."""
@@ -368,9 +486,18 @@ class SfmVector(_SfmSequenceBase):
         current, _ = self._stored()
         if current != 0:
             if count == 0:
-                _PAIR.pack_into(self._record.writable(), self._offset, 0, 0)
+                self.resize(0)
                 return
-            raise OneShotVectorError(self._path)
+            if not self._record.allow_growth:
+                raise OneShotVectorError(self._path)
+            # Growth-mode re-assignment: resize (delta grant or fresh
+            # region) then overwrite the whole region.
+            self.resize(count)
+            start = self._content_start()
+            buffer = self._record.writable()
+            buffer[start : start + count] = value
+            self._record.note_write(start)
+            return
         if count == 0:
             return
         record, content_offset = self._manager.expand(
@@ -384,6 +511,8 @@ class SfmVector(_SfmSequenceBase):
                 bytes(padding)
             )
         _PAIR.pack_into(buffer, self._offset, count, content_offset - (self._offset + 4))
+        self._record.note_write(self._offset)
+        self._note_grant(count)
 
     def _assign_ndarray(self, array) -> None:
         """Bulk ndarray assignment: a single no-zero grant plus one numpy
@@ -407,9 +536,20 @@ class SfmVector(_SfmSequenceBase):
         current, _ = self._stored()
         if current != 0:
             if count == 0:
-                _PAIR.pack_into(self._record.writable(), self._offset, 0, 0)
+                self.resize(0)
                 return
-            raise OneShotVectorError(self._path)
+            if not self._record.allow_growth:
+                raise OneShotVectorError(self._path)
+            self.resize(count)
+            start = self._content_start()
+            nbytes = count * self._element.size
+            buffer = self._record.writable()
+            view = numpy.frombuffer(
+                memoryview(buffer)[start : start + nbytes], dtype=dtype
+            )
+            view[:] = flat
+            self._record.note_write(start)
+            return
         if count == 0:
             return
         nbytes = count * self._element.size
@@ -430,6 +570,8 @@ class SfmVector(_SfmSequenceBase):
         _PAIR.pack_into(
             buffer, self._offset, count, content_offset - (self._offset + 4)
         )
+        self._record.note_write(self._offset)
+        self._note_grant(nbytes)
 
     def fill_from_buffer(self, data) -> None:
         """Zero-copy-style bulk write for byte vectors (driver idiom)."""
@@ -590,6 +732,11 @@ def _scalar_view(vector: SfmVector, desc, offset: int, index: int, role: str):
         from repro.sfm.generator import sfm_class_for
 
         cls = sfm_class_for(desc.layout.type_name)
+        # As in _get_element: the nested view's own accessors write
+        # without reporting back, so charge the element and disqualify
+        # the record from delta publishes.
+        vector._record.note_write(offset)
+        vector._record.delta_unsafe = True
         return cls._view(
             vector._record, offset, f"{vector._path}[{index}].{role}"
         )
@@ -599,6 +746,7 @@ def _scalar_view(vector: SfmVector, desc, offset: int, index: int, role: str):
 def _write_scalar(vector: SfmVector, desc, offset: int, value) -> None:
     buffer = vector._record.writable()
     if isinstance(desc, PrimDesc):
+        vector._record.note_write(offset)
         cached_struct("<" + desc.type.struct_fmt).pack_into(
             buffer, offset, value
         )
