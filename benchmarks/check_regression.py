@@ -129,6 +129,25 @@ def _graphplane_headlines(doc: dict) -> dict:
     }
 
 
+def _reactor_headlines(doc: dict) -> dict:
+    sustain = doc["sustain"]
+    return {
+        # The tentpole verdict: reactor >= 2x threaded per-connection
+        # fan-out throughput at 256+ clients.  The raw speedup swings
+        # several-fold with scheduler load (the threaded side is >1500
+        # threads deep), so -- like unsized.meets_floor -- the gate
+        # judges the recorded acceptance-floor verdict, not the ratio.
+        "meets_floor": (doc["meets_floor"], "higher"),
+        # The 1k-subscription sustain: every delivery landed, nothing
+        # shed, nothing evicted, thread growth within the fixed pool.
+        "sustain.sustained": (sustain["sustained"], "higher"),
+        # 999 against a baseline of 1000 is -0.1%: any eroded client
+        # count fails past the tolerance only if someone shrinks the
+        # bench, which is exactly the silent-cap change to catch.
+        "sustain.clients": (sustain["clients"], "higher"),
+    }
+
+
 EXTRACTORS = {
     "fig13": _fig13_headlines,
     "bridge": _bridge_headlines,
@@ -136,6 +155,7 @@ EXTRACTORS = {
     "graphplane": _graphplane_headlines,
     "rawspeed": _rawspeed_headlines,
     "fleet": _fleet_headlines,
+    "reactor": _reactor_headlines,
     "obs": None,  # self-gating: see check_obs_budget
 }
 

@@ -30,6 +30,12 @@ clients through the WebSocket front door: saturation sweep up to 256
 concurrent ws subscribers plus the slow-client eviction witness) and
 writes ``BENCH_fleet.json``.
 
+``--experiment reactor`` runs ``bench_reactor.py`` (bridge fan-out at
+768 raw-socket subscribers, reactor vs thread-per-connection, plus the
+1000-subscription sustain witness) and writes ``BENCH_reactor.json``;
+the recorded ``meets_floor`` verdict (>= 2x per-connection throughput
+and a clean sustain) is what CI gates.
+
 ``--experiment graphplane`` runs ``bench_graphplane.py`` (shard-leader
 kill/promote rounds with recovery stats and zero-loss accounting, plus
 the RouteD mux latency-ratio and connection-count check) and writes
@@ -175,6 +181,25 @@ def run_fleet_snapshot(sweep, robots: int, duration: float,
     return payload
 
 
+def run_reactor_snapshot(clients: int, messages: int,
+                         sustain_clients: int,
+                         sustain_messages: int) -> dict:
+    sys.path.insert(0, str(Path(__file__).resolve().parent))
+    import bench_reactor
+
+    payload: dict = {
+        "experiment": "reactor",
+        "generated": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "python": platform.python_version(),
+    }
+    payload.update(bench_reactor.run_reactor_bench(
+        clients=clients, messages=messages,
+        sustain_clients=sustain_clients,
+        sustain_messages=sustain_messages,
+    ))
+    return payload
+
+
 def run_chaos_snapshot(rounds: int, seed: int = 1) -> dict:
     sys.path.insert(0, str(Path(__file__).resolve().parent))
     import bench_chaos_soak
@@ -208,7 +233,8 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--experiment",
                         choices=("fig13", "bridge", "obs", "chaos",
-                                 "rawspeed", "fleet", "graphplane"),
+                                 "rawspeed", "fleet", "graphplane",
+                                 "reactor"),
                         default="fig13")
     parser.add_argument("--iterations", type=int, default=40,
                         help="fig13/obs iterations")
@@ -224,6 +250,10 @@ def main(argv=None) -> int:
                         help="fleet measurement window per cell, seconds")
     parser.add_argument("--no-slow", action="store_true",
                         help="fleet: skip the slow-client witness")
+    parser.add_argument("--clients", type=int, default=768,
+                        help="reactor fan-out client count (256+)")
+    parser.add_argument("--sustain-clients", type=int, default=1000,
+                        help="reactor sustain subscription count")
     parser.add_argument("--out", type=Path, default=None)
     args = parser.parse_args(argv)
     root = Path(__file__).resolve().parent.parent
@@ -308,6 +338,34 @@ def main(argv=None) -> int:
             f"{routed['direct_ms']['p50']:.3f} ms "
             f"({routed['routed_vs_direct_p50_ratio']:.2f}x)"
         )
+        print(f"wrote {out}")
+        return 0
+    if args.experiment == "reactor":
+        out = args.out or root / "BENCH_reactor.json"
+        payload = run_reactor_snapshot(
+            clients=args.clients, messages=args.messages * 12,
+            sustain_clients=args.sustain_clients, sustain_messages=5,
+        )
+        out.write_text(json.dumps(payload, indent=2) + "\n")
+        fanout = payload["fanout"]
+        print(
+            f"reactor fan-out at {fanout['reactor']['clients']} clients: "
+            f"{fanout['reactor']['msgs_per_conn_per_s']:.0f} msg/conn/s "
+            f"on {fanout['reactor']['threads_during']} threads vs "
+            f"{fanout['threaded']['msgs_per_conn_per_s']:.0f} on "
+            f"{fanout['threaded']['threads_during']} "
+            f"({payload['speedup_per_conn']:.2f}x; floor "
+            f"{payload['speedup_floor']:.1f}x)"
+        )
+        sustain = payload["sustain"]
+        print(
+            f"sustain: {sustain['clients']} subscriptions, "
+            f"{sustain['delivered']}/{sustain['expected']} delivered, "
+            f"{sustain['dropped']} dropped, {sustain['evictions']} "
+            f"evicted, thread growth {sustain['thread_growth']} -> "
+            f"sustained={sustain['sustained']}"
+        )
+        print(f"meets_floor: {payload['meets_floor']}")
         print(f"wrote {out}")
         return 0
     if args.experiment == "chaos":

@@ -55,6 +55,7 @@ from repro.msg.generator import generate_message_class
 from repro.msg.registry import TypeRegistry, UnknownTypeError, default_registry
 from repro.msg.srv import default_service_registry, service_type
 from repro.obs import instrument as obs_instrument
+from repro.ros import reactor as reactor_mod
 from repro.ros.codecs import codec_for_class
 from repro.ros.transport import tcpros
 from repro.sfm.generator import generate_sfm_class
@@ -359,14 +360,101 @@ class _ClientSession:
         self._reassembler = protocol.Reassembler(
             sequential=self.reassembler_sequential
         )
-        self._reader = threading.Thread(
-            target=self._read_loop, daemon=True, name=f"bridge-read:{peer}"
+        self._reader = self._writer = None
+        self._rlink = None
+        self._serial = None
+        self._pump_scheduled = False
+        #: A written-but-unflushed unit batch is in the kernel's hands;
+        #: further units wait in ``_queue`` so the shed/evict policy
+        #: still sees the backlog of a stalled client.
+        self._inflight = False
+        self._reactor = reactor_mod.reactor_enabled()
+        if self._reactor:
+            self._loop = reactor_mod.global_reactor()
+            self._loop.spawn_blocking(
+                self._start_reactor, name=f"bridge-hs:{peer}"
+            )
+        else:
+            self._reader = threading.Thread(
+                target=self._read_loop, daemon=True,
+                name=f"bridge-read:{peer}",
+            )
+            self._writer = threading.Thread(
+                target=self._write_loop, daemon=True,
+                name=f"bridge-write:{peer}",
+            )
+            self._reader.start()
+            self._writer.start()
+
+    # ------------------------------------------------------------------
+    # Reactor path: handshake on a transient spawn, then the socket
+    # joins the shared loop (no per-session threads).
+    # ------------------------------------------------------------------
+    def _start_reactor(self) -> None:
+        try:
+            self._handshake()
+        except (ConnectionError, OSError, BridgeProtocolError):
+            self.server._drop_session(self)
+            return
+        self._serial = self._loop.serial_queue(on_error=self._session_error)
+        self._rlink = reactor_mod.StreamLink(
+            self.sock,
+            self._make_decoder(),
+            on_events=lambda events: self._serial.push(
+                lambda: self._handle_units(events)
+            ),
+            on_error=self._session_error,
+            reactor=self._loop,
+            label=f"bridge:{self.peer}",
         )
-        self._writer = threading.Thread(
-            target=self._write_loop, daemon=True, name=f"bridge-write:{peer}"
-        )
-        self._reader.start()
-        self._writer.start()
+        # Bytes overread past the handshake (pipelined ws frames behind
+        # the HTTP upgrade) must reach the decoder before the socket
+        # joins the loop, or a complete buffered message would wait for
+        # the *next* readable event that may never come.
+        pending = self._initial_bytes()
+        if pending:
+            try:
+                events = self._rlink.decoder.feed(pending)
+            except Exception as exc:
+                self._session_error(exc)
+                return
+            if events:
+                self._serial.push(lambda: self._handle_units(events))
+        self._rlink.start()
+        if self.closed:
+            self._rlink.close()
+            return
+        # Units enqueued during the handshake (hello_ok at least) were
+        # parked; kick the pump now that the link exists.
+        with self._condition:
+            kick = bool(self._queue) and not self._pump_scheduled
+            if kick:
+                self._pump_scheduled = True
+        if kick:
+            self._loop.call_soon(self._pump)
+
+    def _make_decoder(self):
+        """Incremental decoder for post-handshake inbound bytes
+        (transport hook; ws sessions substitute an RFC 6455 decoder)."""
+        return reactor_mod.FrameDecoder(max_frame=protocol.MAX_FRAME)
+
+    def _initial_bytes(self) -> bytes:
+        """Handshake-overread bytes to prepend to the inbound stream
+        (transport hook; the HTTP upgrade may read past the head)."""
+        return b""
+
+    def _handle_units(self, events: list) -> None:
+        """Decoder events -> op dispatch, on the worker pool (serialized
+        per session, so op order is preserved)."""
+        for _kind, payload, _trace, _stamp in events:
+            if self.closed:
+                return
+            if not payload:
+                raise BridgeProtocolError("empty bridge frame")
+            self._dispatch_unit(payload[0], payload[1:])
+
+    def _session_error(self, exc: Exception) -> None:
+        self.server._drop_session(self)
 
     # ------------------------------------------------------------------
     # Outgoing queue
@@ -411,7 +499,16 @@ class _ClientSession:
                 sub.queued += 1
                 self._delivery_depth += 1
             self._queue.append((sub, tag, body))
+            schedule = (
+                self._reactor
+                and self._rlink is not None
+                and not self._pump_scheduled
+            )
+            if schedule:
+                self._pump_scheduled = True
             self._condition.notify()
+        if schedule:
+            self._loop.call_soon(self._pump)
         if evict_reason is not None:
             self.server.evict_session(self, evict_reason)
 
@@ -437,6 +534,81 @@ class _ClientSession:
                 self._delivery_depth -= 1
                 self.shed += 1
                 break
+
+    #: Units moved to the link buffer per pump: enough to amortize the
+    #: wakeup, small enough that a stalled client's backlog stays in
+    #: ``_queue`` where the shed/evict policy can reach it.
+    _PUMP_MAX_UNITS = 32
+
+    def _pump(self) -> None:
+        """Reactor-mode writer: drain a bounded batch of units into the
+        stream link (runs on the loop thread)."""
+        rlink = self._rlink
+        units: list = []
+        with self._condition:
+            self._pump_scheduled = False
+            if self._inflight or self.closed or rlink is None:
+                return
+            while self._queue and len(units) < self._PUMP_MAX_UNITS:
+                sub, tag, body = self._queue.popleft()
+                if sub is not None:
+                    sub.queued -= 1
+                    self._delivery_depth -= 1
+                units.append((sub, tag, body))
+            if units:
+                self._inflight = True
+        if not units:
+            return
+        parts: list = []
+        metered: list = []
+        for sub, tag, body in units:
+            try:
+                unit_parts, wire = self._unit_parts(tag, body)
+            except Exception:
+                continue
+            parts.extend(unit_parts)
+            metered.append((sub, wire))
+        rlink.write(
+            parts,
+            on_flushed=lambda metered=metered: self._units_flushed(metered),
+        )
+
+    def _units_flushed(self, metered: list) -> None:
+        for sub, wire in metered:
+            if sub is not None:
+                sub.sent += 1
+                sub.wire_bytes += wire
+        with self._condition:
+            self._inflight = False
+            # Bytes reached the kernel: the client is draining, so its
+            # accumulated shed strikes are forgiven.
+            self._strikes = 0
+            more = (
+                bool(self._queue)
+                and not self._pump_scheduled
+                and not self.closed
+            )
+            if more:
+                self._pump_scheduled = True
+        if more:
+            self._loop.call_soon(self._pump)
+
+    def _unit_parts(self, tag: int, body) -> tuple[list, int]:
+        """One unit as writev parts (fragmenting oversized units), plus
+        its wire size (transport hook; ws sessions emit ws frames)."""
+        if 5 + len(body) <= self.max_frame:
+            payload = bytes([tag]) + bytes(body)
+            return tcpros.frame_parts([payload]), 4 + len(payload)
+        parts: list = []
+        wire = 0
+        frag_id = f"f{next(self._frag_ids)}"
+        for fragment in protocol.fragment_unit(
+            tag, body, self.max_frame, frag_id
+        ):
+            payload = bytes([TAG_JSON]) + protocol.encode_json_op(fragment)
+            parts.extend(tcpros.frame_parts([payload]))
+            wire += 4 + len(payload)
+        return parts, wire
 
     def _write_loop(self) -> None:
         while True:
@@ -614,6 +786,8 @@ class _ClientSession:
             self.closed = True
             self._queue.clear()
             self._condition.notify_all()
+        if self._rlink is not None:
+            self._rlink.close()
         # shutdown() (not just close()) so a reader blocked in recv on
         # this socket -- ours or the peer's -- wakes up with EOF instead
         # of holding the connection open forever.
@@ -659,13 +833,23 @@ class BridgeServer:
         self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         self._listener.bind((host, port))
-        self._listener.listen(128)
+        self._listener.listen(256)
         self.host, self.port = self._listener.getsockname()
-        self._accept_thread = threading.Thread(
-            target=self._accept_loop, daemon=True,
-            name=f"bridge-accept:{self.port}",
-        )
-        self._accept_thread.start()
+        self._accept_thread = None
+        self._acceptor = None
+        if reactor_mod.reactor_enabled():
+            self._acceptor = reactor_mod.AcceptorLink(
+                self._listener, self._on_accept,
+                reactor=reactor_mod.global_reactor(),
+                label=f"bridge-accept:{self.port}",
+            )
+            self._acceptor.start()
+        else:
+            self._accept_thread = threading.Thread(
+                target=self._accept_loop, daemon=True,
+                name=f"bridge-accept:{self.port}",
+            )
+            self._accept_thread.start()
         obs_instrument.track_bridge(self)
 
     @property
@@ -681,11 +865,19 @@ class BridgeServer:
                 sock, addr = self._listener.accept()
             except OSError:
                 break
-            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-            sock = tcpros.wrap_socket(sock, "bridge", role="server")
-            session = _ClientSession(self, sock, f"{addr[0]}:{addr[1]}")
-            if not self.register_session(session):
-                return
+            self._admit(sock, addr)
+
+    def _on_accept(self, sock, addr) -> None:
+        """AcceptorLink callback (loop thread, must not block): session
+        construction only spawns the handshake."""
+        sock.setblocking(True)
+        self._admit(sock, addr)
+
+    def _admit(self, sock, addr) -> None:
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        sock = tcpros.wrap_socket(sock, "bridge", role="server")
+        session = _ClientSession(self, sock, f"{addr[0]}:{addr[1]}")
+        self.register_session(session)
 
     def register_session(self, session: _ClientSession) -> bool:
         """Track a live session (any transport); False once shut down."""
@@ -1017,6 +1209,8 @@ class BridgeServer:
             frontend = self._ws_frontend
         if frontend is not None:
             frontend.close()
+        if self._acceptor is not None:
+            self._acceptor.close()
         try:
             self._listener.close()
         except OSError:
@@ -1024,7 +1218,8 @@ class BridgeServer:
         for session in sessions:
             session.close()
         self.node.shutdown()
-        self._accept_thread.join(timeout=2.0)
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=2.0)
 
     def __enter__(self) -> "BridgeServer":
         return self

@@ -49,6 +49,7 @@ from repro.bridge import protocol
 from repro.bridge.client import BridgeClient
 from repro.bridge.protocol import BridgeProtocolError, TAG_JSON
 from repro.bridge.server import _ClientSession
+from repro.ros import reactor as reactor_mod
 from repro.ros.transport import tcpros
 
 #: RFC 6455 handshake GUID.
@@ -277,6 +278,127 @@ class WsConnection:
             self._send_lock.release()
 
 
+class WsDecoder:
+    """Incremental RFC 6455 parser for the reactor path.
+
+    The :class:`~repro.ros.reactor.StreamLink` feeds received chunks;
+    ``feed`` returns the completed events:
+
+    - ``("message", opcode, payload_bytearray)`` -- one reassembled data
+      message (continuation frames merged, masks removed);
+    - ``("ping", payload_bytes)`` -- the caller must answer with a PONG;
+    - ``("close", code, echo_payload)`` -- the caller echoes a CLOSE and
+      tears the session down; no further events are produced.
+
+    PONGs are swallowed.  Protocol violations raise
+    :class:`WsProtocolError` (carrying the close code to send), which
+    the stream link routes to its error handler.  Mirrors the blocking
+    :meth:`WsConnection.recv_message` state machine exactly so both
+    modes enforce the same frame discipline.
+    """
+
+    __slots__ = ("_buffer", "_require_mask", "_max_payload", "_message",
+                 "_opcode", "_dead")
+
+    def __init__(self, require_mask: bool = True,
+                 max_payload: int = protocol.MAX_FRAME) -> None:
+        self._buffer = bytearray()
+        self._require_mask = require_mask
+        self._max_payload = max_payload
+        self._message: Optional[bytearray] = None
+        self._opcode = OP_CONT
+        self._dead = False
+
+    def _parse_frame(self) -> Optional[tuple[int, bool, bytes]]:
+        """One frame off the buffer, or None until enough bytes arrive."""
+        buf = self._buffer
+        if len(buf) < 2:
+            return None
+        first, second = buf[0], buf[1]
+        if first & 0x70:
+            raise WsProtocolError("reserved ws bits set (no extensions)")
+        opcode = first & 0x0F
+        fin = bool(first & 0x80)
+        masked = bool(second & 0x80)
+        length = second & 0x7F
+        pos = 2
+        if length == 126:
+            if len(buf) < 4:
+                return None
+            (length,) = struct.unpack_from(">H", buf, 2)
+            pos = 4
+        elif length == 127:
+            if len(buf) < 10:
+                return None
+            (length,) = struct.unpack_from(">Q", buf, 2)
+            pos = 10
+        if opcode in _CONTROL_OPS and (length > 125 or not fin):
+            raise WsProtocolError("oversized or fragmented control frame")
+        if length > self._max_payload:
+            raise WsProtocolError(
+                f"{length}-byte ws frame exceeds the "
+                f"{self._max_payload}-byte bound", CLOSE_TOO_BIG,
+            )
+        if self._require_mask and not masked and opcode not in _CONTROL_OPS:
+            raise WsProtocolError("client data frames must be masked")
+        key = None
+        if masked:
+            if len(buf) < pos + 4:
+                return None
+            key = bytes(buf[pos:pos + 4])
+            pos += 4
+        if len(buf) < pos + length:
+            return None
+        payload = bytes(buf[pos:pos + length])
+        del buf[:pos + length]
+        if key is not None:
+            payload = mask_payload(payload, key)
+        return opcode, fin, payload
+
+    def feed(self, data) -> list:
+        if self._dead:
+            return []
+        self._buffer += data
+        events: list = []
+        while True:
+            frame = self._parse_frame()
+            if frame is None:
+                return events
+            opcode, fin, payload = frame
+            if opcode == OP_PING:
+                events.append(("ping", payload))
+                continue
+            if opcode == OP_PONG:
+                continue
+            if opcode == OP_CLOSE:
+                code = (
+                    struct.unpack(">H", payload[:2])[0]
+                    if len(payload) >= 2 else CLOSE_NORMAL
+                )
+                self._dead = True
+                events.append(("close", code, payload[:2]))
+                return events
+            if opcode == OP_CONT:
+                if self._message is None:
+                    raise WsProtocolError("continuation without a start frame")
+                self._message += payload
+            else:
+                if self._message is not None:
+                    raise WsProtocolError(
+                        "new data frame interleaved into a fragmented message"
+                    )
+                self._opcode = opcode
+                self._message = bytearray(payload)
+            if len(self._message) > self._max_payload:
+                raise WsProtocolError(
+                    "fragmented ws message exceeds the payload bound",
+                    CLOSE_TOO_BIG,
+                )
+            if fin:
+                events.append(("message", self._opcode, self._message))
+                self._message = None
+
+
 class TokenBucket:
     """A token bucket: ``rate`` tokens/s, ``burst`` capacity."""
 
@@ -364,9 +486,10 @@ class _WsSession(_ClientSession):
     reassembler_sequential = True
 
     def __init__(self, server, sock, peer, frontend,
-                 conn: WsConnection) -> None:
+                 conn: WsConnection, leftover: bytes = b"") -> None:
         self.frontend = frontend
         self._conn = conn
+        self._leftover = leftover
         self._buckets = frontend.make_buckets()
         # Policy knobs become *instance* attributes before the base
         # constructor starts the reader/writer threads.
@@ -380,6 +503,68 @@ class _WsSession(_ClientSession):
         # path; codec/max_frame arrive in-band via the hello op.
         pass
 
+    # -- reactor hooks --------------------------------------------------
+    def _make_decoder(self):
+        return WsDecoder(require_mask=True, max_payload=protocol.MAX_FRAME)
+
+    def _initial_bytes(self) -> bytes:
+        data, self._leftover = self._leftover, b""
+        return data
+
+    def _handle_units(self, events: list) -> None:
+        for event in events:
+            if self.closed:
+                return
+            kind = event[0]
+            if kind == "message":
+                _kind, opcode, payload = event
+                if opcode == OP_TEXT:
+                    self._dispatch_unit(TAG_JSON, payload)
+                elif opcode == OP_BINARY:
+                    if not payload:
+                        raise BridgeProtocolError("empty binary ws message")
+                    self._dispatch_unit(payload[0], payload[1:])
+                else:
+                    raise WsProtocolError(
+                        f"unsupported ws opcode {opcode:#x}"
+                    )
+            elif kind == "ping":
+                self._rlink.write([encode_frame(OP_PONG, event[1])])
+            elif kind == "close":
+                self._rlink.write([encode_frame(OP_CLOSE, bytes(event[2]))])
+                raise ConnectionError(
+                    f"websocket closed by peer ({event[1]})"
+                )
+
+    def _session_error(self, exc: Exception) -> None:
+        if isinstance(exc, WsProtocolError):
+            # Tell the peer *why* before tearing down (best-effort: the
+            # socket is non-blocking under the reactor, so this cannot
+            # wedge the worker).
+            self._conn.try_send_close(exc.code, str(exc)[:100])
+        self.server._drop_session(self)
+
+    def _unit_parts(self, tag: int, body) -> tuple[list, int]:
+        if 5 + len(body) > self.max_frame:
+            parts: list = []
+            wire = 0
+            frag_id = f"f{next(self._frag_ids)}"
+            for fragment in protocol.fragment_unit(
+                tag, body, self.max_frame, frag_id
+            ):
+                frame = encode_frame(
+                    OP_TEXT, protocol.encode_json_op(fragment)
+                )
+                parts.append(frame)
+                wire += len(frame)
+            return parts, wire
+        if tag == TAG_JSON:
+            frame = encode_frame(OP_TEXT, bytes(body))
+        else:
+            frame = encode_frame(OP_BINARY, bytes([tag]) + bytes(body))
+        return [frame], len(frame)
+
+    # -- threaded hooks -------------------------------------------------
     def _recv_unit(self):
         try:
             opcode, payload, _wire = self._conn.recv_message()
@@ -421,6 +606,14 @@ class _WsSession(_ClientSession):
 
     def _notify_eviction(self, reason: str) -> None:
         self.frontend.evictions += 1
+        if self._rlink is not None:
+            # Queue the goodbye *behind* any partially-written frame so
+            # the stream stays well-formed; the write buffer is memory,
+            # never a blocking send, which is all eviction requires.
+            payload = struct.pack(">H", CLOSE_OVERLOADED) + \
+                b"evicted: slow consumer"
+            self._rlink.write([encode_frame(OP_CLOSE, payload)])
+            return
         self._conn.try_send_close(CLOSE_OVERLOADED, "evicted: slow consumer")
 
 
@@ -443,6 +636,22 @@ class _SseSession(_ClientSession):
     def _handshake(self) -> None:
         pass
 
+    # -- reactor hooks --------------------------------------------------
+    def _make_decoder(self):
+        # Inbound bytes are ignored wholesale; only EOF matters (the
+        # stream link reports it as a ConnectionError -> session drop).
+        return reactor_mod.RawDecoder()
+
+    def _handle_units(self, events: list) -> None:
+        pass  # anything a "subscribe-only" client sends is ignored
+
+    def _unit_parts(self, tag: int, body) -> tuple[list, int]:
+        if tag != TAG_JSON:
+            return [], 0  # SSE subscriptions are forced to the json codec
+        chunk = b"data: " + bytes(body) + b"\r\n\r\n"
+        return [chunk], len(chunk)
+
+    # -- threaded hooks -------------------------------------------------
     def _recv_unit(self):
         while True:
             data = self.sock.recv(4096)
@@ -507,11 +716,21 @@ class WsFrontend:
         self._listener.bind((host, port))
         self._listener.listen(512)
         self.host, self.port = self._listener.getsockname()
-        self._accept_thread = threading.Thread(
-            target=self._accept_loop, daemon=True,
-            name=f"bridge-ws-accept:{self.port}",
-        )
-        self._accept_thread.start()
+        self._accept_thread = None
+        self._acceptor = None
+        if reactor_mod.reactor_enabled():
+            self._acceptor = reactor_mod.AcceptorLink(
+                self._listener, self._on_accept,
+                reactor=reactor_mod.global_reactor(),
+                label=f"bridge-ws-accept:{self.port}",
+            )
+            self._acceptor.start()
+        else:
+            self._accept_thread = threading.Thread(
+                target=self._accept_loop, daemon=True,
+                name=f"bridge-ws-accept:{self.port}",
+            )
+            self._accept_thread.start()
 
     @property
     def url(self) -> str:
@@ -561,6 +780,18 @@ class WsFrontend:
                 target=self._handle_conn, args=(sock, addr), daemon=True,
                 name=f"bridge-ws-hs:{addr[0]}:{addr[1]}",
             ).start()
+
+    def _on_accept(self, sock, addr) -> None:
+        """AcceptorLink callback (loop thread, must not block): the HTTP
+        request read + upgrade runs on a transient spawn, exactly like
+        the TCP bridge handshake."""
+        sock.setblocking(True)
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        wrapped = tcpros.wrap_socket(sock, "bridge", role="server")
+        reactor_mod.global_reactor().spawn_blocking(
+            lambda: self._handle_conn(wrapped, addr),
+            name=f"bridge-ws-hs:{addr[0]}:{addr[1]}",
+        )
 
     def _handle_conn(self, sock, addr) -> None:
         peer = f"{addr[0]}:{addr[1]}"
@@ -654,7 +885,8 @@ class WsFrontend:
         conn = WsConnection(sock, leftover, require_mask=True)
         with self._lock:
             self.handshakes += 1
-        session = _WsSession(self.server, sock, f"ws:{peer}", self, conn)
+        session = _WsSession(self.server, sock, f"ws:{peer}", self, conn,
+                             leftover=leftover)
         self.server.register_session(session)
 
     def _accept_sse(self, sock, peer: str, method: str, query: dict) -> None:
@@ -695,11 +927,14 @@ class WsFrontend:
 
     def close(self) -> None:
         self._closed = True
+        if self._acceptor is not None:
+            self._acceptor.close()
         try:
             self._listener.close()
         except OSError:
             pass
-        self._accept_thread.join(timeout=2.0)
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=2.0)
 
 
 # ----------------------------------------------------------------------

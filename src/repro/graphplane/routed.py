@@ -37,6 +37,7 @@ import threading
 
 from repro.graphplane.shard import _ThreadedXMLRPCServer
 from repro.obs import instrument as obs_instrument
+from repro.ros import reactor as reactor_mod
 from repro.ros.transport import tcpros
 
 _HEADER = struct.Struct("<IBI")  # length | type | channel
@@ -66,6 +67,31 @@ def _read_frame(sock) -> tuple[int, int, bytes]:
     return frame_type, channel, payload
 
 
+class MuxDecoder:
+    """Incremental mux framing for the reactor path: ``feed(chunk)``
+    returns ``("frame", frame_type, channel, payload_bytes)`` events."""
+
+    __slots__ = ("_buffer",)
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+
+    def feed(self, data) -> list:
+        self._buffer += data
+        events: list = []
+        while len(self._buffer) >= _HEADER.size:
+            length, frame_type, channel = _HEADER.unpack_from(self._buffer, 0)
+            if length > MAX_FRAME:
+                raise ConnectionError(f"mux frame too large ({length} bytes)")
+            end = _HEADER.size + length
+            if len(self._buffer) < end:
+                break
+            payload = bytes(self._buffer[_HEADER.size:end])
+            del self._buffer[:end]
+            events.append(("frame", frame_type, channel, payload))
+        return events
+
+
 class _MuxLink:
     """One framed connection to a peer daemon, carrying many channels."""
 
@@ -82,21 +108,51 @@ class _MuxLink:
         self._next_channel = 1 if dialed else 2
         self.peer_name = ""
         self.closed = threading.Event()
-        self._reader = threading.Thread(
-            target=self._read_loop, daemon=True,
-            name=f"routed-mux:{routed.name}",
-        )
+        self._reader = None
+        self._rlink = None
+        self._serial = None
+        #: Channel id -> the endpoint's StreamLink (reactor mode only).
+        self._chlinks: dict = {}
+        self._reactor = reactor_mod.reactor_enabled()
+        if not self._reactor:
+            self._reader = threading.Thread(
+                target=self._read_loop, daemon=True,
+                name=f"routed-mux:{routed.name}",
+            )
 
     def start(self) -> None:
-        self._reader.start()
+        if self._reactor:
+            loop = reactor_mod.global_reactor()
+            self._serial = loop.serial_queue(
+                on_error=lambda exc: self.close()
+            )
+            self._rlink = reactor_mod.StreamLink(
+                self._sock,
+                MuxDecoder(),
+                on_events=lambda events: self._serial.push(
+                    lambda: self._handle_frames(events)
+                ),
+                on_error=lambda exc: self.close(),
+                reactor=loop,
+                label=f"routed-mux:{self._routed.name}",
+            )
+            self._rlink.start()
+        else:
+            self._reader.start()
 
     # -- sending ---------------------------------------------------------
     def send(self, frame_type: int, channel: int, payload: bytes = b"") -> None:
         header = _HEADER.pack(len(payload), frame_type, channel)
-        with self._send_lock:
-            # Vectored write: a TZC bulk frame pumped through a channel
-            # never gets re-staged into one contiguous mux frame.
-            tcpros.send_parts(self._sock, [header, payload])
+        if self._rlink is not None:
+            # The stream link's write buffer is thread-safe and ordered;
+            # send errors surface asynchronously through on_error.
+            self._rlink.write([header, payload])
+        else:
+            with self._send_lock:
+                # Vectored write: a TZC bulk frame pumped through a
+                # channel never gets re-staged into one contiguous mux
+                # frame.
+                tcpros.send_parts(self._sock, [header, payload])
         self._routed._frames.inc()
         self._routed._bytes.inc(len(header) + len(payload))
 
@@ -123,10 +179,33 @@ class _MuxLink:
         with self._lock:
             self._channels[channel] = endpoint
         self._routed._channels_gauge.set(self._routed.channel_count())
-        threading.Thread(
-            target=self._pump_out, args=(channel, endpoint), daemon=True,
-            name=f"routed-pump:{channel}",
-        ).start()
+        if self._reactor:
+            # The endpoint joins the loop: its bytes become DATA frames
+            # straight from the reactor thread (per-link read order is
+            # the pump order), EOF/reset closes the channel both ways.
+            chlink = reactor_mod.StreamLink(
+                endpoint,
+                reactor_mod.RawDecoder(),
+                on_events=lambda events, chan=channel: self._pump_events(
+                    chan, events
+                ),
+                on_error=lambda exc, chan=channel: self._close_channel(
+                    chan, notify_peer=True
+                ),
+                label=f"routed-chan:{channel}",
+            )
+            with self._lock:
+                self._chlinks[channel] = chlink
+            chlink.start()
+        else:
+            threading.Thread(
+                target=self._pump_out, args=(channel, endpoint), daemon=True,
+                name=f"routed-pump:{channel}",
+            ).start()
+
+    def _pump_events(self, channel: int, events: list) -> None:
+        for _kind, chunk in events:
+            self.send(T_DATA, channel, chunk)
 
     def _pump_out(self, channel: int, endpoint: socket.socket) -> None:
         """Local endpoint -> DATA frames, until either side closes."""
@@ -143,6 +222,9 @@ class _MuxLink:
     def _close_channel(self, channel: int, notify_peer: bool) -> None:
         with self._lock:
             endpoint = self._channels.pop(channel, None)
+            chlink = self._chlinks.pop(channel, None)
+        if chlink is not None:
+            chlink.close()
         if endpoint is not None:
             try:
                 endpoint.close()
@@ -160,31 +242,55 @@ class _MuxLink:
         try:
             while True:
                 frame_type, channel, payload = _read_frame(self._sock)
-                if frame_type == T_HELLO:
-                    self.peer_name = payload.decode("utf-8", "replace")
-                elif frame_type == T_OPEN:
-                    self._handle_open(channel, payload)
-                elif frame_type in (T_ACCEPT, T_REFUSE):
-                    with self._lock:
-                        waiter = self._opens.pop(channel, None)
-                    if waiter is not None:
-                        if frame_type == T_REFUSE:
-                            waiter["error"] = payload.decode(
-                                "utf-8", "replace")
-                        waiter["event"].set()
-                elif frame_type == T_DATA:
-                    with self._lock:
-                        endpoint = self._channels.get(channel)
-                    if endpoint is not None:
-                        try:
-                            endpoint.sendall(payload)
-                        except OSError:
-                            self._close_channel(channel, notify_peer=True)
-                elif frame_type == T_CLOSE:
-                    self._close_channel(channel, notify_peer=False)
+                self._handle_frame(frame_type, channel, payload)
         except (ConnectionError, OSError):
             pass
         self.close()
+
+    def _handle_frames(self, events: list) -> None:
+        """Decoder events -> frame dispatch (reactor worker, serialized
+        per mux so frame order is preserved)."""
+        for _kind, frame_type, channel, payload in events:
+            if self.closed.is_set():
+                return
+            self._handle_frame(frame_type, channel, payload)
+
+    def _handle_frame(self, frame_type: int, channel: int,
+                      payload: bytes) -> None:
+        if frame_type == T_HELLO:
+            self.peer_name = payload.decode("utf-8", "replace")
+        elif frame_type == T_OPEN:
+            if self._reactor:
+                # The dial blocks up to 5 s: off the worker pool, like
+                # every other connect phase.
+                reactor_mod.global_reactor().spawn_blocking(
+                    lambda: self._handle_open(channel, payload),
+                    name=f"routed-open:{channel}",
+                )
+            else:
+                self._handle_open(channel, payload)
+        elif frame_type in (T_ACCEPT, T_REFUSE):
+            with self._lock:
+                waiter = self._opens.pop(channel, None)
+            if waiter is not None:
+                if frame_type == T_REFUSE:
+                    waiter["error"] = payload.decode("utf-8", "replace")
+                waiter["event"].set()
+        elif frame_type == T_DATA:
+            with self._lock:
+                endpoint = self._channels.get(channel)
+                chlink = self._chlinks.get(channel)
+            if chlink is not None:
+                # Buffered, never blocking: one stalled inner consumer
+                # must not wedge every other channel on this mux.
+                chlink.write([payload])
+            elif endpoint is not None:
+                try:
+                    endpoint.sendall(payload)
+                except OSError:
+                    self._close_channel(channel, notify_peer=True)
+        elif frame_type == T_CLOSE:
+            self._close_channel(channel, notify_peer=False)
 
     def _handle_open(self, channel: int, payload: bytes) -> None:
         host, _, port = payload.decode("utf-8", "replace").rpartition(":")
@@ -210,6 +316,8 @@ class _MuxLink:
             waiter["event"].set()
         for channel in channels:
             self._close_channel(channel, notify_peer=False)
+        if self._rlink is not None:
+            self._rlink.close()
         try:
             self._sock.close()
         except OSError:
@@ -252,10 +360,20 @@ class RouteD:
         self._listener.listen(16)
         self.listen_addr = self._listener.getsockname()
         self._closed = threading.Event()
-        self._accept_thread = threading.Thread(
-            target=self._accept_loop, daemon=True, name=f"routed:{name}",
-        )
-        self._accept_thread.start()
+        self._accept_thread = None
+        self._acceptor = None
+        if reactor_mod.reactor_enabled():
+            self._acceptor = reactor_mod.AcceptorLink(
+                self._listener, self._on_accept,
+                reactor=reactor_mod.global_reactor(),
+                label=f"routed-accept:{name}",
+            )
+            self._acceptor.start()
+        else:
+            self._accept_thread = threading.Thread(
+                target=self._accept_loop, daemon=True, name=f"routed:{name}",
+            )
+            self._accept_thread.start()
         self._installed = False
         self._admin = None
         if admin:
@@ -280,20 +398,28 @@ class RouteD:
                 sock, _addr = self._listener.accept()
             except OSError:
                 return
-            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-            link = _MuxLink(self, sock, dialed=False)
-            # Accepted links are keyed once HELLO names the peer; until
-            # then they live unkeyed (the reader thread keeps them
-            # alive) -- an accepted mux never originates OPENs here.
-            link.start()
-            try:
-                link.send(T_HELLO, 0, self.name.encode())
-            except OSError:
-                link.close()
-                continue
-            with self._lock:
-                self._links[("accepted", id(link))] = link
-            self._mux_gauge.set(len(self._links))
+            self._admit_mux(sock)
+
+    def _on_accept(self, sock, _addr) -> None:
+        """AcceptorLink callback (loop thread): mux setup is all
+        non-blocking -- StreamLink registration plus a buffered HELLO."""
+        self._admit_mux(sock)
+
+    def _admit_mux(self, sock) -> None:
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        link = _MuxLink(self, sock, dialed=False)
+        # Accepted links are keyed once HELLO names the peer; until
+        # then they live unkeyed (the reader keeps them alive) -- an
+        # accepted mux never originates OPENs here.
+        link.start()
+        try:
+            link.send(T_HELLO, 0, self.name.encode())
+        except OSError:
+            link.close()
+            return
+        with self._lock:
+            self._links[("accepted", id(link))] = link
+        self._mux_gauge.set(len(self._links))
 
     def _link_to(self, peer: tuple[str, int]) -> _MuxLink:
         with self._lock:
@@ -386,6 +512,8 @@ class RouteD:
     def shutdown(self) -> None:
         self._closed.set()
         self.uninstall()
+        if self._acceptor is not None:
+            self._acceptor.close()
         try:
             self._listener.close()
         except OSError:

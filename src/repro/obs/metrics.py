@@ -359,7 +359,7 @@ class Registry:
         return "\n".join(lines) + "\n"
 
 
+from repro import config as _config
+
 #: The process-wide registry the middleware instruments against.
-global_registry = Registry(
-    enabled=os.environ.get("REPRO_OBS", "1") != "0"
-)
+global_registry = Registry(enabled=_config.obs())

@@ -183,7 +183,6 @@ def wire_enabled() -> bool:
     ``REPRO_OBS_WIRE=0`` keeps frames byte-identical to the untraced
     format while leaving counters on.
     """
-    return (
-        metrics.global_registry.enabled
-        and os.environ.get("REPRO_OBS_WIRE", "1") != "0"
-    )
+    from repro import config
+
+    return metrics.global_registry.enabled and config.obs_wire()

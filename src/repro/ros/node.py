@@ -25,6 +25,7 @@ import threading
 import xmlrpc.server
 from typing import Callable
 
+from repro import config
 from repro.ros import names
 from repro.ros.exceptions import NodeShutdownError
 from repro.ros.master import SUCCESS, ERROR, MasterProxy
@@ -166,9 +167,7 @@ class NodeHandle:
         #: or ``REPRO_TRANSPORT_PLANNER=1`` turns it on.
         self.planner = None
         if transport_planner is None:
-            transport_planner = (
-                os.environ.get("REPRO_TRANSPORT_PLANNER", "0") == "1"
-            )
+            transport_planner = config.transport_planner()
         if transport_planner:
             self.enable_transport_planner(interval=planner_interval)
 

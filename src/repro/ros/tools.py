@@ -262,6 +262,27 @@ def cmd_sfm(args) -> int:
     return 0
 
 
+def cmd_config(args) -> int:
+    """Dump every REPRO_* switch resolved against this environment."""
+    from repro import config
+
+    rows = config.describe()
+    if getattr(args, "json", False):
+        print(json.dumps(rows, indent=2))
+        return 0
+    width = max(len(row["name"]) for row in rows)
+    for row in rows:
+        value = "on " if row["value"] else "off"
+        source = (
+            f"env={row['env']!r}" if row["env"]
+            else f"default={'1' if row['default'] else '0'}"
+        )
+        pinned = "  [read]" if row["pinned"] else ""
+        print(f"{row['name']:<{width}}  {value}  ({source}){pinned}  "
+              f"{row['description']}")
+    return 0
+
+
 def cmd_graph(args) -> int:
     """Graph-plane operations: launch, per-shard dump, replication lag,
     RouteD route tables."""
@@ -492,6 +513,13 @@ def build_parser() -> argparse.ArgumentParser:
     sfm = sub.add_parser("sfm", help="ROS-SF runtime diagnostics")
     sfm.add_argument("action", choices=["stats"])
     sfm.set_defaults(func=cmd_sfm)
+
+    config_p = sub.add_parser(
+        "config", help="dump every REPRO_* switch (repro.config)"
+    )
+    config_p.add_argument("--json", action="store_true",
+                          help="machine-readable output")
+    config_p.set_defaults(func=cmd_config)
 
     graph = sub.add_parser(
         "graph", help="graph-plane operations (repro.graphplane)"

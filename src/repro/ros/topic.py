@@ -20,6 +20,7 @@ import itertools
 import threading
 import time
 import uuid
+import warnings
 import xmlrpc.client
 from collections import deque
 from typing import Callable, Optional
@@ -28,12 +29,32 @@ from repro.obs import instrument as obs_instrument
 from repro.obs import trace as obs_trace
 from repro.obs.metrics import global_registry as obs_registry
 from repro.obs.trace import tracer
+from repro.ros import reactor as reactor_mod
 from repro.ros.codecs import codec_for_class, type_info_for_class
 from repro.ros.exceptions import TopicTypeMismatch
 from repro.ros.retry import CancellableTimer, DEFAULT_LINK_RETRY, RetryState
 from repro.ros.transport import shm, tcpros, tzc
 from repro.ros.transport.intraprocess import local_bus
 from repro.sfm.manager import MessageState
+
+
+class _DrainDecoder:
+    """Outbound data sockets are one-way after the handshake: inbound
+    bytes are discarded, only EOF/reset (surfaced by the reactor's read)
+    matters."""
+
+    __slots__ = ()
+
+    def feed(self, data) -> list:
+        return []
+
+
+def _deprecated(old: str, new: str) -> None:
+    warnings.warn(
+        f"{old} is deprecated; use {new} (the unified Link protocol)",
+        DeprecationWarning,
+        stacklevel=3,
+    )
 
 
 class _Outgoing:
@@ -95,24 +116,52 @@ class _OutboundLink:
         self.dropped = 0
         self.sent_count = 0
         self.sent_bytes = 0
-        self._thread = threading.Thread(
-            target=self._send_loop,
-            daemon=True,
-            name=f"pub:{publisher.topic}->{subscriber_id}",
-        )
-        self._thread.start()
-        # The subscriber never speaks on a TCPROS data socket after the
-        # handshake, so a blocking read resolves only when the link dies:
-        # EOF (or reset) here detects a vanished subscriber without
-        # waiting for the next send to fail.
-        self._monitor = threading.Thread(
-            target=self._monitor_loop,
-            daemon=True,
-            name=f"pubmon:{publisher.topic}->{subscriber_id}",
-        )
-        self._monitor.start()
+        self._thread = None
+        self._monitor = None
+        self._rlink = None
+        self._ka_timer = None
+        self._pump_scheduled = False
+        self._reactor = reactor_mod.reactor_enabled()
+        if self._reactor:
+            # Reactor mode: EOF detection, sends and keepalives all ride
+            # the shared loop -- this link owns zero threads.
+            loop = reactor_mod.global_reactor()
+            self._loop = loop
+            self._last_activity = time.monotonic()
+            self._rlink = reactor_mod.StreamLink(
+                sock,
+                _DrainDecoder(),
+                on_events=lambda events: None,
+                on_error=lambda exc: self._shutdown_from_error(),
+                reactor=loop,
+                label=f"pub:{publisher.topic}->{subscriber_id}",
+            )
+            self._rlink.start()
+            keepalive = getattr(publisher.node, "link_keepalive", 2.0)
+            if keepalive:
+                self._ka_timer = loop.call_later(
+                    keepalive, self._keepalive_tick
+                )
+        else:
+            self._thread = threading.Thread(
+                target=self._send_loop,
+                daemon=True,
+                name=f"pub:{publisher.topic}->{subscriber_id}",
+            )
+            self._thread.start()
+            # The subscriber never speaks on a TCPROS data socket after
+            # the handshake, so a blocking read resolves only when the
+            # link dies: EOF (or reset) here detects a vanished
+            # subscriber without waiting for the next send to fail.
+            self._monitor = threading.Thread(
+                target=self._monitor_loop,
+                daemon=True,
+                name=f"pubmon:{publisher.topic}->{subscriber_id}",
+            )
+            self._monitor.start()
 
     def enqueue(self, outgoing: _Outgoing) -> None:
+        schedule = False
         with self._condition:
             if self._closed:
                 outgoing.done()
@@ -126,11 +175,135 @@ class _OutboundLink:
                 self.dropped += 1
                 self.publisher.dropped_count += 1
             self._queue.append(outgoing)
+            if self._reactor and not self._pump_scheduled:
+                self._pump_scheduled = True
+                schedule = True
             self._condition.notify()
+        if schedule:
+            self._loop.call_soon(self._pump)
 
     def queue_depth(self) -> int:
+        _deprecated("link.queue_depth()", 'link.stats()["queue_depth"]')
+        return self._depth()
+
+    def _depth(self) -> int:
         with self._condition:
             return len(self._queue)
+
+    # -- unified Link protocol -----------------------------------------
+    @property
+    def link_state(self) -> str:
+        return "dead" if self._closed else "healthy"
+
+    def fileno(self) -> int:
+        try:
+            return self.sock.fileno()
+        except (OSError, ValueError, AttributeError):
+            return -1
+
+    def on_readable(self) -> None:
+        if self._rlink is not None:
+            self._rlink.on_readable()
+
+    def on_writable(self) -> None:
+        if self._rlink is not None:
+            self._rlink.on_writable()
+
+    def stats(self) -> dict:
+        return {
+            "transport": "TZC" if self.tzc else "TCPROS",
+            "subscriber": self.subscriber_id,
+            "sent": self.sent_count,
+            "bytes": self.sent_bytes,
+            "dropped": self.dropped,
+            "queue_depth": self._depth(),
+            "traced": self.traced,
+            "link_state": self.link_state,
+        }
+
+    # -- reactor send path ---------------------------------------------
+    def _pump(self) -> None:
+        """Drain the queue onto the reactor link's write buffer (loop
+        thread).  Batching watermarks match the threaded ``_send_loop``;
+        completion (``_Outgoing.done``) fires from the flush callback so
+        SFM payloads stay alive until their bytes leave the process."""
+        with self._condition:
+            self._pump_scheduled = False
+        max_frames = (
+            tcpros.BATCH_MAX_FRAMES if tcpros.batching_enabled() else 1
+        )
+        while True:
+            batch: list[_Outgoing] = []
+            with self._condition:
+                nbytes = 0
+                while (
+                    self._queue
+                    and len(batch) < max_frames
+                    and nbytes <= tcpros.BATCH_MAX_BYTES
+                ):
+                    outgoing = self._queue.popleft()
+                    batch.append(outgoing)
+                    nbytes += len(outgoing.payload)
+            if not batch:
+                return
+            traced = self.traced
+            if self.tzc:
+                parts = tzc.split_batch_parts(
+                    [(out.tzc_parts or self.publisher._tzc_split(out.payload),
+                      out.trace_id, out.pub_ns)
+                     for out in batch],
+                    traced=traced,
+                )
+            elif traced:
+                parts = tcpros.traced_frame_parts(
+                    [(out.payload, out.trace_id, out.pub_ns)
+                     for out in batch]
+                )
+            else:
+                parts = tcpros.frame_parts([out.payload for out in batch])
+            start_ns = (
+                time.monotonic_ns()
+                if traced and any(out.trace_id for out in batch)
+                else 0
+            )
+            self._last_activity = time.monotonic()
+            self._rlink.write(
+                parts,
+                on_flushed=lambda batch=batch, start_ns=start_ns:
+                    self._batch_flushed(batch, start_ns),
+            )
+
+    def _batch_flushed(self, batch: list, start_ns: int) -> None:
+        end_ns = time.monotonic_ns() if start_ns else 0
+        transport_label = "TZC" if self.tzc else "TCPROS"
+        closed = self._closed
+        for out in batch:
+            size = len(out.payload)
+            if not closed:
+                if self.traced and out.trace_id:
+                    tracer.record(
+                        "send", out.trace_id, start_ns, end_ns,
+                        topic=self.publisher.topic,
+                        transport=transport_label, bytes=size,
+                    )
+                self.sent_count += 1
+                self.sent_bytes += size
+            out.done()
+
+    def _keepalive_tick(self) -> None:
+        if self._closed:
+            return
+        keepalive = getattr(self.publisher.node, "link_keepalive", 2.0)
+        if not keepalive:
+            return
+        idle_for = time.monotonic() - self._last_activity
+        if idle_for >= keepalive and not self._depth() \
+                and not self._rlink._pending_write():
+            self._rlink.write([tcpros.KEEPALIVE_FRAME])
+            self._last_activity = time.monotonic()
+        self._ka_timer = self._loop.call_later(
+            keepalive, self._keepalive_tick
+        )
 
     def _send_loop(self) -> None:
         keepalive = getattr(self.publisher.node, "link_keepalive", 2.0) or None
@@ -164,9 +337,12 @@ class _OutboundLink:
                 if idle:
                     # Quiet topic: an in-band keepalive keeps the
                     # subscriber's idle timer from declaring us half-open.
+                    # ``Exception``, not ``OSError``: a close() racing
+                    # interpreter shutdown can surface arbitrary teardown
+                    # errors, and this loop must exit quietly either way.
                     try:
                         tcpros.write_keepalive(self.sock)
-                    except OSError:
+                    except Exception:
                         self._shutdown_from_error()
                         return
                 continue
@@ -196,7 +372,7 @@ class _OutboundLink:
                     tcpros.write_frames(
                         self.sock, [out.payload for out in batch]
                     )
-            except OSError:
+            except Exception:
                 for out in batch:
                     out.done()
                 self._shutdown_from_error()
@@ -220,7 +396,7 @@ class _OutboundLink:
             while not self._closed:
                 if not self.sock.recv(4096):
                     break
-        except OSError:
+        except Exception:
             pass
         if not self._closed:
             self._shutdown_from_error()
@@ -239,10 +415,11 @@ class _OutboundLink:
             self._condition.notify_all()
         for outgoing in pending:
             outgoing.done()
-        try:
-            self.sock.close()
-        except OSError:
-            pass
+        if self._ka_timer is not None:
+            self._ka_timer.cancel()
+        if self._rlink is not None:
+            self._rlink.close()
+        tcpros.quiet_close(self.sock)
 
 
 class _ShmOutboundLink:
@@ -278,18 +455,51 @@ class _ShmOutboundLink:
         self.dropped = 0
         self.sent_count = 0
         self.sent_bytes = 0
-        self._send_thread = threading.Thread(
-            target=self._send_loop,
-            daemon=True,
-            name=f"shmpub:{publisher.topic}->{subscriber_id}",
-        )
-        self._ack_thread = threading.Thread(
-            target=self._ack_loop,
-            daemon=True,
-            name=f"shmack:{publisher.topic}->{subscriber_id}",
-        )
-        self._send_thread.start()
-        self._ack_thread.start()
+        self._send_thread = None
+        self._ack_thread = None
+        self._rlink = None
+        self._ka_timer = None
+        self._pump_scheduled = False
+        self._reactor = reactor_mod.reactor_enabled()
+        if self._reactor:
+            # Reactor mode: the doorbell socket's acks are decoded on the
+            # loop; sends and keepalives ride its write buffer.
+            loop = reactor_mod.global_reactor()
+            self._loop = loop
+            self._last_activity = time.monotonic()
+            self._rlink = reactor_mod.StreamLink(
+                sock,
+                shm.DoorbellDecoder(),
+                on_events=self._on_ack_events,
+                on_error=lambda exc: self._shutdown_from_error(),
+                reactor=loop,
+                label=f"shmpub:{publisher.topic}->{subscriber_id}",
+            )
+            self._rlink.start()
+            keepalive = getattr(publisher.node, "link_keepalive", 2.0)
+            if keepalive:
+                self._ka_timer = loop.call_later(
+                    keepalive, self._keepalive_tick
+                )
+        else:
+            self._send_thread = threading.Thread(
+                target=self._send_loop,
+                daemon=True,
+                name=f"shmpub:{publisher.topic}->{subscriber_id}",
+            )
+            self._ack_thread = threading.Thread(
+                target=self._ack_loop,
+                daemon=True,
+                name=f"shmack:{publisher.topic}->{subscriber_id}",
+            )
+            self._send_thread.start()
+            self._ack_thread.start()
+
+    def _on_ack_events(self, events: list) -> None:
+        for frame in events:
+            if frame[0] == "ack":
+                _kind, slot, seq = frame
+                self.publisher._shm_ack(slot, seq, self)
 
     # ------------------------------------------------------------------
     # Enqueueing (publisher thread)
@@ -332,11 +542,162 @@ class _ShmOutboundLink:
             self._queue.append(item)
             if item[0] != "reseg":
                 self._droppable += 1
+            schedule = self._reactor and not self._pump_scheduled
+            if schedule:
+                self._pump_scheduled = True
             self._condition.notify()
+        if schedule:
+            self._loop.call_soon(self._pump)
 
     def queue_depth(self) -> int:
+        _deprecated("link.queue_depth()", 'link.stats()["queue_depth"]')
+        return self._depth()
+
+    def _depth(self) -> int:
         with self._condition:
             return len(self._queue)
+
+    # -- unified Link protocol -----------------------------------------
+    @property
+    def link_state(self) -> str:
+        return "dead" if self._closed else "healthy"
+
+    def fileno(self) -> int:
+        try:
+            return self.sock.fileno()
+        except (OSError, ValueError, AttributeError):
+            return -1
+
+    def on_readable(self) -> None:
+        if self._rlink is not None:
+            self._rlink.on_readable()
+
+    def on_writable(self) -> None:
+        if self._rlink is not None:
+            self._rlink.on_writable()
+
+    def stats(self) -> dict:
+        return {
+            "transport": "SHMROS",
+            "subscriber": self.subscriber_id,
+            "sent": self.sent_count,
+            "bytes": self.sent_bytes,
+            "dropped": self.dropped,
+            "queue_depth": self._depth(),
+            "link_state": self.link_state,
+        }
+
+    # -- reactor send path ---------------------------------------------
+    def _pump(self) -> None:
+        """Drain the doorbell queue onto the reactor link (loop thread).
+        Frame building and the per-frame chaos gate match the threaded
+        ``_send_loop``; inline payload release fires from the flush
+        callback."""
+        with self._condition:
+            self._pump_scheduled = False
+        max_frames = (
+            tcpros.BATCH_MAX_FRAMES if tcpros.batching_enabled() else 1
+        )
+        while True:
+            batch: list[tuple] = []
+            with self._condition:
+                nbytes = 0
+                while (
+                    self._queue
+                    and len(batch) < max_frames
+                    and nbytes <= tcpros.BATCH_MAX_BYTES
+                ):
+                    item = self._queue.popleft()
+                    if item[0] != "reseg":
+                        self._droppable -= 1
+                    batch.append(item)
+                    if item[0] == "inline":
+                        nbytes += len(item[1].payload)
+            if not batch:
+                return
+            frames, any_trace = self._batch_frames(batch)
+            start_ns = time.monotonic_ns() if any_trace else 0
+            parts = shm.frames_to_parts(self.sock, frames)
+            self._last_activity = time.monotonic()
+            flush = (
+                lambda batch=batch, start_ns=start_ns:
+                    self._batch_flushed(batch, start_ns)
+            )
+            if parts:
+                self._rlink.write(parts, on_flushed=flush)
+            else:
+                # The chaos gate swallowed every frame: the payloads are
+                # still spent (matching the threaded path's accounting).
+                flush()
+
+    def _batch_frames(self, batch: list) -> tuple[list, bool]:
+        frames: list[tuple] = []
+        any_trace = False
+        for item in batch:
+            if item[0] == "slot":
+                _kind, _ring, slot, seq, size, trace_id, pub_ns = item
+                frames.append(("slot", slot, seq, size, trace_id, pub_ns))
+                any_trace = any_trace or bool(trace_id)
+            elif item[0] == "inline":
+                outgoing = item[1]
+                frames.append((
+                    "inline", outgoing.payload, outgoing.trace_id,
+                    outgoing.pub_ns,
+                ))
+                any_trace = any_trace or bool(outgoing.trace_id)
+            else:  # reseg
+                ring = item[1]
+                frames.append((
+                    "reseg", ring.name, ring.slot_count, ring.slot_bytes
+                ))
+        return frames, any_trace
+
+    def _batch_flushed(self, batch: list, start_ns: int) -> None:
+        end_ns = time.monotonic_ns() if start_ns else 0
+        closed = self._closed
+        for item in batch:
+            if item[0] == "slot":
+                _kind, _ring, slot, seq, size, trace_id, pub_ns = item
+                if closed:
+                    continue
+                if trace_id:
+                    tracer.record(
+                        "send", trace_id, start_ns, end_ns,
+                        topic=self.publisher.topic, transport="SHMROS",
+                        bytes=size,
+                    )
+                self.sent_count += 1
+                self.sent_bytes += size
+            elif item[0] == "inline":
+                outgoing = item[1]
+                size = len(outgoing.payload)
+                if not closed:
+                    if outgoing.trace_id:
+                        tracer.record(
+                            "send", outgoing.trace_id, start_ns, end_ns,
+                            topic=self.publisher.topic,
+                            transport="SHMROS-inline", bytes=size,
+                        )
+                    self.sent_count += 1
+                    self.sent_bytes += size
+                outgoing.done()
+
+    def _keepalive_tick(self) -> None:
+        if self._closed:
+            return
+        keepalive = getattr(self.publisher.node, "link_keepalive", 2.0)
+        if not keepalive:
+            return
+        idle_for = time.monotonic() - self._last_activity
+        if idle_for >= keepalive and not self._depth() \
+                and not self._rlink._pending_write():
+            parts = shm.frames_to_parts(self.sock, [("keepalive",)])
+            if parts:
+                self._rlink.write(parts)
+            self._last_activity = time.monotonic()
+        self._ka_timer = self._loop.call_later(
+            keepalive, self._keepalive_tick
+        )
 
     def _discard(self, item: tuple) -> None:
         """Release whatever the queued entry was holding."""
@@ -389,9 +750,13 @@ class _ShmOutboundLink:
                         nbytes += len(item[1].payload)
             if not batch:
                 if idle:
+                    # ``Exception``: teardown must be exception-free even
+                    # against interpreter-shutdown races (satellite of
+                    # the reactor PR; previously only OSError was caught
+                    # and late shutdowns spewed stack traces).
                     try:
                         shm.send_keepalive(self.sock)
-                    except OSError:
+                    except Exception:
                         self._shutdown_from_error()
                         return
                 continue
@@ -417,7 +782,7 @@ class _ShmOutboundLink:
             start_ns = time.monotonic_ns() if any_trace else 0
             try:
                 shm.send_frames(self.sock, frames)
-            except OSError:
+            except Exception:
                 for item in batch:
                     self._discard(item)
                 self._shutdown_from_error()
@@ -454,7 +819,7 @@ class _ShmOutboundLink:
                 if frame[0] == "ack":
                     _kind, slot, seq = frame
                     self.publisher._shm_ack(slot, seq, self)
-        except (ConnectionError, OSError, shm.ShmTransportError):
+        except Exception:
             self._shutdown_from_error()
 
     def _shutdown_from_error(self) -> None:
@@ -473,10 +838,11 @@ class _ShmOutboundLink:
         for item in pending:
             self._discard(item)
         self.publisher._shm_drop_reader(self)
-        try:
-            self.sock.close()
-        except OSError:
-            pass
+        if self._ka_timer is not None:
+            self._ka_timer.cancel()
+        if self._rlink is not None:
+            self._rlink.close()
+        tcpros.quiet_close(self.sock)
 
 
 class Publisher:
@@ -859,6 +1225,14 @@ class Publisher:
         with self._links_lock:
             return len(self._links)
 
+    def links(self) -> list:
+        """Live outbound links, each speaking the unified Link protocol
+        (``fileno``/``stats``/``link_state``/``close``) regardless of
+        transport -- the supported replacement for poking per-transport
+        attributes."""
+        with self._links_lock:
+            return list(self._links)
+
     def stats(self) -> dict:
         """A point-in-time counter snapshot (the observability layer's
         public window onto this publisher)."""
@@ -872,7 +1246,7 @@ class Publisher:
             "bytes": self.bytes_published,
             "drops": self.dropped_count,
             "connections": len(links),
-            "queue_depth": sum(link.queue_depth() for link in links),
+            "queue_depth": sum(link._depth() for link in links),
             "latched": self.latch,
             # A publisher heals passively (subscribers redial it); its
             # link health therefore mirrors the node's master link.
@@ -907,6 +1281,12 @@ class Publisher:
         for ring in rings:
             ring.close()
         self.node._unadvertise(self)
+
+    def __enter__(self) -> "Publisher":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.unadvertise()
 
 
 class _InboundLink:
@@ -955,12 +1335,27 @@ class _InboundLink:
         #: reclaimed the slot by the time this subscriber got to it.
         self.stale_drops = 0
         self._closed = False
-        self._thread = threading.Thread(
-            target=self._run,
-            daemon=True,
-            name=f"sub:{subscriber.topic}<-{publisher_uri}",
-        )
-        self._thread.start()
+        self._rlink = None
+        self._serial = None
+        self._shm_reader = None
+        self._finalized = False
+        self._finalize_lock = threading.Lock()
+        self._thread = None
+        if reactor_mod.reactor_enabled():
+            # Reactor mode: the (legitimately blocking) dial + handshake
+            # rides a transient spawn; once connected the socket joins
+            # the shared loop and this link owns zero threads.
+            reactor_mod.global_reactor().spawn_blocking(
+                self._run_reactor,
+                name=f"sub-dial:{subscriber.topic}<-{publisher_uri}",
+            )
+        else:
+            self._thread = threading.Thread(
+                target=self._run,
+                daemon=True,
+                name=f"sub:{subscriber.topic}<-{publisher_uri}",
+            )
+            self._thread.start()
 
     def _run(self) -> None:
         subscriber = self.subscriber
@@ -995,7 +1390,92 @@ class _InboundLink:
             self.close()
             subscriber._link_closed(self)
 
+    def _run_reactor(self) -> None:
+        """The connect phase on a transient spawn: negotiate, register
+        the socket with the reactor, exit.  Streaming errors arrive later
+        through :meth:`_stream_error`; this method only owns the dial."""
+        subscriber = self.subscriber
+        allow_shm = self._allow_shm
+        if allow_shm is None:
+            allow_shm = (
+                getattr(subscriber.node, "shmros", True)
+                and shm.shm_available()
+                and not shm.env_disabled()
+            )
+        try:
+            try:
+                connected = self._connect_reactor(allow_shm)
+            except shm.ShmAttachError:
+                # Same renegotiate as the threaded path: the grant was
+                # unmappable, redial pure TCPROS while still on the
+                # blocking spawn.
+                connected = False
+                if not self._closed:
+                    self._reset_socket()
+                    connected = self._connect_reactor(False)
+        except (ConnectionError, OSError) as exc:
+            if not self._closed:
+                self.error = exc
+            self._finalize()
+        except (tcpros.ConnectionHandshakeError, TopicTypeMismatch) as exc:
+            self.error = exc
+            self._finalize()
+        except shm.ShmTransportError as exc:
+            self.error = exc
+            self._finalize()
+        except Exception as exc:  # defensive: never leak a silent dial
+            if not self._closed:
+                self.error = exc
+            self._finalize()
+        else:
+            if not connected or self._closed:
+                # Publisher declined (requestTopic != 1) or we were
+                # closed mid-dial: report the link closed, like the
+                # threaded finally-block does.
+                self._finalize()
+
+    def _finalize(self) -> None:
+        """Exactly-once teardown notification (the reactor-mode stand-in
+        for the threaded reader's ``finally`` block)."""
+        with self._finalize_lock:
+            if self._finalized:
+                return
+            self._finalized = True
+        self.close()
+        self.subscriber._link_closed(self)
+
+    def _stream_error(self, exc: Exception) -> None:
+        """Streaming failed after registration (socket error, idle
+        timeout, decode error, callback exception).  Classification
+        mirrors the threaded ``_run`` except-ladder."""
+        if isinstance(
+            exc,
+            (tcpros.ConnectionHandshakeError, TopicTypeMismatch,
+             shm.ShmTransportError),
+        ):
+            self.error = exc
+        elif not self._closed:
+            # An intentional close() tears the socket down under the
+            # reactor; only an unexpected failure is worth recording.
+            self.error = exc
+        self._finalize()
+
     def _connect_and_stream(self, allow_shm: bool) -> None:
+        reply = self._negotiate(allow_shm)
+        if reply is None:
+            return
+        if reply.get("shm_segment"):
+            self._stream_shm(reply)
+        elif reply.get("tzc") == "1":
+            self._stream_tzc()
+        else:
+            self._stream_tcpros()
+
+    def _negotiate(self, allow_shm: bool) -> Optional[dict]:
+        """requestTopic + TCPROS handshake; returns the publisher's reply
+        header (None when the publisher declined the topic) with
+        ``self.sock``/``self.traced`` set.  Shared by the threaded and
+        reactor connect paths."""
         subscriber = self.subscriber
         protocols = (
             [["SHMROS", shm.machine_id()], ["TCPROS"]]
@@ -1007,7 +1487,7 @@ class _InboundLink:
             subscriber.node.name, subscriber.topic, protocols
         )
         if code != 1 or not protocol or protocol[0] not in ("TCPROS", "SHMROS"):
-            return
+            return None
         host, port = protocol[1], protocol[2]
         header = {
             "callerid": subscriber.node.name,
@@ -1034,12 +1514,177 @@ class _InboundLink:
                 f"{subscriber.codec.format_name}"
             )
         self.traced = reply.get("trace") == "1"
+        return reply
+
+    def _connect_reactor(self, allow_shm: bool) -> bool:
+        """Negotiate, pick the decoder for the granted transport, and
+        register the data socket with the shared loop.  Returns False
+        when the publisher declined the topic.  Raises exactly what the
+        threaded connect raises (``ShmAttachError`` included -- the
+        ring attach happens here, still on the blocking spawn, so the
+        caller's renegotiate-without-SHM path works unchanged)."""
+        subscriber = self.subscriber
+        reply = self._negotiate(allow_shm)
+        if reply is None:
+            return False
+        loop = reactor_mod.global_reactor()
+        self._serial = loop.serial_queue(on_error=self._stream_error)
         if reply.get("shm_segment"):
-            self._stream_shm(reply)
+            self._shm_reader = shm.ShmRingReader(
+                reply["shm_segment"],
+                int(reply["shm_slots"]),
+                int(reply["shm_slot_bytes"]),
+            )
+            self.transport = "SHMROS"
+            decoder = shm.DoorbellDecoder()
+            handler = self._handle_shm_events
         elif reply.get("tzc") == "1":
-            self._stream_tzc()
+            self.transport = "TCPROS"
+            self.tzc = True
+            decoder = tzc.SplitDecoder(tzc.BulkBudget(), traced=self.traced)
+            handler = self._handle_tzc_events
         else:
-            self._stream_tcpros()
+            self.transport = "TCPROS"
+            decoder = reactor_mod.FrameDecoder(traced=self.traced)
+            handler = self._handle_tcp_events
+        idle = getattr(subscriber.node, "link_idle_timeout", 15.0)
+        self._rlink = reactor_mod.StreamLink(
+            self.sock,
+            decoder,
+            on_events=lambda events, _h=handler: self._serial.push(
+                lambda: _h(events)
+            ),
+            on_error=self._stream_error,
+            reactor=loop,
+            label=f"sub:{subscriber.topic}<-{self.publisher_uri}",
+            idle_timeout=idle or 0.0,
+        )
+        subscriber._link_connected(self)
+        self._rlink.start()
+        return True
+
+    # -- reactor event handlers (run on the worker pool, serialized) ----
+    def _handle_tcp_events(self, events: list) -> None:
+        subscriber = self.subscriber
+        for _kind, payload, trace_id, pub_ns in events:
+            if self._closed:
+                return
+            if trace_id:
+                tracer.record(
+                    "recv", trace_id, pub_ns, time.monotonic_ns(),
+                    topic=subscriber.topic, transport="TCPROS",
+                    bytes=len(payload),
+                )
+            self._deliver_frame(payload, trace_id, pub_ns)
+
+    def _handle_tzc_events(self, events: list) -> None:
+        subscriber = self.subscriber
+        for _kind, buffer, order, trace_id, pub_ns in events:
+            if self._closed:
+                return
+            if trace_id:
+                tracer.record(
+                    "recv", trace_id, pub_ns, time.monotonic_ns(),
+                    topic=subscriber.topic, transport="TZC",
+                    bytes=len(buffer),
+                )
+            subscriber.received_bytes += len(buffer)
+            if subscriber.raw:
+                subscriber._dispatch(bytes(buffer), trace_id, pub_ns)
+                continue
+            if trace_id:
+                start_ns = time.monotonic_ns()
+                msg = subscriber.codec.decode_adopted(buffer, order)
+                tracer.record(
+                    "decode", trace_id, start_ns, time.monotonic_ns(),
+                    topic=subscriber.topic,
+                )
+            else:
+                msg = subscriber.codec.decode_adopted(buffer, order)
+            subscriber._dispatch(msg, trace_id, pub_ns)
+
+    def _handle_shm_events(self, events: list) -> None:
+        subscriber = self.subscriber
+        for frame in events:
+            if self._closed:
+                return
+            kind = frame[0]
+            if kind == "keepalive":
+                continue
+            if kind == "slot":
+                _kind, slot, seq, size, trace_id, pub_ns = frame
+                if trace_id:
+                    tracer.record(
+                        "recv", trace_id, pub_ns, time.monotonic_ns(),
+                        topic=subscriber.topic, transport="SHMROS",
+                        bytes=size,
+                    )
+                reader = self._shm_reader
+                if reader is None or reader.slot_seq(slot) != seq:
+                    self.stale_drops += 1
+                    subscriber.stale_drops += 1
+                    continue
+                self._dispatch_slot(reader, slot, seq, size,
+                                    trace_id, pub_ns)
+            elif kind == "inline":
+                _kind, payload, trace_id, pub_ns = frame
+                if trace_id:
+                    tracer.record(
+                        "recv", trace_id, pub_ns, time.monotonic_ns(),
+                        topic=subscriber.topic,
+                        transport="SHMROS-inline", bytes=len(payload),
+                    )
+                self._deliver_frame(payload, trace_id, pub_ns)
+            elif kind == "reseg":
+                _kind, name, slot_count, slot_bytes = frame
+                old = self._shm_reader
+                # Attach the grown ring before dropping the old one; an
+                # attach failure routes through the serial queue's
+                # on_error like any other stream failure.
+                self._shm_reader = shm.ShmRingReader(
+                    name, slot_count, slot_bytes
+                )
+                if old is not None:
+                    old.close()
+
+    def _send_ack(self, slot: int, seq: int) -> None:
+        """Slot acknowledgement on either path: non-blocking through the
+        reactor link, blocking ``send_ack`` on the reader thread."""
+        if self._rlink is not None:
+            self._rlink.write([shm.ack_bytes(slot, seq)])
+        else:
+            shm.send_ack(self.sock, slot, seq)
+
+    # -- Link protocol --------------------------------------------------
+    @property
+    def link_state(self) -> str:
+        if self._closed or self.error is not None:
+            return "dead"
+        if self.transport is None:
+            return "reconnecting"
+        return "degraded" if self.downgraded else "healthy"
+
+    def fileno(self) -> int:
+        return -1 if self._rlink is None else self._rlink.fileno()
+
+    def on_readable(self) -> None:
+        if self._rlink is not None:
+            self._rlink.on_readable()
+
+    def on_writable(self) -> None:
+        if self._rlink is not None:
+            self._rlink.on_writable()
+
+    def stats(self) -> dict:
+        counters = self._rlink.stats() if self._rlink is not None else {}
+        return {
+            "transport": "TZC" if self.tzc else (self.transport or "-"),
+            "publisher": self.publisher_uri,
+            "stale_drops": self.stale_drops,
+            "rx_bytes": counters.get("rx_bytes", 0),
+            "traced": self.traced,
+            "link_state": self.link_state,
+        }
 
     def _reset_socket(self) -> None:
         if self.sock is not None:
@@ -1207,7 +1852,7 @@ class _InboundLink:
                 subscriber._dispatch(bytes(view), trace_id, pub_ns)
             finally:
                 del view
-                shm.send_ack(self.sock, slot, seq)
+                self._send_ack(slot, seq)
             return
         if trace_id:
             start_ns = time.monotonic_ns()
@@ -1233,15 +1878,27 @@ class _InboundLink:
                 # The callback kept a reference: detach it from the slot
                 # so the publisher can reclaim the memory.
                 record.materialize()
-            shm.send_ack(self.sock, slot, seq)
+            self._send_ack(slot, seq)
 
     def close(self) -> None:
         self._closed = True
-        if self.sock is not None:
+        rlink = self._rlink
+        if rlink is not None:
+            rlink.close()
+        reader = self._shm_reader
+        if reader is not None:
+            self._shm_reader = None
             try:
-                self.sock.close()
-            except OSError:
+                reader.close()
+            except Exception:
                 pass
+        if self.sock is not None:
+            tcpros.quiet_close(self.sock)
+        if rlink is not None and not self._finalized:
+            # Reactor links have no reader thread whose finally-block
+            # reports the closure; schedule the notification off-thread
+            # (callers may hold the subscriber lock).
+            reactor_mod.global_reactor().submit(self._finalize)
 
 
 class Subscriber:
@@ -1480,7 +2137,15 @@ class Subscriber:
         return True
 
     def transports(self) -> dict[str, int]:
-        """Connected link count per transport name."""
+        """Connected link count per transport name (deprecated: aggregate
+        ``link.stats()["transport"]`` over :meth:`links` instead)."""
+        _deprecated(
+            "Subscriber.transports()",
+            'link.stats()["transport"] over sub.links()',
+        )
+        return self._transport_counts()
+
+    def _transport_counts(self) -> dict[str, int]:
         with self._lock:
             links = list(self._connected)
         counts: dict[str, int] = {}
@@ -1527,6 +2192,13 @@ class Subscriber:
                 local_bus.local_publisher_uris(self.node.master_uri, self.topic)
             )
         return count
+
+    def links(self) -> list:
+        """Inbound links (connected or dialing), each speaking the
+        unified Link protocol -- the supported replacement for poking
+        per-transport attributes."""
+        with self._lock:
+            return list(self._links.values())
 
     @property
     def link_state(self) -> str:
@@ -1626,3 +2298,9 @@ class Subscriber:
         for link in links:
             link.close()
         self.node._unsubscribe(self)
+
+    def __enter__(self) -> "Subscriber":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.unsubscribe()

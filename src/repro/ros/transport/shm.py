@@ -592,6 +592,16 @@ def send_frames(sock: socket.socket, frames: list) -> None:
     exactly the frames it would have dropped unbatched -- and the ones
     that pass travel in one syscall, in order.
     """
+    parts = frames_to_parts(sock, frames)
+    if parts:
+        send_parts(sock, parts)
+
+
+def frames_to_parts(sock, frames: list) -> list:
+    """The encode half of :func:`send_frames`: the iovec list for a batch
+    of doorbell frames (chaos gate applied per frame).  The reactor write
+    path queues these on the link's outgoing buffer instead of sending
+    inline."""
     parts: list = []
     pending = bytearray()
     for frame in frames:
@@ -636,8 +646,13 @@ def send_frames(sock: socket.socket, frames: list) -> None:
             raise ShmTransportError(f"cannot send frame kind {kind!r}")
     if pending:
         parts.append(bytes(pending))
-    if parts:
-        send_parts(sock, parts)
+    return parts
+
+
+def ack_bytes(slot: int, seq: int) -> bytes:
+    """The wire form of one ACK frame (the reactor path queues this on
+    the link's write buffer instead of a blocking :func:`send_ack`)."""
+    return _FRAME.pack(KIND_ACK, slot, seq, 0, 0, 0)
 
 
 def read_control_frame(sock: socket.socket) -> tuple:
@@ -711,6 +726,45 @@ class DoorbellReader:
         return _decode_frame(bytes(self._read(_FRAME.size)), self._read)
 
 
+class DoorbellDecoder:
+    """Incremental doorbell decoder for the reactor's non-blocking reads.
+
+    ``feed(chunk)`` returns every frame completed by the chunk, as the
+    same tuples :func:`read_control_frame` yields.  Bodies (inline
+    payloads, reseg names) spanning chunk boundaries are reassembled.
+    """
+
+    __slots__ = ("_buf",)
+
+    def __init__(self) -> None:
+        self._buf = bytearray()
+
+    def feed(self, data) -> list:
+        buf = self._buf
+        buf += data
+        events: list = []
+        pos = 0
+        while True:
+            if len(buf) - pos < _FRAME.size:
+                break
+            kind, a, b, c, _tid, _ns = _FRAME.unpack_from(buf, pos)
+            body_len = 0
+            if kind == KIND_INLINE:
+                body_len = c
+            elif kind == KIND_RESEG:
+                body_len = b
+            total = _FRAME.size + body_len
+            if len(buf) - pos < total:
+                break
+            header = bytes(buf[pos : pos + _FRAME.size])
+            body = buf[pos + _FRAME.size : pos + total]
+            events.append(_decode_frame(header, lambda _count: body))
+            pos += total
+        if pos:
+            del buf[:pos]
+        return events
+
+
 def _sendmsg_all(sock: socket.socket, header: bytes, payload) -> None:
     """Vectored send of header+payload, finishing any partial write."""
     view = memoryview(payload)
@@ -736,4 +790,6 @@ def next_slot_bytes(current: int, payload_size: int) -> int:
 
 def env_disabled() -> bool:
     """Global kill switch: ``REPRO_SHMROS=0`` disables SHMROS entirely."""
-    return os.environ.get("REPRO_SHMROS", "1") == "0"
+    from repro import config
+
+    return not config.shmros()

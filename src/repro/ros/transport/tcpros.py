@@ -37,6 +37,9 @@ MAX_FRAME = 64 * 1024 * 1024
 #: merely quiet topic.
 KEEPALIVE_WORD = 0xFFFFFFFF
 _KEEPALIVE = _LEN.pack(KEEPALIVE_WORD)
+#: The keepalive marker's wire bytes (the reactor write path queues this
+#: on a link's outgoing buffer instead of a blocking ``write_keepalive``).
+KEEPALIVE_FRAME = _KEEPALIVE
 
 
 # ----------------------------------------------------------------------
@@ -191,7 +194,9 @@ def batching_enabled() -> bool:
     """Send-side frame coalescing kill switch: ``REPRO_DOORBELL_BATCH=0``
     restores one syscall per frame (TCPROS data frames and SHMROS
     doorbell frames alike)."""
-    return os.environ.get("REPRO_DOORBELL_BATCH", "1") != "0"
+    from repro import config
+
+    return config.doorbell_batch()
 
 
 def send_parts(sock: socket.socket, parts: list) -> None:
@@ -335,6 +340,75 @@ def write_traced_frames(sock: socket.socket, entries: list) -> None:
         send_parts(sock, parts)
 
 
+def frame_parts(payloads: list) -> list:
+    """The encode half of :func:`write_frames`: the iovec list for a
+    batch of length-prefixed frames (small payloads coalesced with their
+    prefixes, large ones zero-copy).  The reactor write path queues these
+    on a link's outgoing buffer instead of sending inline."""
+    parts: list = []
+    pending = bytearray()
+    for payload in payloads:
+        if isinstance(payload, memoryview) and payload.itemsize != 1:
+            payload = payload.cast("B")
+        size = len(payload)
+        if size <= SMALL_FRAME:
+            pending += _LEN.pack(size)
+            pending += payload
+        else:
+            if pending:
+                parts.append(bytes(pending))
+                pending = bytearray()
+            parts.append(_LEN.pack(size))
+            parts.append(
+                payload if isinstance(payload, memoryview)
+                else memoryview(payload)
+            )
+    if pending:
+        parts.append(bytes(pending))
+    return parts
+
+
+def traced_frame_parts(entries: list) -> list:
+    """:func:`frame_parts` for a traced connection (``(payload,
+    trace_id, stamp_ns)`` triples, 16-byte prefix inside each frame)."""
+    parts: list = []
+    pending = bytearray()
+    for payload, trace_id, stamp_ns in entries:
+        if isinstance(payload, memoryview) and payload.itemsize != 1:
+            payload = payload.cast("B")
+        size = len(payload)
+        head = _LEN.pack(size + TRACE_PREFIX) + _TRACE.pack(trace_id, stamp_ns)
+        if size <= SMALL_FRAME:
+            pending += head
+            pending += payload
+        else:
+            if pending:
+                parts.append(bytes(pending))
+                pending = bytearray()
+            parts.append(head)
+            parts.append(
+                payload if isinstance(payload, memoryview)
+                else memoryview(payload)
+            )
+    if pending:
+        parts.append(bytes(pending))
+    return parts
+
+
+def quiet_close(sock) -> None:
+    """Close a socket absorbing every teardown error.
+
+    Interpreter shutdown races (daemon send loops closing sockets while
+    the socket module is being torn down) can surface odd exceptions from
+    ``close``; link teardown must be idempotent and exception-free."""
+    if sock is None:
+        return
+    try:
+        sock.close()
+    except Exception:
+        pass
+
+
 def read_traced_frame(sock: socket.socket) -> tuple[bytearray, int, int]:
     """Read one traced frame: ``(payload, trace_id, stamp_ns)``.
 
@@ -403,13 +477,38 @@ class TcpRosServer:
         self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         self._listener.bind((host, port))
-        self._listener.listen(64)
+        self._listener.listen(256)
         self.host, self.port = self._listener.getsockname()
         self._closed = threading.Event()
-        self._thread = threading.Thread(
-            target=self._accept_loop, daemon=True, name=f"tcpros:{self.port}"
+        self._thread = None
+        self._acceptor = None
+        from repro.ros import reactor as _reactor
+
+        if _reactor.reactor_enabled():
+            loop = _reactor.global_reactor()
+            self._acceptor = _reactor.AcceptorLink(
+                self._listener,
+                self._on_accept,
+                reactor=loop,
+                label=f"tcpros:{self.port}",
+            )
+            self._acceptor.start()
+        else:
+            self._thread = threading.Thread(
+                target=self._accept_loop, daemon=True,
+                name=f"tcpros:{self.port}"
+            )
+            self._thread.start()
+
+    def _on_accept(self, sock: socket.socket, _addr) -> None:
+        # Reactor path: the accept happened on the loop thread; the
+        # handshake may block for seconds, so it rides a transient spawn.
+        sock.setblocking(True)
+        from repro.ros.reactor import global_reactor
+
+        global_reactor().spawn_blocking(
+            lambda: self._handshake(sock), name=f"tcpros-hs:{self.port}"
         )
-        self._thread.start()
 
     def _accept_loop(self) -> None:
         while not self._closed.is_set():
@@ -440,11 +539,11 @@ class TcpRosServer:
     def close(self) -> None:
         if not self._closed.is_set():
             self._closed.set()
-            try:
-                self._listener.close()
-            except OSError:
-                pass
-            self._thread.join(timeout=2.0)
+            if self._acceptor is not None:
+                self._acceptor.close()
+            quiet_close(self._listener)
+            if self._thread is not None:
+                self._thread.join(timeout=2.0)
 
 
 def reject_connection(sock: socket.socket, reason: str) -> None:

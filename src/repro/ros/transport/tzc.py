@@ -75,7 +75,9 @@ _CODE_ORDER = {0: "<", 1: ">"}
 
 def tzc_enabled() -> bool:
     """True unless ``REPRO_TZC=0`` (the kill switch)."""
-    return os.environ.get("REPRO_TZC", "1") != "0"
+    from repro import config
+
+    return config.tzc()
 
 
 class TzcParts:
@@ -276,6 +278,19 @@ def send_split(
 def send_split_batch(sock, entries: list, traced: bool = False) -> None:
     """Flush several ``(parts, trace_id, stamp_ns)`` splits in one
     vectored send (the TZC face of doorbell batching)."""
+    iov = split_batch_parts(entries, traced)
+    if iov:
+        send_parts(sock, iov)
+
+
+def split_batch_parts(entries: list, traced: bool = False) -> list:
+    """The encode half of :func:`send_split_batch`: the iovec list for a
+    batch of ``(parts, trace_id, stamp_ns)`` splits.  The reactor write
+    path queues these on the link's outgoing buffer.
+
+    The bulk entries stay zero-copy views into the publisher's arena;
+    the caller's flush callback must hold the payload alive until the
+    bytes leave the process (``_Outgoing.done`` semantics)."""
     iov: list = []
     for parts, trace_id, stamp_ns in entries:
         if traced:
@@ -288,8 +303,7 @@ def send_split_batch(sock, entries: list, traced: bool = False) -> None:
             iov.append(_LEN.pack(len(parts.control)) + parts.control)
         iov.append(_LEN.pack(parts.bulk_len))
         iov.extend(parts.bulk)
-    if iov:
-        send_parts(sock, iov)
+    return iov
 
 
 def read_split(
@@ -343,3 +357,152 @@ def read_split(
         if budget is not None:
             budget.release(bulk_len)
     return buffer, order, trace_id, stamp_ns
+
+
+class SplitDecoder:
+    """Incremental TZC reassembly for the reactor's non-blocking reads.
+
+    Replicates :func:`read_split`'s state machine -- control frame
+    (keepalive words skipped, trace prefix honoured), ``parse_control``
+    validation before any allocation, budget charge, bulk-length check,
+    then the ranges filled in place as bytes arrive.  ``feed(chunk)``
+    returns completed ``("message", buffer, order, trace_id, stamp_ns)``
+    events.  Unlike the blocking path's ``recv_into`` the bulk bytes pay
+    one staging copy out of the read buffer; the reassembled buffer is
+    still adopted without a further copy.
+    """
+
+    __slots__ = ("budget", "traced", "_head", "_state", "_control_len",
+                 "_control", "_filled", "_trace_id", "_stamp_ns",
+                 "_buffer", "_view", "_ranges", "_order", "_bulk_len",
+                 "_range_idx", "_range_off")
+
+    def __init__(self, budget: Optional[BulkBudget] = None,
+                 traced: bool = False) -> None:
+        self.budget = budget
+        self.traced = traced
+        self._head = bytearray()
+        self._state = "ctrl_len"
+        self._control_len = 0
+        self._control: Optional[bytearray] = None
+        self._filled = 0
+        self._trace_id = 0
+        self._stamp_ns = 0
+        self._buffer: Optional[bytearray] = None
+        self._view: Optional[memoryview] = None
+        self._ranges: list = []
+        self._order = "<"
+        self._bulk_len = 0
+        self._range_idx = 0
+        self._range_off = 0
+
+    def _take_head(self, view, pos: int, end: int, need: int) -> int:
+        take = min(need - len(self._head), end - pos)
+        self._head += view[pos : pos + take]
+        return pos + take
+
+    def feed(self, data) -> list:
+        events: list = []
+        view = memoryview(data)
+        pos = 0
+        end = len(view)
+        while pos < end:
+            state = self._state
+            if state == "ctrl_len":
+                pos = self._take_head(view, pos, end, 4)
+                if len(self._head) < 4:
+                    break
+                (length,) = _LEN.unpack(self._head)
+                del self._head[:]
+                if length == KEEPALIVE_WORD:
+                    continue
+                if length > MAX_FRAME:
+                    raise ConnectionHandshakeError(
+                        f"frame length {length} exceeds limit"
+                    )
+                if self.traced:
+                    if length < TRACE_PREFIX:
+                        raise ConnectionHandshakeError(
+                            "tzc control frame cannot carry its trace prefix"
+                        )
+                    self._control_len = length - TRACE_PREFIX
+                    self._state = "ctrl_trace"
+                else:
+                    self._trace_id = self._stamp_ns = 0
+                    self._control_len = length
+                    self._control = bytearray(length)
+                    self._filled = 0
+                    self._state = "ctrl_body"
+            elif state == "ctrl_trace":
+                pos = self._take_head(view, pos, end, TRACE_PREFIX)
+                if len(self._head) < TRACE_PREFIX:
+                    break
+                self._trace_id, self._stamp_ns = _TRACE.unpack(self._head)
+                del self._head[:]
+                self._control = bytearray(self._control_len)
+                self._filled = 0
+                self._state = "ctrl_body"
+            elif state == "ctrl_body":
+                need = self._control_len - self._filled
+                take = min(need, end - pos)
+                self._control[self._filled : self._filled + take] = \
+                    view[pos : pos + take]
+                self._filled += take
+                pos += take
+                if self._filled < self._control_len:
+                    break
+                whole_size, order, ranges = parse_control(self._control)
+                self._order = order
+                self._ranges = ranges
+                self._bulk_len = sum(length for _s, length in ranges)
+                if self.budget is not None:
+                    self.budget.charge(self._bulk_len)
+                self._buffer = begin_reassembly(
+                    self._control, ranges, whole_size
+                )
+                self._view = memoryview(self._buffer)
+                self._control = None
+                self._state = "bulk_len"
+            elif state == "bulk_len":
+                pos = self._take_head(view, pos, end, 4)
+                if len(self._head) < 4:
+                    break
+                (declared,) = _LEN.unpack(self._head)
+                del self._head[:]
+                if declared == KEEPALIVE_WORD:
+                    continue
+                if declared != self._bulk_len:
+                    raise ConnectionHandshakeError(
+                        f"tzc bulk frame of {declared} bytes does not "
+                        f"match the control segment's {self._bulk_len}"
+                    )
+                self._range_idx = 0
+                self._range_off = 0
+                self._state = "bulk"
+                if not self._ranges:
+                    events.append(self._complete())
+            elif state == "bulk":
+                start, length = self._ranges[self._range_idx]
+                need = length - self._range_off
+                take = min(need, end - pos)
+                at = start + self._range_off
+                self._view[at : at + take] = view[pos : pos + take]
+                self._range_off += take
+                pos += take
+                if self._range_off == length:
+                    self._range_idx += 1
+                    self._range_off = 0
+                    if self._range_idx == len(self._ranges):
+                        events.append(self._complete())
+        return events
+
+    def _complete(self) -> tuple:
+        if self.budget is not None:
+            self.budget.release(self._bulk_len)
+        buffer = self._buffer
+        self._view = None
+        self._buffer = None
+        self._ranges = []
+        self._state = "ctrl_len"
+        return ("message", buffer, self._order, self._trace_id,
+                self._stamp_ns)

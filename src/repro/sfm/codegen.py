@@ -70,7 +70,9 @@ def codegen_enabled() -> bool:
     """
     if sys.byteorder != "little":  # pragma: no cover - LE-only CI hosts
         return False
-    return os.environ.get("REPRO_SFM_CODEGEN", "") != "0"
+    from repro import config
+
+    return config.sfm_codegen()
 
 
 # ----------------------------------------------------------------------

@@ -47,7 +47,9 @@ FREE_DEPTH = 8
 
 def slab_enabled() -> bool:
     """True unless ``REPRO_SFM_SLAB=0`` (the kill switch)."""
-    return os.environ.get("REPRO_SFM_SLAB", "1") != "0"
+    from repro import config
+
+    return config.sfm_slab()
 
 
 def size_class(nbytes: int) -> int:

@@ -9,6 +9,18 @@ from repro.msg.registry import TypeRegistry, default_registry
 from repro.sfm.manager import MessageManager
 
 
+@pytest.fixture(autouse=True)
+def _fresh_config():
+    """Read-once config cache, re-armed per test: ``monkeypatch.setenv``
+    of a ``REPRO_*`` switch takes effect because the first accessor call
+    inside the test re-reads the environment."""
+    from repro import config
+
+    config.reset()
+    yield
+    config.reset()
+
+
 @pytest.fixture
 def registry() -> TypeRegistry:
     """The process-wide registry with the standard library loaded."""

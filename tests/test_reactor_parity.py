@@ -1,0 +1,185 @@
+"""Shim parity: the reactor and the threaded paths are observably equal.
+
+The tentpole's contract is that ``REPRO_REACTOR=0`` restores the
+thread-per-connection behaviour wholesale while the default reactor mode
+produces the same messages, the same service answers and the same bridge
+deliveries.  Each parity case runs the identical workload in two
+subprocesses -- one per mode -- and compares their JSON results.
+
+The idle witness pins the tentpole's scaling claim: 512 established
+bridge connections parked on one server grow the process by at most the
+reactor's own fixed pool (1 loop + 3 workers), where the threaded
+server would have added ~2 threads per connection.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+SRC = os.path.join(os.path.dirname(__file__), os.pardir, "src")
+
+
+def _run_child(script: str, mode: str, timeout: float = 180.0) -> dict:
+    env = dict(os.environ)
+    env["REPRO_REACTOR"] = mode
+    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.run(
+        [sys.executable, "-c", script],
+        capture_output=True, text=True, timeout=timeout, env=env,
+    )
+    assert proc.returncode == 0, (
+        f"REPRO_REACTOR={mode} child failed:\n{proc.stdout}\n{proc.stderr}"
+    )
+    return json.loads(proc.stdout.splitlines()[-1])
+
+
+# ----------------------------------------------------------------------
+# Workload children (run under both modes, results compared)
+# ----------------------------------------------------------------------
+PUBSUB_CHILD = r"""
+import json, threading
+from repro.msg.library import String
+from repro.ros.graph import RosGraph
+from repro.ros.retry import wait_until
+
+got, lock = [], threading.Lock()
+with RosGraph() as graph:
+    pub = graph.node("parity_pub").advertise("/parity", String)
+    def on_msg(msg):
+        with lock:
+            got.append(msg.data)
+    graph.node("parity_sub").subscribe("/parity", String, on_msg)
+    assert pub.wait_for_subscribers(1, timeout=10)
+    for i in range(20):
+        msg = String(); msg.data = f"m{i}"
+        pub.publish(msg)
+    wait_until(lambda: len(got) >= 20, desc="20 deliveries")
+print(json.dumps({"messages": got}))
+"""
+
+SERVICE_CHILD = r"""
+import json
+from repro.msg.srv import service_type
+from repro.ros.graph import RosGraph
+
+add = service_type("rossf_bench/AddTwoInts")
+with RosGraph() as graph:
+    server = graph.node("parity_srv")
+    def handler(req):
+        resp = add.response_class(); resp.sum = req.a + req.b
+        return resp
+    server.advertise_service("/parity_add", add, handler)
+    proxy = graph.node("parity_cli").service_proxy(
+        "/parity_add", add, timeout=10.0)
+    answers = []
+    for a, b in [(1, 2), (40, 2), (-5, 5)]:
+        req = add.request_class(); req.a = a; req.b = b
+        answers.append(proxy(req).sum)
+    proxy.close_connection()
+print(json.dumps({"answers": answers}))
+"""
+
+BRIDGE_CHILD = r"""
+import json, threading
+from repro.bridge.client import BridgeClient
+from repro.bridge.server import BridgeServer
+from repro.msg.library import String
+from repro.ros.graph import RosGraph
+from repro.ros.retry import wait_until
+
+got, lock = [], threading.Lock()
+with RosGraph() as graph:
+    pub = graph.node("parity_bpub").advertise("/parity_b", String)
+    with BridgeServer(graph.master_uri) as server:
+        with BridgeClient(server.host, server.port) as client:
+            def on_msg(msg, _meta):
+                with lock:
+                    got.append(msg["data"])
+            client.subscribe("/parity_b", "std_msgs/String", on_msg)
+            assert pub.wait_for_subscribers(1, timeout=10)
+            for i in range(10):
+                msg = String(); msg.data = f"b{i}"
+                pub.publish(msg)
+            wait_until(lambda: len(got) >= 10, desc="bridge deliveries")
+            chan = client.advertise("/parity_up", "std_msgs/String")
+            client.publish("/parity_up", {"data": "up!"})
+print(json.dumps({"messages": got, "chan": chan}))
+"""
+
+IDLE_CHILD = r"""
+import json, socket, threading
+from repro.bridge import protocol
+from repro.bridge.server import BridgeServer
+from repro.ros.graph import RosGraph
+from repro.ros.retry import wait_until
+
+N = 512
+with RosGraph() as graph:
+    with BridgeServer(graph.master_uri) as server:
+        before = threading.active_count()
+        socks = []
+        for _ in range(N):
+            sock = socket.create_connection(
+                (server.host, server.port), timeout=10.0)
+            protocol.write_bridge_frame(
+                sock, protocol.TAG_JSON,
+                protocol.encode_json_op({"op": "hello"}))
+            socks.append(sock)
+        for sock in socks:
+            tag, body = protocol.read_bridge_frame(sock)
+            assert protocol.decode_json_op(body)["op"] == "hello_ok"
+        wait_until(
+            lambda: len(server.stats_snapshot()["sessions"]) == N,
+            timeout=30.0, desc="all sessions registered")
+        after = threading.active_count()
+        for sock in socks:
+            sock.close()
+print(json.dumps({"clients": N, "before": before, "after": after,
+                  "growth": after - before}))
+"""
+
+
+@pytest.mark.parametrize("child,name", [
+    (PUBSUB_CHILD, "pubsub"),
+    (SERVICE_CHILD, "services"),
+    (BRIDGE_CHILD, "bridge"),
+])
+def test_mode_parity(child, name):
+    reactor = _run_child(child, "1")
+    threaded = _run_child(child, "0")
+    assert reactor == threaded, (
+        f"{name}: reactor and threaded results diverge"
+    )
+
+
+def test_chaos_master_bounce_parity():
+    """The self-healing chaos suite passes with the kill switch thrown
+    (the default-mode run is the tier-1 suite itself)."""
+    env = dict(os.environ)
+    env["REPRO_REACTOR"] = "0"
+    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.run(
+        [sys.executable, "-m", "pytest", "-x", "-q",
+         "tests/chaos/test_master_bounce.py"],
+        capture_output=True, text=True, timeout=300.0, env=env,
+        cwd=os.path.join(os.path.dirname(__file__), os.pardir),
+    )
+    assert proc.returncode == 0, (
+        f"threaded-mode chaos suite failed:\n{proc.stdout}\n{proc.stderr}"
+    )
+
+
+def test_idle_512_connections_thread_bound():
+    """512 parked bridge clients: the reactor adds at most its own fixed
+    pool (loop + workers), not a pair of threads per connection."""
+    result = _run_child(IDLE_CHILD, "1", timeout=300.0)
+    assert result["clients"] == 512
+    assert result["growth"] <= 4, (
+        f"thread growth {result['growth']} for 512 idle connections "
+        f"(threaded mode would add ~1024)"
+    )

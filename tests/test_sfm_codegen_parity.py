@@ -241,6 +241,8 @@ class TestAccessorParity:
         assert fast.pose.pose.position.x == slow.pose.pose.position.x == 1.5
 
     def test_env_kill_switch(self, monkeypatch):
+        from repro import config
+
         monkeypatch.setenv("REPRO_SFM_CODEGEN", "0")
         assert not sfm_codegen.codegen_enabled()
         assert (
@@ -248,6 +250,7 @@ class TestAccessorParity:
             is generate_sfm_class("std_msgs/Header", codegen=False)
         )
         monkeypatch.setenv("REPRO_SFM_CODEGEN", "1")
+        config.reset()  # switches are read once; re-arm for the flip
         assert sfm_codegen.codegen_enabled()
         assert (
             generate_sfm_class("std_msgs/Header")
@@ -362,9 +365,12 @@ class TestDoorbellBatching:
         rx.close()
 
     def test_kill_switch_reads_environment(self, monkeypatch):
+        from repro import config
+
         monkeypatch.setenv("REPRO_DOORBELL_BATCH", "0")
         assert not tcpros.batching_enabled()
         monkeypatch.delenv("REPRO_DOORBELL_BATCH")
+        config.reset()  # switches are read once; re-arm for the flip
         assert tcpros.batching_enabled()
 
 
